@@ -1,0 +1,56 @@
+//! Error type for ASPE operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the ASPE baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AspeError {
+    /// A matrix is singular (or numerically near-singular).
+    SingularMatrix,
+    /// Dimensions of operands do not agree.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        got: usize,
+    },
+    /// A subscription uses a feature ASPE cannot express.
+    Unsupported {
+        /// The unsupported construct.
+        what: &'static str,
+    },
+    /// An attribute is not part of the scheme's fixed layout.
+    UnknownAttribute {
+        /// The attribute name.
+        name: String,
+    },
+}
+
+impl fmt::Display for AspeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AspeError::SingularMatrix => write!(f, "matrix is singular"),
+            AspeError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            AspeError::Unsupported { what } => write!(f, "unsupported by aspe: {what}"),
+            AspeError::UnknownAttribute { name } => write!(f, "unknown attribute {name:?}"),
+        }
+    }
+}
+
+impl Error for AspeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(AspeError::SingularMatrix.to_string().contains("singular"));
+        assert!(AspeError::DimensionMismatch { expected: 3, got: 5 }.to_string().contains("3"));
+        assert!(AspeError::UnknownAttribute { name: "x".into() }.to_string().contains("x"));
+    }
+}

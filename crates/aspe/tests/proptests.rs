@@ -1,0 +1,95 @@
+//! Property-based tests of the ASPE baseline: encrypted matching must
+//! agree with plaintext evaluation (no false negatives; false positives
+//! only from Bloom collisions, which the sizing makes negligible at test
+//! scale).
+
+use proptest::prelude::*;
+use scbr::ids::{ClientId, SubscriptionId};
+use scbr::publication::PublicationSpec;
+use scbr::subscription::SubscriptionSpec;
+use scbr::attr::AttrSchema;
+use scbr_aspe::{AspeAuthority, AspeMatcher};
+use scbr_crypto::rng::CryptoRng;
+use sgx_sim::{CacheConfig, CostModel, MemorySim};
+
+const SYMBOLS: [&str; 4] = ["HAL", "IBM", "AMD", "NVDA"];
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// (symbol index or none, lo, width) per subscription.
+    subs: Vec<(Option<usize>, f64, f64)>,
+    /// (symbol index, price) per publication.
+    pubs: Vec<(usize, f64)>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        proptest::collection::vec(
+            (proptest::option::of(0usize..4), 0.0f64..100.0, 0.5f64..40.0),
+            1..20,
+        ),
+        proptest::collection::vec((0usize..4, -10.0f64..150.0), 1..10),
+    )
+        .prop_map(|(subs, pubs)| Scenario { subs, pubs })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn encrypted_matching_agrees_with_plaintext(s in scenario()) {
+        let mut rng = CryptoRng::from_seed(7);
+        let authority = AspeAuthority::new(&["price"], &["symbol"], &mut rng);
+        let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
+        let mut matcher = AspeMatcher::new(&mem);
+        let schema = AttrSchema::new();
+
+        let mut plain_subs = Vec::new();
+        for (i, (sym, lo, width)) in s.subs.iter().enumerate() {
+            let mut spec = SubscriptionSpec::new().between("price", *lo, lo + width);
+            if let Some(sym) = sym {
+                spec = spec.eq("symbol", SYMBOLS[*sym]);
+            }
+            let enc = authority.encrypt_subscription(&spec, &mut rng).unwrap();
+            matcher.insert(SubscriptionId(i as u64), ClientId(i as u64), enc);
+            plain_subs.push(spec.compile(&schema).unwrap());
+        }
+
+        for (sym, price) in &s.pubs {
+            // Skip values within float-tolerance distance of any interval
+            // endpoint: the encrypted evaluation deliberately treats the
+            // boundary band as inclusive.
+            let near_boundary = s.subs.iter().any(|(_, lo, width)| {
+                (price - lo).abs() < 1e-6 || (price - (lo + width)).abs() < 1e-6
+            });
+            if near_boundary {
+                continue;
+            }
+            let publication = PublicationSpec::new()
+                .attr("symbol", SYMBOLS[*sym])
+                .attr("price", *price);
+            let enc = authority.encrypt_publication(&publication, &mut rng).unwrap();
+            let mut got: Vec<u64> =
+                matcher.match_publication(&enc).into_iter().map(|c| c.0).collect();
+            got.sort_unstable();
+            let header = publication.compile_header(&schema).unwrap();
+            let mut expected: Vec<u64> = plain_subs
+                .iter()
+                .enumerate()
+                .filter(|(_, sub)| sub.matches(&header))
+                .map(|(i, _)| i as u64)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected, "symbol {} price {}", SYMBOLS[*sym], price);
+        }
+    }
+
+    /// Point encryption never leaks the raw value in any coordinate.
+    #[test]
+    fn ciphertext_conceals_values(price in 1.0f64..1e6) {
+        let mut rng = CryptoRng::from_seed(9);
+        let authority = AspeAuthority::new(&["price"], &["symbol"], &mut rng);
+        let publication = PublicationSpec::new().attr("symbol", "HAL").attr("price", price);
+        let enc = authority.encrypt_publication(&publication, &mut rng).unwrap();
+        prop_assert!(enc.point.iter().all(|&v| (v - price).abs() > price * 1e-6));
+    }
+}

@@ -1,0 +1,61 @@
+//! Ablation: the paper's future-work idea of **batching publications per
+//! enclave transition** ("using message batching … to reduce the frequency
+//! of enclave enters/exits").
+//!
+//! Measured in virtual time via `iter_custom`: one ECALL per publication
+//! versus one ECALL per batch of 32. The saving is the EENTER/EEXIT pair
+//! (~3.8 µs) amortised across the batch — significant for small databases
+//! where matching itself is only tens of microseconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scbr::engine::MatchingEngine;
+use scbr::ids::{ClientId, SubscriptionId};
+use scbr::index::IndexKind;
+use scbr_workloads::{MarketConfig, StockMarket, Workload, WorkloadName};
+use sgx_sim::enclave::EnclaveBuilder;
+use sgx_sim::SgxPlatform;
+use std::time::Duration;
+
+fn bench_batching(c: &mut Criterion) {
+    let market = StockMarket::generate(&MarketConfig::small(), 1);
+    let workload = Workload::from_name(WorkloadName::E100A1);
+    let subs = workload.subscriptions(&market, 2_000, 2);
+    let pubs = workload.publications(&market, 32, 3);
+    let platform = SgxPlatform::for_testing(5);
+
+    let mut group = c.benchmark_group("ablation_ecall_batching_virtual");
+    group.sample_size(10);
+    for batch in [1usize, 8, 32] {
+        let enclave = platform
+            .launch(EnclaveBuilder::new("scbr-router").add_page(b"engine"))
+            .expect("launch");
+        let mut engine = MatchingEngine::new(enclave.memory(), IndexKind::Poset);
+        for (i, s) in subs.iter().enumerate() {
+            engine
+                .register_plain(SubscriptionId(i as u64), ClientId(i as u64), s)
+                .expect("register");
+        }
+        group.bench_function(BenchmarkId::from_parameter(batch), |b| {
+            b.iter_custom(|iters| {
+                enclave.memory().reset_counters();
+                // Process `iters` publications in ECALL batches of `batch`.
+                let mut processed = 0u64;
+                while processed < iters {
+                    let n = batch.min((iters - processed) as usize);
+                    enclave.ecall(|_| {
+                        for k in 0..n {
+                            let p = &pubs[(processed as usize + k) % pubs.len()];
+                            let _ = engine.match_plain(p).expect("match");
+                        }
+                    });
+                    processed += n as u64;
+                }
+                Duration::from_nanos(enclave.memory().elapsed_ns() as u64)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

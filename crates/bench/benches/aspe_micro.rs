@@ -1,0 +1,84 @@
+//! Microbenchmarks of the ASPE baseline (wall-clock): encryption cost per
+//! subscription/publication and matching throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scbr::ids::{ClientId, SubscriptionId};
+use scbr::publication::PublicationSpec;
+use scbr::subscription::SubscriptionSpec;
+use scbr_aspe::{AspeAuthority, AspeMatcher};
+use scbr_crypto::rng::CryptoRng;
+use sgx_sim::{CacheConfig, CostModel, MemorySim};
+use std::hint::black_box;
+
+fn authority(rng: &mut CryptoRng) -> AspeAuthority {
+    AspeAuthority::new(
+        &["open", "high", "low", "close", "volume", "change", "pct_change"],
+        &["symbol", "day"],
+        rng,
+    )
+}
+
+fn sample_publication(i: usize) -> PublicationSpec {
+    PublicationSpec::new()
+        .attr("symbol", format!("S{}", i % 50).as_str())
+        .attr("open", 10.0 + i as f64)
+        .attr("high", 11.0 + i as f64)
+        .attr("low", 9.0 + i as f64)
+        .attr("close", 10.5 + i as f64)
+        .attr("volume", 1_000i64 + i as i64)
+        .attr("change", 0.5)
+        .attr("pct_change", 5.0)
+}
+
+fn sample_subscription(i: usize) -> SubscriptionSpec {
+    SubscriptionSpec::new()
+        .eq("symbol", format!("S{}", i % 50).as_str())
+        .between("close", 10.0 + (i % 100) as f64, 20.0 + (i % 100) as f64)
+}
+
+fn bench_encrypt(c: &mut Criterion) {
+    let mut rng = CryptoRng::from_seed(1);
+    let auth = authority(&mut rng);
+    c.bench_function("aspe_encrypt_subscription", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            auth.encrypt_subscription(black_box(&sample_subscription(i)), &mut rng).unwrap()
+        });
+    });
+    c.bench_function("aspe_encrypt_publication", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            auth.encrypt_publication(black_box(&sample_publication(i)), &mut rng).unwrap()
+        });
+    });
+}
+
+fn bench_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aspe_match");
+    for n in [1_000usize, 5_000] {
+        let mut rng = CryptoRng::from_seed(2);
+        let auth = authority(&mut rng);
+        let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
+        let mut matcher = AspeMatcher::new(&mem);
+        for i in 0..n {
+            let enc = auth.encrypt_subscription(&sample_subscription(i), &mut rng).unwrap();
+            matcher.insert(SubscriptionId(i as u64), ClientId(i as u64), enc);
+        }
+        let pubs: Vec<_> = (0..20)
+            .map(|i| auth.encrypt_publication(&sample_publication(i), &mut rng).unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i += 1;
+                matcher.match_publication(black_box(&pubs[i % pubs.len()]))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encrypt, bench_match);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Microbenchmarks of the crypto substrate (wall-clock).
+//!
+//! These measure the *real* throughput of our from-scratch primitives —
+//! useful to confirm the substitution documented in DESIGN.md (software
+//! AES vs the paper's Crypto++/AES-NI) and to keep regressions visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scbr_crypto::ctr::{AesCtr, SymmetricKey};
+use scbr_crypto::hmac::HmacSha256;
+use scbr_crypto::rng::CryptoRng;
+use scbr_crypto::rsa::RsaKeyPair;
+use scbr_crypto::sha256::Sha256;
+use scbr_crypto::SealedBox;
+use std::hint::black_box;
+
+fn bench_aes_ctr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes_ctr");
+    let key = SymmetricKey::from_bytes([7u8; 16]);
+    for size in [64usize, 1024, 16 * 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut buf = vec![0u8; size];
+            b.iter(|| {
+                AesCtr::new(&key, [1; 8]).apply(black_box(&mut buf));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 4096] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let buf = vec![0xabu8; size];
+            b.iter(|| Sha256::digest(black_box(&buf)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    c.bench_function("hmac_sha256_1k", |b| {
+        let buf = vec![0u8; 1024];
+        b.iter(|| HmacSha256::mac(b"key", black_box(&buf)));
+    });
+}
+
+fn bench_sealed_box(c: &mut Criterion) {
+    c.bench_function("sealed_box_roundtrip_1k", |b| {
+        let key = SymmetricKey::from_bytes([3u8; 16]);
+        let sb = SealedBox::new(&key);
+        let mut rng = CryptoRng::from_seed(1);
+        let msg = vec![0u8; 1024];
+        b.iter(|| {
+            let sealed = sb.seal(black_box(&msg), b"aad", &mut rng);
+            sb.open(&sealed, b"aad").unwrap()
+        });
+    });
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = CryptoRng::from_seed(2);
+    let pair = RsaKeyPair::generate(1024, &mut rng).expect("keygen");
+    c.bench_function("rsa1024_encrypt", |b| {
+        b.iter(|| pair.public().encrypt(black_box(b"a symmetric key"), &mut rng).unwrap());
+    });
+    let ct = pair.public().encrypt(b"a symmetric key", &mut rng).unwrap();
+    c.bench_function("rsa1024_decrypt", |b| {
+        b.iter(|| pair.private().decrypt(black_box(&ct)).unwrap());
+    });
+    c.bench_function("rsa1024_sign", |b| {
+        b.iter(|| pair.private().sign(black_box(b"registration body")).unwrap());
+    });
+    let sig = pair.private().sign(b"registration body").unwrap();
+    c.bench_function("rsa1024_verify", |b| {
+        b.iter(|| pair.public().verify(black_box(b"registration body"), &sig).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_aes_ctr,
+    bench_sha256,
+    bench_hmac,
+    bench_sealed_box,
+    bench_rsa
+);
+criterion_main!(benches);

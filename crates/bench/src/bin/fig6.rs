@@ -1,0 +1,52 @@
+//! Reproduces **Figure 6**: the containment-based algorithm across all
+//! nine workloads, plaintext, outside enclaves.
+//!
+//! The paper's observations to look for: `e100a1` and `e100a1zz100` are the
+//! fastest (all-equality subscriptions form deep containment trees);
+//! `e80a4` and `extsub4` the slowest (4× more attributes yield wide,
+//! shallow forests with many roots to test).
+//!
+//! ```text
+//! cargo run --release -p scbr-bench --bin fig6
+//! ```
+
+use scbr_bench::{banner, EngineConfig, MatchExperiment, Scale};
+use scbr_workloads::{StockMarket, Workload};
+use sgx_sim::SgxPlatform;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 6",
+        "Containment-based matching across the nine workloads (plaintext, outside enclave)",
+        &scale,
+    );
+    let market = StockMarket::generate(&scale.market, 1);
+    let platform = SgxPlatform::for_testing(9);
+    let max = *scale.sub_counts.last().expect("non-empty counts");
+
+    println!("\n{:<12} {}", "workload", "matching µs at each checkpoint");
+    print!("{:<12}", "");
+    for c in &scale.sub_counts {
+        print!(" {c:>10}");
+    }
+    println!();
+    println!("{}", "-".repeat(12 + 11 * scale.sub_counts.len()));
+
+    for workload in Workload::all() {
+        eprintln!("[{}] generating …", workload.name());
+        let subs = workload.subscriptions(&market, max, 7);
+        let pubs = workload.publications(&market, scale.pubs_per_point, 8);
+        let mut exp = MatchExperiment::new(&platform, EngineConfig::OutPlain);
+        print!("{:<12}", workload.name().to_string());
+        for &count in &scale.sub_counts {
+            exp.load_to(&subs, count);
+            let point = exp.measure(&pubs);
+            print!(" {:>10.1}", point.matching_us);
+        }
+        println!();
+    }
+    println!(
+        "\nexpected ordering (paper): e100a1 / e100a1zz100 fastest; e80a4 / extsub4 slowest"
+    );
+}

@@ -1,0 +1,70 @@
+//! Reproduces **Figure 7**: SCBR (inside/outside enclave, AES) against the
+//! software-only ASPE baseline, per workload, with cache-miss rates.
+//!
+//! The paper's observations to look for:
+//!
+//! * ASPE is at least an order of magnitude slower everywhere and grows
+//!   faster than any other strategy;
+//! * the in/out-enclave curves drift apart after ~10 k subscriptions as
+//!   the index outgrows the LLC (see the miss-rate column).
+//!
+//! ```text
+//! cargo run --release -p scbr-bench --bin fig7            # all workloads
+//! cargo run --release -p scbr-bench --bin fig7 e100a1     # one panel
+//! ```
+
+use scbr_bench::{banner, AspeExperiment, EngineConfig, MatchExperiment, Scale};
+use scbr_workloads::{StockMarket, Workload};
+use sgx_sim::SgxPlatform;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 7",
+        "SCBR in/out enclave (AES) vs ASPE, per workload, with cache-miss rates",
+        &scale,
+    );
+    let only: Option<String> = std::env::args().nth(1);
+    let market = StockMarket::generate(&scale.market, 1);
+    let platform = SgxPlatform::for_testing(9);
+    let max = *scale.sub_counts.last().expect("non-empty counts");
+
+    for workload in Workload::all() {
+        if let Some(filter) = &only {
+            if workload.name().as_str() != filter {
+                continue;
+            }
+        }
+        eprintln!("[{}] generating …", workload.name());
+        let subs = workload.subscriptions(&market, max, 7);
+        let pubs = workload.publications(&market, scale.pubs_per_point, 8);
+        let aspe_pubs = workload.publications(&market, scale.aspe_pubs_per_point, 8);
+
+        let mut inside = MatchExperiment::new(&platform, EngineConfig::InAes);
+        let mut outside = MatchExperiment::new(&platform, EngineConfig::OutAes);
+        let mut aspe = AspeExperiment::new(&platform, &workload);
+
+        println!("\n=== {} ===", workload.name());
+        println!(
+            "{:<10} {:>14} {:>14} {:>14} {:>12}",
+            "subs", "out-aspe (µs)", "in-aes (µs)", "out-aes (µs)", "miss (out)"
+        );
+        for &count in &scale.sub_counts {
+            inside.load_to(&subs, count);
+            outside.load_to(&subs, count);
+            aspe.load_to(&subs, count);
+            let pa = aspe.measure(&aspe_pubs);
+            let pi = inside.measure(&pubs);
+            let po = outside.measure(&pubs);
+            println!(
+                "{:<10} {:>14.1} {:>14.1} {:>14.1} {:>11.1}%",
+                count,
+                pa.matching_us,
+                pi.matching_us,
+                po.matching_us,
+                po.cache_miss_rate * 100.0
+            );
+        }
+    }
+    println!("\nexpected (paper): out-aspe ≥ 10× out-aes; in-aes/out-aes gap opens past ~10k subs");
+}

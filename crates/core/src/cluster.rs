@@ -1,0 +1,299 @@
+//! Horizontal scaling: a StreamHub-style partitioned router.
+//!
+//! The paper's conclusion points out that the EPC limit "can be overcome
+//! through horizontal scalability", and §3.4 advocates a StreamHub-like
+//! architecture of specialised components over a broker overlay. This
+//! module implements that extension: subscriptions are *partitioned*
+//! across several enclave-hosted matcher slices, and publications are
+//! fanned out to every slice, whose results are merged.
+//!
+//! Each slice holds `1/n`-th of the index, so a database that would
+//! overflow one enclave's EPC (and fall off the Figure 8 cliff) stays
+//! within budget on `n` slices. The slices share nothing; in a real
+//! deployment they would be separate machines, so the fan-out matching
+//! time is the *maximum* over slices, which
+//! [`PartitionedRouter::parallel_elapsed_ns`] reports.
+
+use crate::engine::RouterEngine;
+use crate::error::ScbrError;
+use crate::ids::{ClientId, SubscriptionId};
+use crate::index::IndexKind;
+use crate::subscription::SubscriptionSpec;
+use scbr_crypto::ctr::SymmetricKey;
+use scbr_crypto::rsa::RsaPublicKey;
+use sgx_sim::SgxPlatform;
+use std::collections::HashMap;
+
+/// A router made of `n` enclave-hosted matcher slices.
+#[derive(Debug)]
+pub struct PartitionedRouter {
+    slices: Vec<RouterEngine>,
+    /// Which slice holds each subscription (for unregistration).
+    placement: HashMap<SubscriptionId, usize>,
+    next: usize,
+}
+
+impl PartitionedRouter {
+    /// Launches `n` matcher enclaves on `platform`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enclave-launch failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn in_enclaves(
+        platform: &SgxPlatform,
+        kind: IndexKind,
+        n: usize,
+    ) -> Result<Self, ScbrError> {
+        assert!(n > 0, "at least one slice required");
+        let mut slices = Vec::with_capacity(n);
+        for _ in 0..n {
+            slices.push(RouterEngine::in_enclave(platform, kind)?);
+        }
+        Ok(PartitionedRouter { slices, placement: HashMap::new(), next: 0 })
+    }
+
+    /// Number of slices.
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Provisions every slice with the shared keys (each slice would run
+    /// its own attestation in a real deployment; the producer-side key
+    /// management "could be simply replicated", §3.4).
+    pub fn provision_keys(&mut self, sk: &SymmetricKey, producer_key: &RsaPublicKey) {
+        for slice in &mut self.slices {
+            let (sk, pk) = (sk.clone(), producer_key.clone());
+            slice.call(move |e| e.provision_keys(sk, pk));
+        }
+    }
+
+    /// Registers an encrypted envelope on the next slice (round-robin
+    /// placement keeps slices balanced without inspecting ciphertexts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the slice engine's verification/decryption failures.
+    pub fn register_envelope(&mut self, envelope: &[u8]) -> Result<SubscriptionId, ScbrError> {
+        let slice = self.next % self.slices.len();
+        self.next += 1;
+        let id = self.slices[slice].call(|e| e.register_envelope(envelope))?;
+        self.placement.insert(id, slice);
+        Ok(id)
+    }
+
+    /// Registers a plaintext subscription (baseline path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures.
+    pub fn register_plain(
+        &mut self,
+        id: SubscriptionId,
+        client: ClientId,
+        spec: &SubscriptionSpec,
+    ) -> Result<(), ScbrError> {
+        let slice = self.next % self.slices.len();
+        self.next += 1;
+        self.slices[slice].call(|e| e.register_plain(id, client, spec))?;
+        self.placement.insert(id, slice);
+        Ok(())
+    }
+
+    /// Unregisters a subscription wherever it lives.
+    pub fn unregister(&mut self, id: SubscriptionId) -> bool {
+        match self.placement.remove(&id) {
+            Some(slice) => self.slices[slice].call(|e| e.unregister(id)),
+            None => false,
+        }
+    }
+
+    /// Matches an encrypted header against every slice and merges the
+    /// client lists (sorted, deduplicated).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any slice fails.
+    pub fn match_encrypted(&mut self, header_ct: &[u8]) -> Result<Vec<ClientId>, ScbrError> {
+        let mut merged = Vec::new();
+        for slice in &mut self.slices {
+            merged.extend(slice.call(|e| e.match_encrypted(header_ct))?);
+        }
+        merged.sort_unstable_by_key(|c| c.0);
+        merged.dedup();
+        Ok(merged)
+    }
+
+    /// Total subscriptions across slices.
+    pub fn len(&self) -> usize {
+        self.slices.iter().map(|s| s.engine().index().len()).sum()
+    }
+
+    /// True when no subscription is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Wall-clock model for the fan-out deployment: slices run in
+    /// parallel, so matching latency is the slowest slice's virtual time.
+    pub fn parallel_elapsed_ns(&self) -> f64 {
+        self.slices
+            .iter()
+            .map(|s| s.elapsed_ns())
+            .fold(0.0, f64::max)
+    }
+
+    /// Aggregate virtual time (total energy/work across slices).
+    pub fn total_elapsed_ns(&self) -> f64 {
+        self.slices.iter().map(|s| s.elapsed_ns()).sum()
+    }
+
+    /// Total EPC page swaps across slices (the Figure 8 failure mode this
+    /// architecture avoids).
+    pub fn total_epc_swaps(&self) -> u64 {
+        self.slices.iter().map(|s| s.stats().epc_swaps).sum()
+    }
+
+    /// Resets every slice's counters.
+    pub fn reset_counters(&self) {
+        for slice in &self.slices {
+            slice.reset_counters();
+        }
+    }
+
+    /// Access to the underlying slices (inspection).
+    pub fn slices(&self) -> &[RouterEngine] {
+        &self.slices
+    }
+}
+
+/// Convenience: a single-enclave router exposed through the same API, for
+/// apples-to-apples comparisons in tests and benchmarks.
+pub fn single(platform: &SgxPlatform, kind: IndexKind) -> Result<PartitionedRouter, ScbrError> {
+    PartitionedRouter::in_enclaves(platform, kind, 1)
+}
+
+/// Re-exported for the module's tests and benches.
+pub use crate::engine::Placement as SlicePlacement;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::keys::ProducerCrypto;
+    use crate::publication::PublicationSpec;
+    use scbr_crypto::rng::CryptoRng;
+    use sgx_sim::{CacheConfig, CostModel, EpcConfig};
+
+    fn producer() -> (ProducerCrypto, CryptoRng) {
+        let mut rng = CryptoRng::from_seed(1);
+        let crypto = ProducerCrypto::generate(512, &mut rng).unwrap();
+        (crypto, rng)
+    }
+
+    #[test]
+    fn partitioned_matches_like_single() {
+        let platform = SgxPlatform::for_testing(2);
+        let (crypto, mut rng) = producer();
+        let mut one = single(&platform, IndexKind::Poset).unwrap();
+        let mut four = PartitionedRouter::in_enclaves(&platform, IndexKind::Poset, 4).unwrap();
+        one.provision_keys(crypto.sk(), crypto.public_key());
+        four.provision_keys(crypto.sk(), crypto.public_key());
+
+        for i in 0..40u64 {
+            let spec = SubscriptionSpec::new().gt("price", (i % 10) as f64);
+            let env = crypto
+                .seal_registration(&spec, SubscriptionId(i), ClientId(i), &mut rng)
+                .unwrap();
+            one.register_envelope(&env).unwrap();
+            four.register_envelope(&env).unwrap();
+        }
+        assert_eq!(one.len(), 40);
+        assert_eq!(four.len(), 40);
+
+        for price in [0.5f64, 5.5, 9.5, 20.0] {
+            let publication = PublicationSpec::new().attr("price", price);
+            let ct = crypto.encrypt_header(&publication, &mut rng);
+            assert_eq!(
+                one.match_encrypted(&ct).unwrap(),
+                four.match_encrypted(&ct).unwrap(),
+                "price {price}"
+            );
+        }
+    }
+
+    #[test]
+    fn unregister_routes_to_owning_slice() {
+        let platform = SgxPlatform::for_testing(3);
+        let (crypto, mut rng) = producer();
+        let mut router = PartitionedRouter::in_enclaves(&platform, IndexKind::Poset, 3).unwrap();
+        router.provision_keys(crypto.sk(), crypto.public_key());
+        for i in 0..9u64 {
+            router
+                .register_plain(
+                    SubscriptionId(i),
+                    ClientId(i),
+                    &SubscriptionSpec::new().eq("s", i as i64),
+                )
+                .unwrap();
+        }
+        assert!(router.unregister(SubscriptionId(4)));
+        assert!(!router.unregister(SubscriptionId(4)));
+        assert_eq!(router.len(), 8);
+    }
+
+    #[test]
+    fn slices_split_the_footprint() {
+        let platform = SgxPlatform::for_testing(4);
+        let mut router = PartitionedRouter::in_enclaves(&platform, IndexKind::Poset, 4).unwrap();
+        for i in 0..400u64 {
+            router
+                .register_plain(
+                    SubscriptionId(i),
+                    ClientId(i),
+                    &SubscriptionSpec::new().eq("s", i as i64),
+                )
+                .unwrap();
+        }
+        for slice in router.slices() {
+            let len = slice.engine().index().len();
+            assert_eq!(len, 100, "round-robin balances slices");
+        }
+    }
+
+    #[test]
+    fn partitioning_avoids_the_epc_cliff() {
+        // The conclusion's claim: a database that thrashes one enclave's
+        // EPC fits comfortably when split across slices.
+        let tiny_epc = EpcConfig { total_bytes: 2 << 20, usable_bytes: 1 << 20, page_size: 4096 };
+        let platform = SgxPlatform::with_config(
+            5,
+            CacheConfig::default(),
+            tiny_epc,
+            CostModel::default(),
+            512,
+        );
+        let n = 6_000u64; // ~2.5 MB of nodes vs 1 MB usable EPC per enclave
+        let specs: Vec<SubscriptionSpec> = (0..n)
+            .map(|i| {
+                // 37 is coprime with 6000, so every (symbol, bound) pair is
+                // distinct: no node sharing, a full-size index.
+                SubscriptionSpec::new()
+                    .eq("symbol", format!("S{}", i % 40).as_str())
+                    .gt("price", (i * 37 % n) as f64 / 10.0)
+            })
+            .collect();
+
+        let mut one = single(&platform, IndexKind::Poset).unwrap();
+        let mut four = PartitionedRouter::in_enclaves(&platform, IndexKind::Poset, 4).unwrap();
+        for (i, spec) in specs.iter().enumerate() {
+            one.register_plain(SubscriptionId(i as u64), ClientId(i as u64), spec).unwrap();
+            four.register_plain(SubscriptionId(i as u64), ClientId(i as u64), spec).unwrap();
+        }
+        assert!(one.total_epc_swaps() > 0, "single enclave pages");
+        assert_eq!(four.total_epc_swaps(), 0, "partitioned index fits per-slice EPC");
+        assert!(four.parallel_elapsed_ns() < one.total_elapsed_ns());
+    }
+}

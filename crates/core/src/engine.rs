@@ -1,0 +1,569 @@
+//! The SCBR matching engine and its enclave placement.
+//!
+//! [`MatchingEngine`] is the trusted core: it holds the symmetric key `SK`,
+//! decrypts registrations and publication headers, and matches them against
+//! a [`SubscriptionIndex`]. [`RouterEngine`] wraps it in a *placement*:
+//! inside a simulated SGX enclave (every operation crosses the call gate
+//! and the index lives in EPC-backed memory) or outside (native memory) —
+//! the two configurations the paper's Figures 5 and 7 compare, optionally
+//! with encryption disabled for the plaintext baselines.
+
+use crate::attr::AttrSchema;
+use crate::codec;
+use crate::error::ScbrError;
+use crate::ids::{ClientId, SubscriptionId};
+use crate::index::{new_index, IndexKind, SubscriptionIndex};
+use crate::publication::PublicationSpec;
+use crate::subscription::SubscriptionSpec;
+use scbr_crypto::ctr::{AesCtr, SymmetricKey};
+use scbr_crypto::rsa::RsaPublicKey;
+use sgx_sim::enclave::EnclaveBuilder;
+use sgx_sim::{Enclave, MemStats, MemorySim, SgxPlatform};
+
+/// The trusted matching core (runs inside the enclave when placed there).
+pub struct MatchingEngine {
+    schema: AttrSchema,
+    index: Box<dyn SubscriptionIndex>,
+    mem: MemorySim,
+    sk: Option<SymmetricKey>,
+    producer_key: Option<RsaPublicKey>,
+    /// Raw registration bodies, retained for sealing snapshots.
+    registered: Vec<Vec<u8>>,
+}
+
+impl std::fmt::Debug for MatchingEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatchingEngine")
+            .field("index_kind", &self.index.kind())
+            .field("subscriptions", &self.index.len())
+            .field("provisioned", &self.is_provisioned())
+            .finish()
+    }
+}
+
+impl MatchingEngine {
+    /// Creates an engine whose index lives in `mem`.
+    pub fn new(mem: &MemorySim, kind: IndexKind) -> Self {
+        MatchingEngine {
+            schema: AttrSchema::new(),
+            index: new_index(kind, mem),
+            mem: mem.clone(),
+            sk: None,
+            producer_key: None,
+            registered: Vec::new(),
+        }
+    }
+
+    /// Installs the symmetric key `SK` and the producer's signature key
+    /// (normally delivered via remote attestation; see
+    /// [`crate::protocol::keys`]).
+    pub fn provision_keys(&mut self, sk: SymmetricKey, producer_key: RsaPublicKey) {
+        self.sk = Some(sk);
+        self.producer_key = Some(producer_key);
+    }
+
+    /// True once keys have been provisioned.
+    pub fn is_provisioned(&self) -> bool {
+        self.sk.is_some()
+    }
+
+    /// Registers a plaintext subscription (baseline path and tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures.
+    pub fn register_plain(
+        &mut self,
+        id: SubscriptionId,
+        client: ClientId,
+        spec: &SubscriptionSpec,
+    ) -> Result<(), ScbrError> {
+        self.mem.charge_message_parse();
+        let compiled = spec.compile(&self.schema)?;
+        self.index.insert(id, client, compiled);
+        self.registered.push(codec::encode_registration(spec, id, client));
+        Ok(())
+    }
+
+    /// Registers an encrypted, signed registration envelope
+    /// (`{s}SK` + producer signature), the paper's step 3.
+    ///
+    /// # Errors
+    ///
+    /// Signature or decryption failures, malformed bodies, or missing keys.
+    pub fn register_envelope(&mut self, envelope: &[u8]) -> Result<SubscriptionId, ScbrError> {
+        let sk = self.sk.as_ref().ok_or(ScbrError::MissingKeys { which: "SK" })?;
+        let producer = self
+            .producer_key
+            .as_ref()
+            .ok_or(ScbrError::MissingKeys { which: "producer signature key" })?;
+        let mut r = codec::Reader::new(envelope);
+        let body_ct = r.bytes()?;
+        let signature = r.bytes()?;
+        producer.verify(&body_ct, &signature)?;
+        self.mem.charge_message_parse();
+        self.mem.charge_crypto_op(body_ct.len() as u64);
+        let body = AesCtr::decrypt_with_nonce(sk, &body_ct)?;
+        let (spec, id, client) = codec::decode_registration(&body)?;
+        let compiled = spec.compile(&self.schema)?;
+        self.index.insert(id, client, compiled);
+        self.registered.push(body);
+        Ok(id)
+    }
+
+    /// Unregisters a subscription.
+    pub fn unregister(&mut self, id: SubscriptionId) -> bool {
+        self.index.remove(id)
+    }
+
+    /// Matches a batch of encrypted headers in one call — the paper's
+    /// future-work optimisation ("message batching … to reduce the
+    /// frequency of enclave enters/exits"): wrap this in a *single*
+    /// [`RouterEngine::call`] and the EENTER/EEXIT pair is amortised over
+    /// the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first undecryptable header, reporting its index.
+    pub fn match_encrypted_batch(
+        &self,
+        headers: &[Vec<u8>],
+    ) -> Result<Vec<Vec<ClientId>>, ScbrError> {
+        headers.iter().map(|ct| self.match_encrypted(ct)).collect()
+    }
+
+    /// Serialises the registered subscriptions (raw registration bodies)
+    /// for sealing: the enclave can persist this via
+    /// [`sgx_sim::seal::VersionedSeal`] and re-register after a restart
+    /// without a new remote attestation (the paper's §2 restart flow).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = codec::Writer::new();
+        w.u32(self.registered.len() as u32);
+        for body in &self.registered {
+            w.bytes(body);
+        }
+        w.into_bytes()
+    }
+
+    /// Restores a snapshot produced by [`MatchingEngine::snapshot`],
+    /// re-registering every subscription.
+    ///
+    /// # Errors
+    ///
+    /// Malformed snapshots or invalid subscriptions abort the restore.
+    pub fn restore(&mut self, snapshot: &[u8]) -> Result<usize, ScbrError> {
+        let mut r = codec::Reader::new(snapshot);
+        let n = r.u32()? as usize;
+        let mut restored = 0;
+        for _ in 0..n {
+            let body = r.bytes()?;
+            let (spec, id, client) = codec::decode_registration(&body)?;
+            let compiled = spec.compile(&self.schema)?;
+            self.index.insert(id, client, compiled);
+            self.registered.push(body);
+            restored += 1;
+        }
+        if !r.is_exhausted() {
+            return Err(ScbrError::Codec { context: "snapshot trailing bytes" });
+        }
+        Ok(restored)
+    }
+
+    /// Matches a plaintext publication header (baseline path), returning
+    /// the sorted, deduplicated client list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates header-compilation failures.
+    pub fn match_plain(&self, publication: &PublicationSpec) -> Result<Vec<ClientId>, ScbrError> {
+        self.mem.charge_message_parse();
+        let header = publication.compile_header(&self.schema)?;
+        let mut out = Vec::new();
+        self.index.match_header(&header, &mut out);
+        out.sort_unstable_by_key(|c| c.0);
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Decrypts `{header}SK` and matches it (the paper's step 5).
+    ///
+    /// # Errors
+    ///
+    /// Decryption or decoding failures, or missing keys.
+    pub fn match_encrypted(&self, header_ct: &[u8]) -> Result<Vec<ClientId>, ScbrError> {
+        let sk = self.sk.as_ref().ok_or(ScbrError::MissingKeys { which: "SK" })?;
+        self.mem.charge_crypto_op(header_ct.len() as u64);
+        let plain = AesCtr::decrypt_with_nonce(sk, header_ct)?;
+        let spec = codec::decode_header(&plain)?;
+        self.match_plain(&spec)
+    }
+
+    /// The engine's interning schema.
+    pub fn schema(&self) -> &AttrSchema {
+        &self.schema
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &dyn SubscriptionIndex {
+        self.index.as_ref()
+    }
+
+    /// The memory simulator backing the index.
+    pub fn memory(&self) -> &MemorySim {
+        &self.mem
+    }
+}
+
+/// Where the engine runs relative to the enclave boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Inside an SGX enclave: EPC-backed memory, MEE costs, call gates.
+    InEnclave,
+    /// Outside any enclave: native memory (the insecure baseline).
+    Outside,
+}
+
+/// A matching engine bound to a placement — the unit the benchmarks drive.
+#[derive(Debug)]
+pub struct RouterEngine {
+    placement: Placement,
+    enclave: Option<Enclave>,
+    engine: MatchingEngine,
+}
+
+impl RouterEngine {
+    /// Builds an engine hosted inside a new enclave on `platform`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enclave-launch failures.
+    pub fn in_enclave(platform: &SgxPlatform, kind: IndexKind) -> Result<Self, ScbrError> {
+        let enclave = platform.launch(
+            EnclaveBuilder::new("scbr-router")
+                .add_page(b"scbr matching engine v1")
+                .isv_prod_id(1),
+        )?;
+        let engine = MatchingEngine::new(enclave.memory(), kind);
+        Ok(RouterEngine { placement: Placement::InEnclave, enclave: Some(enclave), engine })
+    }
+
+    /// Builds an engine in native memory shaped by `platform`'s cache and
+    /// cost model (the outside-enclave baseline on the same machine).
+    pub fn outside(platform: &SgxPlatform, kind: IndexKind) -> Self {
+        let mem = MemorySim::native(*platform.cache_config(), platform.cost_model().clone());
+        RouterEngine { placement: Placement::Outside, enclave: None, engine: MatchingEngine::new(&mem, kind) }
+    }
+
+    /// The placement.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// The enclave, when placed inside one.
+    pub fn enclave(&self) -> Option<&Enclave> {
+        self.enclave.as_ref()
+    }
+
+    /// Runs `f` on the engine, crossing the call gate when in an enclave.
+    pub fn call<R>(&mut self, f: impl FnOnce(&mut MatchingEngine) -> R) -> R {
+        let engine = &mut self.engine;
+        match &self.enclave {
+            Some(enclave) => enclave.ecall(|_ctx| f(engine)),
+            None => f(engine),
+        }
+    }
+
+    /// Read-only access without crossing the gate (setup/inspection).
+    pub fn engine(&self) -> &MatchingEngine {
+        &self.engine
+    }
+
+    /// Virtual nanoseconds elapsed on the engine's memory.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.engine.memory().elapsed_ns()
+    }
+
+    /// Memory counters of the engine's memory.
+    pub fn stats(&self) -> MemStats {
+        self.engine.memory().stats()
+    }
+
+    /// Resets time and counters (between measurement phases).
+    pub fn reset_counters(&self) {
+        self.engine.memory().reset_counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::keys::ProducerCrypto;
+    use scbr_crypto::CryptoRng;
+
+    fn producer(rng: &mut CryptoRng) -> ProducerCrypto {
+        ProducerCrypto::generate(512, rng).unwrap()
+    }
+
+    #[test]
+    fn plain_register_and_match() {
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine
+            .register_plain(
+                SubscriptionId(1),
+                ClientId(10),
+                &SubscriptionSpec::new().eq("symbol", "HAL").lt("price", 50.0),
+            )
+            .unwrap();
+        let matching = PublicationSpec::new().attr("symbol", "HAL").attr("price", 49.0);
+        let not_matching = PublicationSpec::new().attr("symbol", "HAL").attr("price", 51.0);
+        assert_eq!(engine.match_plain(&matching).unwrap(), vec![ClientId(10)]);
+        assert!(engine.match_plain(&not_matching).unwrap().is_empty());
+    }
+
+    #[test]
+    fn encrypted_round_trip() {
+        let mut rng = CryptoRng::from_seed(1);
+        let producer = producer(&mut rng);
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
+
+        let spec = SubscriptionSpec::new().eq("symbol", "INTC");
+        let envelope = producer
+            .seal_registration(&spec, SubscriptionId(7), ClientId(3), &mut rng)
+            .unwrap();
+        assert_eq!(engine.register_envelope(&envelope).unwrap(), SubscriptionId(7));
+
+        let publication = PublicationSpec::new().attr("symbol", "INTC").attr("price", 1.0);
+        let header_ct = producer.encrypt_header(&publication, &mut rng);
+        assert_eq!(engine.match_encrypted(&header_ct).unwrap(), vec![ClientId(3)]);
+    }
+
+    #[test]
+    fn register_envelope_requires_keys() {
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        assert!(matches!(
+            engine.register_envelope(b"whatever"),
+            Err(ScbrError::MissingKeys { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_envelope_rejected() {
+        let mut rng = CryptoRng::from_seed(2);
+        let producer = producer(&mut rng);
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
+        let mut envelope = producer
+            .seal_registration(&SubscriptionSpec::new().eq("s", 1i64), SubscriptionId(1), ClientId(1), &mut rng)
+            .unwrap();
+        envelope[6] ^= 1;
+        assert!(engine.register_envelope(&envelope).is_err());
+        assert_eq!(engine.index().len(), 0, "nothing was inserted");
+    }
+
+    #[test]
+    fn unsigned_registration_rejected() {
+        // A malicious infrastructure (or client bypassing the producer)
+        // cannot register subscriptions: it lacks the signature key.
+        let mut rng = CryptoRng::from_seed(3);
+        let producer = producer(&mut rng);
+        let rogue = ProducerCrypto::generate(512, &mut rng).unwrap();
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
+        let envelope = rogue
+            .seal_registration(&SubscriptionSpec::new().eq("s", 1i64), SubscriptionId(1), ClientId(1), &mut rng)
+            .unwrap();
+        assert!(engine.register_envelope(&envelope).is_err());
+    }
+
+    #[test]
+    fn match_encrypted_with_wrong_key_fails_or_mismatches() {
+        let mut rng = CryptoRng::from_seed(4);
+        let producer_a = producer(&mut rng);
+        let producer_b = producer(&mut rng);
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine.provision_keys(producer_a.sk().clone(), producer_a.public_key().clone());
+        engine
+            .register_plain(SubscriptionId(1), ClientId(1), &SubscriptionSpec::new().eq("s", "X"))
+            .unwrap();
+        // Header encrypted under the wrong SK decrypts to garbage: the codec
+        // rejects it (or it simply never matches).
+        let publication = PublicationSpec::new().attr("s", "X");
+        let ct = producer_b.encrypt_header(&publication, &mut rng);
+        match engine.match_encrypted(&ct) {
+            Err(_) => {}
+            Ok(clients) => assert!(clients.is_empty()),
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut rng = CryptoRng::from_seed(21);
+        let producer = producer(&mut rng);
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
+        // Mix of plaintext and envelope registrations.
+        engine
+            .register_plain(SubscriptionId(1), ClientId(1), &SubscriptionSpec::new().eq("s", "A"))
+            .unwrap();
+        let env = producer
+            .seal_registration(
+                &SubscriptionSpec::new().gt("p", 5.0),
+                SubscriptionId(2),
+                ClientId(2),
+                &mut rng,
+            )
+            .unwrap();
+        engine.register_envelope(&env).unwrap();
+
+        let snapshot = engine.snapshot();
+        // A fresh engine (fresh schema!) restores and matches identically.
+        let mem2 = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut restored = MatchingEngine::new(&mem2, IndexKind::Poset);
+        assert_eq!(restored.restore(&snapshot).unwrap(), 2);
+        let publication = PublicationSpec::new().attr("s", "A").attr("p", 9.0);
+        assert_eq!(
+            restored.match_plain(&publication).unwrap(),
+            engine.match_plain(&publication).unwrap()
+        );
+        assert_eq!(restored.index().len(), 2);
+        // Corrupt snapshots are rejected.
+        assert!(restored.restore(&snapshot[..snapshot.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn snapshot_survives_sealing_through_enclave_restart() {
+        // The full §2 restart story: seal the snapshot with a monotonic
+        // counter, restart the enclave, unseal and restore.
+        use sgx_sim::seal::{SealPolicy, VersionedSeal};
+        let platform = SgxPlatform::for_testing(22);
+        let mut rng = CryptoRng::from_seed(23);
+        let counter = platform.create_counter();
+
+        let build = || {
+            platform
+                .launch(
+                    sgx_sim::enclave::EnclaveBuilder::new("scbr-router").add_page(b"engine v1"),
+                )
+                .unwrap()
+        };
+        let enclave = build();
+        let mut engine = MatchingEngine::new(enclave.memory(), IndexKind::Poset);
+        engine
+            .register_plain(SubscriptionId(1), ClientId(7), &SubscriptionSpec::new().eq("x", 1i64))
+            .unwrap();
+        let sealed = enclave
+            .ecall(|ctx| {
+                VersionedSeal::seal(
+                    ctx,
+                    SealPolicy::MrEnclave,
+                    &platform,
+                    counter,
+                    &engine.snapshot(),
+                    &mut rng,
+                )
+            })
+            .unwrap();
+
+        // "Reboot": a new enclave with the same measurement restores.
+        let restarted = build();
+        let mut engine2 = MatchingEngine::new(restarted.memory(), IndexKind::Poset);
+        let snapshot = restarted
+            .ecall(|ctx| {
+                VersionedSeal::unseal(ctx, SealPolicy::MrEnclave, &platform, counter, &sealed)
+            })
+            .unwrap();
+        assert_eq!(engine2.restore(&snapshot).unwrap(), 1);
+        let publication = PublicationSpec::new().attr("x", 1i64);
+        assert_eq!(engine2.match_plain(&publication).unwrap(), vec![ClientId(7)]);
+    }
+
+    #[test]
+    fn batch_matching_equals_sequential() {
+        let mut rng = CryptoRng::from_seed(24);
+        let producer = producer(&mut rng);
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
+        for i in 0..10u64 {
+            engine
+                .register_plain(
+                    SubscriptionId(i),
+                    ClientId(i),
+                    &SubscriptionSpec::new().gt("p", i as f64),
+                )
+                .unwrap();
+        }
+        let headers: Vec<Vec<u8>> = (0..5)
+            .map(|i| {
+                let publication = PublicationSpec::new().attr("p", 3.5 + i as f64);
+                producer.encrypt_header(&publication, &mut rng)
+            })
+            .collect();
+        let batched = engine.match_encrypted_batch(&headers).unwrap();
+        for (i, ct) in headers.iter().enumerate() {
+            assert_eq!(batched[i], engine.match_encrypted(ct).unwrap());
+        }
+        // A corrupt header in the batch fails the whole call.
+        let mut bad = headers.clone();
+        bad[2].truncate(3);
+        assert!(engine.match_encrypted_batch(&bad).is_err());
+    }
+
+    #[test]
+    fn enclave_placement_charges_transitions() {
+        let platform = SgxPlatform::for_testing(5);
+        let mut inside = RouterEngine::in_enclave(&platform, IndexKind::Poset).unwrap();
+        let mut outside = RouterEngine::outside(&platform, IndexKind::Poset);
+        assert_eq!(inside.placement(), Placement::InEnclave);
+        assert_eq!(outside.placement(), Placement::Outside);
+
+        let spec = SubscriptionSpec::new().eq("s", "X");
+        inside
+            .call(|e| e.register_plain(SubscriptionId(1), ClientId(1), &spec))
+            .unwrap();
+        outside
+            .call(|e| e.register_plain(SubscriptionId(1), ClientId(1), &spec))
+            .unwrap();
+        assert_eq!(inside.enclave().unwrap().ecall_count(), 1);
+        assert!(
+            inside.elapsed_ns() > outside.elapsed_ns(),
+            "enclave pays call-gate and EPC admission costs"
+        );
+    }
+
+    #[test]
+    fn inside_and_outside_agree_on_results() {
+        let platform = SgxPlatform::for_testing(6);
+        let mut rng = CryptoRng::from_seed(7);
+        let producer = producer(&mut rng);
+        let mut inside = RouterEngine::in_enclave(&platform, IndexKind::Poset).unwrap();
+        let mut outside = RouterEngine::outside(&platform, IndexKind::Poset);
+        for engine in [&mut inside, &mut outside] {
+            engine.call(|e| {
+                e.provision_keys(producer.sk().clone(), producer.public_key().clone())
+            });
+        }
+        for i in 0..20u64 {
+            let spec = SubscriptionSpec::new().gt("price", i as f64);
+            let env = producer
+                .seal_registration(&spec, SubscriptionId(i), ClientId(i), &mut rng)
+                .unwrap();
+            inside.call(|e| e.register_envelope(&env)).unwrap();
+            outside.call(|e| e.register_envelope(&env)).unwrap();
+        }
+        let publication = PublicationSpec::new().attr("price", 10.5);
+        let ct = producer.encrypt_header(&publication, &mut rng);
+        let a = inside.call(|e| e.match_encrypted(&ct)).unwrap();
+        let b = outside.call(|e| e.match_encrypted(&ct)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 11); // price > 0 .. price > 10
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type for the SCBR engine and protocol.
+
+use scbr_crypto::CryptoError;
+use scbr_net::NetError;
+use sgx_sim::SgxError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the SCBR engine, protocol and roles.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ScbrError {
+    /// A subscription is malformed (contradictory, ill-typed, oversized).
+    InvalidSubscription {
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A publication is malformed.
+    InvalidPublication {
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A wire message could not be decoded.
+    Codec {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A cryptographic operation failed (decryption, signature, …).
+    Crypto(CryptoError),
+    /// An SGX operation failed (attestation, sealing, …).
+    Sgx(SgxError),
+    /// A transport operation failed.
+    Net(NetError),
+    /// The client is not admitted (unknown, suspended, or revoked).
+    NotAdmitted {
+        /// The client's status at rejection time.
+        status: &'static str,
+    },
+    /// The engine is missing key material for the requested operation.
+    MissingKeys {
+        /// Which key is missing.
+        which: &'static str,
+    },
+    /// A protocol peer sent an unexpected message kind.
+    UnexpectedMessage {
+        /// What was received.
+        got: String,
+    },
+    /// A referenced entity does not exist.
+    NotFound {
+        /// What was looked up.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ScbrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScbrError::InvalidSubscription { reason } => {
+                write!(f, "invalid subscription: {reason}")
+            }
+            ScbrError::InvalidPublication { reason } => {
+                write!(f, "invalid publication: {reason}")
+            }
+            ScbrError::Codec { context } => write!(f, "malformed {context}"),
+            ScbrError::Crypto(e) => write!(f, "crypto failure: {e}"),
+            ScbrError::Sgx(e) => write!(f, "sgx failure: {e}"),
+            ScbrError::Net(e) => write!(f, "transport failure: {e}"),
+            ScbrError::NotAdmitted { status } => write!(f, "client not admitted ({status})"),
+            ScbrError::MissingKeys { which } => write!(f, "missing key material: {which}"),
+            ScbrError::UnexpectedMessage { got } => write!(f, "unexpected message: {got}"),
+            ScbrError::NotFound { what } => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl Error for ScbrError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScbrError::Crypto(e) => Some(e),
+            ScbrError::Sgx(e) => Some(e),
+            ScbrError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for ScbrError {
+    fn from(e: CryptoError) -> Self {
+        ScbrError::Crypto(e)
+    }
+}
+
+impl From<SgxError> for ScbrError {
+    fn from(e: SgxError) -> Self {
+        ScbrError::Sgx(e)
+    }
+}
+
+impl From<NetError> for ScbrError {
+    fn from(e: NetError) -> Self {
+        ScbrError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = ScbrError::from(CryptoError::VerificationFailed);
+        assert!(e.to_string().contains("crypto"));
+        assert!(e.source().is_some());
+        let e = ScbrError::InvalidSubscription { reason: "nan operand" };
+        assert!(e.to_string().contains("nan operand"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ScbrError>();
+    }
+}

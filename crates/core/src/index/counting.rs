@@ -1,0 +1,262 @@
+//! Counting-algorithm subscription index.
+//!
+//! The classic alternative to containment forests (used by Gryphon and
+//! others, and discussed in the paper's related work through \[17\]): every
+//! constraint is posted to a per-attribute list; matching evaluates each
+//! publication attribute against its postings and counts, per
+//! subscription, how many constraints were satisfied. A subscription
+//! matches when its full constraint count is reached.
+//!
+//! Included as an ablation point: it trades the poset's pruning for
+//! attribute-local processing, which wins when publications carry few of
+//! the constrained attributes and loses on deep containment workloads.
+
+use super::{IndexKind, SubscriptionIndex, CONSTRAINT_BYTES, NODE_HEADER_BYTES};
+use crate::attr::AttrId;
+use crate::ids::{ClientId, SubscriptionId};
+use crate::predicate::ConstraintSet;
+use crate::publication::CompiledHeader;
+use crate::subscription::CompiledSubscription;
+use parking_lot::Mutex;
+use sgx_sim::{MemorySim, SimArena};
+use std::collections::HashMap;
+
+/// Logical footprint of a subscription record (ids + count + flags).
+const ENTRY_STRIDE: u64 = NODE_HEADER_BYTES;
+/// Logical footprint of one posting (constraint + owner).
+const POSTING_STRIDE: u64 = CONSTRAINT_BYTES + 8;
+
+#[derive(Debug)]
+struct SubEntry {
+    id: SubscriptionId,
+    client: ClientId,
+    needed: u16,
+    alive: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Posting {
+    set: ConstraintSet,
+    sub: u32,
+}
+
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Per-subscription epoch-stamped satisfaction counters.
+    counts: Vec<(u64, u16)>,
+    epoch: u64,
+}
+
+/// Counting-based index with per-attribute posting lists.
+#[derive(Debug)]
+pub struct CountingIndex {
+    mem: MemorySim,
+    entries: SimArena<SubEntry>,
+    postings: SimArena<Posting>,
+    by_attr: HashMap<AttrId, Vec<u32>>,
+    /// Subscriptions with zero constraints match every publication.
+    unconstrained: Vec<u32>,
+    by_id: HashMap<SubscriptionId, u32>,
+    live: usize,
+    scratch: Mutex<Scratch>,
+}
+
+impl CountingIndex {
+    /// Creates an empty index storing entries and postings in `mem`.
+    pub fn new(mem: &MemorySim) -> Self {
+        CountingIndex {
+            mem: mem.clone(),
+            entries: SimArena::with_stride(mem, ENTRY_STRIDE),
+            postings: SimArena::with_stride(mem, POSTING_STRIDE),
+            by_attr: HashMap::new(),
+            unconstrained: Vec::new(),
+            by_id: HashMap::new(),
+            live: 0,
+            scratch: Mutex::new(Scratch::default()),
+        }
+    }
+}
+
+impl SubscriptionIndex for CountingIndex {
+    fn insert(&mut self, id: SubscriptionId, client: ClientId, sub: CompiledSubscription) {
+        let needed = sub.len() as u16;
+        let entry_idx = self.entries.push(SubEntry { id, client, needed, alive: true });
+        for (attr, set) in sub.constraints() {
+            let p = self.postings.push(Posting { set: *set, sub: entry_idx });
+            self.by_attr.entry(*attr).or_default().push(p);
+        }
+        if needed == 0 {
+            self.unconstrained.push(entry_idx);
+        }
+        self.by_id.insert(id, entry_idx);
+        self.live += 1;
+        self.scratch.lock().counts.push((0, 0));
+    }
+
+    fn remove(&mut self, id: SubscriptionId) -> bool {
+        match self.by_id.remove(&id) {
+            Some(idx) => {
+                let entry = self.entries.write(idx);
+                debug_assert_eq!(entry.id, id, "id map out of sync");
+                entry.alive = false;
+                self.unconstrained.retain(|&u| u != idx);
+                self.live -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn match_header(&self, header: &CompiledHeader, out: &mut Vec<ClientId>) {
+        let mut scratch = self.scratch.lock();
+        scratch.epoch += 1;
+        let epoch = scratch.epoch;
+        if scratch.counts.len() < self.entries.len() {
+            scratch.counts.resize(self.entries.len(), (0, 0));
+        }
+        for (attr, scalar) in header.entries() {
+            let Some(list) = self.by_attr.get(attr) else { continue };
+            for &p in list {
+                let posting = self.postings.read(p);
+                self.mem.charge_predicate_evals(1);
+                if posting.set.matches(scalar) {
+                    let slot = &mut scratch.counts[posting.sub as usize];
+                    if slot.0 != epoch {
+                        *slot = (epoch, 0);
+                    }
+                    slot.1 += 1;
+                    // Resolve on the last satisfied constraint.
+                    let entry = self.entries.read(posting.sub);
+                    if entry.alive && entry.needed == slot.1 {
+                        out.push(entry.client);
+                    }
+                }
+            }
+        }
+        for &u in &self.unconstrained {
+            let entry = self.entries.read(u);
+            if entry.alive {
+                out.push(entry.client);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn node_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn logical_bytes(&self) -> u64 {
+        self.entries.len() as u64 * ENTRY_STRIDE + self.postings.len() as u64 * POSTING_STRIDE
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::Counting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+    use crate::attr::AttrSchema;
+    use crate::subscription::SubscriptionSpec;
+
+    #[test]
+    fn conformance() {
+        conformance_scenario(|mem| Box::new(CountingIndex::new(mem)));
+    }
+
+    #[test]
+    fn counts_require_all_constraints() {
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut index = CountingIndex::new(&mem);
+        index.insert(
+            SubscriptionId(0),
+            ClientId(0),
+            sub(&schema, SubscriptionSpec::new().eq("a", 1i64).eq("b", 2i64).eq("c", 3i64)),
+        );
+        // Two of three constraints satisfied: no match.
+        let partial = header(&schema, &[("a", 1i64.into()), ("b", 2i64.into()), ("c", 9i64.into())]);
+        assert!(matches(&index, &partial).is_empty());
+        let full = header(&schema, &[("a", 1i64.into()), ("b", 2i64.into()), ("c", 3i64.into())]);
+        assert_eq!(matches(&index, &full), vec![0]);
+    }
+
+    #[test]
+    fn epoch_reset_between_matches() {
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut index = CountingIndex::new(&mem);
+        index.insert(
+            SubscriptionId(0),
+            ClientId(0),
+            sub(&schema, SubscriptionSpec::new().eq("a", 1i64).eq("b", 2i64)),
+        );
+        // First match satisfies only `a`; second only `b`. Stale counts must
+        // not combine across publications.
+        let h1 = header(&schema, &[("a", 1i64.into())]);
+        let h2 = header(&schema, &[("b", 2i64.into())]);
+        assert!(matches(&index, &h1).is_empty());
+        assert!(matches(&index, &h2).is_empty());
+    }
+
+    #[test]
+    fn logical_bytes_counts_postings() {
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut index = CountingIndex::new(&mem);
+        index.insert(
+            SubscriptionId(0),
+            ClientId(0),
+            sub(&schema, SubscriptionSpec::new().eq("a", 1i64).eq("b", 2i64)),
+        );
+        assert_eq!(index.logical_bytes(), ENTRY_STRIDE + 2 * POSTING_STRIDE);
+    }
+
+    #[test]
+    fn agrees_with_naive_on_random_workload() {
+        use crate::index::naive::NaiveIndex;
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut counting = CountingIndex::new(&mem);
+        let mut naive = NaiveIndex::new(&mem);
+        let mut rng = scbr_crypto::CryptoRng::from_seed(7);
+        let symbols = ["A", "B", "C", "D"];
+        for i in 0..200u64 {
+            let mut spec = SubscriptionSpec::new();
+            if rng.chance(0.7) {
+                spec = spec.eq("symbol", symbols[rng.below(4) as usize]);
+            }
+            if rng.chance(0.6) {
+                spec = spec.lt("price", rng.below(100) as f64);
+            }
+            if rng.chance(0.2) {
+                spec = spec.ge("volume", rng.below(500) as i64);
+            }
+            let compiled = sub(&schema, spec);
+            counting.insert(SubscriptionId(i), ClientId(i), compiled.clone());
+            naive.insert(SubscriptionId(i), ClientId(i), compiled);
+        }
+        // Remove a random third from both.
+        for i in (0..200u64).step_by(3) {
+            counting.remove(SubscriptionId(i));
+            naive.remove(SubscriptionId(i));
+        }
+        for t in 0..60 {
+            let h = header(
+                &schema,
+                &[
+                    ("symbol", symbols[(t % 4) as usize].into()),
+                    ("price", (((t * 11) % 120) as f64).into()),
+                    ("volume", (((t * 17) % 700) as i64).into()),
+                ],
+            );
+            assert_eq!(matches(&counting, &h), matches(&naive, &h), "trial {t}");
+        }
+    }
+}

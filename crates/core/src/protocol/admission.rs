@@ -1,0 +1,260 @@
+//! Client admission control.
+//!
+//! SCBR's design gives producers the ability to "decide whether they accept
+//! a subscription from a client, as well as to subsequently invalidate it"
+//! (§3.3): clients pay for the service and can be suspended or excluded.
+//! The producer consults this directory in protocol step 2 before
+//! forwarding any subscription to a router.
+
+use crate::error::ScbrError;
+use crate::ids::{ClientId, SubscriptionId};
+use scbr_crypto::rsa::RsaPublicKey;
+use std::collections::HashMap;
+
+/// A client's standing with the service provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientStatus {
+    /// In good standing; subscriptions are accepted.
+    Active,
+    /// Temporarily barred (e.g. payment lapse); may be reactivated.
+    Suspended,
+    /// Permanently excluded; cannot be reactivated.
+    Revoked,
+}
+
+/// Per-client record.
+#[derive(Debug, Clone)]
+pub struct ClientRecord {
+    status: ClientStatus,
+    /// The client's public key (used to wrap group keys for payload
+    /// delivery).
+    public_key: RsaPublicKey,
+    subscriptions: Vec<SubscriptionId>,
+}
+
+impl ClientRecord {
+    /// The client's standing.
+    pub fn status(&self) -> ClientStatus {
+        self.status
+    }
+
+    /// The client's public key.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        &self.public_key
+    }
+
+    /// Subscriptions registered on behalf of this client.
+    pub fn subscriptions(&self) -> &[SubscriptionId] {
+        &self.subscriptions
+    }
+}
+
+/// The producer's directory of known clients.
+#[derive(Debug, Default)]
+pub struct ClientDirectory {
+    clients: HashMap<ClientId, ClientRecord>,
+    next_subscription: u64,
+}
+
+impl ClientDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        ClientDirectory::default()
+    }
+
+    /// Admits a new client with its public key.
+    pub fn admit(&mut self, id: ClientId, public_key: RsaPublicKey) {
+        self.clients.insert(
+            id,
+            ClientRecord { status: ClientStatus::Active, public_key, subscriptions: Vec::new() },
+        );
+    }
+
+    /// Suspends an active client.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::NotFound`] for unknown clients.
+    pub fn suspend(&mut self, id: ClientId) -> Result<(), ScbrError> {
+        let record = self
+            .clients
+            .get_mut(&id)
+            .ok_or(ScbrError::NotFound { what: "client" })?;
+        if record.status == ClientStatus::Active {
+            record.status = ClientStatus::Suspended;
+        }
+        Ok(())
+    }
+
+    /// Reactivates a suspended client (revoked clients stay revoked).
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::NotFound`] for unknown clients.
+    pub fn reactivate(&mut self, id: ClientId) -> Result<(), ScbrError> {
+        let record = self
+            .clients
+            .get_mut(&id)
+            .ok_or(ScbrError::NotFound { what: "client" })?;
+        if record.status == ClientStatus::Suspended {
+            record.status = ClientStatus::Active;
+        }
+        Ok(())
+    }
+
+    /// Permanently revokes a client.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::NotFound`] for unknown clients.
+    pub fn revoke(&mut self, id: ClientId) -> Result<(), ScbrError> {
+        let record = self
+            .clients
+            .get_mut(&id)
+            .ok_or(ScbrError::NotFound { what: "client" })?;
+        record.status = ClientStatus::Revoked;
+        Ok(())
+    }
+
+    /// Checks that `id` may register subscriptions right now.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::NotAdmitted`] naming the current status.
+    pub fn check_admitted(&self, id: ClientId) -> Result<&ClientRecord, ScbrError> {
+        match self.clients.get(&id) {
+            None => Err(ScbrError::NotAdmitted { status: "unknown" }),
+            Some(r) => match r.status {
+                ClientStatus::Active => Ok(r),
+                ClientStatus::Suspended => Err(ScbrError::NotAdmitted { status: "suspended" }),
+                ClientStatus::Revoked => Err(ScbrError::NotAdmitted { status: "revoked" }),
+            },
+        }
+    }
+
+    /// Records a subscription issued to an admitted client, allocating its
+    /// id.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::NotAdmitted`] if the client is not in good standing.
+    pub fn issue_subscription(&mut self, id: ClientId) -> Result<SubscriptionId, ScbrError> {
+        self.check_admitted(id)?;
+        let sub = SubscriptionId(self.next_subscription);
+        self.next_subscription += 1;
+        self.clients
+            .get_mut(&id)
+            .expect("checked above")
+            .subscriptions
+            .push(sub);
+        Ok(sub)
+    }
+
+    /// Looks up a client record regardless of standing.
+    pub fn get(&self, id: ClientId) -> Option<&ClientRecord> {
+        self.clients.get(&id)
+    }
+
+    /// Ids of all clients currently in good standing.
+    pub fn active_clients(&self) -> Vec<ClientId> {
+        let mut ids: Vec<ClientId> = self
+            .clients
+            .iter()
+            .filter(|(_, r)| r.status == ClientStatus::Active)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable_by_key(|c| c.0);
+        ids
+    }
+
+    /// Number of known clients (any status).
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// True when no client is known.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scbr_crypto::{CryptoRng, RsaKeyPair};
+
+    fn key(rng: &mut CryptoRng) -> RsaPublicKey {
+        RsaKeyPair::generate(512, rng).unwrap().public().clone()
+    }
+
+    #[test]
+    fn lifecycle() {
+        let mut rng = CryptoRng::from_seed(1);
+        let mut dir = ClientDirectory::new();
+        let c = ClientId(1);
+        assert!(dir.check_admitted(c).is_err());
+        dir.admit(c, key(&mut rng));
+        assert!(dir.check_admitted(c).is_ok());
+
+        dir.suspend(c).unwrap();
+        assert!(matches!(
+            dir.check_admitted(c),
+            Err(ScbrError::NotAdmitted { status: "suspended" })
+        ));
+        dir.reactivate(c).unwrap();
+        assert!(dir.check_admitted(c).is_ok());
+
+        dir.revoke(c).unwrap();
+        assert!(matches!(
+            dir.check_admitted(c),
+            Err(ScbrError::NotAdmitted { status: "revoked" })
+        ));
+        // Revocation is permanent.
+        dir.reactivate(c).unwrap();
+        assert!(dir.check_admitted(c).is_err());
+    }
+
+    #[test]
+    fn unknown_client_operations_fail() {
+        let mut dir = ClientDirectory::new();
+        assert!(dir.suspend(ClientId(9)).is_err());
+        assert!(dir.revoke(ClientId(9)).is_err());
+        assert!(dir.issue_subscription(ClientId(9)).is_err());
+    }
+
+    #[test]
+    fn subscription_issuance_tracks_ids() {
+        let mut rng = CryptoRng::from_seed(2);
+        let mut dir = ClientDirectory::new();
+        dir.admit(ClientId(1), key(&mut rng));
+        dir.admit(ClientId(2), key(&mut rng));
+        let s1 = dir.issue_subscription(ClientId(1)).unwrap();
+        let s2 = dir.issue_subscription(ClientId(2)).unwrap();
+        let s3 = dir.issue_subscription(ClientId(1)).unwrap();
+        assert_ne!(s1, s2);
+        assert_ne!(s2, s3);
+        assert_eq!(dir.get(ClientId(1)).unwrap().subscriptions(), &[s1, s3]);
+    }
+
+    #[test]
+    fn suspended_client_cannot_subscribe() {
+        let mut rng = CryptoRng::from_seed(3);
+        let mut dir = ClientDirectory::new();
+        dir.admit(ClientId(1), key(&mut rng));
+        dir.suspend(ClientId(1)).unwrap();
+        assert!(dir.issue_subscription(ClientId(1)).is_err());
+    }
+
+    #[test]
+    fn active_clients_lists_only_active() {
+        let mut rng = CryptoRng::from_seed(4);
+        let mut dir = ClientDirectory::new();
+        for i in 0..4 {
+            dir.admit(ClientId(i), key(&mut rng));
+        }
+        dir.suspend(ClientId(1)).unwrap();
+        dir.revoke(ClientId(3)).unwrap();
+        assert_eq!(dir.active_clients(), vec![ClientId(0), ClientId(2)]);
+        assert_eq!(dir.len(), 4);
+    }
+}

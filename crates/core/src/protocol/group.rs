@@ -1,0 +1,278 @@
+//! Group-key management for payload encryption.
+//!
+//! Publication *payloads* are opaque to SCBR: they are encrypted under a
+//! symmetric group key shared between the producer and its current
+//! clients, never by the router (§3.4). Rotating the key on membership
+//! change ("rekeying") cuts off clients that cancelled or were revoked —
+//! they can still receive forwarded ciphertexts but cannot read them.
+//!
+//! Key distribution wraps each epoch key individually under every member's
+//! RSA public key. (The paper scopes smarter group-key schemes out; this is
+//! the straightforward realisation.)
+
+use crate::error::ScbrError;
+use crate::ids::{ClientId, KeyEpoch};
+use crate::protocol::keys::{hybrid_decrypt, hybrid_encrypt};
+use scbr_crypto::ctr::SymmetricKey;
+use scbr_crypto::rng::CryptoRng;
+use scbr_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use scbr_crypto::SealedBox;
+use std::collections::HashMap;
+
+/// Producer-side group-key state.
+#[derive(Debug)]
+pub struct GroupKeyManager {
+    epoch: KeyEpoch,
+    current: SymmetricKey,
+    members: HashMap<ClientId, RsaPublicKey>,
+}
+
+impl GroupKeyManager {
+    /// Creates a manager at epoch 0 with a fresh key and no members.
+    pub fn new(rng: &mut CryptoRng) -> Self {
+        GroupKeyManager {
+            epoch: KeyEpoch::default(),
+            current: SymmetricKey::generate(rng),
+            members: HashMap::new(),
+        }
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> KeyEpoch {
+        self.epoch
+    }
+
+    /// Current members.
+    pub fn members(&self) -> Vec<ClientId> {
+        let mut ids: Vec<ClientId> = self.members.keys().copied().collect();
+        ids.sort_unstable_by_key(|c| c.0);
+        ids
+    }
+
+    /// Adds a member; call [`GroupKeyManager::rekey`] afterwards if forward
+    /// secrecy against the new member is wanted for *past* messages (new
+    /// members cannot read earlier epochs anyway unless handed old keys).
+    pub fn add_member(&mut self, id: ClientId, key: RsaPublicKey) {
+        self.members.insert(id, key);
+    }
+
+    /// Removes a member. Until the next [`GroupKeyManager::rekey`] the
+    /// removed client can still read the *current* epoch.
+    pub fn remove_member(&mut self, id: ClientId) -> bool {
+        self.members.remove(&id).is_some()
+    }
+
+    /// Rotates to a fresh key and a new epoch.
+    pub fn rekey(&mut self, rng: &mut CryptoRng) -> KeyEpoch {
+        self.epoch = self.epoch.next();
+        self.current = SymmetricKey::generate(rng);
+        self.epoch
+    }
+
+    /// Encrypts a payload under the current epoch key. Returns the epoch to
+    /// stamp on the publication.
+    pub fn encrypt_payload(&self, payload: &[u8], rng: &mut CryptoRng) -> (KeyEpoch, Vec<u8>) {
+        let sealed = SealedBox::new(&self.current).seal(payload, &self.epoch.0.to_be_bytes(), rng);
+        (self.epoch, sealed)
+    }
+
+    /// Wraps the current epoch key for every member: `client -> wrapped`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RSA failures.
+    pub fn key_updates(&self, rng: &mut CryptoRng) -> Result<Vec<(ClientId, Vec<u8>)>, ScbrError> {
+        let mut out = Vec::with_capacity(self.members.len());
+        let mut ids = self.members();
+        ids.sort_unstable_by_key(|c| c.0);
+        for id in ids {
+            let key = &self.members[&id];
+            let mut body = Vec::with_capacity(8 + self.current.as_bytes().len());
+            body.extend_from_slice(&self.epoch.0.to_be_bytes());
+            body.extend_from_slice(self.current.as_bytes());
+            out.push((id, hybrid_encrypt(key, &body, rng)?));
+        }
+        Ok(out)
+    }
+}
+
+/// Client-side store of received group keys.
+#[derive(Debug, Default)]
+pub struct GroupKeyStore {
+    keys: HashMap<KeyEpoch, SymmetricKey>,
+}
+
+impl GroupKeyStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        GroupKeyStore::default()
+    }
+
+    /// Ingests a wrapped key update addressed to this client.
+    ///
+    /// # Errors
+    ///
+    /// Crypto failures when the update is not for this client's key pair.
+    pub fn ingest_update(&mut self, pair: &RsaKeyPair, wrapped: &[u8]) -> Result<KeyEpoch, ScbrError> {
+        let body = hybrid_decrypt(pair, wrapped)?;
+        if body.len() < 8 {
+            return Err(ScbrError::Codec { context: "key update" });
+        }
+        let epoch = KeyEpoch(u64::from_be_bytes(body[..8].try_into().expect("8 bytes")));
+        let key = SymmetricKey::try_from_bytes(&body[8..])?;
+        self.keys.insert(epoch, key);
+        Ok(epoch)
+    }
+
+    /// Decrypts a payload stamped with `epoch`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::MissingKeys`] when this client never received that
+    /// epoch's key (e.g. it was revoked before the rekey), or crypto errors
+    /// on tampering.
+    pub fn open_payload(&self, epoch: KeyEpoch, sealed: &[u8]) -> Result<Vec<u8>, ScbrError> {
+        let key = self
+            .keys
+            .get(&epoch)
+            .ok_or(ScbrError::MissingKeys { which: "group key epoch" })?;
+        Ok(SealedBox::new(key).open(sealed, &epoch.0.to_be_bytes())?)
+    }
+
+    /// Number of epochs held.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no key has been received yet.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client_pair(seed: u64) -> RsaKeyPair {
+        let mut rng = CryptoRng::from_seed(seed);
+        RsaKeyPair::generate(512, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn member_receives_and_reads_payload() {
+        let mut rng = CryptoRng::from_seed(1);
+        let mut mgr = GroupKeyManager::new(&mut rng);
+        let alice = client_pair(100);
+        mgr.add_member(ClientId(1), alice.public().clone());
+
+        let mut store = GroupKeyStore::new();
+        for (id, wrapped) in mgr.key_updates(&mut rng).unwrap() {
+            assert_eq!(id, ClientId(1));
+            store.ingest_update(&alice, &wrapped).unwrap();
+        }
+        let (epoch, sealed) = mgr.encrypt_payload(b"quote body", &mut rng);
+        assert_eq!(store.open_payload(epoch, &sealed).unwrap(), b"quote body");
+    }
+
+    #[test]
+    fn revoked_member_loses_new_epochs() {
+        let mut rng = CryptoRng::from_seed(2);
+        let mut mgr = GroupKeyManager::new(&mut rng);
+        let alice = client_pair(101);
+        let bob = client_pair(102);
+        mgr.add_member(ClientId(1), alice.public().clone());
+        mgr.add_member(ClientId(2), bob.public().clone());
+
+        let mut alice_store = GroupKeyStore::new();
+        let mut bob_store = GroupKeyStore::new();
+        for (id, wrapped) in mgr.key_updates(&mut rng).unwrap() {
+            match id {
+                ClientId(1) => alice_store.ingest_update(&alice, &wrapped).unwrap(),
+                ClientId(2) => bob_store.ingest_update(&bob, &wrapped).unwrap(),
+                _ => unreachable!(),
+            };
+        }
+        // Bob cancels; producer rekeys and distributes to remaining members.
+        mgr.remove_member(ClientId(2));
+        mgr.rekey(&mut rng);
+        for (id, wrapped) in mgr.key_updates(&mut rng).unwrap() {
+            assert_eq!(id, ClientId(1), "bob receives nothing");
+            alice_store.ingest_update(&alice, &wrapped).unwrap();
+        }
+        let (epoch, sealed) = mgr.encrypt_payload(b"fresh data", &mut rng);
+        assert_eq!(alice_store.open_payload(epoch, &sealed).unwrap(), b"fresh data");
+        assert!(matches!(
+            bob_store.open_payload(epoch, &sealed),
+            Err(ScbrError::MissingKeys { .. })
+        ));
+    }
+
+    #[test]
+    fn old_epoch_remains_readable_by_old_members() {
+        let mut rng = CryptoRng::from_seed(3);
+        let mut mgr = GroupKeyManager::new(&mut rng);
+        let bob = client_pair(103);
+        mgr.add_member(ClientId(2), bob.public().clone());
+        let mut bob_store = GroupKeyStore::new();
+        for (_, wrapped) in mgr.key_updates(&mut rng).unwrap() {
+            bob_store.ingest_update(&bob, &wrapped).unwrap();
+        }
+        let (old_epoch, old_sealed) = mgr.encrypt_payload(b"old", &mut rng);
+        mgr.remove_member(ClientId(2));
+        mgr.rekey(&mut rng);
+        // Bob keeps access to what he legitimately received.
+        assert_eq!(bob_store.open_payload(old_epoch, &old_sealed).unwrap(), b"old");
+    }
+
+    #[test]
+    fn wrong_client_cannot_ingest_update() {
+        let mut rng = CryptoRng::from_seed(4);
+        let mut mgr = GroupKeyManager::new(&mut rng);
+        let alice = client_pair(104);
+        let eve = client_pair(105);
+        mgr.add_member(ClientId(1), alice.public().clone());
+        let updates = mgr.key_updates(&mut rng).unwrap();
+        let mut eve_store = GroupKeyStore::new();
+        assert!(eve_store.ingest_update(&eve, &updates[0].1).is_err());
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let mut rng = CryptoRng::from_seed(5);
+        let mut mgr = GroupKeyManager::new(&mut rng);
+        let alice = client_pair(106);
+        mgr.add_member(ClientId(1), alice.public().clone());
+        let mut store = GroupKeyStore::new();
+        for (_, wrapped) in mgr.key_updates(&mut rng).unwrap() {
+            store.ingest_update(&alice, &wrapped).unwrap();
+        }
+        let (epoch, mut sealed) = mgr.encrypt_payload(b"data", &mut rng);
+        sealed[10] ^= 1;
+        assert!(store.open_payload(epoch, &sealed).is_err());
+    }
+
+    #[test]
+    fn epochs_are_isolated() {
+        let mut rng = CryptoRng::from_seed(6);
+        let mut mgr = GroupKeyManager::new(&mut rng);
+        let alice = client_pair(107);
+        mgr.add_member(ClientId(1), alice.public().clone());
+        let mut store = GroupKeyStore::new();
+        for (_, w) in mgr.key_updates(&mut rng).unwrap() {
+            store.ingest_update(&alice, &w).unwrap();
+        }
+        let (e0, sealed0) = mgr.encrypt_payload(b"zero", &mut rng);
+        mgr.rekey(&mut rng);
+        for (_, w) in mgr.key_updates(&mut rng).unwrap() {
+            store.ingest_update(&alice, &w).unwrap();
+        }
+        // A payload from epoch 1 cannot be opened claiming epoch 0.
+        let (e1, sealed1) = mgr.encrypt_payload(b"one", &mut rng);
+        assert_ne!(e0, e1);
+        assert!(store.open_payload(e0, &sealed1).is_err());
+        assert_eq!(store.open_payload(e0, &sealed0).unwrap(), b"zero");
+        assert_eq!(store.open_payload(e1, &sealed1).unwrap(), b"one");
+        assert_eq!(store.len(), 2);
+    }
+}

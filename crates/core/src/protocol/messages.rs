@@ -1,0 +1,234 @@
+//! Wire messages exchanged by the SCBR roles.
+//!
+//! Every message travels as a [`scbr_net::Envelope`] whose kind tags the
+//! variant and whose payload is the binary body. The enum covers the whole
+//! Figure 4 flow plus delivery and key updates.
+
+use crate::codec::{Reader, Writer};
+use crate::error::ScbrError;
+use crate::ids::{ClientId, KeyEpoch, SubscriptionId};
+use scbr_net::Envelope;
+
+/// All SCBR protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → producer: `{s}PK` plus the client's identity (step 1).
+    SubmitSubscription {
+        /// Requesting client.
+        client: ClientId,
+        /// Hybrid-encrypted subscription bytes.
+        encrypted_subscription: Vec<u8>,
+    },
+    /// Producer → client: subscription accepted under this id.
+    SubscriptionAccepted {
+        /// The id the producer allocated.
+        id: SubscriptionId,
+    },
+    /// Producer → client: subscription refused.
+    SubscriptionRejected {
+        /// Human-readable reason (no sensitive detail).
+        reason: String,
+    },
+    /// Producer → router: signed `{s}SK` registration envelope (step 2).
+    Register {
+        /// Envelope accepted by the routing enclave.
+        envelope: Vec<u8>,
+    },
+    /// Router → producer: registration landed.
+    RegisterAck {
+        /// The registered subscription id.
+        id: SubscriptionId,
+    },
+    /// Producer → router: encrypted header + payload (step 4).
+    Publish {
+        /// `{header}SK`.
+        header_ct: Vec<u8>,
+        /// Group-key epoch of the payload.
+        epoch: KeyEpoch,
+        /// Payload ciphertext (opaque to the router).
+        payload_ct: Vec<u8>,
+    },
+    /// Router → client: matched publication payload (step 6).
+    Deliver {
+        /// Group-key epoch of the payload.
+        epoch: KeyEpoch,
+        /// Payload ciphertext.
+        payload_ct: Vec<u8>,
+    },
+    /// Producer → client: a wrapped group key for an epoch.
+    KeyUpdate {
+        /// Hybrid-encrypted `epoch || key` bytes.
+        wrapped: Vec<u8>,
+    },
+    /// Client → router: identify this connection as a client's delivery
+    /// channel.
+    Hello {
+        /// The connecting client.
+        client: ClientId,
+    },
+    /// Generic failure notice.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// Orderly shutdown of a role's event loop.
+    Shutdown,
+}
+
+impl Message {
+    /// Envelope kind tag for this variant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::SubmitSubscription { .. } => "submit",
+            Message::SubscriptionAccepted { .. } => "accepted",
+            Message::SubscriptionRejected { .. } => "rejected",
+            Message::Register { .. } => "register",
+            Message::RegisterAck { .. } => "register-ack",
+            Message::Publish { .. } => "publish",
+            Message::Deliver { .. } => "deliver",
+            Message::KeyUpdate { .. } => "key-update",
+            Message::Hello { .. } => "hello",
+            Message::Error { .. } => "error",
+            Message::Shutdown => "shutdown",
+        }
+    }
+
+    /// Serialises into an envelope.
+    pub fn to_envelope(&self) -> Envelope {
+        let mut w = Writer::new();
+        match self {
+            Message::SubmitSubscription { client, encrypted_subscription } => {
+                w.u64(client.0).bytes(encrypted_subscription);
+            }
+            Message::SubscriptionAccepted { id } => {
+                w.u64(id.0);
+            }
+            Message::SubscriptionRejected { reason } => {
+                w.str(reason);
+            }
+            Message::Register { envelope } => {
+                w.bytes(envelope);
+            }
+            Message::RegisterAck { id } => {
+                w.u64(id.0);
+            }
+            Message::Publish { header_ct, epoch, payload_ct } => {
+                w.bytes(header_ct).u64(epoch.0).bytes(payload_ct);
+            }
+            Message::Deliver { epoch, payload_ct } => {
+                w.u64(epoch.0).bytes(payload_ct);
+            }
+            Message::KeyUpdate { wrapped } => {
+                w.bytes(wrapped);
+            }
+            Message::Hello { client } => {
+                w.u64(client.0);
+            }
+            Message::Error { message } => {
+                w.str(message);
+            }
+            Message::Shutdown => {}
+        }
+        Envelope::new(self.kind(), w.into_bytes())
+    }
+
+    /// Parses from an envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::Codec`] for unknown kinds or malformed bodies.
+    pub fn from_envelope(env: &Envelope) -> Result<Self, ScbrError> {
+        let mut r = Reader::new(&env.payload);
+        let msg = match env.kind.as_str() {
+            "submit" => Message::SubmitSubscription {
+                client: ClientId(r.u64()?),
+                encrypted_subscription: r.bytes()?,
+            },
+            "accepted" => Message::SubscriptionAccepted { id: SubscriptionId(r.u64()?) },
+            "rejected" => Message::SubscriptionRejected { reason: r.str()? },
+            "register" => Message::Register { envelope: r.bytes()? },
+            "register-ack" => Message::RegisterAck { id: SubscriptionId(r.u64()?) },
+            "publish" => Message::Publish {
+                header_ct: r.bytes()?,
+                epoch: KeyEpoch(r.u64()?),
+                payload_ct: r.bytes()?,
+            },
+            "deliver" => Message::Deliver { epoch: KeyEpoch(r.u64()?), payload_ct: r.bytes()? },
+            "key-update" => Message::KeyUpdate { wrapped: r.bytes()? },
+            "hello" => Message::Hello { client: ClientId(r.u64()?) },
+            "error" => Message::Error { message: r.str()? },
+            "shutdown" => Message::Shutdown,
+            _ => return Err(ScbrError::Codec { context: "message kind" }),
+        };
+        if !r.is_exhausted() {
+            return Err(ScbrError::Codec { context: "message trailing bytes" });
+        }
+        Ok(msg)
+    }
+
+    /// Serialises straight to wire bytes (envelope text form).
+    pub fn to_wire(&self) -> Vec<u8> {
+        self.to_envelope().encode_bytes()
+    }
+
+    /// Parses from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::Codec`] (wrapping envelope errors) on malformed input.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, ScbrError> {
+        let env = Envelope::decode_bytes(bytes)
+            .map_err(|_| ScbrError::Codec { context: "message envelope" })?;
+        Self::from_envelope(&env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) {
+        let wire = msg.to_wire();
+        assert_eq!(Message::from_wire(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(Message::SubmitSubscription {
+            client: ClientId(7),
+            encrypted_subscription: vec![1, 2, 3],
+        });
+        round_trip(Message::SubscriptionAccepted { id: SubscriptionId(9) });
+        round_trip(Message::SubscriptionRejected { reason: "suspended".into() });
+        round_trip(Message::Register { envelope: vec![4, 5] });
+        round_trip(Message::RegisterAck { id: SubscriptionId(1) });
+        round_trip(Message::Publish {
+            header_ct: vec![1],
+            epoch: KeyEpoch(2),
+            payload_ct: vec![3],
+        });
+        round_trip(Message::Deliver { epoch: KeyEpoch(0), payload_ct: vec![] });
+        round_trip(Message::KeyUpdate { wrapped: vec![9; 40] });
+        round_trip(Message::Hello { client: ClientId(1) });
+        round_trip(Message::Error { message: "boom".into() });
+        round_trip(Message::Shutdown);
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let env = Envelope::new("bogus", vec![]);
+        assert!(Message::from_envelope(&env).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut env = Message::Shutdown.to_envelope();
+        env.payload.push(0);
+        assert!(Message::from_envelope(&env).is_err());
+    }
+
+    #[test]
+    fn malformed_wire_rejected() {
+        assert!(Message::from_wire(b"not an envelope").is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! The SCBR protocol: key exchange, admission control and group keys.
+//!
+//! The paper's Figure 4 flow, implemented end to end:
+//!
+//! 1. A client encrypts its subscription under the producer's public key
+//!    `PK` (hybrid RSA + AES, since subscriptions exceed one RSA block) and
+//!    sends `{s}PK` to the producer — [`keys::hybrid_encrypt`].
+//! 2. The producer decrypts, checks the client's standing
+//!    ([`admission::ClientDirectory`]), re-encrypts under the symmetric key
+//!    `SK` it shares with the routing enclave, and signs —
+//!    [`keys::ProducerCrypto::seal_registration`].
+//! 3. The routing enclave verifies and decrypts inside the enclave and
+//!    inserts the subscription into its index (see
+//!    [`crate::engine::MatchingEngine::register_envelope`]).
+//! 4.–6. Publications flow back: headers encrypted under `SK`, payloads
+//!    under a rotating *group key* ([`group::GroupKeyManager`]) so revoked
+//!    clients lose access to new messages.
+//!
+//! `SK` itself reaches the enclave through remote attestation
+//! ([`keys::provision_sk_via_attestation`]), so the infrastructure provider
+//! never sees it.
+
+pub mod admission;
+pub mod group;
+pub mod keys;
+pub mod messages;

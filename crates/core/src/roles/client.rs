@@ -1,0 +1,199 @@
+//! The client role: subscribes through the producer, receives deliveries
+//! from the router, and decrypts payloads with group keys.
+
+use crate::error::ScbrError;
+use crate::ids::{ClientId, KeyEpoch, SubscriptionId};
+use crate::protocol::group::GroupKeyStore;
+use crate::protocol::keys::encrypt_subscription_for_producer;
+use crate::protocol::messages::Message;
+use crate::subscription::SubscriptionSpec;
+use scbr_crypto::rng::CryptoRng;
+use scbr_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use scbr_net::Connection;
+use std::time::Duration;
+
+/// A decrypted delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The group-key epoch the payload was encrypted under.
+    pub epoch: KeyEpoch,
+    /// The decrypted payload.
+    pub payload: Vec<u8>,
+}
+
+/// A synchronous SCBR client.
+///
+/// Owns two connections: to the producer (subscriptions, key updates) and
+/// to the router (deliveries). Methods drain key updates opportunistically
+/// as they arrive interleaved with other traffic.
+pub struct ClientNode {
+    id: ClientId,
+    key_pair: RsaKeyPair,
+    keys: GroupKeyStore,
+    producer: Box<dyn Connection>,
+    router: Box<dyn Connection>,
+    producer_key: Option<RsaPublicKey>,
+    rng: CryptoRng,
+}
+
+impl std::fmt::Debug for ClientNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientNode")
+            .field("id", &self.id)
+            .field("epochs_held", &self.keys.len())
+            .finish()
+    }
+}
+
+impl ClientNode {
+    /// Creates a client and announces itself on both connections.
+    ///
+    /// # Errors
+    ///
+    /// Key-generation or transport failures.
+    pub fn connect(
+        id: ClientId,
+        producer: Box<dyn Connection>,
+        router: Box<dyn Connection>,
+        mut rng: CryptoRng,
+    ) -> Result<Self, ScbrError> {
+        let key_pair = RsaKeyPair::generate(512, &mut rng)?;
+        let hello = Message::Hello { client: id };
+        producer.send(&hello.to_wire())?;
+        router.send(&hello.to_wire())?;
+        Ok(ClientNode {
+            id,
+            key_pair,
+            keys: GroupKeyStore::new(),
+            producer,
+            router,
+            producer_key: None,
+            rng,
+        })
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The public key the producer should be given at admission time.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.key_pair.public()
+    }
+
+    /// Submits a subscription (protocol step 1) and waits for the verdict.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::NotAdmitted`] when rejected; transport/crypto failures
+    /// otherwise.
+    pub fn subscribe(
+        &mut self,
+        spec: &SubscriptionSpec,
+        timeout: Duration,
+    ) -> Result<SubscriptionId, ScbrError> {
+        let ct = encrypt_subscription_for_producer(
+            // Subscriptions are encrypted to the *producer*; its key is
+            // delivered out of band (service signup), modelled here as the
+            // key cached in the producer connection handshake. The caller
+            // passes it in via `set_producer_key` below when needed.
+            self.producer_key
+                .as_ref()
+                .ok_or(ScbrError::MissingKeys { which: "producer public key" })?,
+            spec,
+            &mut self.rng,
+        )?;
+        let msg = Message::SubmitSubscription { client: self.id, encrypted_subscription: ct };
+        self.producer.send(&msg.to_wire())?;
+        // Wait for the verdict, stashing any interleaved key updates.
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let Some(frame) = self.producer.recv_timeout(remaining)? else {
+                return Err(ScbrError::UnexpectedMessage { got: "timeout".into() });
+            };
+            match Message::from_wire(&frame)? {
+                Message::SubscriptionAccepted { id } => return Ok(id),
+                Message::SubscriptionRejected { reason } => {
+                    return Err(ScbrError::UnexpectedMessage { got: format!("rejected: {reason}") })
+                }
+                Message::KeyUpdate { wrapped } => {
+                    let _ = self.keys.ingest_update(&self.key_pair, &wrapped);
+                }
+                other => {
+                    return Err(ScbrError::UnexpectedMessage { got: other.kind().to_owned() })
+                }
+            }
+        }
+    }
+
+    /// Waits for the next delivery from the router and decrypts it.
+    ///
+    /// Returns `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::MissingKeys`] when the payload's epoch key was never
+    /// received (e.g. after revocation); transport or crypto failures
+    /// otherwise.
+    pub fn poll_delivery(&mut self, timeout: Duration) -> Result<Option<Delivery>, ScbrError> {
+        self.drain_key_updates(Duration::from_millis(0))?;
+        let Some(frame) = self.router.recv_timeout(timeout)? else {
+            return Ok(None);
+        };
+        match Message::from_wire(&frame)? {
+            Message::Deliver { epoch, payload_ct } => {
+                let payload = self.keys.open_payload(epoch, &payload_ct)?;
+                Ok(Some(Delivery { epoch, payload }))
+            }
+            other => Err(ScbrError::UnexpectedMessage { got: other.kind().to_owned() }),
+        }
+    }
+
+    /// Like [`ClientNode::poll_delivery`] but returns the raw ciphertext
+    /// without requiring the group key (what a revoked client still sees).
+    ///
+    /// # Errors
+    ///
+    /// Transport or decoding failures.
+    pub fn poll_delivery_raw(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(KeyEpoch, Vec<u8>)>, ScbrError> {
+        let Some(frame) = self.router.recv_timeout(timeout)? else {
+            return Ok(None);
+        };
+        match Message::from_wire(&frame)? {
+            Message::Deliver { epoch, payload_ct } => Ok(Some((epoch, payload_ct))),
+            other => Err(ScbrError::UnexpectedMessage { got: other.kind().to_owned() }),
+        }
+    }
+
+    /// Drains pending key updates from the producer connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn drain_key_updates(&mut self, timeout: Duration) -> Result<usize, ScbrError> {
+        let mut n = 0;
+        while let Some(frame) = self.producer.recv_timeout(timeout)? {
+            if let Ok(Message::KeyUpdate { wrapped }) = Message::from_wire(&frame) {
+                if self.keys.ingest_update(&self.key_pair, &wrapped).is_ok() {
+                    n += 1;
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Number of group-key epochs this client can decrypt.
+    pub fn epochs_held(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Installs the producer's public key (obtained at signup).
+    pub fn set_producer_key(&mut self, key: RsaPublicKey) {
+        self.producer_key = Some(key);
+    }
+}

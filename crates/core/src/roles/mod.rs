@@ -1,0 +1,100 @@
+//! Runnable SCBR nodes: producer, router and client.
+//!
+//! Each role is an event loop over [`scbr_net`] connections speaking
+//! [`crate::protocol::messages::Message`]. The wiring matches the paper's
+//! Figure 3: clients talk to the producer to subscribe (and receive group
+//! keys), the producer talks to the router to register subscriptions and
+//! publish, and the router pushes matched payloads to clients over their
+//! delivery channels.
+//!
+//! The roles are transport-agnostic: tests and benchmarks use
+//! [`scbr_net::InProcNetwork`]; the examples also run over TCP.
+
+pub mod client;
+pub mod producer;
+pub mod router;
+
+use crate::protocol::messages::Message;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use scbr_net::Connection;
+use std::sync::Arc;
+
+pub use client::ClientNode;
+pub use producer::{Producer, ProducerCommand, ProducerHandle};
+pub use router::Router;
+
+/// An event produced by a connection pump.
+#[derive(Debug)]
+pub(crate) enum ConnEvent {
+    /// A decoded message arrived on connection `conn`.
+    Msg {
+        /// Pump-local connection identifier.
+        conn: u64,
+        /// The decoded message.
+        message: Message,
+    },
+    /// The connection closed or failed.
+    Gone {
+        /// Pump-local connection identifier.
+        conn: u64,
+    },
+}
+
+/// Spawns a reader thread that decodes frames from `connection` into
+/// [`ConnEvent`]s on `events`.
+pub(crate) fn pump_connection(
+    conn_id: u64,
+    connection: Arc<dyn Connection>,
+    events: Sender<ConnEvent>,
+) {
+    std::thread::spawn(move || loop {
+        match connection.recv() {
+            Ok(frame) => match Message::from_wire(&frame) {
+                Ok(message) => {
+                    if events.send(ConnEvent::Msg { conn: conn_id, message }).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => {
+                    // Malformed traffic: drop the frame, keep the
+                    // connection (robustness against garbage).
+                }
+            },
+            Err(_) => {
+                let _ = events.send(ConnEvent::Gone { conn: conn_id });
+                return;
+            }
+        }
+    });
+}
+
+/// Spawns an acceptor thread that pumps every accepted connection into
+/// `events`, tagging connections with ids starting at `first_id`.
+/// Returns a receiver of the accepted connections (so the owner can write
+/// to them).
+pub(crate) fn pump_listener(
+    listener: Box<dyn scbr_net::Listener>,
+    events: Sender<ConnEvent>,
+    first_id: u64,
+) -> Receiver<(u64, Arc<dyn Connection>)> {
+    let (tx, rx) = unbounded();
+    std::thread::spawn(move || {
+        let mut next = first_id;
+        while let Ok(conn) = listener.accept() {
+            let conn: Arc<dyn Connection> = Arc::from(conn);
+            let id = next;
+            next += 1;
+            pump_connection(id, conn.clone(), events.clone());
+            if tx.send((id, conn)).is_err() {
+                return;
+            }
+        }
+    });
+    rx
+}
+
+/// Sends a message on a connection, ignoring disconnects (the pump reports
+/// those separately).
+pub(crate) fn send_best_effort(conn: &dyn Connection, msg: &Message) {
+    let _ = conn.send(&msg.to_wire());
+}

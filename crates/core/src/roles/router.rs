@@ -1,0 +1,129 @@
+//! The router role: hosts the matching engine (ideally inside an enclave)
+//! on untrusted infrastructure.
+//!
+//! The router never sees plaintext subscriptions or headers — decryption
+//! happens in [`crate::engine::MatchingEngine`] behind the enclave call
+//! gate. What the untrusted router code *does* see, by design (§3.3), is
+//! the client identity attached to each delivery so it can maintain
+//! delivery channels.
+
+use crate::engine::RouterEngine;
+use crate::error::ScbrError;
+use crate::ids::ClientId;
+use crate::protocol::messages::Message;
+use crate::roles::{pump_listener, send_best_effort, ConnEvent};
+use crossbeam::channel::unbounded;
+use scbr_net::{Connection, Listener};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running router node.
+#[derive(Debug)]
+pub struct Router {
+    handle: Option<JoinHandle<RouterEngine>>,
+}
+
+impl Router {
+    /// Starts the router's event loop on `listener`, serving `engine`.
+    ///
+    /// The engine should already be provisioned with keys (see
+    /// [`crate::protocol::keys::provision_sk_via_attestation`]).
+    pub fn spawn(listener: Box<dyn Listener>, engine: RouterEngine) -> Router {
+        let (events_tx, events_rx) = unbounded();
+        let accepted = pump_listener(listener, events_tx, 0);
+        let handle = std::thread::spawn(move || {
+            let mut engine = engine;
+            let mut conns: HashMap<u64, Arc<dyn Connection>> = HashMap::new();
+            let mut delivery: HashMap<ClientId, u64> = HashMap::new();
+            loop {
+                // Collect any newly accepted connections.
+                while let Ok((id, conn)) = accepted.try_recv() {
+                    conns.insert(id, conn);
+                }
+                let Ok(event) = events_rx.recv() else { break };
+                match event {
+                    ConnEvent::Gone { conn } => {
+                        conns.remove(&conn);
+                        delivery.retain(|_, c| *c != conn);
+                    }
+                    ConnEvent::Msg { conn, message } => {
+                        // The connection may have been accepted after its
+                        // first frame was pumped.
+                        while let Ok((id, c)) = accepted.try_recv() {
+                            conns.insert(id, c);
+                        }
+                        match message {
+                            Message::Hello { client } => {
+                                delivery.insert(client, conn);
+                            }
+                            Message::Register { envelope } => {
+                                let result =
+                                    engine.call(|e| e.register_envelope(&envelope));
+                                if let Some(c) = conns.get(&conn) {
+                                    let reply = match result {
+                                        Ok(id) => Message::RegisterAck { id },
+                                        Err(e) => Message::Error { message: e.to_string() },
+                                    };
+                                    send_best_effort(c.as_ref(), &reply);
+                                }
+                            }
+                            Message::Publish { header_ct, epoch, payload_ct } => {
+                                match engine.call(|e| e.match_encrypted(&header_ct)) {
+                                    Ok(clients) => {
+                                        let msg = Message::Deliver {
+                                            epoch,
+                                            payload_ct: payload_ct.clone(),
+                                        };
+                                        for client in clients {
+                                            if let Some(conn_id) = delivery.get(&client) {
+                                                if let Some(c) = conns.get(conn_id) {
+                                                    send_best_effort(c.as_ref(), &msg);
+                                                }
+                                            }
+                                        }
+                                    }
+                                    Err(e) => {
+                                        if let Some(c) = conns.get(&conn) {
+                                            send_best_effort(
+                                                c.as_ref(),
+                                                &Message::Error { message: e.to_string() },
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                            Message::Shutdown => break,
+                            other => {
+                                if let Some(c) = conns.get(&conn) {
+                                    send_best_effort(
+                                        c.as_ref(),
+                                        &Message::Error {
+                                            message: format!("unexpected {}", other.kind()),
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            engine
+        });
+        Router { handle: Some(handle) }
+    }
+
+    /// Waits for the router loop to exit (after a `Shutdown` message),
+    /// returning the engine for inspection.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::NotFound`] if already joined or the thread panicked.
+    pub fn join(mut self) -> Result<RouterEngine, ScbrError> {
+        self.handle
+            .take()
+            .ok_or(ScbrError::NotFound { what: "router thread" })?
+            .join()
+            .map_err(|_| ScbrError::NotFound { what: "router thread (panicked)" })
+    }
+}

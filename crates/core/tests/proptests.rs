@@ -1,0 +1,166 @@
+//! Property-based tests of the core matching semantics.
+//!
+//! The containment relation is the engine's load-bearing invariant: if
+//! `covers` ever lied, the poset would silently drop matches. These
+//! properties pin it down against randomly generated subscriptions and
+//! headers.
+
+use proptest::prelude::*;
+use scbr::attr::AttrSchema;
+use scbr::predicate::Op;
+use scbr::publication::PublicationSpec;
+use scbr::subscription::SubscriptionSpec;
+use scbr::value::Value;
+
+const ATTRS: [&str; 4] = ["price", "volume", "size", "symbol"];
+const SYMBOLS: [&str; 3] = ["HAL", "IBM", "AMD"];
+
+#[derive(Debug, Clone)]
+struct RawPred {
+    attr: usize,
+    op: u8,
+    num: f64,
+    sym: usize,
+}
+
+fn pred_strategy() -> impl Strategy<Value = RawPred> {
+    (0usize..ATTRS.len(), 0u8..5, -50.0f64..150.0, 0usize..SYMBOLS.len())
+        .prop_map(|(attr, op, num, sym)| RawPred { attr, op, num, sym })
+}
+
+/// Builds a spec from raw predicates, skipping combinations the API
+/// rejects (contradictions are filtered by retrying compile).
+fn build_spec(preds: &[RawPred]) -> SubscriptionSpec {
+    let mut spec = SubscriptionSpec::new();
+    let mut used = std::collections::HashSet::new();
+    for p in preds {
+        let attr = ATTRS[p.attr];
+        if !used.insert(attr) {
+            continue; // one predicate per attribute: avoids contradictions
+        }
+        if attr == "symbol" {
+            spec = spec.eq(attr, SYMBOLS[p.sym]);
+        } else {
+            let op = match p.op {
+                0 => Op::Eq,
+                1 => Op::Lt,
+                2 => Op::Le,
+                3 => Op::Gt,
+                _ => Op::Ge,
+            };
+            spec = spec.with(attr, op, Value::Float(p.num));
+        }
+    }
+    spec
+}
+
+fn build_header(schema: &AttrSchema, values: &[f64], sym: usize) -> scbr::publication::CompiledHeader {
+    PublicationSpec::new()
+        .attr("price", values[0])
+        .attr("volume", values[1])
+        .attr("size", values[2])
+        .attr("symbol", SYMBOLS[sym])
+        .compile_header(schema)
+        .expect("header compiles")
+}
+
+proptest! {
+    /// covers is reflexive on canonical forms.
+    #[test]
+    fn covers_is_reflexive(preds in proptest::collection::vec(pred_strategy(), 0..4)) {
+        let schema = AttrSchema::new();
+        if let Ok(c) = build_spec(&preds).compile(&schema) {
+            prop_assert!(c.covers(&c));
+        }
+    }
+
+    /// The semantic definition: a.covers(b) implies every header matching
+    /// b also matches a.
+    #[test]
+    fn covers_implies_match_subset(
+        a_preds in proptest::collection::vec(pred_strategy(), 0..4),
+        b_preds in proptest::collection::vec(pred_strategy(), 0..4),
+        headers in proptest::collection::vec((proptest::collection::vec(-60.0f64..160.0, 3), 0usize..3), 1..20),
+    ) {
+        let schema = AttrSchema::new();
+        let (Ok(a), Ok(b)) = (build_spec(&a_preds).compile(&schema), build_spec(&b_preds).compile(&schema)) else {
+            return Ok(());
+        };
+        if a.covers(&b) {
+            for (values, sym) in &headers {
+                let h = build_header(&schema, values, *sym);
+                if b.matches(&h) {
+                    prop_assert!(a.matches(&h), "b matched {values:?}/{sym} but a did not");
+                }
+            }
+        }
+    }
+
+    /// covers is transitive.
+    #[test]
+    fn covers_is_transitive(
+        a_preds in proptest::collection::vec(pred_strategy(), 0..3),
+        b_preds in proptest::collection::vec(pred_strategy(), 0..3),
+        c_preds in proptest::collection::vec(pred_strategy(), 0..3),
+    ) {
+        let schema = AttrSchema::new();
+        let (Ok(a), Ok(b), Ok(c)) = (
+            build_spec(&a_preds).compile(&schema),
+            build_spec(&b_preds).compile(&schema),
+            build_spec(&c_preds).compile(&schema),
+        ) else {
+            return Ok(());
+        };
+        if a.covers(&b) && b.covers(&c) {
+            prop_assert!(a.covers(&c));
+        }
+    }
+
+    /// Mutual covering means identical matching behaviour (canonical
+    /// equality), and fingerprints agree.
+    #[test]
+    fn mutual_covering_is_equality(
+        a_preds in proptest::collection::vec(pred_strategy(), 0..4),
+        b_preds in proptest::collection::vec(pred_strategy(), 0..4),
+    ) {
+        let schema = AttrSchema::new();
+        let (Ok(a), Ok(b)) = (build_spec(&a_preds).compile(&schema), build_spec(&b_preds).compile(&schema)) else {
+            return Ok(());
+        };
+        if a.covers(&b) && b.covers(&a) {
+            prop_assert_eq!(&a, &b, "mutual covering implies canonical equality");
+            prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+    }
+
+    /// The empty subscription covers everything and matches everything.
+    #[test]
+    fn top_covers_all(preds in proptest::collection::vec(pred_strategy(), 0..4),
+                      values in proptest::collection::vec(-60.0f64..160.0, 3),
+                      sym in 0usize..3) {
+        let schema = AttrSchema::new();
+        let top = SubscriptionSpec::new().compile(&schema).expect("empty compiles");
+        if let Ok(c) = build_spec(&preds).compile(&schema) {
+            prop_assert!(top.covers(&c));
+        }
+        prop_assert!(top.matches(&build_header(&schema, &values, sym)));
+    }
+
+    /// Wire round-trip: any buildable spec encodes and decodes losslessly.
+    #[test]
+    fn codec_round_trip(preds in proptest::collection::vec(pred_strategy(), 0..6)) {
+        let spec = build_spec(&preds);
+        let bytes = scbr::codec::encode_subscription(&spec);
+        prop_assert_eq!(scbr::codec::decode_subscription(&bytes).unwrap(), spec);
+    }
+
+    /// Decoding never panics on arbitrary bytes.
+    #[test]
+    fn codec_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = scbr::codec::decode_subscription(&bytes);
+        let _ = scbr::codec::decode_header(&bytes);
+        let _ = scbr::codec::decode_registration(&bytes);
+        let _ = scbr::codec::decode_publish(&bytes);
+        let _ = scbr::protocol::messages::Message::from_wire(&bytes);
+    }
+}

@@ -1,0 +1,160 @@
+//! Authenticated encryption: AES-CTR + HMAC-SHA256 (encrypt-then-MAC).
+//!
+//! The SGX simulator uses this construction for sealed storage (real SGX
+//! uses AES-GCM inside `sgx_seal_data`; encrypt-then-MAC with independent
+//! keys provides the same integrity + confidentiality contract), and SCBR
+//! uses it for the signed, encrypted subscription envelopes forwarded by
+//! producers to routers.
+
+use crate::ctr::{AesCtr, SymmetricKey, NONCE_LEN};
+use crate::error::CryptoError;
+use crate::hkdf;
+use crate::hmac::{HmacSha256, TAG_LEN};
+use crate::rng::CryptoRng;
+
+/// Authenticated encryption box deriving independent cipher and MAC keys
+/// from one master key.
+///
+/// Wire format: `nonce (8) || ciphertext || tag (32)`. The optional
+/// *associated data* is authenticated but not encrypted.
+///
+/// ```
+/// use scbr_crypto::{SealedBox, CryptoRng};
+/// use scbr_crypto::ctr::SymmetricKey;
+///
+/// let key = SymmetricKey::from_bytes([1u8; 16]);
+/// let sealed = SealedBox::new(&key);
+/// let mut rng = CryptoRng::from_seed(3);
+/// let ct = sealed.seal(b"enclave state", b"header-v1", &mut rng);
+/// assert_eq!(sealed.open(&ct, b"header-v1")?, b"enclave state");
+/// # Ok::<(), scbr_crypto::CryptoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SealedBox {
+    enc_key: SymmetricKey,
+    mac_key: [u8; 32],
+}
+
+impl SealedBox {
+    /// Derives the cipher and MAC sub-keys from `master` via HKDF.
+    pub fn new(master: &SymmetricKey) -> Self {
+        let mut enc = [0u8; 16];
+        let mut mac = [0u8; 32];
+        hkdf::derive(b"scbr-sealedbox", master.as_bytes(), b"enc", &mut enc);
+        hkdf::derive(b"scbr-sealedbox", master.as_bytes(), b"mac", &mut mac);
+        SealedBox { enc_key: SymmetricKey::from_bytes(enc), mac_key: mac }
+    }
+
+    /// Encrypts and authenticates `plaintext`, binding `aad` into the tag.
+    pub fn seal(&self, plaintext: &[u8], aad: &[u8], rng: &mut CryptoRng) -> Vec<u8> {
+        let mut out = AesCtr::encrypt_with_nonce(&self.enc_key, rng, plaintext);
+        let tag = self.tag(&out, aad);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verifies and decrypts a sealed message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::VerificationFailed`] if the tag does not match
+    /// (tampered ciphertext, wrong key, or wrong associated data) and
+    /// [`CryptoError::InvalidLength`] for impossible sizes.
+    pub fn open(&self, sealed: &[u8], aad: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < NONCE_LEN + TAG_LEN {
+            return Err(CryptoError::InvalidLength { context: "sealed message" });
+        }
+        let (body, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expected = self.tag(body, aad);
+        if !crate::ct::ct_eq(&expected, tag) {
+            return Err(CryptoError::VerificationFailed);
+        }
+        AesCtr::decrypt_with_nonce(&self.enc_key, body)
+    }
+
+    fn tag(&self, nonce_and_ct: &[u8], aad: &[u8]) -> [u8; TAG_LEN] {
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(&(aad.len() as u64).to_be_bytes());
+        mac.update(aad);
+        mac.update(nonce_and_ct);
+        mac.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SealedBox, CryptoRng) {
+        (SealedBox::new(&SymmetricKey::from_bytes([7u8; 16])), CryptoRng::from_seed(10))
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let (sb, mut rng) = setup();
+        for len in [0usize, 1, 16, 100, 4096] {
+            let msg = vec![0x5au8; len];
+            let sealed = sb.seal(&msg, b"aad", &mut rng);
+            assert_eq!(sealed.len(), len + NONCE_LEN + TAG_LEN);
+            assert_eq!(sb.open(&sealed, b"aad").unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let (sb, mut rng) = setup();
+        let mut sealed = sb.seal(b"data", b"", &mut rng);
+        sealed[NONCE_LEN] ^= 1;
+        assert_eq!(sb.open(&sealed, b""), Err(CryptoError::VerificationFailed));
+    }
+
+    #[test]
+    fn tampered_nonce_rejected() {
+        let (sb, mut rng) = setup();
+        let mut sealed = sb.seal(b"data", b"", &mut rng);
+        sealed[0] ^= 1;
+        assert!(sb.open(&sealed, b"").is_err());
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let (sb, mut rng) = setup();
+        let mut sealed = sb.seal(b"data", b"", &mut rng);
+        let last = sealed.len() - 1;
+        sealed[last] ^= 1;
+        assert!(sb.open(&sealed, b"").is_err());
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let (sb, mut rng) = setup();
+        let sealed = sb.seal(b"data", b"version 1", &mut rng);
+        assert!(sb.open(&sealed, b"version 2").is_err());
+        assert!(sb.open(&sealed, b"version 1").is_ok());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (sb, mut rng) = setup();
+        let other = SealedBox::new(&SymmetricKey::from_bytes([8u8; 16]));
+        let sealed = sb.seal(b"data", b"", &mut rng);
+        assert!(other.open(&sealed, b"").is_err());
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        let (sb, _) = setup();
+        assert!(matches!(
+            sb.open(&[0u8; 10], b""),
+            Err(CryptoError::InvalidLength { .. })
+        ));
+    }
+
+    #[test]
+    fn seal_is_randomised() {
+        let (sb, mut rng) = setup();
+        let a = sb.seal(b"same", b"", &mut rng);
+        let b = sb.seal(b"same", b"", &mut rng);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,159 @@
+//! Base64 (RFC 4648, standard alphabet, with `=` padding).
+//!
+//! The SCBR prototype serialises both plaintext and encrypted messages in
+//! Base64 text format before handing them to the transport; [`encode`] and
+//! [`decode`] provide that codec.
+
+use crate::error::CryptoError;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `data` as standard Base64 with padding.
+///
+/// ```
+/// assert_eq!(scbr_crypto::base64::encode(b"SCBR"), "U0NCUg==");
+/// ```
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        if chunk.len() > 1 {
+            out.push(ALPHABET[(triple >> 6) as usize & 0x3f] as char);
+        } else {
+            out.push('=');
+        }
+        if chunk.len() > 2 {
+            out.push(ALPHABET[triple as usize & 0x3f] as char);
+        } else {
+            out.push('=');
+        }
+    }
+    out
+}
+
+fn decode_char(c: u8) -> Option<u8> {
+    match c {
+        b'A'..=b'Z' => Some(c - b'A'),
+        b'a'..=b'z' => Some(c - b'a' + 26),
+        b'0'..=b'9' => Some(c - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes standard Base64 (padding required, no embedded whitespace).
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidEncoding`] if the input length is not a
+/// multiple of four, contains characters outside the standard alphabet, or
+/// has misplaced padding.
+///
+/// ```
+/// let bytes = scbr_crypto::base64::decode("U0NCUg==")?;
+/// assert_eq!(bytes, b"SCBR");
+/// # Ok::<(), scbr_crypto::CryptoError>(())
+/// ```
+pub fn decode(text: &str) -> Result<Vec<u8>, CryptoError> {
+    let bytes = text.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return Err(CryptoError::InvalidEncoding { context: "base64" });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks(4).enumerate() {
+        let last = i == bytes.len() / 4 - 1;
+        let pad = quad.iter().filter(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && !last) {
+            return Err(CryptoError::InvalidEncoding { context: "base64" });
+        }
+        // Padding may only appear as the final one or two characters.
+        if (pad >= 1 && quad[3] != b'=') || (pad == 2 && quad[2] != b'=') {
+            return Err(CryptoError::InvalidEncoding { context: "base64" });
+        }
+        let mut triple: u32 = 0;
+        for (j, &c) in quad.iter().enumerate() {
+            let v = if c == b'=' {
+                0
+            } else {
+                decode_char(c).ok_or(CryptoError::InvalidEncoding { context: "base64" })? as u32
+            };
+            triple |= v << (18 - 6 * j);
+        }
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(triple as u8);
+        }
+        // Reject non-canonical encodings where discarded bits are nonzero.
+        let kept_bits = 8 * (3 - pad);
+        let mask = if kept_bits == 24 { 0 } else { (1u32 << (24 - kept_bits)) - 1 };
+        if triple & mask != 0 {
+            return Err(CryptoError::InvalidEncoding { context: "base64" });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_test_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (plain, encoded) in cases {
+            assert_eq!(encode(plain), *encoded);
+            assert_eq!(decode(encoded).unwrap(), *plain);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        assert!(decode("abc").is_err());
+        assert!(decode("a").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        assert!(decode("Zm9v!A==").is_err());
+        assert!(decode("Zm 9").is_err());
+    }
+
+    #[test]
+    fn rejects_misplaced_padding() {
+        assert!(decode("Zg==Zg==").is_err());
+        assert!(decode("Z===").is_err());
+        assert!(decode("=g==").is_err());
+        assert!(decode("Zg=g").is_err());
+    }
+
+    #[test]
+    fn rejects_non_canonical_trailing_bits() {
+        // "Zh==" decodes to the same byte count as "Zg==" but with nonzero
+        // discarded bits.
+        assert!(decode("Zh==").is_err());
+        assert_eq!(decode("Zg==").unwrap(), b"f");
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+}

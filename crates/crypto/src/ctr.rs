@@ -1,0 +1,253 @@
+//! AES in counter (CTR) mode — the symmetric cipher used by SCBR for
+//! publication headers and subscriptions.
+//!
+//! The counter block is formed from an 8-byte nonce followed by a 64-bit
+//! big-endian block counter, matching the common Crypto++/SDK layout the
+//! paper's prototype used.
+
+use crate::aes::{Aes, BLOCK_LEN};
+use crate::error::CryptoError;
+use crate::rng::CryptoRng;
+
+/// Length in bytes of the per-message CTR nonce.
+pub const NONCE_LEN: usize = 8;
+
+/// A 128- or 256-bit symmetric key for AES-CTR.
+///
+/// In SCBR terms this is `SK`, the key shared between the publisher and the
+/// code running inside the enclave.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SymmetricKey {
+    bytes: Vec<u8>,
+}
+
+impl std::fmt::Debug for SymmetricKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SymmetricKey({} bits, redacted)", self.bytes.len() * 8)
+    }
+}
+
+impl SymmetricKey {
+    /// Wraps an existing 16- or 32-byte key.
+    pub fn from_bytes<B: Into<Vec<u8>>>(bytes: B) -> Self {
+        let bytes = bytes.into();
+        assert!(
+            bytes.len() == 16 || bytes.len() == 32,
+            "symmetric keys are 16 or 32 bytes"
+        );
+        SymmetricKey { bytes }
+    }
+
+    /// Parses a key, returning an error instead of panicking on bad length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] unless the slice is 16 or 32
+    /// bytes long.
+    pub fn try_from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() == 16 || bytes.len() == 32 {
+            Ok(SymmetricKey { bytes: bytes.to_vec() })
+        } else {
+            Err(CryptoError::InvalidLength { context: "symmetric key" })
+        }
+    }
+
+    /// Generates a fresh random 128-bit key.
+    pub fn generate(rng: &mut CryptoRng) -> Self {
+        let mut bytes = vec![0u8; 16];
+        rng.fill(&mut bytes);
+        SymmetricKey { bytes }
+    }
+
+    /// Generates a fresh random 256-bit key.
+    pub fn generate_256(rng: &mut CryptoRng) -> Self {
+        let mut bytes = vec![0u8; 32];
+        rng.fill(&mut bytes);
+        SymmetricKey { bytes }
+    }
+
+    /// Raw key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// AES-CTR keystream generator and in-place cipher.
+///
+/// Encryption and decryption are the same operation; call [`AesCtr::apply`]
+/// with the same key and nonce to invert.
+///
+/// ```
+/// use scbr_crypto::ctr::{AesCtr, SymmetricKey};
+///
+/// let key = SymmetricKey::from_bytes([9u8; 32]);
+/// let mut msg = b"price<50".to_vec();
+/// AesCtr::new(&key, [0; 8]).apply(&mut msg);
+/// AesCtr::new(&key, [0; 8]).apply(&mut msg);
+/// assert_eq!(msg, b"price<50");
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesCtr {
+    aes: Aes,
+    nonce: [u8; NONCE_LEN],
+    counter: u64,
+    keystream: [u8; BLOCK_LEN],
+    /// Offset of the next unused keystream byte; `BLOCK_LEN` means empty.
+    ks_used: usize,
+}
+
+impl AesCtr {
+    /// Creates a CTR cipher positioned at block 0 of the keystream.
+    pub fn new(key: &SymmetricKey, nonce: [u8; NONCE_LEN]) -> Self {
+        let aes = Aes::new(key.as_bytes()).expect("SymmetricKey guarantees a valid length");
+        AesCtr { aes, nonce, counter: 0, keystream: [0u8; BLOCK_LEN], ks_used: BLOCK_LEN }
+    }
+
+    /// Repositions the keystream at an arbitrary block index (random access).
+    pub fn seek_block(&mut self, block: u64) {
+        self.counter = block;
+        self.ks_used = BLOCK_LEN;
+    }
+
+    fn refill(&mut self) {
+        let mut block = [0u8; BLOCK_LEN];
+        block[..NONCE_LEN].copy_from_slice(&self.nonce);
+        block[NONCE_LEN..].copy_from_slice(&self.counter.to_be_bytes());
+        self.aes.encrypt_block(&mut block);
+        self.keystream = block;
+        self.ks_used = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    /// XORs the keystream into `data`, advancing the stream position.
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for byte in data.iter_mut() {
+            if self.ks_used == BLOCK_LEN {
+                self.refill();
+            }
+            *byte ^= self.keystream[self.ks_used];
+            self.ks_used += 1;
+        }
+    }
+
+    /// Convenience: encrypts `plaintext` with a freshly drawn nonce, returning
+    /// `nonce || ciphertext`.
+    pub fn encrypt_with_nonce(
+        key: &SymmetricKey,
+        rng: &mut CryptoRng,
+        plaintext: &[u8],
+    ) -> Vec<u8> {
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill(&mut nonce);
+        let mut out = Vec::with_capacity(NONCE_LEN + plaintext.len());
+        out.extend_from_slice(&nonce);
+        out.extend_from_slice(plaintext);
+        AesCtr::new(key, nonce).apply(&mut out[NONCE_LEN..]);
+        out
+    }
+
+    /// Inverse of [`AesCtr::encrypt_with_nonce`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] if `message` is shorter than a
+    /// nonce.
+    pub fn decrypt_with_nonce(key: &SymmetricKey, message: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if message.len() < NONCE_LEN {
+            return Err(CryptoError::InvalidLength { context: "ctr message" });
+        }
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(&message[..NONCE_LEN]);
+        let mut out = message[NONCE_LEN..].to_vec();
+        AesCtr::new(key, nonce).apply(&mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let key = SymmetricKey::from_bytes([3u8; 16]);
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100, 1000] {
+            let plain: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let mut data = plain.clone();
+            AesCtr::new(&key, [5; 8]).apply(&mut data);
+            if len > 0 {
+                assert_ne!(data, plain, "len {len}");
+            }
+            AesCtr::new(&key, [5; 8]).apply(&mut data);
+            assert_eq!(data, plain, "len {len}");
+        }
+    }
+
+    #[test]
+    fn chunked_apply_equals_oneshot() {
+        let key = SymmetricKey::from_bytes([0xaau8; 32]);
+        let plain: Vec<u8> = (0..257u32).map(|i| i as u8).collect();
+        let mut oneshot = plain.clone();
+        AesCtr::new(&key, [1; 8]).apply(&mut oneshot);
+        let mut chunked = plain.clone();
+        let mut ctr = AesCtr::new(&key, [1; 8]);
+        for chunk in chunked.chunks_mut(7) {
+            ctr.apply(chunk);
+        }
+        assert_eq!(oneshot, chunked);
+    }
+
+    #[test]
+    fn different_nonce_different_ciphertext() {
+        let key = SymmetricKey::from_bytes([1u8; 16]);
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        AesCtr::new(&key, [0; 8]).apply(&mut a);
+        AesCtr::new(&key, [1; 8]).apply(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn seek_block_gives_random_access() {
+        let key = SymmetricKey::from_bytes([9u8; 16]);
+        let mut full = vec![0u8; 64];
+        AesCtr::new(&key, [2; 8]).apply(&mut full);
+        // Decrypt only the third block via seek.
+        let mut third = vec![0u8; 16];
+        let mut ctr = AesCtr::new(&key, [2; 8]);
+        ctr.seek_block(2);
+        ctr.apply(&mut third);
+        assert_eq!(&full[32..48], &third[..]);
+    }
+
+    #[test]
+    fn nonce_framed_round_trip() {
+        let key = SymmetricKey::from_bytes([7u8; 16]);
+        let mut rng = CryptoRng::from_seed(42);
+        let msg = b"symbol=INTC volume>10000";
+        let wire = AesCtr::encrypt_with_nonce(&key, &mut rng, msg);
+        assert_eq!(wire.len(), msg.len() + NONCE_LEN);
+        let back = AesCtr::decrypt_with_nonce(&key, &wire).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decrypt_rejects_truncated() {
+        let key = SymmetricKey::from_bytes([7u8; 16]);
+        assert!(AesCtr::decrypt_with_nonce(&key, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn key_debug_redacts() {
+        let key = SymmetricKey::from_bytes([7u8; 16]);
+        assert_eq!(format!("{key:?}"), "SymmetricKey(128 bits, redacted)");
+    }
+
+    #[test]
+    fn try_from_bytes_validates() {
+        assert!(SymmetricKey::try_from_bytes(&[0; 16]).is_ok());
+        assert!(SymmetricKey::try_from_bytes(&[0; 32]).is_ok());
+        assert!(SymmetricKey::try_from_bytes(&[0; 24]).is_err());
+        assert!(SymmetricKey::try_from_bytes(&[]).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! # scbr-crypto
+//!
+//! From-scratch cryptographic substrate for the SCBR reproduction.
+//!
+//! The original SCBR prototype ([Pires et al., Middleware '16]) used the
+//! Crypto++ library outside the enclave and the Intel SGX SDK crypto inside
+//! it, with **AES-CTR** for symmetric encryption of publication headers and
+//! subscriptions, and **RSA** for the client → producer leg of the key
+//! exchange. This crate implements those primitives (plus the supporting
+//! hash/MAC/KDF machinery) with no external dependencies beyond a random
+//! number generator, so that the whole system can be built and audited
+//! offline.
+//!
+//! ## Contents
+//!
+//! * [`aes`] — AES-128/AES-256 block cipher (FIPS-197 key schedule).
+//! * [`ctr`] — counter-mode stream encryption ([`ctr::AesCtr`]), as used for
+//!   SCBR headers and subscriptions.
+//! * [`authenc`] — encrypt-then-MAC authenticated encryption
+//!   ([`authenc::SealedBox`]), used by the enclave simulator for sealing and
+//!   by SCBR for signed subscription envelopes.
+//! * [`sha256`], [`hmac`], [`hkdf`] — SHA-256, HMAC-SHA256 and HKDF.
+//! * [`bigint`], [`prime`], [`rsa`] — multi-precision arithmetic, prime
+//!   generation and RSA (PKCS#1 v1.5-style encryption and signatures).
+//! * [`base64`] — the Base64 text codec the paper uses on the wire.
+//! * [`ct`] — constant-time comparison helpers.
+//! * [`rng`] — deterministic and OS-seeded random sources.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use scbr_crypto::ctr::{AesCtr, SymmetricKey};
+//!
+//! let key = SymmetricKey::from_bytes([7u8; 16]);
+//! let nonce = [1u8; 8];
+//! let mut data = b"symbol=HAL price=49.5".to_vec();
+//! AesCtr::new(&key, nonce).apply(&mut data); // encrypt in place
+//! AesCtr::new(&key, nonce).apply(&mut data); // decrypt in place
+//! assert_eq!(&data, b"symbol=HAL price=49.5");
+//! ```
+//!
+//! ## Security note
+//!
+//! These implementations favour clarity and portability over side-channel
+//! hardening (table-based AES, non-blinded RSA). They are faithful
+//! functional substitutes for the paper's crypto stack, suitable for
+//! research and reproduction, **not** for production deployment.
+//!
+//! [Pires et al., Middleware '16]: https://doi.org/10.1145/2988336.2988346
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod authenc;
+pub mod base64;
+pub mod bigint;
+pub mod ct;
+pub mod ctr;
+pub mod error;
+pub mod hkdf;
+pub mod hmac;
+pub mod prime;
+pub mod rng;
+pub mod rsa;
+pub mod sha256;
+
+pub use authenc::SealedBox;
+pub use bigint::BigUint;
+pub use ctr::{AesCtr, SymmetricKey};
+pub use error::CryptoError;
+pub use rng::CryptoRng;
+pub use rsa::{RsaKeyPair, RsaPrivateKey, RsaPublicKey};
+pub use sha256::Sha256;

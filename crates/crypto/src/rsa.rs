@@ -1,0 +1,482 @@
+//! RSA public-key encryption and signatures (PKCS#1 v1.5-style padding).
+//!
+//! SCBR uses RSA on the client → producer leg of the subscription key
+//! exchange: the client encrypts its subscription under the producer's
+//! public key `PK`, and the producer signs re-encrypted subscriptions it
+//! forwards to the routing enclave.
+//!
+//! Key generation draws two random primes (via [`crate::prime`]) and uses
+//! the standard `e = 65537`. Decryption uses the CRT for a ~4× speedup.
+
+use crate::bigint::BigUint;
+use crate::error::CryptoError;
+use crate::prime::generate_rsa_factor;
+use crate::rng::CryptoRng;
+use crate::sha256::Sha256;
+
+/// Fixed public exponent (F4).
+pub const PUBLIC_EXPONENT: u64 = 65537;
+
+/// DER prefix of the `DigestInfo` structure for SHA-256 (RFC 8017 §9.2).
+const SHA256_DIGEST_INFO: [u8; 19] = [
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
+    0x05, 0x00, 0x04, 0x20,
+];
+
+/// An RSA public key `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+}
+
+/// An RSA private key with CRT parameters.
+#[derive(Clone)]
+pub struct RsaPrivateKey {
+    n: BigUint,
+    d: BigUint,
+    p: BigUint,
+    q: BigUint,
+    d_p: BigUint,
+    d_q: BigUint,
+    q_inv: BigUint,
+}
+
+impl std::fmt::Debug for RsaPrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print private material.
+        f.debug_struct("RsaPrivateKey")
+            .field("modulus_bits", &self.n.bits())
+            .finish()
+    }
+}
+
+/// A matched RSA key pair.
+///
+/// ```
+/// use scbr_crypto::{RsaKeyPair, CryptoRng};
+///
+/// let mut rng = CryptoRng::from_seed(7);
+/// let pair = RsaKeyPair::generate(512, &mut rng)?;
+/// let ct = pair.public().encrypt(b"secret subscription", &mut rng)?;
+/// assert_eq!(pair.private().decrypt(&ct)?, b"secret subscription");
+/// # Ok::<(), scbr_crypto::CryptoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RsaKeyPair {
+    public: RsaPublicKey,
+    private: RsaPrivateKey,
+}
+
+impl RsaKeyPair {
+    /// Generates a fresh key pair with an `bits`-bit modulus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKey`] if `bits < 256` (too small even
+    /// for testing) or odd sizes are requested.
+    pub fn generate(bits: usize, rng: &mut CryptoRng) -> Result<Self, CryptoError> {
+        if bits < 256 || bits % 2 != 0 {
+            return Err(CryptoError::InvalidKey { reason: "modulus size must be an even number >= 256" });
+        }
+        let e = BigUint::from_u64(PUBLIC_EXPONENT);
+        loop {
+            let p = generate_rsa_factor(bits / 2, &e, rng);
+            let q = generate_rsa_factor(bits / 2, &e, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            if n.bits() != bits {
+                continue;
+            }
+            let one = BigUint::one();
+            let p1 = p.checked_sub(&one).expect("p >= 2");
+            let q1 = q.checked_sub(&one).expect("q >= 2");
+            let phi = p1.mul(&q1);
+            let d = match e.mod_inverse(&phi) {
+                Ok(d) => d,
+                Err(_) => continue,
+            };
+            let d_p = d.rem(&p1);
+            let d_q = d.rem(&q1);
+            let q_inv = match q.mod_inverse(&p) {
+                Ok(v) => v,
+                Err(_) => continue,
+            };
+            let public = RsaPublicKey { n: n.clone(), e: e.clone() };
+            let private = RsaPrivateKey { n, d, p, q, d_p, d_q, q_inv };
+            return Ok(RsaKeyPair { public, private });
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// The private half.
+    pub fn private(&self) -> &RsaPrivateKey {
+        &self.private
+    }
+
+    /// Splits the pair into its halves.
+    pub fn into_parts(self) -> (RsaPublicKey, RsaPrivateKey) {
+        (self.public, self.private)
+    }
+}
+
+impl RsaPublicKey {
+    /// Constructs a public key from raw `n` and `e`.
+    pub fn from_parts(n: BigUint, e: BigUint) -> Self {
+        RsaPublicKey { n, e }
+    }
+
+    /// Serialises the key as `len(n) (4 BE) || n || len(e) (4 BE) || e`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.n.to_bytes_be();
+        let e = self.e.to_bytes_be();
+        let mut out = Vec::with_capacity(8 + n.len() + e.len());
+        out.extend_from_slice(&(n.len() as u32).to_be_bytes());
+        out.extend_from_slice(&n);
+        out.extend_from_slice(&(e.len() as u32).to_be_bytes());
+        out.extend_from_slice(&e);
+        out
+    }
+
+    /// Parses a key serialised by [`RsaPublicKey::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidEncoding`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let err = CryptoError::InvalidEncoding { context: "rsa public key" };
+        let read = |buf: &[u8]| -> Result<(BigUint, usize), CryptoError> {
+            if buf.len() < 4 {
+                return Err(err.clone());
+            }
+            let len = u32::from_be_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+            if buf.len() < 4 + len {
+                return Err(err.clone());
+            }
+            Ok((BigUint::from_bytes_be(&buf[4..4 + len]), 4 + len))
+        };
+        let (n, used) = read(bytes)?;
+        let (e, used2) = read(&bytes[used..])?;
+        if used + used2 != bytes.len() || n.is_zero() || e.is_zero() {
+            return Err(err);
+        }
+        Ok(RsaPublicKey { n, e })
+    }
+
+    /// Modulus size in bytes (k in RFC 8017 terms).
+    pub fn modulus_len(&self) -> usize {
+        self.n.bits().div_ceil(8)
+    }
+
+    /// Modulus.
+    pub fn n(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Public exponent.
+    pub fn e(&self) -> &BigUint {
+        &self.e
+    }
+
+    /// A short fingerprint of the key (first 8 bytes of SHA-256 of `n || e`).
+    pub fn fingerprint(&self) -> [u8; 8] {
+        let mut h = Sha256::new();
+        h.update(&self.n.to_bytes_be());
+        h.update(&self.e.to_bytes_be());
+        let d = h.finalize();
+        d[..8].try_into().expect("8 bytes")
+    }
+
+    /// Encrypts `msg` with PKCS#1 v1.5 padding (type 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MessageTooLong`] if `msg` exceeds `k - 11`
+    /// bytes for a `k`-byte modulus.
+    pub fn encrypt(&self, msg: &[u8], rng: &mut CryptoRng) -> Result<Vec<u8>, CryptoError> {
+        let k = self.modulus_len();
+        if msg.len() + 11 > k {
+            return Err(CryptoError::MessageTooLong);
+        }
+        // EM = 0x00 || 0x02 || PS (nonzero random) || 0x00 || M
+        let mut em = vec![0u8; k];
+        em[1] = 0x02;
+        let ps_len = k - 3 - msg.len();
+        for i in 0..ps_len {
+            let mut b = [0u8; 1];
+            loop {
+                rng.fill(&mut b);
+                if b[0] != 0 {
+                    break;
+                }
+            }
+            em[2 + i] = b[0];
+        }
+        em[2 + ps_len] = 0x00;
+        em[3 + ps_len..].copy_from_slice(msg);
+        let m = BigUint::from_bytes_be(&em);
+        let c = m.modpow(&self.e, &self.n);
+        c.to_bytes_be_padded(k)
+    }
+
+    /// Verifies a PKCS#1 v1.5 SHA-256 signature over `msg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::VerificationFailed`] if the signature does not
+    /// check out, and [`CryptoError::InvalidLength`] if it has the wrong
+    /// size.
+    pub fn verify(&self, msg: &[u8], signature: &[u8]) -> Result<(), CryptoError> {
+        let k = self.modulus_len();
+        if signature.len() != k {
+            return Err(CryptoError::InvalidLength { context: "rsa signature" });
+        }
+        let s = BigUint::from_bytes_be(signature);
+        if s >= self.n {
+            return Err(CryptoError::VerificationFailed);
+        }
+        let em = s.modpow(&self.e, &self.n).to_bytes_be_padded(k)?;
+        let expected = signature_encoding(msg, k)?;
+        if em == expected {
+            Ok(())
+        } else {
+            Err(CryptoError::VerificationFailed)
+        }
+    }
+}
+
+/// EMSA-PKCS1-v1_5 encoding of the SHA-256 digest of `msg`.
+fn signature_encoding(msg: &[u8], k: usize) -> Result<Vec<u8>, CryptoError> {
+    let digest = Sha256::digest(msg);
+    let t_len = SHA256_DIGEST_INFO.len() + digest.len();
+    if k < t_len + 11 {
+        return Err(CryptoError::InvalidKey { reason: "modulus too small for sha-256 signature" });
+    }
+    let mut em = vec![0xffu8; k];
+    em[0] = 0x00;
+    em[1] = 0x01;
+    em[k - t_len - 1] = 0x00;
+    em[k - t_len..k - digest.len()].copy_from_slice(&SHA256_DIGEST_INFO);
+    em[k - digest.len()..].copy_from_slice(&digest);
+    Ok(em)
+}
+
+impl RsaPrivateKey {
+    /// Modulus size in bytes.
+    pub fn modulus_len(&self) -> usize {
+        self.n.bits().div_ceil(8)
+    }
+
+    /// The private exponent `d` (exposed for auditing and tests).
+    pub fn d(&self) -> &BigUint {
+        &self.d
+    }
+
+    /// RSA private operation via the CRT.
+    fn private_op(&self, c: &BigUint) -> BigUint {
+        let m1 = c.modpow(&self.d_p, &self.p);
+        let m2 = c.modpow(&self.d_q, &self.q);
+        // h = q_inv * (m1 - m2) mod p
+        let diff = if m1 >= m2 {
+            m1.checked_sub(&m2).expect("ordered")
+        } else {
+            // (m1 - m2) mod p with m1 < m2: add p until positive.
+            let m2_mod = m2.rem(&self.p);
+            let m1_mod = m1.rem(&self.p);
+            if m1_mod >= m2_mod {
+                m1_mod.checked_sub(&m2_mod).expect("ordered")
+            } else {
+                self.p.add(&m1_mod).checked_sub(&m2_mod).expect("p + m1 >= m2")
+            }
+        };
+        let h = self.q_inv.mul(&diff).rem(&self.p);
+        m2.add(&h.mul(&self.q))
+    }
+
+    /// Decrypts a PKCS#1 v1.5 type-2 ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::VerificationFailed`] on any padding problem
+    /// (deliberately indistinguishable) and [`CryptoError::InvalidLength`]
+    /// for wrong-size inputs.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let k = self.modulus_len();
+        if ciphertext.len() != k || k < 11 {
+            return Err(CryptoError::InvalidLength { context: "rsa ciphertext" });
+        }
+        let c = BigUint::from_bytes_be(ciphertext);
+        if c >= self.n {
+            return Err(CryptoError::VerificationFailed);
+        }
+        let em = self.private_op(&c).to_bytes_be_padded(k)?;
+        if em[0] != 0x00 || em[1] != 0x02 {
+            return Err(CryptoError::VerificationFailed);
+        }
+        // Find the 0x00 separator after at least 8 bytes of padding.
+        let sep = em[2..].iter().position(|&b| b == 0).map(|i| i + 2);
+        match sep {
+            Some(i) if i >= 10 => Ok(em[i + 1..].to_vec()),
+            _ => Err(CryptoError::VerificationFailed),
+        }
+    }
+
+    /// Signs the SHA-256 digest of `msg` (PKCS#1 v1.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the modulus is too small to hold the encoding.
+    pub fn sign(&self, msg: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let k = self.modulus_len();
+        let em = signature_encoding(msg, k)?;
+        let m = BigUint::from_bytes_be(&em);
+        let s = self.private_op(&m);
+        s.to_bytes_be_padded(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_pair() -> RsaKeyPair {
+        // 512-bit keys keep tests fast; generation is still exercised.
+        let mut rng = CryptoRng::from_seed(1234);
+        RsaKeyPair::generate(512, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let pair = test_pair();
+        let mut rng = CryptoRng::from_seed(5);
+        for msg in [&b""[..], b"x", b"hello scbr", &[0xffu8; 53]] {
+            let ct = pair.public().encrypt(msg, &mut rng).unwrap();
+            assert_eq!(ct.len(), pair.public().modulus_len());
+            assert_eq!(pair.private().decrypt(&ct).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn encryption_is_randomised() {
+        let pair = test_pair();
+        let mut rng = CryptoRng::from_seed(6);
+        let a = pair.public().encrypt(b"same message", &mut rng).unwrap();
+        let b = pair.public().encrypt(b"same message", &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn message_too_long_rejected() {
+        let pair = test_pair();
+        let mut rng = CryptoRng::from_seed(7);
+        let too_long = vec![1u8; pair.public().modulus_len() - 10];
+        assert_eq!(
+            pair.public().encrypt(&too_long, &mut rng),
+            Err(CryptoError::MessageTooLong)
+        );
+    }
+
+    #[test]
+    fn tampered_ciphertext_fails() {
+        let pair = test_pair();
+        let mut rng = CryptoRng::from_seed(8);
+        let mut ct = pair.public().encrypt(b"secret", &mut rng).unwrap();
+        ct[10] ^= 1;
+        assert!(pair.private().decrypt(&ct).is_err());
+    }
+
+    #[test]
+    fn wrong_length_ciphertext_fails() {
+        let pair = test_pair();
+        assert!(pair.private().decrypt(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let pair = test_pair();
+        let sig = pair.private().sign(b"subscription: price < 50").unwrap();
+        assert!(pair.public().verify(b"subscription: price < 50", &sig).is_ok());
+    }
+
+    #[test]
+    fn signature_rejects_wrong_message() {
+        let pair = test_pair();
+        let sig = pair.private().sign(b"msg a").unwrap();
+        assert_eq!(
+            pair.public().verify(b"msg b", &sig),
+            Err(CryptoError::VerificationFailed)
+        );
+    }
+
+    #[test]
+    fn signature_rejects_tampering() {
+        let pair = test_pair();
+        let mut sig = pair.private().sign(b"msg").unwrap();
+        sig[0] ^= 0x80;
+        assert!(pair.public().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn signature_rejects_wrong_key() {
+        let pair_a = test_pair();
+        let mut rng = CryptoRng::from_seed(4321);
+        let pair_b = RsaKeyPair::generate(512, &mut rng).unwrap();
+        let sig = pair_a.private().sign(b"msg").unwrap();
+        assert!(pair_b.public().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn generate_rejects_tiny_or_odd_sizes() {
+        let mut rng = CryptoRng::from_seed(9);
+        assert!(RsaKeyPair::generate(128, &mut rng).is_err());
+        assert!(RsaKeyPair::generate(511, &mut rng).is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinct() {
+        let a = test_pair();
+        let mut rng = CryptoRng::from_seed(99);
+        let b = RsaKeyPair::generate(512, &mut rng).unwrap();
+        assert_eq!(a.public().fingerprint(), a.public().fingerprint());
+        assert_ne!(a.public().fingerprint(), b.public().fingerprint());
+    }
+
+    #[test]
+    fn public_key_bytes_round_trip() {
+        let pair = test_pair();
+        let bytes = pair.public().to_bytes();
+        let back = RsaPublicKey::from_bytes(&bytes).unwrap();
+        assert_eq!(&back, pair.public());
+        // Malformed inputs are rejected.
+        assert!(RsaPublicKey::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(RsaPublicKey::from_bytes(&[]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(RsaPublicKey::from_bytes(&extra).is_err());
+    }
+
+    #[test]
+    fn private_exponent_consistent_with_crt() {
+        // e * d == 1 (mod lcm is implied); check the textbook identity
+        // m^(e*d) == m (mod n) using the exposed d directly.
+        let pair = test_pair();
+        let m = BigUint::from_u64(0x1234_5678_9abc);
+        let c = m.modpow(pair.public().e(), pair.public().n());
+        let back = c.modpow(pair.private().d(), pair.public().n());
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn debug_does_not_leak_private_key() {
+        let pair = test_pair();
+        let dbg = format!("{:?}", pair.private());
+        assert!(dbg.contains("modulus_bits"));
+        assert!(!dbg.to_lowercase().contains("d:"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the crypto substrate.
+//!
+//! The `BigUint` properties cross-check the hand-written limb arithmetic
+//! against Rust's native `u128`, which covers every carry/borrow path that
+//! fits in two limbs plus a generous multi-limb regime via concatenation.
+
+use proptest::prelude::*;
+use scbr_crypto::base64;
+use scbr_crypto::ctr::{AesCtr, SymmetricKey};
+use scbr_crypto::hmac::HmacSha256;
+use scbr_crypto::rng::CryptoRng;
+use scbr_crypto::sha256::Sha256;
+use scbr_crypto::{BigUint, SealedBox};
+
+fn big(v: u128) -> BigUint {
+    BigUint::from_bytes_be(&v.to_be_bytes())
+}
+
+fn to_u128(n: &BigUint) -> Option<u128> {
+    let bytes = n.to_bytes_be();
+    if bytes.len() > 16 {
+        return None;
+    }
+    let mut buf = [0u8; 16];
+    buf[16 - bytes.len()..].copy_from_slice(&bytes);
+    Some(u128::from_be_bytes(buf))
+}
+
+proptest! {
+    #[test]
+    fn biguint_add_matches_u128(a in 0u128..=u128::MAX / 2, b in 0u128..=u128::MAX / 2) {
+        prop_assert_eq!(to_u128(&big(a).add(&big(b))), Some(a + b));
+    }
+
+    #[test]
+    fn biguint_sub_matches_u128(a: u128, b: u128) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(to_u128(&big(hi).checked_sub(&big(lo)).unwrap()), Some(hi - lo));
+        if hi != lo {
+            prop_assert!(big(lo).checked_sub(&big(hi)).is_none());
+        }
+    }
+
+    #[test]
+    fn biguint_mul_matches_u128(a in 0u128..=u64::MAX as u128, b in 0u128..=u64::MAX as u128) {
+        prop_assert_eq!(to_u128(&big(a).mul(&big(b))), Some(a * b));
+    }
+
+    #[test]
+    fn biguint_div_rem_matches_u128(a: u128, b in 1u128..=u128::MAX) {
+        let (q, r) = big(a).div_rem(&big(b));
+        prop_assert_eq!(to_u128(&q), Some(a / b));
+        prop_assert_eq!(to_u128(&r), Some(a % b));
+    }
+
+    #[test]
+    fn biguint_div_rem_reconstructs_multilimb(a_bytes in proptest::collection::vec(any::<u8>(), 1..64),
+                                              b_bytes in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let a = BigUint::from_bytes_be(&a_bytes);
+        let b = BigUint::from_bytes_be(&b_bytes);
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn biguint_shift_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..40), shift in 0usize..200) {
+        let n = BigUint::from_bytes_be(&bytes);
+        prop_assert_eq!(n.shl(shift).shr(shift), n);
+    }
+
+    #[test]
+    fn biguint_modpow_matches_u128(base in 0u64.., exp in 0u64..256, m in 2u64..) {
+        let expected = {
+            // Reference square-and-multiply over u128.
+            let (mut result, mut b, mut e) = (1u128, base as u128 % m as u128, exp);
+            while e > 0 {
+                if e & 1 == 1 { result = result * b % m as u128; }
+                b = b * b % m as u128;
+                e >>= 1;
+            }
+            result
+        };
+        prop_assert_eq!(to_u128(&big(base as u128).modpow(&big(exp as u128), &big(m as u128))),
+                        Some(expected));
+    }
+
+    #[test]
+    fn biguint_mod_inverse_is_inverse(a in 1u64.., m in 2u64..) {
+        let am = big(a as u128);
+        let mm = big(m as u128);
+        match am.mod_inverse(&mm) {
+            Ok(inv) => prop_assert_eq!(am.mul(&inv).rem(&mm), BigUint::one()),
+            Err(_) => prop_assert!(!am.gcd(&mm).is_one() || mm.is_one()),
+        }
+    }
+
+    #[test]
+    fn biguint_bytes_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let n = BigUint::from_bytes_be(&bytes);
+        let canonical = n.to_bytes_be();
+        prop_assert_eq!(BigUint::from_bytes_be(&canonical), n);
+        // Canonical form has no leading zeros.
+        prop_assert!(canonical.first() != Some(&0));
+    }
+
+    #[test]
+    fn base64_round_trip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(base64::decode(&base64::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                         split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn aes_ctr_round_trip(data in proptest::collection::vec(any::<u8>(), 0..512),
+                          key_seed: u64, nonce: [u8; 8]) {
+        let mut rng = CryptoRng::from_seed(key_seed);
+        let key = SymmetricKey::generate(&mut rng);
+        let mut buf = data.clone();
+        AesCtr::new(&key, nonce).apply(&mut buf);
+        AesCtr::new(&key, nonce).apply(&mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn hmac_verify_rejects_bit_flips(data in proptest::collection::vec(any::<u8>(), 1..128),
+                                     flip_byte in 0usize..32, flip_bit in 0u8..8) {
+        let tag = HmacSha256::mac(b"key", &data);
+        let mut bad = tag;
+        bad[flip_byte] ^= 1 << flip_bit;
+        prop_assert!(HmacSha256::verify(b"key", &data, &tag));
+        prop_assert!(!HmacSha256::verify(b"key", &data, &bad));
+    }
+
+    #[test]
+    fn sealed_box_round_trip_and_tamper(data in proptest::collection::vec(any::<u8>(), 0..256),
+                                        aad in proptest::collection::vec(any::<u8>(), 0..32),
+                                        seed: u64, flip in 0usize..64) {
+        let mut rng = CryptoRng::from_seed(seed);
+        let key = SymmetricKey::generate(&mut rng);
+        let sb = SealedBox::new(&key);
+        let sealed = sb.seal(&data, &aad, &mut rng);
+        prop_assert_eq!(sb.open(&sealed, &aad).unwrap(), data);
+        let mut bad = sealed.clone();
+        let idx = flip % bad.len();
+        bad[idx] ^= 1;
+        prop_assert!(sb.open(&bad, &aad).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Base64 text envelopes, following the paper's wire serialisation.
+//!
+//! Every SCBR message crosses the network as one text line:
+//!
+//! ```text
+//! SCBR1 <kind> <base64-payload>
+//! ```
+//!
+//! where `<kind>` names the message type and the payload is opaque bytes
+//! (usually ciphertext). Text framing makes captures human-inspectable
+//! while leaking nothing beyond message kind and size — the same trade-off
+//! the prototype made.
+
+use crate::error::NetError;
+use scbr_crypto::base64;
+
+/// Magic prefix identifying protocol version 1.
+pub const MAGIC: &str = "SCBR1";
+
+/// A typed, Base64-encoded message envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Message kind tag (e.g. `"sub"`, `"pub"`, `"key"`). Must be non-empty
+    /// ASCII without whitespace.
+    pub kind: String,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Creates an envelope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is empty or contains whitespace (programmer error).
+    pub fn new(kind: &str, payload: Vec<u8>) -> Self {
+        assert!(
+            !kind.is_empty() && !kind.contains(char::is_whitespace),
+            "envelope kind must be non-empty and whitespace-free"
+        );
+        Envelope { kind: kind.to_owned(), payload }
+    }
+
+    /// Serialises to the one-line text form.
+    pub fn encode(&self) -> String {
+        format!("{MAGIC} {} {}", self.kind, base64::encode(&self.payload))
+    }
+
+    /// Serialises to bytes (the text form as UTF-8).
+    pub fn encode_bytes(&self) -> Vec<u8> {
+        self.encode().into_bytes()
+    }
+
+    /// Parses the one-line text form.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Malformed`] if the magic, structure or Base64 is wrong.
+    pub fn decode(text: &str) -> Result<Self, NetError> {
+        let mut parts = text.trim_end_matches('\n').splitn(3, ' ');
+        let magic = parts.next().unwrap_or_default();
+        if magic != MAGIC {
+            return Err(NetError::Malformed { context: "envelope magic" });
+        }
+        let kind = parts.next().ok_or(NetError::Malformed { context: "envelope kind" })?;
+        if kind.is_empty() {
+            return Err(NetError::Malformed { context: "envelope kind" });
+        }
+        let b64 = parts.next().unwrap_or("");
+        let payload =
+            base64::decode(b64).map_err(|_| NetError::Malformed { context: "envelope payload" })?;
+        Ok(Envelope { kind: kind.to_owned(), payload })
+    }
+
+    /// Parses from bytes (UTF-8 text form).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Malformed`] on invalid UTF-8 or envelope structure.
+    pub fn decode_bytes(bytes: &[u8]) -> Result<Self, NetError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| NetError::Malformed { context: "envelope utf-8" })?;
+        Self::decode(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let env = Envelope::new("sub", vec![1, 2, 3, 255]);
+        let text = env.encode();
+        assert!(text.starts_with("SCBR1 sub "));
+        assert_eq!(Envelope::decode(&text).unwrap(), env);
+    }
+
+    #[test]
+    fn round_trip_bytes() {
+        let env = Envelope::new("pub", b"header".to_vec());
+        assert_eq!(Envelope::decode_bytes(&env.encode_bytes()).unwrap(), env);
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let env = Envelope::new("ping", Vec::new());
+        assert_eq!(Envelope::decode(&env.encode()).unwrap().payload, Vec::<u8>::new());
+    }
+
+    #[test]
+    fn trailing_newline_tolerated() {
+        let env = Envelope::new("x", vec![9]);
+        let mut text = env.encode();
+        text.push('\n');
+        assert_eq!(Envelope::decode(&text).unwrap(), env);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(Envelope::decode("SCBR2 sub AA==").is_err());
+        assert!(Envelope::decode("garbage").is_err());
+        assert!(Envelope::decode("").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_base64() {
+        assert!(Envelope::decode("SCBR1 sub not-base64!").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_kind() {
+        assert!(Envelope::decode("SCBR1").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "whitespace-free")]
+    fn panics_on_bad_kind() {
+        Envelope::new("two words", Vec::new());
+    }
+}

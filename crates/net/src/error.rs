@@ -1,0 +1,81 @@
+//! Error type for transport operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the messaging substrate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The peer disconnected or the endpoint was closed.
+    Disconnected,
+    /// No endpoint is bound under the requested name/address.
+    NoSuchEndpoint {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An endpoint name is already bound.
+    AddressInUse {
+        /// The conflicting name.
+        name: String,
+    },
+    /// A frame or envelope could not be decoded.
+    Malformed {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A frame exceeds the size limit.
+    FrameTooLarge {
+        /// Offending size in bytes.
+        size: usize,
+    },
+    /// Underlying I/O failure (TCP transport).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::NoSuchEndpoint { name } => write!(f, "no endpoint bound as {name:?}"),
+            NetError::AddressInUse { name } => write!(f, "endpoint {name:?} already bound"),
+            NetError::Malformed { context } => write!(f, "malformed {context}"),
+            NetError::FrameTooLarge { size } => write!(f, "frame of {size} bytes exceeds limit"),
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NetError::Disconnected.to_string().contains("disconnected"));
+        assert!(NetError::NoSuchEndpoint { name: "r".into() }.to_string().contains("r"));
+        assert!(NetError::FrameTooLarge { size: 10 }.to_string().contains("10"));
+    }
+
+    #[test]
+    fn io_error_wraps() {
+        let e: NetError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+    }
+}

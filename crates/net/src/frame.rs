@@ -1,0 +1,110 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! Wire format: a 4-byte big-endian length followed by that many payload
+//! bytes. Used by the TCP transport; the in-process transport passes frames
+//! as owned buffers directly.
+
+use crate::error::NetError;
+use std::io::{Read, Write};
+
+/// Maximum accepted frame size (16 MiB), guarding against corrupt length
+/// prefixes.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Writes one frame to `w`.
+///
+/// # Errors
+///
+/// [`NetError::FrameTooLarge`] if `payload` exceeds [`MAX_FRAME`];
+/// [`NetError::Io`] on stream failure.
+pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> Result<(), NetError> {
+    if payload.len() > MAX_FRAME {
+        return Err(NetError::FrameTooLarge { size: payload.len() });
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from `r`.
+///
+/// # Errors
+///
+/// [`NetError::Disconnected`] on clean EOF before a frame starts;
+/// [`NetError::FrameTooLarge`] for absurd lengths; [`NetError::Io`]
+/// otherwise.
+pub fn read_frame<R: Read>(mut r: R) -> Result<Vec<u8>, NetError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            return Err(NetError::Disconnected)
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(NetError::FrameTooLarge { size: len });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip_various_sizes() {
+        for len in [0usize, 1, 100, 65_536] {
+            let payload = vec![0xabu8; len];
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &payload).unwrap();
+            assert_eq!(buf.len(), 4 + len);
+            let back = read_frame(Cursor::new(&buf)).unwrap();
+            assert_eq!(back, payload);
+        }
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame(&mut buf, b"two").unwrap();
+        let mut cursor = Cursor::new(&buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"one");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"two");
+        assert!(matches!(read_frame(&mut cursor), Err(NetError::Disconnected)));
+    }
+
+    #[test]
+    fn eof_mid_frame_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6); // cut payload short
+        assert!(matches!(read_frame(Cursor::new(&buf)), Err(NetError::Io(_))));
+    }
+
+    #[test]
+    fn oversize_length_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(matches!(
+            read_frame(Cursor::new(&buf)),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn oversize_payload_rejected_on_write() {
+        let huge = vec![0u8; MAX_FRAME + 1];
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame(&mut buf, &huge),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+    }
+}

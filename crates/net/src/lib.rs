@@ -1,0 +1,41 @@
+//! # scbr-net
+//!
+//! Messaging substrate for the SCBR reproduction.
+//!
+//! The paper's prototype used ZeroMQ and serialised messages
+//! "in Base64 text format". This crate provides the equivalent plumbing
+//! with no external dependency:
+//!
+//! * [`frame`] — length-prefixed binary framing over any byte stream;
+//! * [`envelope`] — the Base64 text envelope (`SCBR1 <kind> <payload>`)
+//!   used on the wire;
+//! * [`transport`] — a blocking connection/listener abstraction with two
+//!   implementations: an in-process network ([`transport::InProcNetwork`])
+//!   for deterministic tests and benchmarks, and TCP
+//!   ([`transport::TcpTransport`]) for the runnable examples.
+//!
+//! ## Example
+//!
+//! ```
+//! use scbr_net::transport::{InProcNetwork, Transport};
+//!
+//! let net = InProcNetwork::new();
+//! let listener = net.bind("router")?;
+//! let client = net.connect("router")?;
+//! client.send(b"subscribe")?;
+//! let server_side = listener.accept()?;
+//! assert_eq!(server_side.recv()?, b"subscribe");
+//! # Ok::<(), scbr_net::NetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod envelope;
+pub mod error;
+pub mod frame;
+pub mod transport;
+
+pub use envelope::Envelope;
+pub use error::NetError;
+pub use transport::{Connection, InProcNetwork, Listener, TcpTransport, Transport};

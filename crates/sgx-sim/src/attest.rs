@@ -1,0 +1,407 @@
+//! Local and remote attestation, and secret provisioning.
+//!
+//! SCBR's security hinges on one step: the service provider must convince
+//! itself that the routing engine really is the expected code running in a
+//! genuine enclave *before* handing over the symmetric key `SK`. The paper
+//! relies on Intel's remote-attestation protocol; the simulator models the
+//! same roles:
+//!
+//! * [`Report`] — `EREPORT`: the enclave's identity plus 64 bytes of
+//!   caller-chosen data, MAC'd with a platform key (local attestation).
+//! * [`Quote`] — the quoting enclave verifies a report and signs it with
+//!   the platform's attestation key (stand-in for EPID).
+//! * [`AttestationService`] — the verifier's trust anchor: checks quote
+//!   signatures against the known attestation public key (stand-in for the
+//!   Intel Attestation Service).
+//! * [`provision`] — the "secure channel" finale: the enclave binds a fresh
+//!   RSA public key into its report data; the verifier checks the quote and
+//!   encrypts a secret to that key.
+
+use crate::enclave::{EnclaveContext, EnclaveIdentity, Measurement};
+use crate::error::SgxError;
+use scbr_crypto::hmac::HmacSha256;
+use scbr_crypto::rng::CryptoRng;
+use scbr_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use scbr_crypto::sha256::Sha256;
+
+/// Free-form data an enclave binds into its report (64 bytes, like SGX).
+pub type ReportData = [u8; 64];
+
+/// A local attestation report (`EREPORT`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// The reporting enclave's identity.
+    pub identity: EnclaveIdentity,
+    /// Caller-chosen payload (e.g. a hash of a fresh public key).
+    pub report_data: ReportData,
+    mac: [u8; 32],
+}
+
+impl Report {
+    fn signing_bytes(identity: &EnclaveIdentity, data: &ReportData) -> Vec<u8> {
+        let mut out = Vec::with_capacity(160);
+        out.extend_from_slice(&identity.mr_enclave);
+        out.extend_from_slice(&identity.mr_signer);
+        out.extend_from_slice(&identity.isv_prod_id.to_be_bytes());
+        out.extend_from_slice(&identity.isv_svn.to_be_bytes());
+        out.push(identity.debug as u8);
+        out.extend_from_slice(data);
+        out
+    }
+}
+
+/// Creates a report for the calling enclave (`EREPORT`).
+pub fn create_report(ctx: &EnclaveContext<'_>, report_data: ReportData) -> Report {
+    let identity = ctx.identity().clone();
+    let mut key = [0u8; 32];
+    scbr_crypto::hkdf::derive(ctx.platform_key(), b"sgx-report-key", b"", &mut key);
+    let mac = HmacSha256::mac(&key, &Report::signing_bytes(&identity, &report_data));
+    Report { identity, report_data, mac }
+}
+
+/// Verifies a report against a platform key (local attestation: only code
+/// on the same platform can do this).
+///
+/// # Errors
+///
+/// [`SgxError::AttestationFailed`] if the MAC does not verify.
+pub(crate) fn verify_report(platform_key: &[u8; 32], report: &Report) -> Result<(), SgxError> {
+    let mut key = [0u8; 32];
+    scbr_crypto::hkdf::derive(platform_key, b"sgx-report-key", b"", &mut key);
+    let expected = HmacSha256::mac(&key, &Report::signing_bytes(&report.identity, &report.report_data));
+    if scbr_crypto::ct::ct_eq(&expected, &report.mac) {
+        Ok(())
+    } else {
+        Err(SgxError::AttestationFailed { reason: "report mac mismatch" })
+    }
+}
+
+/// A remotely verifiable quote: a report counter-signed by the platform's
+/// quoting enclave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// The quoted report (identity + report data).
+    pub report: Report,
+    signature: Vec<u8>,
+}
+
+/// The platform component that turns reports into quotes.
+#[derive(Debug)]
+pub(crate) struct QuotingEnclave {
+    key_pair: RsaKeyPair,
+}
+
+impl QuotingEnclave {
+    pub(crate) fn new(key_pair: RsaKeyPair) -> Self {
+        QuotingEnclave { key_pair }
+    }
+
+    pub(crate) fn attestation_public_key(&self) -> &RsaPublicKey {
+        self.key_pair.public()
+    }
+
+    /// Verifies the local report and signs it into a quote.
+    ///
+    /// # Errors
+    ///
+    /// Propagates report-verification failures.
+    pub(crate) fn quote(
+        &self,
+        platform_key: &[u8; 32],
+        report: &Report,
+    ) -> Result<Quote, SgxError> {
+        verify_report(platform_key, report)?;
+        let body = Report::signing_bytes(&report.identity, &report.report_data);
+        let signature = self
+            .key_pair
+            .private()
+            .sign(&body)
+            .map_err(|_| SgxError::AttestationFailed { reason: "quote signing failed" })?;
+        Ok(Quote { report: report.clone(), signature })
+    }
+}
+
+/// The remote verifier's trust anchor (stand-in for the Intel Attestation
+/// Service): knows the genuine platforms' attestation public keys.
+#[derive(Debug, Clone, Default)]
+pub struct AttestationService {
+    trusted_keys: Vec<RsaPublicKey>,
+}
+
+impl AttestationService {
+    /// An attestation service trusting no platforms yet.
+    pub fn new() -> Self {
+        AttestationService::default()
+    }
+
+    /// Registers a genuine platform's attestation public key.
+    pub fn trust_platform(&mut self, key: RsaPublicKey) {
+        self.trusted_keys.push(key);
+    }
+
+    /// Verifies a quote: genuine platform signature over the report body.
+    ///
+    /// Returns the attested identity and report data on success.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::AttestationFailed`] if no trusted platform signed this
+    /// quote.
+    pub fn verify(&self, quote: &Quote) -> Result<(EnclaveIdentity, ReportData), SgxError> {
+        let body = Report::signing_bytes(&quote.report.identity, &quote.report.report_data);
+        for key in &self.trusted_keys {
+            if key.verify(&body, &quote.signature).is_ok() {
+                return Ok((quote.report.identity.clone(), quote.report.report_data));
+            }
+        }
+        Err(SgxError::AttestationFailed { reason: "quote not signed by a trusted platform" })
+    }
+}
+
+/// Expected-identity policy a verifier enforces before releasing secrets.
+#[derive(Debug, Clone)]
+pub struct VerifierPolicy {
+    /// Required `MRENCLAVE`; `None` accepts any measurement (discouraged).
+    pub mr_enclave: Option<Measurement>,
+    /// Required `MRSIGNER`.
+    pub mr_signer: Option<Measurement>,
+    /// Minimum security version.
+    pub min_isv_svn: u16,
+    /// Whether debug enclaves are acceptable.
+    pub allow_debug: bool,
+}
+
+impl VerifierPolicy {
+    /// Policy pinning an exact measurement.
+    pub fn require_mr_enclave(m: Measurement) -> Self {
+        VerifierPolicy { mr_enclave: Some(m), mr_signer: None, min_isv_svn: 0, allow_debug: false }
+    }
+
+    /// Checks an attested identity against the policy.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::AttestationFailed`] naming the violated clause.
+    pub fn check(&self, identity: &EnclaveIdentity) -> Result<(), SgxError> {
+        if let Some(required) = &self.mr_enclave {
+            if &identity.mr_enclave != required {
+                return Err(SgxError::AttestationFailed { reason: "unexpected mrenclave" });
+            }
+        }
+        if let Some(required) = &self.mr_signer {
+            if &identity.mr_signer != required {
+                return Err(SgxError::AttestationFailed { reason: "unexpected mrsigner" });
+            }
+        }
+        if identity.isv_svn < self.min_isv_svn {
+            return Err(SgxError::AttestationFailed { reason: "isv svn too old" });
+        }
+        if identity.debug && !self.allow_debug {
+            return Err(SgxError::AttestationFailed { reason: "debug enclave rejected" });
+        }
+        Ok(())
+    }
+}
+
+/// Secret provisioning over attestation, as SCBR needs for delivering `SK`.
+pub mod provision {
+    use super::*;
+
+    /// What the enclave produces to request a secret: a quote whose report
+    /// data commits to a freshly generated RSA public key.
+    #[derive(Debug, Clone)]
+    pub struct ProvisioningRequest {
+        /// Quote proving identity and binding `response_key`.
+        pub quote: Quote,
+        /// Key the verifier should encrypt the secret under.
+        pub response_key: RsaPublicKey,
+    }
+
+    /// Binds `key` into report data: SHA-256 of the serialised key, zero
+    /// padded to 64 bytes.
+    pub fn bind_key(key: &RsaPublicKey) -> ReportData {
+        let digest = Sha256::digest(&key.to_bytes());
+        let mut data = [0u8; 64];
+        data[..32].copy_from_slice(&digest);
+        data
+    }
+
+    /// Verifier side: checks the quote (via `service`), the policy, and the
+    /// key binding, then encrypts `secret` to the enclave.
+    ///
+    /// # Errors
+    ///
+    /// Any attestation failure, policy violation, binding mismatch, or an
+    /// over-long secret.
+    pub fn release_secret(
+        service: &AttestationService,
+        policy: &VerifierPolicy,
+        request: &ProvisioningRequest,
+        secret: &[u8],
+        rng: &mut CryptoRng,
+    ) -> Result<Vec<u8>, SgxError> {
+        let (identity, report_data) = service.verify(&request.quote)?;
+        policy.check(&identity)?;
+        if report_data != bind_key(&request.response_key) {
+            return Err(SgxError::AttestationFailed { reason: "response key not bound in quote" });
+        }
+        request
+            .response_key
+            .encrypt(secret, rng)
+            .map_err(|_| SgxError::AttestationFailed { reason: "secret too long for response key" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::EnclaveBuilder;
+    use crate::platform::SgxPlatform;
+
+    fn setup() -> (SgxPlatform, crate::enclave::Enclave, AttestationService) {
+        let platform = SgxPlatform::for_testing(42);
+        let enclave = platform
+            .launch(EnclaveBuilder::new("router").add_page(b"matching code").signer([2u8; 32]))
+            .unwrap();
+        let mut service = AttestationService::new();
+        service.trust_platform(platform.attestation_public_key().clone());
+        (platform, enclave, service)
+    }
+
+    #[test]
+    fn report_verifies_on_same_platform() {
+        let (platform, enclave, _) = setup();
+        let report = enclave.ecall(|ctx| create_report(ctx, [7u8; 64]));
+        assert!(platform.verify_local_report(&report).is_ok());
+    }
+
+    #[test]
+    fn report_fails_on_other_platform() {
+        let (_, enclave, _) = setup();
+        let other = SgxPlatform::for_testing(43);
+        let report = enclave.ecall(|ctx| create_report(ctx, [7u8; 64]));
+        assert!(other.verify_local_report(&report).is_err());
+    }
+
+    #[test]
+    fn tampered_report_rejected() {
+        let (platform, enclave, _) = setup();
+        let mut report = enclave.ecall(|ctx| create_report(ctx, [7u8; 64]));
+        report.report_data[0] ^= 1;
+        assert!(platform.verify_local_report(&report).is_err());
+    }
+
+    #[test]
+    fn quote_round_trip() {
+        let (platform, enclave, service) = setup();
+        let report = enclave.ecall(|ctx| create_report(ctx, [9u8; 64]));
+        let quote = platform.quote(&report).unwrap();
+        let (identity, data) = service.verify(&quote).unwrap();
+        assert_eq!(&identity, enclave.identity());
+        assert_eq!(data, [9u8; 64]);
+    }
+
+    #[test]
+    fn quote_from_untrusted_platform_rejected() {
+        let (_, enclave, service) = setup();
+        let rogue = SgxPlatform::for_testing(99);
+        // The rogue platform can't even produce a quote for this report
+        // (local MAC fails)...
+        let report = enclave.ecall(|ctx| create_report(ctx, [0u8; 64]));
+        assert!(rogue.quote(&report).is_err());
+        // ...and a quote from a rogue platform's own enclave fails at the
+        // service, which doesn't trust that platform.
+        let rogue_enclave = rogue
+            .launch(EnclaveBuilder::new("router").add_page(b"matching code"))
+            .unwrap();
+        let rogue_report = rogue_enclave.ecall(|ctx| create_report(ctx, [0u8; 64]));
+        let rogue_quote = rogue.quote(&rogue_report).unwrap();
+        assert!(service.verify(&rogue_quote).is_err());
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let (platform, enclave, service) = setup();
+        let report = enclave.ecall(|ctx| create_report(ctx, [1u8; 64]));
+        let mut quote = platform.quote(&report).unwrap();
+        quote.signature[5] ^= 1;
+        assert!(service.verify(&quote).is_err());
+    }
+
+    #[test]
+    fn policy_checks() {
+        let (_, enclave, _) = setup();
+        let id = enclave.identity().clone();
+        assert!(VerifierPolicy::require_mr_enclave(id.mr_enclave).check(&id).is_ok());
+        assert!(VerifierPolicy::require_mr_enclave([0u8; 32]).check(&id).is_err());
+        let svn_policy = VerifierPolicy {
+            mr_enclave: None,
+            mr_signer: Some(id.mr_signer),
+            min_isv_svn: 99,
+            allow_debug: false,
+        };
+        assert!(matches!(
+            svn_policy.check(&id),
+            Err(SgxError::AttestationFailed { reason: "isv svn too old" })
+        ));
+    }
+
+    #[test]
+    fn debug_enclaves_rejected_by_default() {
+        let platform = SgxPlatform::for_testing(50);
+        let enclave = platform
+            .launch(EnclaveBuilder::new("dbg").add_page(b"code").debug(true))
+            .unwrap();
+        let policy = VerifierPolicy::require_mr_enclave(enclave.identity().mr_enclave);
+        assert!(matches!(
+            policy.check(enclave.identity()),
+            Err(SgxError::AttestationFailed { reason: "debug enclave rejected" })
+        ));
+    }
+
+    #[test]
+    fn end_to_end_secret_provisioning() {
+        let (platform, enclave, service) = setup();
+        let mut verifier_rng = CryptoRng::from_seed(1);
+        let mut enclave_rng = CryptoRng::from_seed(2);
+
+        // Inside the enclave: generate a response key and quote it.
+        let (request, response_pair) = enclave.ecall(|ctx| {
+            let pair = RsaKeyPair::generate(512, &mut enclave_rng).unwrap();
+            let report = create_report(ctx, provision::bind_key(pair.public()));
+            (report, pair)
+        });
+        let quote = platform.quote(&request).unwrap();
+        let req = provision::ProvisioningRequest {
+            quote,
+            response_key: response_pair.public().clone(),
+        };
+
+        // Verifier: release the secret only to the expected measurement.
+        let policy = VerifierPolicy::require_mr_enclave(enclave.identity().mr_enclave);
+        let wrapped =
+            provision::release_secret(&service, &policy, &req, b"the symmetric key SK", &mut verifier_rng)
+                .unwrap();
+
+        // Enclave decrypts.
+        let secret = response_pair.private().decrypt(&wrapped).unwrap();
+        assert_eq!(secret, b"the symmetric key SK");
+    }
+
+    #[test]
+    fn provisioning_rejects_substituted_key() {
+        let (platform, enclave, service) = setup();
+        let mut rng = CryptoRng::from_seed(3);
+        let honest = RsaKeyPair::generate(512, &mut rng).unwrap();
+        let attacker = RsaKeyPair::generate(512, &mut rng).unwrap();
+        let report = enclave.ecall(|ctx| create_report(ctx, provision::bind_key(honest.public())));
+        let quote = platform.quote(&report).unwrap();
+        // A man in the middle swaps in their own key.
+        let req = provision::ProvisioningRequest { quote, response_key: attacker.public().clone() };
+        let policy = VerifierPolicy::require_mr_enclave(enclave.identity().mr_enclave);
+        assert!(matches!(
+            provision::release_secret(&service, &policy, &req, b"sk", &mut rng),
+            Err(SgxError::AttestationFailed { reason: "response key not bound in quote" })
+        ));
+    }
+}

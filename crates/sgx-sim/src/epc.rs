@@ -1,0 +1,218 @@
+//! Enclave Page Cache (EPC) residency model with CLOCK eviction.
+//!
+//! Tracks which enclave pages are resident in protected memory. Accesses to
+//! non-resident pages raise simulated page faults: the SGX driver evicts a
+//! victim (encrypt + integrity-tree update, `EWB`) and loads the requested
+//! page (decrypt + verify, `ELD`). The *count* of these events is what
+//! Figure 8 of the paper plots; their cost is charged by
+//! [`crate::mem::MemorySim`].
+
+use std::collections::HashMap;
+
+/// Outcome of touching a page through the EPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageAccess {
+    /// Page was resident.
+    Resident,
+    /// First-ever touch: the page was admitted without evicting anyone.
+    Admitted,
+    /// Page had been evicted and was swapped back in, evicting a victim.
+    SwappedIn,
+}
+
+/// EPC residency tracker.
+///
+/// ```
+/// use sgx_sim::epc::{Epc, PageAccess};
+///
+/// let mut epc = Epc::new(2); // two-page EPC
+/// assert_eq!(epc.touch(0), PageAccess::Admitted);
+/// assert_eq!(epc.touch(1), PageAccess::Admitted);
+/// assert_eq!(epc.touch(0), PageAccess::Resident);
+/// assert_eq!(epc.touch(2), PageAccess::Admitted); // evicts someone
+/// ```
+#[derive(Debug, Clone)]
+pub struct Epc {
+    capacity_pages: usize,
+    /// page id -> slot index in `slots`.
+    resident: HashMap<u64, usize>,
+    /// CLOCK ring: (page id, referenced bit).
+    slots: Vec<(u64, bool)>,
+    clock_hand: usize,
+    /// Pages that have been seen at least once (admitted or swapped).
+    ever_seen: HashMap<u64, ()>,
+    admissions: u64,
+    swaps: u64,
+    evictions: u64,
+}
+
+impl Epc {
+    /// Creates an EPC that can hold `capacity_pages` resident pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_pages` is zero.
+    pub fn new(capacity_pages: usize) -> Self {
+        assert!(capacity_pages > 0, "EPC must hold at least one page");
+        Epc {
+            capacity_pages,
+            resident: HashMap::new(),
+            slots: Vec::with_capacity(capacity_pages.min(1 << 20)),
+            clock_hand: 0,
+            ever_seen: HashMap::new(),
+            admissions: 0,
+            swaps: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Touches `page`, updating residency and returning what happened.
+    pub fn touch(&mut self, page: u64) -> PageAccess {
+        if let Some(&slot) = self.resident.get(&page) {
+            self.slots[slot].1 = true;
+            return PageAccess::Resident;
+        }
+        let first_time = self.ever_seen.insert(page, ()).is_none();
+        if self.slots.len() < self.capacity_pages {
+            // Free slot available.
+            let slot = self.slots.len();
+            self.slots.push((page, true));
+            self.resident.insert(page, slot);
+        } else {
+            // CLOCK: advance hand, clearing referenced bits, until a victim
+            // with a clear bit is found.
+            loop {
+                let (victim_page, referenced) = self.slots[self.clock_hand];
+                if referenced {
+                    self.slots[self.clock_hand].1 = false;
+                    self.clock_hand = (self.clock_hand + 1) % self.capacity_pages;
+                } else {
+                    self.resident.remove(&victim_page);
+                    self.evictions += 1;
+                    self.slots[self.clock_hand] = (page, true);
+                    self.resident.insert(page, self.clock_hand);
+                    self.clock_hand = (self.clock_hand + 1) % self.capacity_pages;
+                    break;
+                }
+            }
+        }
+        if first_time {
+            self.admissions += 1;
+            PageAccess::Admitted
+        } else {
+            self.swaps += 1;
+            PageAccess::SwappedIn
+        }
+    }
+
+    /// Number of pages currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Capacity in pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// First-touch admissions so far.
+    pub fn admissions(&self) -> u64 {
+        self.admissions
+    }
+
+    /// Swap-ins of previously evicted pages (the expensive events).
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Evictions performed to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total page faults (admissions + swaps), mirroring `minflt`.
+    pub fn faults(&self) -> u64 {
+        self.admissions + self.swaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_until_capacity_no_swaps() {
+        let mut epc = Epc::new(100);
+        for p in 0..100u64 {
+            assert_eq!(epc.touch(p), PageAccess::Admitted);
+        }
+        for p in 0..100u64 {
+            assert_eq!(epc.touch(p), PageAccess::Resident);
+        }
+        assert_eq!(epc.swaps(), 0);
+        assert_eq!(epc.admissions(), 100);
+        assert_eq!(epc.resident_pages(), 100);
+    }
+
+    #[test]
+    fn overflow_triggers_eviction_and_swaps() {
+        let mut epc = Epc::new(4);
+        for p in 0..8u64 {
+            epc.touch(p);
+        }
+        assert_eq!(epc.admissions(), 8);
+        assert_eq!(epc.evictions(), 4);
+        assert_eq!(epc.resident_pages(), 4);
+        // Re-touching an evicted page swaps it back in.
+        let before = epc.swaps();
+        // Pages 0..4 were evicted by 4..8 under CLOCK.
+        assert_eq!(epc.touch(0), PageAccess::SwappedIn);
+        assert_eq!(epc.swaps(), before + 1);
+    }
+
+    #[test]
+    fn clock_second_chance_keeps_referenced_page() {
+        let mut epc = Epc::new(2);
+        epc.touch(0); // slots: [(0,R), _]
+        epc.touch(1); // slots: [(0,R), (1,R)], hand at 0
+        // Page 2 sweeps: clears both bits, evicts page 0 (FIFO from hand when
+        // everything is referenced), leaving [(2,R), (1,-)], hand past slot 0.
+        assert_eq!(epc.touch(2), PageAccess::Admitted);
+        // Page 3 must evict the unreferenced page 1, *not* page 2 whose
+        // reference bit grants it a second chance.
+        assert_eq!(epc.touch(3), PageAccess::Admitted);
+        assert_eq!(epc.touch(2), PageAccess::Resident, "referenced page survived");
+        assert_eq!(epc.touch(1), PageAccess::SwappedIn, "unreferenced page was evicted");
+    }
+
+    #[test]
+    fn faults_counts_both_kinds() {
+        let mut epc = Epc::new(1);
+        epc.touch(0); // admit
+        epc.touch(1); // admit, evict 0
+        epc.touch(0); // swap in
+        assert_eq!(epc.faults(), 3);
+        assert_eq!(epc.admissions(), 2);
+        assert_eq!(epc.swaps(), 1);
+    }
+
+    #[test]
+    fn sequential_thrash_swaps_every_touch() {
+        let mut epc = Epc::new(4);
+        // Warm: 8 pages cycle in a 4-page EPC.
+        for round in 0..3 {
+            for p in 0..8u64 {
+                let access = epc.touch(p);
+                if round > 0 {
+                    assert_eq!(access, PageAccess::SwappedIn, "round {round} page {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_capacity_panics() {
+        Epc::new(0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for simulated SGX operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the SGX simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SgxError {
+    /// Protected memory failed an integrity or freshness check. On real
+    /// hardware this locks the memory controller; the simulator surfaces it
+    /// as an error so tests can assert on it.
+    IntegrityViolation {
+        /// Which check failed.
+        what: &'static str,
+    },
+    /// A report or quote failed verification.
+    AttestationFailed {
+        /// Which step rejected it.
+        reason: &'static str,
+    },
+    /// Sealed data could not be unsealed (wrong enclave, tampering, or a
+    /// rolled-back monotonic counter).
+    UnsealFailed {
+        /// Which check failed.
+        reason: &'static str,
+    },
+    /// An operation was attempted in an invalid enclave state (e.g. an
+    /// ECALL into an uninitialised enclave).
+    InvalidState {
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A referenced platform resource does not exist.
+    NotFound {
+        /// What was looked up.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgxError::IntegrityViolation { what } => {
+                write!(f, "memory integrity violation: {what}")
+            }
+            SgxError::AttestationFailed { reason } => write!(f, "attestation failed: {reason}"),
+            SgxError::UnsealFailed { reason } => write!(f, "unseal failed: {reason}"),
+            SgxError::InvalidState { expected } => {
+                write!(f, "invalid enclave state, expected {expected}")
+            }
+            SgxError::NotFound { what } => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl Error for SgxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SgxError::IntegrityViolation { what: "page mac mismatch" };
+        assert!(e.to_string().contains("page mac mismatch"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<SgxError>();
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the SGX simulator's core invariants.
+
+use proptest::prelude::*;
+use scbr_crypto::ctr::SymmetricKey;
+use scbr_crypto::rng::CryptoRng;
+use sgx_sim::cache::CacheSim;
+use sgx_sim::costs::{CacheConfig, CostModel, EpcConfig};
+use sgx_sim::epc::Epc;
+use sgx_sim::mee::{CounterTree, ProtectedStore};
+use sgx_sim::mem::{MemorySim, SimArena};
+
+proptest! {
+    /// Hits + misses always equals the number of accesses, and residency in
+    /// a cache never exceeds capacity (modelled indirectly: a second pass
+    /// over a working set that fits must be all hits).
+    #[test]
+    fn cache_accounting_is_consistent(addrs in proptest::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut cache = CacheSim::new(CacheConfig { capacity: 16 * 1024, ways: 4, line_size: 64 });
+        for &a in &addrs {
+            cache.access(a);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
+        prop_assert!(cache.miss_rate() <= 1.0);
+    }
+
+    /// A working set that fits the cache has zero misses after warmup,
+    /// regardless of the access pattern order.
+    #[test]
+    fn cache_fitting_working_set_all_hits(mut lines in proptest::collection::vec(0u64..32, 10..100)) {
+        let mut cache = CacheSim::new(CacheConfig { capacity: 4096, ways: 4, line_size: 64 });
+        // Warm every line.
+        for l in 0..32u64 {
+            cache.access(l * 64);
+        }
+        cache.reset_stats();
+        lines.sort_unstable();
+        for &l in &lines {
+            cache.access(l * 64);
+        }
+        prop_assert_eq!(cache.misses(), 0);
+    }
+
+    /// The EPC never reports more resident pages than its capacity, and
+    /// faults = admissions + swaps.
+    #[test]
+    fn epc_invariants(pages in proptest::collection::vec(0u64..64, 1..400), cap in 1usize..32) {
+        let mut epc = Epc::new(cap);
+        for &p in &pages {
+            epc.touch(p);
+        }
+        prop_assert!(epc.resident_pages() <= cap);
+        prop_assert_eq!(epc.faults(), epc.admissions() + epc.swaps());
+        // Each distinct page is admitted exactly once.
+        let distinct: std::collections::HashSet<_> = pages.iter().collect();
+        prop_assert_eq!(epc.admissions(), distinct.len() as u64);
+    }
+
+    /// Counter-tree versions count bumps exactly, for arbitrary interleaved
+    /// blocks, and always verify when untampered.
+    #[test]
+    fn counter_tree_versions_count_bumps(ops in proptest::collection::vec(0u64..512, 1..200)) {
+        let mut tree = CounterTree::new(512, [9u8; 32]);
+        let mut expected = std::collections::HashMap::new();
+        for &b in &ops {
+            let v = tree.bump(b).unwrap();
+            let e = expected.entry(b).or_insert(0u64);
+            *e += 1;
+            prop_assert_eq!(v, *e);
+        }
+        for (&b, &v) in &expected {
+            prop_assert_eq!(tree.version(b).unwrap(), v);
+        }
+    }
+
+    /// Protected store round-trips arbitrary page contents and any
+    /// single-byte corruption of the stored blob is detected.
+    #[test]
+    fn protected_store_detects_any_corruption(data in proptest::collection::vec(any::<u8>(), 1..128),
+                                              page in 0u64..1024, flip in 0usize..1024) {
+        let mut rng = CryptoRng::from_seed(3);
+        let key = SymmetricKey::generate(&mut rng);
+        let mut store = ProtectedStore::new(1024, &key, rng);
+        store.write(page, &data).unwrap();
+        prop_assert_eq!(store.read(page).unwrap(), data);
+        let mut raw = store.raw_page(page).unwrap().clone();
+        let idx = flip % raw.len();
+        raw[idx] ^= 1;
+        store.set_raw_page(page, raw);
+        prop_assert!(store.read(page).is_err());
+    }
+
+    /// Virtual time is monotone non-decreasing under any access sequence,
+    /// and enclave memory is never cheaper than native for the same trace.
+    #[test]
+    fn enclave_never_cheaper_than_native(offsets in proptest::collection::vec(0u64..256 * 1024, 1..300)) {
+        let cache = CacheConfig { capacity: 8 * 1024, ways: 4, line_size: 64 };
+        let native = MemorySim::native(cache, CostModel::default());
+        let enclave = MemorySim::enclave(
+            cache,
+            EpcConfig { total_bytes: 64 * 4096, usable_bytes: 16 * 4096, page_size: 4096 },
+            CostModel::default(),
+        );
+        let base_n = native.alloc(256 * 1024);
+        let base_e = enclave.alloc(256 * 1024);
+        let mut last_n = 0.0f64;
+        for &off in &offsets {
+            native.touch_read(base_n + off, 8);
+            enclave.touch_read(base_e + off, 8);
+            let now = native.elapsed_ns();
+            prop_assert!(now >= last_n);
+            last_n = now;
+        }
+        prop_assert!(enclave.elapsed_ns() >= native.elapsed_ns());
+    }
+
+    /// Arena addresses are injective across any push sequence.
+    #[test]
+    fn arena_addresses_injective(count in 1u32..3000, stride in 1u64..512) {
+        let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
+        let mut arena: SimArena<u32> = SimArena::with_stride(&mem, stride);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..count {
+            let idx = arena.push(i);
+            prop_assert!(seen.insert(arena.addr_of(idx)));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Dataset statistics — the machinery behind the Table 1 harness.
+
+use crate::market::StockMarket;
+use crate::recipes::Workload;
+use scbr::predicate::Op;
+use scbr::subscription::SubscriptionSpec;
+use std::collections::BTreeMap;
+
+/// Summary statistics of a generated subscription dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of subscriptions summarised.
+    pub subscriptions: usize,
+    /// `count -> share` of equality predicates per subscription.
+    pub eq_histogram: BTreeMap<usize, f64>,
+    /// Mean predicates (equality + range) per subscription.
+    pub mean_predicates: f64,
+    /// Number of distinct attribute names constrained across the dataset.
+    pub distinct_attributes: usize,
+    /// Mean publication header width for this workload.
+    pub mean_publication_attrs: f64,
+    /// Share of subscriptions referencing the most popular symbol.
+    pub top_symbol_share: f64,
+}
+
+impl WorkloadStats {
+    /// Computes statistics for `workload` over freshly generated data.
+    pub fn compute(
+        workload: &Workload,
+        market: &StockMarket,
+        n_subs: usize,
+        n_pubs: usize,
+        seed: u64,
+    ) -> Self {
+        let subs = workload.subscriptions(market, n_subs, seed);
+        let pubs = workload.publications(market, n_pubs, seed + 1);
+
+        let mut eq_histogram: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut total_predicates = 0usize;
+        let mut attributes = std::collections::HashSet::new();
+        let mut symbol_counts: BTreeMap<String, usize> = BTreeMap::new();
+        for s in &subs {
+            let eq = count_eq(s);
+            *eq_histogram.entry(eq).or_default() += 1;
+            total_predicates += s.predicates().len();
+            for p in s.predicates() {
+                attributes.insert(p.attr.clone());
+                if p.attr == "symbol" && p.op == Op::Eq {
+                    if let scbr::value::Value::Str(v) = &p.value {
+                        *symbol_counts.entry(v.clone()).or_default() += 1;
+                    }
+                }
+            }
+        }
+        let top = symbol_counts.values().copied().max().unwrap_or(0);
+        let mean_publication_attrs =
+            pubs.iter().map(|p| p.header().len()).sum::<usize>() as f64 / pubs.len().max(1) as f64;
+        WorkloadStats {
+            name: workload.name().as_str().to_owned(),
+            subscriptions: subs.len(),
+            eq_histogram: eq_histogram
+                .into_iter()
+                .map(|(k, v)| (k, v as f64 / subs.len().max(1) as f64))
+                .collect(),
+            mean_predicates: total_predicates as f64 / subs.len().max(1) as f64,
+            distinct_attributes: attributes.len(),
+            mean_publication_attrs,
+            top_symbol_share: top as f64 / subs.len().max(1) as f64,
+        }
+    }
+
+    /// Renders one row of the Table 1 reproduction.
+    pub fn row(&self) -> String {
+        let eq: Vec<String> = self
+            .eq_histogram
+            .iter()
+            .map(|(k, v)| format!("{:.0}%:{k}eq", v * 100.0))
+            .collect();
+        format!(
+            "{:<12} {:<30} preds/sub={:<4.1} attrs={:<3} pub-attrs={:<5.1} top-sym={:.1}%",
+            self.name,
+            eq.join(" "),
+            self.mean_predicates,
+            self.distinct_attributes,
+            self.mean_publication_attrs,
+            self.top_symbol_share * 100.0
+        )
+    }
+}
+
+fn count_eq(s: &SubscriptionSpec) -> usize {
+    s.predicates().iter().filter(|p| p.op == Op::Eq).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::MarketConfig;
+    use crate::recipes::WorkloadName;
+
+    #[test]
+    fn stats_reflect_recipe() {
+        let market = StockMarket::generate(&MarketConfig::small(), 1);
+        let w = Workload::from_name(WorkloadName::E80A1);
+        let stats = WorkloadStats::compute(&w, &market, 1000, 50, 3);
+        assert_eq!(stats.subscriptions, 1000);
+        let zero_eq = stats.eq_histogram.get(&0).copied().unwrap_or(0.0);
+        let one_eq = stats.eq_histogram.get(&1).copied().unwrap_or(0.0);
+        assert!((zero_eq - 0.2).abs() < 0.05, "zero-eq share {zero_eq}");
+        assert!((one_eq - 0.8).abs() < 0.05, "one-eq share {one_eq}");
+        assert!(stats.mean_predicates >= 1.0);
+        assert!(stats.mean_publication_attrs >= 9.0);
+        assert!(!stats.row().is_empty());
+    }
+
+    #[test]
+    fn zipf_stats_show_concentration() {
+        let market = StockMarket::generate(&MarketConfig::small(), 1);
+        let uniform = WorkloadStats::compute(
+            &Workload::from_name(WorkloadName::E80A1),
+            &market,
+            1000,
+            10,
+            4,
+        );
+        let zipf = WorkloadStats::compute(
+            &Workload::from_name(WorkloadName::E80A1Z100),
+            &market,
+            1000,
+            10,
+            4,
+        );
+        assert!(zipf.top_symbol_share > uniform.top_symbol_share * 2.0);
+    }
+
+    #[test]
+    fn multiplied_workloads_have_wider_headers() {
+        let market = StockMarket::generate(&MarketConfig::small(), 1);
+        let a1 = WorkloadStats::compute(&Workload::from_name(WorkloadName::E80A1), &market, 200, 20, 5);
+        let a4 = WorkloadStats::compute(&Workload::from_name(WorkloadName::E80A4), &market, 200, 20, 5);
+        assert!(a4.mean_publication_attrs > 3.0 * a1.mean_publication_attrs);
+        assert!(a4.distinct_attributes > a1.distinct_attributes);
+    }
+}

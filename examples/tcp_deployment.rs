@@ -1,0 +1,76 @@
+//! The stock-exchange scenario over real TCP sockets: producer, router and
+//! client run against `127.0.0.1` listeners instead of the in-process
+//! transport, standing in for the prototype's ZeroMQ deployment (producer
+//! and consumer on one machine, the filtering engine on another).
+//!
+//! ```text
+//! cargo run --example tcp_deployment
+//! ```
+
+use scbr::engine::RouterEngine;
+use scbr::ids::ClientId;
+use scbr::index::IndexKind;
+use scbr::protocol::keys::ProducerCrypto;
+use scbr::publication::PublicationSpec;
+use scbr::roles::{ClientNode, Producer, ProducerCommand, Router};
+use scbr::subscription::SubscriptionSpec;
+use scbr_crypto::rng::CryptoRng;
+use scbr_net::transport::{TcpTransport, Transport};
+use sgx_sim::SgxPlatform;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tcp = TcpTransport::new();
+    let (router_listener, router_addr) = tcp.bind_ephemeral()?;
+    let (producer_listener, producer_addr) = tcp.bind_ephemeral()?;
+    println!("router on {router_addr}, producer on {producer_addr}");
+
+    // Enclave-hosted engine with keys installed directly (see the
+    // `stock_exchange` example for the full attestation flow).
+    let platform = SgxPlatform::for_testing(1);
+    let mut engine = RouterEngine::in_enclave(&platform, IndexKind::Poset)?;
+    let mut rng = CryptoRng::from_seed(2);
+    let keys = ProducerCrypto::generate(512, &mut rng)?;
+    let (sk, pk) = (keys.sk().clone(), keys.public_key().clone());
+    engine.call(move |e| e.provision_keys(sk, pk));
+
+    let router = Router::spawn(router_listener, engine);
+    let producer = Producer::spawn(producer_listener, tcp.connect(&router_addr)?, keys.clone(), rng);
+
+    // One client over TCP.
+    let mut client = ClientNode::connect(
+        ClientId(1),
+        tcp.connect(&producer_addr)?,
+        tcp.connect(&router_addr)?,
+        CryptoRng::from_seed(3),
+    )?;
+    client.set_producer_key(keys.public_key().clone());
+    producer.handle().send(ProducerCommand::Admit {
+        client: ClientId(1),
+        public_key: client.public_key().clone(),
+    });
+    while client.epochs_held() == 0 {
+        client.drain_key_updates(Duration::from_millis(200))?;
+    }
+    let sub = client.subscribe(
+        &SubscriptionSpec::new().eq("symbol", "HAL").lt("price", 50.0),
+        Duration::from_secs(5),
+    )?;
+    println!("subscription {sub} accepted over tcp");
+
+    producer.handle().send(ProducerCommand::Publish(
+        PublicationSpec::new()
+            .attr("symbol", "HAL")
+            .attr("price", 48.75)
+            .payload(b"HAL 48.75 -0.4%".to_vec()),
+    ));
+    let delivery = client
+        .poll_delivery(Duration::from_secs(5))?
+        .expect("delivery arrives");
+    println!("delivered over tcp: {:?}", String::from_utf8_lossy(&delivery.payload));
+
+    producer.shutdown()?;
+    router.join()?;
+    println!("clean shutdown");
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Workspace umbrella crate for the SCBR reproduction.
+//!
+//! This crate exists to host the cross-crate integration tests (under
+//! `tests/`) and the runnable examples (under `examples/`). The actual
+//! functionality lives in the member crates, re-exported here for
+//! convenience:
+//!
+//! * [`scbr`] — the secure content-based routing engine (the paper's
+//!   contribution).
+//! * [`sgx_sim`] — the SGX enclave simulator substrate.
+//! * [`scbr_crypto`] — the cryptographic substrate.
+//! * [`scbr_aspe`] — the ASPE software-only baseline.
+//! * [`scbr_workloads`] — the Table 1 workload generators.
+//! * [`scbr_net`] — the messaging substrate.
+
+pub use scbr;
+pub use scbr_aspe;
+pub use scbr_crypto;
+pub use scbr_net;
+pub use scbr_workloads;
+pub use sgx_sim;

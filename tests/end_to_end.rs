@@ -1,0 +1,263 @@
+//! End-to-end integration: the full SCBR deployment of Figure 3/4 wired
+//! over the in-process transport.
+//!
+//! Producer, router (engine inside a simulated enclave, keys provisioned
+//! via remote attestation) and clients run as real threads exchanging real
+//! protocol messages; everything is encrypted exactly as in the paper.
+
+use scbr::engine::RouterEngine;
+use scbr::ids::ClientId;
+use scbr::index::IndexKind;
+use scbr::protocol::keys::{provision_sk_via_attestation, ProducerCrypto};
+use scbr::roles::{ClientNode, Producer, ProducerCommand, Router};
+use scbr::publication::PublicationSpec;
+use scbr::subscription::SubscriptionSpec;
+use scbr_crypto::rng::CryptoRng;
+use scbr_net::transport::{InProcNetwork, Transport};
+use sgx_sim::attest::{AttestationService, VerifierPolicy};
+use sgx_sim::SgxPlatform;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(5);
+const DRAIN: Duration = Duration::from_millis(300);
+
+struct Deployment {
+    net: InProcNetwork,
+    producer: Producer,
+    router: Option<Router>,
+    producer_crypto: ProducerCrypto,
+}
+
+/// Wires a full deployment: enclave launch, attestation, SK provisioning,
+/// role threads.
+fn deploy(seed: u64) -> Deployment {
+    let net = InProcNetwork::new();
+    let router_listener = net.bind("router").expect("bind router");
+    let producer_listener = net.bind("producer").expect("bind producer");
+
+    // Infrastructure side: platform + enclave-hosted engine.
+    let platform = SgxPlatform::for_testing(seed);
+    let mut engine = RouterEngine::in_enclave(&platform, IndexKind::Poset).expect("launch");
+
+    // Service-provider side: keys + attestation trust.
+    let mut producer_rng = CryptoRng::from_seed(seed + 1);
+    let producer_crypto = ProducerCrypto::generate(512, &mut producer_rng).expect("keys");
+    let mut service = AttestationService::new();
+    service.trust_platform(platform.attestation_public_key().clone());
+    let policy = VerifierPolicy::require_mr_enclave(
+        engine.enclave().expect("inside").identity().mr_enclave,
+    );
+
+    // Remote attestation delivers SK + the producer verification key into
+    // the enclave.
+    let mut enclave_rng = CryptoRng::from_seed(seed + 2);
+    let (sk, pk) = provision_sk_via_attestation(
+        &platform,
+        engine.enclave().expect("inside"),
+        &service,
+        &policy,
+        &producer_crypto,
+        &mut enclave_rng,
+        &mut producer_rng,
+    )
+    .expect("attestation provisioning");
+    engine.call(|e| e.provision_keys(sk, pk));
+
+    // Spawn the roles.
+    let router = Router::spawn(router_listener, engine);
+    let producer_router_conn = net.connect("router").expect("producer->router");
+    let producer = Producer::spawn(
+        producer_listener,
+        producer_router_conn,
+        producer_crypto.clone(),
+        producer_rng,
+    );
+    Deployment { net, producer, router: Some(router), producer_crypto }
+}
+
+fn new_client(d: &Deployment, id: u64, seed: u64) -> ClientNode {
+    let mut client = ClientNode::connect(
+        ClientId(id),
+        d.net.connect("producer").expect("client->producer"),
+        d.net.connect("router").expect("client->router"),
+        CryptoRng::from_seed(seed),
+    )
+    .expect("client connects");
+    client.set_producer_key(d.producer_crypto.public_key().clone());
+    let admitted = d.producer.handle().send(ProducerCommand::Admit {
+        client: ClientId(id),
+        public_key: client.public_key().clone(),
+    });
+    assert!(admitted);
+    // The admission key-update push doubles as a synchronisation barrier.
+    let mut tries = 0;
+    while client.epochs_held() == 0 && tries < 50 {
+        client.drain_key_updates(DRAIN).expect("drain");
+        tries += 1;
+    }
+    assert!(client.epochs_held() > 0, "client received the group key");
+    client
+}
+
+#[test]
+fn subscribe_publish_deliver_decrypt() {
+    let d = deploy(100);
+    let mut alice = new_client(&d, 1, 200);
+    let mut bob = new_client(&d, 2, 201);
+
+    alice
+        .subscribe(&SubscriptionSpec::new().eq("symbol", "HAL").lt("price", 50.0), WAIT)
+        .expect("alice subscribes");
+    bob.subscribe(&SubscriptionSpec::new().eq("symbol", "IBM"), WAIT)
+        .expect("bob subscribes");
+
+    // A HAL quote under 50: only alice matches.
+    d.producer.handle().send(ProducerCommand::Publish(
+        PublicationSpec::new()
+            .attr("symbol", "HAL")
+            .attr("price", 42.0)
+            .payload(b"HAL@42".to_vec()),
+    ));
+    let delivery = alice.poll_delivery(WAIT).expect("delivery ok").expect("delivered");
+    assert_eq!(delivery.payload, b"HAL@42");
+    assert!(bob.poll_delivery(Duration::from_millis(300)).expect("none").is_none());
+
+    // An IBM quote: only bob.
+    d.producer.handle().send(ProducerCommand::Publish(
+        PublicationSpec::new()
+            .attr("symbol", "IBM")
+            .attr("price", 99.0)
+            .payload(b"IBM@99".to_vec()),
+    ));
+    let delivery = bob.poll_delivery(WAIT).expect("delivery ok").expect("delivered");
+    assert_eq!(delivery.payload, b"IBM@99");
+    assert!(alice.poll_delivery(Duration::from_millis(300)).expect("none").is_none());
+
+    d.producer.shutdown().expect("producer shutdown");
+    let engine = d.router.unwrap().join().expect("router drains");
+    assert_eq!(engine.engine().index().len(), 2, "both subscriptions registered");
+    assert!(engine.enclave().unwrap().ecall_count() >= 4, "registrations + matches crossed the gate");
+}
+
+#[test]
+fn unadmitted_client_is_rejected() {
+    let d = deploy(110);
+    // Connect without admission.
+    let mut eve = ClientNode::connect(
+        ClientId(66),
+        d.net.connect("producer").expect("conn"),
+        d.net.connect("router").expect("conn"),
+        CryptoRng::from_seed(5),
+    )
+    .expect("connect");
+    eve.set_producer_key(d.producer_crypto.public_key().clone());
+    let err = eve.subscribe(&SubscriptionSpec::new().eq("symbol", "HAL"), WAIT);
+    assert!(err.is_err(), "unknown client must be rejected");
+
+    d.producer.shutdown().expect("shutdown");
+    let engine = d.router.unwrap().join().expect("join");
+    assert_eq!(engine.engine().index().len(), 0, "nothing reached the router");
+}
+
+#[test]
+fn suspended_client_cannot_add_subscriptions() {
+    let d = deploy(120);
+    let mut carol = new_client(&d, 3, 300);
+    carol
+        .subscribe(&SubscriptionSpec::new().gt("price", 0.0), WAIT)
+        .expect("first subscription accepted");
+    d.producer.handle().send(ProducerCommand::Suspend(ClientId(3)));
+    // Allow the command to land before the next attempt.
+    std::thread::sleep(Duration::from_millis(100));
+    let second = carol.subscribe(&SubscriptionSpec::new().gt("volume", 0i64), WAIT);
+    assert!(second.is_err(), "suspended client rejected");
+
+    d.producer.shutdown().expect("shutdown");
+    d.router.unwrap().join().expect("join");
+}
+
+#[test]
+fn revoked_client_cannot_read_new_payloads() {
+    let d = deploy(130);
+    let mut alice = new_client(&d, 1, 400);
+    let mut mallory = new_client(&d, 2, 401);
+    alice
+        .subscribe(&SubscriptionSpec::new().eq("symbol", "HAL"), WAIT)
+        .expect("alice subscribes");
+    mallory
+        .subscribe(&SubscriptionSpec::new().eq("symbol", "HAL"), WAIT)
+        .expect("mallory subscribes");
+
+    // Both read epoch-0 publications.
+    d.producer.handle().send(ProducerCommand::Publish(
+        PublicationSpec::new().attr("symbol", "HAL").attr("price", 1.0).payload(b"v1".to_vec()),
+    ));
+    assert_eq!(alice.poll_delivery(WAIT).unwrap().unwrap().payload, b"v1");
+    assert_eq!(mallory.poll_delivery(WAIT).unwrap().unwrap().payload, b"v1");
+
+    // Mallory is revoked; the group rekeys; alice gets the new key.
+    d.producer.handle().send(ProducerCommand::Revoke(ClientId(2)));
+    let mut tries = 0;
+    while alice.epochs_held() < 2 && tries < 50 {
+        alice.drain_key_updates(DRAIN).expect("drain");
+        tries += 1;
+    }
+    assert!(alice.epochs_held() >= 2, "alice holds the rotated key");
+
+    d.producer.handle().send(ProducerCommand::Publish(
+        PublicationSpec::new().attr("symbol", "HAL").attr("price", 2.0).payload(b"v2".to_vec()),
+    ));
+    // Alice reads the new payload.
+    assert_eq!(alice.poll_delivery(WAIT).unwrap().unwrap().payload, b"v2");
+    // Mallory still *receives* the ciphertext (her subscription remains
+    // registered) but cannot decrypt it.
+    let (epoch, ciphertext) = mallory
+        .poll_delivery_raw(WAIT)
+        .expect("raw delivery ok")
+        .expect("ciphertext still delivered");
+    assert!(!ciphertext.is_empty());
+    // Her decryption attempt fails for lack of the epoch key.
+    let err = {
+        // poll_delivery_raw consumed the message; simulate decryption via
+        // another publication and poll_delivery.
+        d.producer.handle().send(ProducerCommand::Publish(
+            PublicationSpec::new()
+                .attr("symbol", "HAL")
+                .attr("price", 3.0)
+                .payload(b"v3".to_vec()),
+        ));
+        mallory.poll_delivery(WAIT)
+    };
+    assert!(err.is_err(), "missing epoch key: {epoch}");
+
+    d.producer.shutdown().expect("shutdown");
+    d.router.unwrap().join().expect("join");
+}
+
+#[test]
+fn multiple_subscriptions_deduplicate_deliveries() {
+    let d = deploy(140);
+    let mut alice = new_client(&d, 1, 500);
+    alice
+        .subscribe(&SubscriptionSpec::new().eq("symbol", "HAL"), WAIT)
+        .expect("sub 1");
+    alice
+        .subscribe(&SubscriptionSpec::new().gt("price", 10.0), WAIT)
+        .expect("sub 2");
+    // A publication matching both subscriptions is delivered once (the
+    // engine deduplicates the client list).
+    d.producer.handle().send(ProducerCommand::Publish(
+        PublicationSpec::new()
+            .attr("symbol", "HAL")
+            .attr("price", 50.0)
+            .payload(b"once".to_vec()),
+    ));
+    assert_eq!(alice.poll_delivery(WAIT).unwrap().unwrap().payload, b"once");
+    assert!(
+        alice.poll_delivery(Duration::from_millis(300)).unwrap().is_none(),
+        "no duplicate delivery"
+    );
+
+    d.producer.shutdown().expect("shutdown");
+    d.router.unwrap().join().expect("join");
+}

@@ -176,7 +176,7 @@ impl AspeAuthority {
         let mut eq_positions = Vec::new();
         let mut forms = Vec::new();
         for pred in spec.predicates() {
-            let is_eq_attr = self.eq_attrs.iter().any(|a| *a == pred.attr);
+            let is_eq_attr = self.eq_attrs.contains(&pred.attr);
             match (pred.op, &pred.value) {
                 (Op::Eq, value) if is_eq_attr => {
                     eq_positions.push(self.positions_for(&pred.attr, value));

@@ -120,12 +120,12 @@ impl Matrix {
             return Err(AspeError::DimensionMismatch { expected: self.cols, got: v.len() });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, out_i) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
-            for j in 0..self.cols {
-                acc += self.get(i, j) * v[j];
+            for (j, &vj) in v.iter().enumerate() {
+                acc += self.get(i, j) * vj;
             }
-            out[i] = acc;
+            *out_i = acc;
         }
         Ok(out)
     }

@@ -25,7 +25,7 @@ fn main() {
     let platform = SgxPlatform::for_testing(9);
     let max = *scale.sub_counts.last().expect("non-empty counts");
 
-    println!("\n{:<12} {}", "workload", "matching µs at each checkpoint");
+    println!("\n{:<12} matching µs at each checkpoint", "workload");
     print!("{:<12}", "");
     for c in &scale.sub_counts {
         print!(" {c:>10}");

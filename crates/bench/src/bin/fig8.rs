@@ -51,11 +51,11 @@ fn main() {
         let next = (registered + scale.fig8_bucket).min(subs.len());
         inside.reset_counters();
         outside.reset_counters();
-        for i in registered..next {
+        for (i, sub) in subs.iter().enumerate().take(next).skip(registered) {
             let id = SubscriptionId(i as u64);
             let client = ClientId(i as u64);
-            inside.call(|e| e.register_plain(id, client, &subs[i])).expect("register");
-            outside.call(|e| e.register_plain(id, client, &subs[i])).expect("register");
+            inside.call(|e| e.register_plain(id, client, sub)).expect("register");
+            outside.call(|e| e.register_plain(id, client, sub)).expect("register");
         }
         let n = (next - registered) as f64;
         let in_stats = inside.stats();

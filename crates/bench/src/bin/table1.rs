@@ -29,8 +29,8 @@ fn main() {
         _ => 20_000,
     };
     println!(
-        "{:<12} {:<30} {}",
-        "workload", "equality distribution", "shape (measured)"
+        "{:<12} {:<30} shape (measured)",
+        "workload", "equality distribution"
     );
     println!("{}", "-".repeat(100));
     for workload in Workload::all() {

@@ -186,11 +186,9 @@ impl MatchExperiment {
     /// Loads subscriptions `[loaded, upto)` from `subs`.
     pub fn load_to(&mut self, subs: &[SubscriptionSpec], upto: usize) {
         let upto = upto.min(subs.len());
-        for i in self.loaded..upto {
+        for (i, sub) in subs.iter().enumerate().take(upto).skip(self.loaded) {
             self.engine
-                .call(|e| {
-                    e.register_plain(SubscriptionId(i as u64), ClientId(i as u64), &subs[i])
-                })
+                .call(|e| e.register_plain(SubscriptionId(i as u64), ClientId(i as u64), sub))
                 .expect("workload subscriptions compile");
         }
         self.loaded = upto;
@@ -283,10 +281,10 @@ impl AspeExperiment {
     /// Loads subscriptions `[loaded, upto)`.
     pub fn load_to(&mut self, subs: &[SubscriptionSpec], upto: usize) {
         let upto = upto.min(subs.len());
-        for i in self.loaded..upto {
+        for (i, sub) in subs.iter().enumerate().take(upto).skip(self.loaded) {
             let enc = self
                 .authority
-                .encrypt_subscription(&subs[i], &mut self.rng)
+                .encrypt_subscription(sub, &mut self.rng)
                 .expect("workload subscriptions encryptable");
             self.matcher.insert(SubscriptionId(i as u64), ClientId(i as u64), enc);
         }

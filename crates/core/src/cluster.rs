@@ -227,7 +227,7 @@ mod tests {
     #[test]
     fn unregister_routes_to_owning_slice() {
         let platform = SgxPlatform::for_testing(3);
-        let (crypto, mut rng) = producer();
+        let (crypto, _rng) = producer();
         let mut router = PartitionedRouter::in_enclaves(&platform, IndexKind::Poset, 3).unwrap();
         router.provision_keys(crypto.sk(), crypto.public_key());
         for i in 0..9u64 {

@@ -12,9 +12,10 @@
 //! 3. The routing enclave verifies and decrypts inside the enclave and
 //!    inserts the subscription into its index (see
 //!    [`crate::engine::MatchingEngine::register_envelope`]).
-//! 4.–6. Publications flow back: headers encrypted under `SK`, payloads
-//!    under a rotating *group key* ([`group::GroupKeyManager`]) so revoked
-//!    clients lose access to new messages.
+//! 4. Publications flow back (the paper's steps 4–6): headers encrypted
+//!    under `SK`, payloads under a rotating *group key*
+//!    ([`group::GroupKeyManager`]) so revoked clients lose access to new
+//!    messages.
 //!
 //! `SK` itself reaches the enclave through remote attestation
 //! ([`keys::provision_sk_via_attestation`]), so the infrastructure provider

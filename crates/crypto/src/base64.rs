@@ -62,7 +62,7 @@ fn decode_char(c: u8) -> Option<u8> {
 /// ```
 pub fn decode(text: &str) -> Result<Vec<u8>, CryptoError> {
     let bytes = text.as_bytes();
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return Err(CryptoError::InvalidEncoding { context: "base64" });
     }
     let mut out = Vec::with_capacity(bytes.len() / 4 * 3);

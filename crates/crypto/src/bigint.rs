@@ -160,8 +160,8 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let sum = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+        for (i, &limb) in long.iter().enumerate() {
+            let sum = limb as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
             out.push(sum as u32);
             carry = sum >> 32;
         }
@@ -590,10 +590,10 @@ impl Montgomery {
             let ai = a.limbs.get(i).copied().unwrap_or(0) as u64;
             // t += a[i] * b
             let mut carry = 0u64;
-            for j in 0..s {
+            for (j, tj) in t.iter_mut().enumerate().take(s) {
                 let bj = b.limbs.get(j).copied().unwrap_or(0) as u64;
-                let sum = t[j] as u64 + ai * bj + carry;
-                t[j] = sum as u32;
+                let sum = *tj as u64 + ai * bj + carry;
+                *tj = sum as u32;
                 carry = sum >> 32;
             }
             let sum = t[s] as u64 + carry;

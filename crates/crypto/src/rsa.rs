@@ -76,7 +76,7 @@ impl RsaKeyPair {
     /// Returns [`CryptoError::InvalidKey`] if `bits < 256` (too small even
     /// for testing) or odd sizes are requested.
     pub fn generate(bits: usize, rng: &mut CryptoRng) -> Result<Self, CryptoError> {
-        if bits < 256 || bits % 2 != 0 {
+        if bits < 256 || !bits.is_multiple_of(2) {
             return Err(CryptoError::InvalidKey { reason: "modulus size must be an even number >= 256" });
         }
         let e = BigUint::from_u64(PUBLIC_EXPONENT);

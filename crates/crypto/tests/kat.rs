@@ -1,0 +1,280 @@
+//! Known-answer tests for the crypto substrate against published vectors:
+//!
+//! * SHA-256 — FIPS 180-4 examples (NIST CAVP short/long messages)
+//! * AES-128/AES-256 block — FIPS 197 appendix C
+//! * AES-CTR — NIST SP 800-38A F.5.1 / F.5.5
+//! * HMAC-SHA256 — RFC 4231 test cases 1–7
+//! * HKDF-SHA256 — RFC 5869 test cases 1–3
+//!
+//! The property tests cross-check internal consistency (round trips,
+//! incremental == one-shot); these vectors pin the primitives to the
+//! *standard* algorithms, so a self-consistent-but-wrong implementation
+//! cannot slip through.
+
+use scbr_crypto::aes::Aes;
+use scbr_crypto::ctr::{AesCtr, SymmetricKey};
+use scbr_crypto::hkdf;
+use scbr_crypto::hmac::HmacSha256;
+use scbr_crypto::sha256::Sha256;
+
+fn hex(s: &str) -> Vec<u8> {
+    let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    assert!(s.len().is_multiple_of(2), "odd hex length");
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("valid hex"))
+        .collect()
+}
+
+// -------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4)
+// -------------------------------------------------------------------------
+
+#[test]
+fn sha256_fips180_vectors() {
+    let cases: &[(&[u8], &str)] = &[
+        (
+            b"",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        ),
+        (
+            b"abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        ),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+    ];
+    for (message, expected) in cases {
+        assert_eq!(Sha256::digest(message).to_vec(), hex(expected));
+    }
+}
+
+#[test]
+fn sha256_million_a() {
+    let mut h = Sha256::new();
+    // Fed in uneven chunks to also exercise buffering across block
+    // boundaries.
+    let chunk = [b'a'; 997];
+    let mut remaining = 1_000_000usize;
+    while remaining > 0 {
+        let n = remaining.min(chunk.len());
+        h.update(&chunk[..n]);
+        remaining -= n;
+    }
+    assert_eq!(
+        h.finalize().to_vec(),
+        hex("cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0")
+    );
+}
+
+// -------------------------------------------------------------------------
+// AES block cipher (FIPS 197 appendix C)
+// -------------------------------------------------------------------------
+
+#[test]
+fn aes128_fips197_example() {
+    let aes = Aes::new(&hex("000102030405060708090a0b0c0d0e0f")).unwrap();
+    let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+    aes.encrypt_block(&mut block);
+    assert_eq!(block.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    aes.decrypt_block(&mut block);
+    assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+}
+
+#[test]
+fn aes256_fips197_example() {
+    let aes = Aes::new(&hex(
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+    ))
+    .unwrap();
+    let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+    aes.encrypt_block(&mut block);
+    assert_eq!(block.to_vec(), hex("8ea2b7ca516745bfeafc49904b496089"));
+    aes.decrypt_block(&mut block);
+    assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+}
+
+// -------------------------------------------------------------------------
+// AES-CTR (NIST SP 800-38A)
+// -------------------------------------------------------------------------
+
+/// SP 800-38A's four-block plaintext, shared by every CTR vector.
+const CTR_PLAINTEXT: &str = "6bc1bee22e409f96e93d7e117393172a\
+                             ae2d8a571e03ac9c9eb76fac45af8e51\
+                             30c81c46a35ce411e5fbc1191a0a52ef\
+                             f69f2445df4f9b17ad2b417be66c3710";
+
+/// The standard initial counter block `f0f1..ff` split into this
+/// implementation's (nonce, initial block counter) layout.
+const CTR_NONCE: [u8; 8] = [0xf0, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7];
+const CTR_INITIAL_BLOCK: u64 = 0xf8f9_fafb_fcfd_feff;
+
+fn ctr_check(key_hex: &str, expected_ct_hex: &str) {
+    let key = SymmetricKey::from_bytes(hex(key_hex));
+    let mut data = hex(CTR_PLAINTEXT);
+    let mut ctr = AesCtr::new(&key, CTR_NONCE);
+    ctr.seek_block(CTR_INITIAL_BLOCK);
+    ctr.apply(&mut data);
+    assert_eq!(data, hex(expected_ct_hex));
+
+    // Decryption is the same keystream; also exercises random access.
+    let mut ctr = AesCtr::new(&key, CTR_NONCE);
+    ctr.seek_block(CTR_INITIAL_BLOCK);
+    ctr.apply(&mut data);
+    assert_eq!(data, hex(CTR_PLAINTEXT));
+
+    // Seeking straight to the third block must reproduce its keystream.
+    let mut tail = hex(CTR_PLAINTEXT)[32..48].to_vec();
+    let mut ctr = AesCtr::new(&key, CTR_NONCE);
+    ctr.seek_block(CTR_INITIAL_BLOCK.wrapping_add(2));
+    ctr.apply(&mut tail);
+    assert_eq!(tail, hex(expected_ct_hex)[32..48].to_vec());
+}
+
+#[test]
+fn aes128_ctr_sp800_38a_f_5_1() {
+    ctr_check(
+        "2b7e151628aed2a6abf7158809cf4f3c",
+        "874d6191b620e3261bef6864990db6ce\
+         9806f66b7970fdff8617187bb9fffdff\
+         5ae4df3edbd5d35e5b4f09020db03eab\
+         1e031dda2fbe03d1792170a0f3009cee",
+    );
+}
+
+#[test]
+fn aes256_ctr_sp800_38a_f_5_5() {
+    ctr_check(
+        "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4",
+        "601ec313775789a5b7a7f504bbf3d228\
+         f443e3ca4d62b59aca84e990cacaf5c5\
+         2b0930daa23de94ce87017ba2d84988d\
+         dfc9c58db67aada613c2dd08457941a6",
+    );
+}
+
+// -------------------------------------------------------------------------
+// HMAC-SHA256 (RFC 4231)
+// -------------------------------------------------------------------------
+
+#[test]
+fn hmac_sha256_rfc4231_vectors() {
+    // (key, data, full-length tag)
+    let cases: &[(Vec<u8>, Vec<u8>, &str)] = &[
+        // Case 1
+        (
+            vec![0x0b; 20],
+            b"Hi There".to_vec(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+        ),
+        // Case 2: key shorter than block size
+        (
+            b"Jefe".to_vec(),
+            b"what do ya want for nothing?".to_vec(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+        ),
+        // Case 3: combined key/data repetition
+        (
+            vec![0xaa; 20],
+            vec![0xdd; 50],
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
+        ),
+        // Case 4
+        (
+            hex("0102030405060708090a0b0c0d0e0f10111213141516171819"),
+            vec![0xcd; 50],
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b",
+        ),
+        // Case 6: key larger than block size (hashed first)
+        (
+            vec![0xaa; 131],
+            b"Test Using Larger Than Block-Size Key - Hash Key First".to_vec(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+        ),
+        // Case 7: key and data both larger than block size
+        (
+            vec![0xaa; 131],
+            b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm."
+                .to_vec(),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2",
+        ),
+    ];
+    for (key, data, expected) in cases {
+        assert_eq!(HmacSha256::mac(key, data).to_vec(), hex(expected));
+        assert!(HmacSha256::verify(key, data, &hex(expected)));
+    }
+}
+
+#[test]
+fn hmac_sha256_rfc4231_case5_truncated() {
+    // Case 5 specifies a tag truncated to 128 bits.
+    let tag = HmacSha256::mac(&[0x0c; 20], b"Test With Truncation");
+    assert_eq!(tag[..16].to_vec(), hex("a3b6167473100ee06e0c796c2955552b"));
+}
+
+// -------------------------------------------------------------------------
+// HKDF-SHA256 (RFC 5869)
+// -------------------------------------------------------------------------
+
+struct HkdfCase {
+    ikm: Vec<u8>,
+    salt: Vec<u8>,
+    info: Vec<u8>,
+    prk: &'static str,
+    okm: &'static str,
+}
+
+#[test]
+fn hkdf_sha256_rfc5869_vectors() {
+    let cases = [
+        // Test case 1: basic
+        HkdfCase {
+            ikm: vec![0x0b; 22],
+            salt: hex("000102030405060708090a0b0c"),
+            info: hex("f0f1f2f3f4f5f6f7f8f9"),
+            prk: "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5",
+            okm: "3cb25f25faacd57a90434f64d0362f2a\
+                  2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+                  34007208d5b887185865",
+        },
+        // Test case 2: longer inputs/outputs (multi-block expand)
+        HkdfCase {
+            ikm: (0x00..=0x4f).collect(),
+            salt: (0x60..=0xaf).collect(),
+            info: (0xb0..=0xff).collect(),
+            prk: "06a6b88c5853361a06104c9ceb35b45cef760014904671014a193f40c15fc244",
+            okm: "b11e398dc80327a1c8e7f78c596a4934\
+                  4f012eda2d4efad8a050cc4c19afa97c\
+                  59045a99cac7827271cb41c65e590e09\
+                  da3275600c2f09b8367793a9aca3db71\
+                  cc30c58179ec3e87c14c01d5c1f3434f\
+                  1d87",
+        },
+        // Test case 3: zero-length salt and info
+        HkdfCase {
+            ikm: vec![0x0b; 22],
+            salt: Vec::new(),
+            info: Vec::new(),
+            prk: "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04",
+            okm: "8da4e775a563c18f715f802a063c5a31\
+                  b8a11f5c5ee1879ec3454e5f3c738d2d\
+                  9d201395faa4b61a96c8",
+        },
+    ];
+    for case in &cases {
+        let prk = hkdf::extract(&case.salt, &case.ikm);
+        assert_eq!(prk.to_vec(), hex(case.prk));
+
+        let expected_okm = hex(case.okm);
+        let mut okm = vec![0u8; expected_okm.len()];
+        hkdf::expand(&prk, &case.info, &mut okm);
+        assert_eq!(okm, expected_okm);
+
+        // The one-shot derive must agree with extract-then-expand.
+        let mut derived = vec![0u8; expected_okm.len()];
+        hkdf::derive(&case.salt, &case.ikm, &case.info, &mut derived);
+        assert_eq!(derived, expected_okm);
+    }
+}

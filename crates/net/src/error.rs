@@ -74,7 +74,7 @@ mod tests {
 
     #[test]
     fn io_error_wraps() {
-        let e: NetError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let e: NetError = std::io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));
         assert!(e.source().is_some());
     }

@@ -1,0 +1,75 @@
+//! Smoke test: every example in `examples/` must run to completion.
+//!
+//! `cargo test` builds the package examples before running integration
+//! tests, so the binaries are available next to this test executable's
+//! profile directory (`target/<profile>/examples/`). Each example is
+//! self-contained and seed-deterministic, finishing in seconds even in
+//! debug builds, so running them for real (rather than merely
+//! build-checking) is affordable — and it catches panics, not just rot.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Every example shipped in `examples/`, kept in sync by
+/// `all_examples_are_covered` below.
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "revocation",
+    "stock_exchange",
+    "tcp_deployment",
+    "cloud_router",
+    "workload_explorer",
+];
+
+/// `target/<profile>/examples`, derived from this test binary's location
+/// (`target/<profile>/deps/<test>-<hash>`), so it is correct for both
+/// debug and release test runs.
+fn examples_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("test executable path");
+    let profile_dir = exe
+        .parent() // deps/
+        .and_then(|p| p.parent()) // <profile>/
+        .expect("profile directory");
+    profile_dir.join("examples")
+}
+
+#[test]
+fn all_examples_run_to_completion() {
+    let dir = examples_dir();
+    for name in EXAMPLES {
+        let binary = dir.join(name);
+        assert!(
+            binary.exists(),
+            "example binary {binary:?} missing — was the example renamed?"
+        );
+        let output = Command::new(&binary)
+            .output()
+            .unwrap_or_else(|e| panic!("spawning example '{name}' failed: {e}"));
+        assert!(
+            output.status.success(),
+            "example '{name}' exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}
+
+#[test]
+fn all_examples_are_covered() {
+    let examples_src = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(examples_src)
+        .expect("examples/ directory")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_owned)
+        })
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(
+        on_disk, listed,
+        "examples on disk and EXAMPLES list disagree — update tests/examples_smoke.rs"
+    );
+}

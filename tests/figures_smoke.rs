@@ -132,14 +132,14 @@ fn fig8_paging_cliff() {
     let bucket = 2_500;
     let mut registered = 0usize;
     while registered < n {
-        let next = registered + bucket;
+        let next = (registered + bucket).min(subs.len());
         inside.reset_counters();
         outside.reset_counters();
-        for i in registered..next {
+        for (i, sub) in subs.iter().enumerate().take(next).skip(registered) {
             let id = SubscriptionId(i as u64);
             let client = ClientId(i as u64);
-            inside.call(|e| e.register_plain(id, client, &subs[i])).expect("in");
-            outside.call(|e| e.register_plain(id, client, &subs[i])).expect("out");
+            inside.call(|e| e.register_plain(id, client, sub)).expect("in");
+            outside.call(|e| e.register_plain(id, client, sub)).expect("out");
         }
         ratios.push(inside.stats().elapsed_ns / outside.stats().elapsed_ns);
         registered = next;

@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API used by `crates/bench`:
+//! `Criterion`, `BenchmarkGroup`, `Bencher::{iter, iter_custom}`,
+//! `BenchmarkId`, `Throughput` and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is deliberately lightweight — a short warmup, then a
+//! capped sampling loop — so `cargo bench` completes quickly while still
+//! printing comparable ns/iter figures. There is no statistical machinery,
+//! HTML report, or command-line parsing; unknown CLI flags are ignored so
+//! harness-less bench binaries behave under `cargo bench`/`cargo test`.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Maximum wall-clock budget per benchmark, keeping full runs fast.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Iterations measured per benchmark (cap; the budget may stop us sooner).
+const MEASURE_ITERS: u64 = 30;
+
+/// Identifier for a single benchmark, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter value, rendered `name/param`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only id (group name provides the prefix).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Throughput annotation for a benchmark (reported, not verified).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup (also forces lazy setup in the closure's environment).
+        std::hint::black_box(routine());
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while iters < MEASURE_ITERS && started.elapsed() < MEASURE_BUDGET {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.elapsed = started.elapsed();
+        self.iters = iters.max(1);
+    }
+
+    /// Lets the routine time itself: `routine(n)` must execute `n`
+    /// iterations and return the elapsed wall-clock time.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let iters = 10u64;
+        self.elapsed = routine(iters);
+        self.iters = iters;
+    }
+
+    fn report(&self, label: &str) {
+        let per_iter = self.elapsed.as_nanos() / u128::from(self.iters.max(1));
+        println!("bench: {label:<50} {per_iter:>12} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Criterion
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&id.label);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is time-capped.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Records the group throughput annotation (reported only).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Re-export of the standard black box, for parity with criterion's.
+pub use std::hint::black_box;
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Harness-less bench binaries receive flags like `--bench` from
+            // cargo; none affect this simplified runner.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::new();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Bytes(64));
+        let mut seen = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2));
+            seen = n;
+        });
+        group.finish();
+        assert_eq!(seen, 64);
+    }
+
+    #[test]
+    fn iter_custom_uses_reported_duration() {
+        let mut b = Bencher::default();
+        b.iter_custom(|iters| Duration::from_nanos(100 * iters));
+        assert_eq!(b.elapsed, Duration::from_nanos(1000));
+    }
+}

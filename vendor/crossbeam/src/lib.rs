@@ -1,0 +1,307 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::channel` subset this workspace uses: unbounded
+//! MPMC channels whose `Sender` *and* `Receiver` are `Send + Sync + Clone`
+//! (std's mpsc receiver is not `Sync`, which the net transports require),
+//! plus a two-arm `select!` macro.
+//!
+//! The implementation is a `Mutex<VecDeque>` + `Condvar` queue — not as fast
+//! as crossbeam's lock-free channels, but semantically equivalent for the
+//! event-loop traffic in this repository.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender: wake blocked receivers so they observe the
+                // disconnect.
+                let _guard = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails only when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.push_back(value);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(value) = queue.pop_front() {
+                return Ok(value);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .shared
+                    .ready
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = guard;
+            }
+        }
+    }
+
+    // Re-export the crate-root `select!` under `crossbeam::channel::` the
+    // way the real crate does.
+    pub use crate::select;
+}
+
+/// Two-arm `select!` over receivers, as used by the producer event loop:
+///
+/// ```ignore
+/// crossbeam::channel::select! {
+///     recv(rx_a) -> msg => { ... }
+///     recv(rx_b) -> msg => { ... }
+/// }
+/// ```
+///
+/// Each arm's bound variable is a `Result<T, RecvError>`: `Err` means that
+/// channel's senders are all gone. Implemented by polling; the arms execute
+/// *outside* the polling loop so `break`/`continue` inside an arm target the
+/// caller's enclosing loop, exactly as with crossbeam's macro.
+#[macro_export]
+macro_rules! select {
+    (recv($rx_a:expr) -> $var_a:ident => $arm_a:block
+     recv($rx_b:expr) -> $var_b:ident => $arm_b:block) => {{
+        enum __Selected<A, B> {
+            A(::std::result::Result<A, $crate::channel::RecvError>),
+            B(::std::result::Result<B, $crate::channel::RecvError>),
+        }
+        let __selected = loop {
+            match $rx_a.try_recv() {
+                ::std::result::Result::Ok(v) => break __Selected::A(::std::result::Result::Ok(v)),
+                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    break __Selected::A(::std::result::Result::Err($crate::channel::RecvError))
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            match $rx_b.try_recv() {
+                ::std::result::Result::Ok(v) => break __Selected::B(::std::result::Result::Ok(v)),
+                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    break __Selected::B(::std::result::Result::Err($crate::channel::RecvError))
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(200));
+        };
+        match __selected {
+            __Selected::A($var_a) => $arm_a,
+            __Selected::B($var_b) => $arm_b,
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+    }
+
+    #[test]
+    fn disconnect_observed_by_receiver() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn disconnect_observed_by_sender() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let handle = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(Duration::from_millis(10));
+        tx.send(42u64).unwrap();
+        assert_eq!(handle.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn select_dispatches_ready_arm() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<u32>();
+        tx_a.send(5).unwrap();
+        let hit;
+        crate::select! {
+            recv(rx_a) -> msg => { hit = msg.unwrap(); }
+            recv(rx_b) -> _msg => { unreachable!(); }
+        }
+        assert_eq!(hit, 5);
+    }
+
+    #[test]
+    fn select_reports_disconnect() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<u32>();
+        drop(tx_a);
+        let disconnected;
+        crate::select! {
+            recv(rx_a) -> msg => { disconnected = msg.is_err(); }
+            recv(rx_b) -> _msg => { unreachable!(); }
+        }
+        assert!(disconnected);
+    }
+}

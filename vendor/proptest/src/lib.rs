@@ -1,0 +1,823 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`/`boxed`,
+//! * range, tuple, [`collection::vec`], [`option::of`] and [`any`]
+//!   strategies,
+//! * the `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`
+//!   and `prop_oneof!` macros,
+//! * [`test_runner::Config`] (`ProptestConfig`) with `with_cases`.
+//!
+//! Differences from real proptest: generation is plain pseudo-random (no
+//! recursive size damping) and failing inputs are **not shrunk** — the
+//! failing case's `Debug` rendering is printed instead. Each test function
+//! derives a deterministic RNG seed from its own name, so failures
+//! reproduce run-to-run.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-test configuration (`ProptestConfig` in real proptest).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+        /// The input was rejected (counted, not failed).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A falsification with the given message.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// An input rejection with the given message.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic generator driving value generation (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from an arbitrary label (the test name).
+        pub fn from_label(label: &str) -> Self {
+            // FNV-1a over the label, then SplitMix64 expansion.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            let mut sm = h;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            if s == [0; 4] {
+                s[0] = 1;
+            }
+            TestRng { s }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let zone = u64::MAX - (u64::MAX % bound);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % bound;
+                }
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no shrinking tree: a strategy is just
+    /// a generator.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { inner: Box::new(self) }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.gen_value(rng))
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    // Object-safe indirection for boxing.
+    trait DynStrategy<T> {
+        fn gen_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.gen_value(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn DynStrategy<T>>,
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy { .. }")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.inner.gen_dyn(rng)
+        }
+    }
+
+    /// Weighted union of same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        variants: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = variants.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! requires a positive total weight");
+            Union { variants, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let mut roll = rng.below(self.total);
+            for (weight, strat) in &self.variants {
+                let weight = u64::from(*weight);
+                if roll < weight {
+                    return strat.gen_value(rng);
+                }
+                roll -= weight;
+            }
+            unreachable!("weights changed mid-generation")
+        }
+    }
+
+    // --- Range strategies over the primitive types the tests use. -------
+    //
+    // All integer variants funnel through u128 offset arithmetic so the
+    // same code handles signed, unsigned and 128-bit types without
+    // overflow: a range is (start, unsigned span), and a sample is
+    // start + uniform(span).
+
+    fn below_u128(rng: &mut TestRng, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        if let Ok(bound64) = u64::try_from(bound) {
+            return u128::from(rng.below(bound64));
+        }
+        let zone = u128::MAX - (u128::MAX % bound);
+        loop {
+            let v = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($(($ty:ty, $uty:ty)),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as $uty as u128;
+                    self.start.wrapping_add(below_u128(rng, span) as $ty)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = end.wrapping_sub(start) as $uty as u128;
+                    match span.checked_add(1) {
+                        Some(bound) => start.wrapping_add(below_u128(rng, bound) as $ty),
+                        // Full-width 128-bit range: every bit pattern is valid.
+                        None => {
+                            let v = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+                            v as $ty
+                        }
+                    }
+                }
+            }
+
+            impl Strategy for std::ops::RangeFrom<$ty> {
+                type Value = $ty;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                    Strategy::gen_value(&(self.start..=<$ty>::MAX), rng)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(
+        (u8, u8),
+        (u16, u16),
+        (u32, u32),
+        (u64, u64),
+        (u128, u128),
+        (usize, usize),
+        (i8, u8),
+        (i16, u16),
+        (i32, u32),
+        (i64, u64),
+        (i128, u128),
+        (isize, usize)
+    );
+
+    macro_rules! float_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let unit = rng.unit_f64() as $ty;
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    // --- Tuple strategies (arity 1..=6). --------------------------------
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let mut out = [0u8; N];
+            for chunk in out.chunks_mut(8) {
+                let word = rng.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&word[..chunk.len()]);
+            }
+            out
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, sign-balanced values; NaN/inf generation is not
+            // needed by this workspace's tests.
+            (rng.unit_f64() - 0.5) * 2e9
+        }
+    }
+
+    /// Strategy generating arbitrary values of `A`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<A> {
+        _marker: std::marker::PhantomData<A>,
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+
+        fn gen_value(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for any value of `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any { _marker: std::marker::PhantomData }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Half-open size bound for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange { lo: exact, hi: exact + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty collection size range");
+            SizeRange { lo: range.start, hi: range.end }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy generating `Option`s of an inner strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+}
+
+/// Common imports for property tests, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property test functions.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn my_property(x in 0u32..10, ys in proptest::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Expands each test fn declared inside `proptest! { .. }`.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_args!(($config) ($name) ($body) [] [] $($args)*);
+            }
+        )*
+    };
+}
+
+/// Tt-muncher over a proptest argument list. Each argument is either
+/// `pattern in strategy` or `ident: Type` (shorthand for `any::<Type>()`).
+/// Accumulates parenthesised patterns and strategies, then hands off to
+/// `__proptest_run!`.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_args {
+    // Terminal: all arguments consumed.
+    (($config:expr) ($name:ident) ($body:block) [$($pats:tt)*] [$($strats:tt)*]) => {
+        $crate::__proptest_run!(($config) ($name) ($body) [$($pats)*] [$($strats)*]);
+    };
+    // `pattern in strategy` — last argument (optional trailing comma).
+    (($config:expr) ($name:ident) ($body:block) [$($pats:tt)*] [$($strats:tt)*] $p:pat in $s:expr $(,)?) => {
+        $crate::__proptest_args!(($config) ($name) ($body) [$($pats)* ($p)] [$($strats)* ($s)]);
+    };
+    // `pattern in strategy`, more arguments follow.
+    (($config:expr) ($name:ident) ($body:block) [$($pats:tt)*] [$($strats:tt)*] $p:pat in $s:expr, $($rest:tt)+) => {
+        $crate::__proptest_args!(($config) ($name) ($body) [$($pats)* ($p)] [$($strats)* ($s)] $($rest)+);
+    };
+    // `ident: Type` — last argument (optional trailing comma).
+    (($config:expr) ($name:ident) ($body:block) [$($pats:tt)*] [$($strats:tt)*] $i:ident : $t:ty $(,)?) => {
+        $crate::__proptest_args!(($config) ($name) ($body) [$($pats)* ($i)] [$($strats)* ($crate::arbitrary::any::<$t>())]);
+    };
+    // `ident: Type`, more arguments follow.
+    (($config:expr) ($name:ident) ($body:block) [$($pats:tt)*] [$($strats:tt)*] $i:ident : $t:ty, $($rest:tt)+) => {
+        $crate::__proptest_args!(($config) ($name) ($body) [$($pats)* ($i)] [$($strats)* ($crate::arbitrary::any::<$t>())] $($rest)+);
+    };
+}
+
+/// Emits the per-case loop for one property test.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_run {
+    (($config:expr) ($name:ident) ($body:block) [$($pat:tt)*] [$($strat:tt)*]) => {{
+        let config: $crate::test_runner::Config = $config;
+        let strategies = ($($strat,)*);
+        let mut rng = $crate::test_runner::TestRng::from_label(concat!(
+            module_path!(), "::", stringify!($name),
+        ));
+        for case in 0..config.cases {
+            let values = $crate::strategy::Strategy::gen_value(&strategies, &mut rng);
+            let rendered = format!("{:?}", &values);
+            // The parens around each pattern keep multi-token patterns
+            // (e.g. `mut xs`) a single tt through the muncher.
+            #[allow(unused_parens)]
+            let ($($pat,)*) = values;
+            let outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                $body
+                ::std::result::Result::Ok(())
+            })();
+            match outcome {
+                ::std::result::Result::Ok(())
+                | ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(reason)) => {
+                    panic!(
+                        "property '{}' falsified on case {}/{}:\n  {}\n  input: {}",
+                        stringify!($name), case + 1, config.cases, reason, rendered,
+                    );
+                }
+            }
+        }
+    }};
+}
+
+/// Rejects the current case without failing it (mirrors `prop_assume!`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {{
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    }};
+    ($cond:expr, $($fmt:tt)+) => {{
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {{
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Asserts equality inside a property, failing the case (not panicking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    left, right, format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property, failing the case (not panicking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` != `{:?}`: {}",
+                    left, right, format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_label("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::gen_value(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::gen_value(&(-2.0f64..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_bounds() {
+        let mut rng = TestRng::from_label("vecs");
+        for _ in 0..200 {
+            let v = Strategy::gen_value(&crate::collection::vec(any::<u8>(), 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let exact = Strategy::gen_value(&crate::collection::vec(0u32..9, 3), &mut rng);
+        assert_eq!(exact.len(), 3);
+    }
+
+    #[test]
+    fn oneof_covers_all_variants() {
+        let mut rng = TestRng::from_label("oneof");
+        let strat = prop_oneof![
+            2 => (0usize..1).prop_map(|_| "a"),
+            1 => (0usize..1).prop_map(|_| "b"),
+        ];
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for _ in 0..200 {
+            match Strategy::gen_value(&strat, &mut rng) {
+                "a" => seen_a = true,
+                _ => seen_b = true,
+            }
+        }
+        assert!(seen_a && seen_b);
+    }
+
+    #[test]
+    fn option_of_produces_both() {
+        let mut rng = TestRng::from_label("option");
+        let strat = crate::option::of(0u8..10);
+        let values: Vec<_> = (0..100).map(|_| Strategy::gen_value(&strat, &mut rng)).collect();
+        assert!(values.iter().any(Option::is_some));
+        assert!(values.iter().any(Option::is_none));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_smoke(x in 0u32..50, ys in crate::collection::vec(any::<u8>(), 0..8)) {
+            prop_assert!(x < 50);
+            prop_assert!(ys.len() < 8);
+            prop_assert_eq!(x + 1, 1 + x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    proptest! {
+        fn always_fails_inner(x in 0u32..10) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics_with_input() {
+        always_fails_inner();
+    }
+}

@@ -115,9 +115,8 @@ mod tests {
         for i in 0..100u32 {
             bf.insert(b"key", &i.to_be_bytes());
         }
-        let false_positives = (1000..3000u32)
-            .filter(|i| bf.contains(b"key", &i.to_be_bytes()))
-            .count();
+        let false_positives =
+            (1000..3000u32).filter(|i| bf.contains(b"key", &i.to_be_bytes())).count();
         assert!(
             false_positives < 60, // ~3% upper bound on a ~1% design point
             "false positive count {false_positives}"

@@ -325,10 +325,7 @@ impl AspeMatcher {
             for positions in &stored.sub.eq_positions {
                 // One hash-position probe per bit.
                 self.mem.charge_predicate_evals(positions.len() as u64);
-                if !positions
-                    .iter()
-                    .all(|&b| bloom_bit(&publication.bloom, b))
-                {
+                if !positions.iter().all(|&b| bloom_bit(&publication.bloom, b)) {
                     candidate = false;
                     break;
                 }
@@ -433,14 +430,10 @@ mod tests {
             ClientId(1),
             auth.encrypt_subscription(&sub, &mut rng).unwrap(),
         );
-        let hal = PublicationSpec::new()
-            .attr("symbol", "HAL")
-            .attr("price", 10.0)
-            .attr("volume", 5i64);
-        let ibm = PublicationSpec::new()
-            .attr("symbol", "IBM")
-            .attr("price", 10.0)
-            .attr("volume", 5i64);
+        let hal =
+            PublicationSpec::new().attr("symbol", "HAL").attr("price", 10.0).attr("volume", 5i64);
+        let ibm =
+            PublicationSpec::new().attr("symbol", "IBM").attr("price", 10.0).attr("volume", 5i64);
         let enc_hal = auth.encrypt_publication(&hal, &mut rng).unwrap();
         let enc_ibm = auth.encrypt_publication(&ibm, &mut rng).unwrap();
         assert_eq!(matcher.match_publication(&enc_hal), vec![ClientId(1)]);
@@ -462,10 +455,8 @@ mod tests {
             auth.encrypt_subscription(&sub, &mut rng).unwrap(),
         );
         let mut make = |p: f64| {
-            let publication = PublicationSpec::new()
-                .attr("symbol", "X")
-                .attr("price", p)
-                .attr("volume", 1i64);
+            let publication =
+                PublicationSpec::new().attr("symbol", "X").attr("price", p).attr("volume", 1i64);
             auth.encrypt_publication(&publication, &mut rng).unwrap()
         };
         let hit = make(12.5);
@@ -509,10 +500,8 @@ mod tests {
         );
         assert!(matcher.remove(SubscriptionId(1)));
         assert!(!matcher.remove(SubscriptionId(1)));
-        let publication = PublicationSpec::new()
-            .attr("symbol", "A")
-            .attr("price", 10.0)
-            .attr("volume", 1i64);
+        let publication =
+            PublicationSpec::new().attr("symbol", "A").attr("price", 10.0).attr("volume", 1i64);
         let enc = auth.encrypt_publication(&publication, &mut rng).unwrap();
         assert!(matcher.match_publication(&enc).is_empty());
         assert!(matcher.is_empty());
@@ -533,10 +522,8 @@ mod tests {
             );
         }
         let t0 = mem.elapsed_ns();
-        let publication = PublicationSpec::new()
-            .attr("symbol", "A")
-            .attr("price", 50.0)
-            .attr("volume", 1i64);
+        let publication =
+            PublicationSpec::new().attr("symbol", "A").attr("price", 50.0).attr("volume", 1i64);
         let enc = auth.encrypt_publication(&publication, &mut rng).unwrap();
         let clients = matcher.match_publication(&enc);
         assert!(!clients.is_empty());

@@ -183,9 +183,8 @@ mod tests {
         for i in 0..50 {
             // x = i+1 is far above the bound 0; correct evaluation is
             // always positive.
-            let p_enc_a = key_a
-                .encrypt_point(&embed((i + 1) as f64, rng.unit_f64()), &mut rng)
-                .unwrap();
+            let p_enc_a =
+                key_a.encrypt_point(&embed((i + 1) as f64, rng.unit_f64()), &mut rng).unwrap();
             if AspeKey::evaluate(&w_enc_b, &p_enc_a).unwrap() <= 0.0 {
                 wrong += 1;
             }

@@ -4,10 +4,10 @@
 //! scale).
 
 use proptest::prelude::*;
+use scbr::attr::AttrSchema;
 use scbr::ids::{ClientId, SubscriptionId};
 use scbr::publication::PublicationSpec;
 use scbr::subscription::SubscriptionSpec;
-use scbr::attr::AttrSchema;
 use scbr_aspe::{AspeAuthority, AspeMatcher};
 use scbr_crypto::rng::CryptoRng;
 use sgx_sim::{CacheConfig, CostModel, MemorySim};

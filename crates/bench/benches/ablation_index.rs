@@ -46,22 +46,20 @@ fn bench_virtual_match(c: &mut Criterion) {
     for workload in [WorkloadName::E100A1, WorkloadName::E80A4] {
         for kind in [IndexKind::Poset, IndexKind::Naive, IndexKind::Counting] {
             let bench = setup(kind, workload, 5_000);
-            group.bench_function(
-                BenchmarkId::new(format!("{kind:?}"), workload.as_str()),
-                |b| {
-                    b.iter_custom(|iters| {
-                        let mut out = Vec::new();
-                        bench.mem.reset_counters();
-                        for i in 0..iters {
-                            out.clear();
-                            bench
-                                .index
-                                .match_header(&bench.headers[i as usize % bench.headers.len()], &mut out);
-                        }
-                        Duration::from_nanos(bench.mem.elapsed_ns() as u64)
-                    });
-                },
-            );
+            group.bench_function(BenchmarkId::new(format!("{kind:?}"), workload.as_str()), |b| {
+                b.iter_custom(|iters| {
+                    let mut out = Vec::new();
+                    bench.mem.reset_counters();
+                    for i in 0..iters {
+                        out.clear();
+                        bench.index.match_header(
+                            &bench.headers[i as usize % bench.headers.len()],
+                            &mut out,
+                        );
+                    }
+                    Duration::from_nanos(bench.mem.elapsed_ns() as u64)
+                });
+            });
         }
     }
     group.finish();

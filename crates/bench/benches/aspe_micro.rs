@@ -31,9 +31,11 @@ fn sample_publication(i: usize) -> PublicationSpec {
 }
 
 fn sample_subscription(i: usize) -> SubscriptionSpec {
-    SubscriptionSpec::new()
-        .eq("symbol", format!("S{}", i % 50).as_str())
-        .between("close", 10.0 + (i % 100) as f64, 20.0 + (i % 100) as f64)
+    SubscriptionSpec::new().eq("symbol", format!("S{}", i % 50).as_str()).between(
+        "close",
+        10.0 + (i % 100) as f64,
+        20.0 + (i % 100) as f64,
+    )
 }
 
 fn bench_encrypt(c: &mut Criterion) {

@@ -79,12 +79,5 @@ fn bench_rsa(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_aes_ctr,
-    bench_sha256,
-    bench_hmac,
-    bench_sealed_box,
-    bench_rsa
-);
+criterion_group!(benches, bench_aes_ctr, bench_sha256, bench_hmac, bench_sealed_box, bench_rsa);
 criterion_main!(benches);

@@ -19,11 +19,7 @@ use sgx_sim::SgxPlatform;
 
 fn main() {
     let scale = Scale::from_env();
-    banner(
-        "Figure 5",
-        "Overhead of encryption and enclave (workload e100a1, 4 configs)",
-        &scale,
-    );
+    banner("Figure 5", "Overhead of encryption and enclave (workload e100a1, 4 configs)", &scale);
     let market = StockMarket::generate(&scale.market, 1);
     let workload = Workload::from_name(WorkloadName::E100A1);
     let max = *scale.sub_counts.last().expect("non-empty counts");
@@ -32,12 +28,8 @@ fn main() {
     let pubs = workload.publications(&market, scale.pubs_per_point, 8);
     let platform = SgxPlatform::for_testing(9);
 
-    let configs = [
-        EngineConfig::InAes,
-        EngineConfig::InPlain,
-        EngineConfig::OutAes,
-        EngineConfig::OutPlain,
-    ];
+    let configs =
+        [EngineConfig::InAes, EngineConfig::InPlain, EngineConfig::OutAes, EngineConfig::OutPlain];
     let mut experiments: Vec<MatchExperiment> =
         configs.iter().map(|c| MatchExperiment::new(&platform, *c)).collect();
 

@@ -10,6 +10,7 @@
 //! cargo run --release -p scbr-bench --bin fig6
 //! ```
 
+use scbr_bench::json::{emit, JsonObj};
 use scbr_bench::{banner, EngineConfig, MatchExperiment, Scale};
 use scbr_workloads::{StockMarket, Workload};
 use sgx_sim::SgxPlatform;
@@ -33,6 +34,7 @@ fn main() {
     println!();
     println!("{}", "-".repeat(12 + 11 * scale.sub_counts.len()));
 
+    let mut rows: Vec<JsonObj> = Vec::new();
     for workload in Workload::all() {
         eprintln!("[{}] generating …", workload.name());
         let subs = workload.subscriptions(&market, max, 7);
@@ -43,10 +45,19 @@ fn main() {
             exp.load_to(&subs, count);
             let point = exp.measure(&pubs);
             print!(" {:>10.1}", point.matching_us);
+            rows.push(
+                JsonObj::new()
+                    .str("workload", &workload.name().to_string())
+                    .str("config", EngineConfig::OutPlain.label())
+                    .int("subs", point.subs as u64)
+                    .num("matching_us", point.matching_us)
+                    .num("throughput_msg_per_s", 1_000_000.0 / point.matching_us)
+                    .num("cache_miss_rate", point.cache_miss_rate)
+                    .int("index_bytes", point.index_bytes),
+            );
         }
         println!();
     }
-    println!(
-        "\nexpected ordering (paper): e100a1 / e100a1zz100 fastest; e80a4 / extsub4 slowest"
-    );
+    println!("\nexpected ordering (paper): e100a1 / e100a1zz100 fastest; e80a4 / extsub4 slowest");
+    emit("fig6", scale.name, &rows);
 }

@@ -19,6 +19,7 @@
 use scbr::engine::RouterEngine;
 use scbr::ids::{ClientId, SubscriptionId};
 use scbr::index::IndexKind;
+use scbr_bench::json::{emit, JsonObj};
 use scbr_bench::{banner, Scale};
 use scbr_workloads::{StockMarket, Workload, WorkloadName};
 use sgx_sim::SgxPlatform;
@@ -46,6 +47,7 @@ fn main() {
     let epc_mb = platform.epc_config().usable_bytes as f64 / (1024.0 * 1024.0);
     let mut printed_epc_line = false;
 
+    let mut rows: Vec<JsonObj> = Vec::new();
     let mut registered = 0usize;
     while registered < subs.len() {
         let next = (registered + scale.fig8_bucket).min(subs.len());
@@ -64,8 +66,7 @@ fn main() {
         let out_us = out_stats.elapsed_ns / n / 1_000.0;
         let in_faults = in_stats.page_faults();
         let out_faults = out_stats.page_faults().max(1);
-        let db_mb =
-            inside.engine().index().logical_bytes() as f64 / (1024.0 * 1024.0);
+        let db_mb = inside.engine().index().logical_bytes() as f64 / (1024.0 * 1024.0);
         if db_mb > epc_mb && !printed_epc_line {
             println!("{}  <-- usable EPC limit ({epc_mb:.0} MB)", "-".repeat(88));
             printed_epc_line = true;
@@ -80,8 +81,19 @@ fn main() {
             in_faults,
             in_faults as f64 / out_faults as f64
         );
+        rows.push(
+            JsonObj::new()
+                .int("subs", next as u64)
+                .num("db_mb", db_mb)
+                .num("in_us_per_reg", in_us)
+                .num("out_us_per_reg", out_us)
+                .num("time_ratio", in_us / out_us)
+                .int("in_faults", in_faults)
+                .num("fault_ratio", in_faults as f64 / out_faults as f64),
+        );
         registered = next;
     }
+    emit("fig8", scale.name, &rows);
     println!("\nexpected (paper): ratios ≈ 1 below the EPC line; time ratio ≥ 10×,");
     println!("fault ratio ≈ 10³–10⁴ at the largest database sizes");
 }

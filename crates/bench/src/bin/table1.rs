@@ -5,6 +5,7 @@
 //! cargo run --release -p scbr-bench --bin table1
 //! ```
 
+use scbr_bench::json::{emit, JsonObj};
 use scbr_bench::{banner, Scale};
 use scbr_workloads::stats::WorkloadStats;
 use scbr_workloads::{StockMarket, Workload};
@@ -28,16 +29,26 @@ fn main() {
         "smoke" => 2_000,
         _ => 20_000,
     };
-    println!(
-        "{:<12} {:<30} shape (measured)",
-        "workload", "equality distribution"
-    );
+    println!("{:<12} {:<30} shape (measured)", "workload", "equality distribution");
     println!("{}", "-".repeat(100));
+    let mut rows: Vec<JsonObj> = Vec::new();
     for workload in Workload::all() {
         let stats = WorkloadStats::compute(&workload, &market, n_subs, 200, 42);
         println!("{}", stats.row());
+        let mut row = JsonObj::new()
+            .str("workload", &stats.name)
+            .int("subscriptions", stats.subscriptions as u64)
+            .num("mean_predicates", stats.mean_predicates)
+            .int("distinct_attributes", stats.distinct_attributes as u64)
+            .num("mean_publication_attrs", stats.mean_publication_attrs)
+            .num("top_symbol_share", stats.top_symbol_share);
+        for (eqs, share) in &stats.eq_histogram {
+            row = row.num(&format!("eq{eqs}_share"), *share);
+        }
+        rows.push(row);
     }
     println!();
+    emit("table1", scale.name, &rows);
     println!("Paper's Table 1 for comparison:");
     println!("  e100a1      100%:1eq    8–11 attrs   uniform");
     println!("  e80a1       20%:0 80%:1 8–11 attrs   uniform");

@@ -1,0 +1,157 @@
+//! Machine-readable bench output: `BENCH_<artefact>.json` files.
+//!
+//! Every figure/table binary prints a human-readable table; set the
+//! `SCBR_JSON` environment variable and it *additionally* writes the same
+//! numbers as JSON, so the performance trajectory can be tracked across
+//! PRs by diffing or plotting the files:
+//!
+//! * `SCBR_JSON=1` — write `BENCH_<artefact>.json` into the current
+//!   directory;
+//! * `SCBR_JSON=<dir>` — write into `<dir>` (created if missing).
+//!
+//! The emitted document is:
+//!
+//! ```json
+//! {"artefact": "fig6", "scale": "smoke", "rows": [{...}, ...]}
+//! ```
+//!
+//! No serde: rows are built with the tiny [`JsonObj`] builder, which
+//! renders valid JSON for the flat numeric/string records benches produce.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A flat JSON object under construction (insertion order preserved).
+#[derive(Debug, Clone, Default)]
+pub struct JsonObj {
+    fields: Vec<(String, String)>,
+}
+
+/// Escapes a string for a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObj::default()
+    }
+
+    /// Adds a float field (non-finite values render as `null`).
+    #[must_use]
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() { format!("{value}") } else { "null".to_owned() };
+        self.fields.push((key.to_owned(), rendered));
+        self
+    }
+
+    /// Adds an integer field.
+    #[must_use]
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_owned(), format!("\"{}\"", escape(value))));
+        self
+    }
+
+    /// Renders the object as JSON text.
+    pub fn render(&self) -> String {
+        let body: Vec<String> =
+            self.fields.iter().map(|(k, v)| format!("\"{}\": {v}", escape(k))).collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// Where `BENCH_*.json` files go, per the `SCBR_JSON` environment
+/// variable; `None` when emission is disabled.
+pub fn output_dir() -> Option<PathBuf> {
+    match std::env::var("SCBR_JSON") {
+        Ok(v) if v.is_empty() || v == "0" => None,
+        Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Some(PathBuf::from(".")),
+        Ok(v) => Some(PathBuf::from(v)),
+        Err(_) => None,
+    }
+}
+
+/// Writes `BENCH_<artefact>.json` if `SCBR_JSON` enables emission.
+/// Returns the written path, `None` when disabled. Failures to write are
+/// reported on stderr but never fail the bench run.
+pub fn emit(artefact: &str, scale: &str, rows: &[JsonObj]) -> Option<PathBuf> {
+    let dir = output_dir()?;
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("BENCH json: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("BENCH_{artefact}.json"));
+    let rendered: Vec<String> = rows.iter().map(|r| format!("  {}", r.render())).collect();
+    let doc = format!(
+        "{{\"artefact\": \"{}\", \"scale\": \"{}\", \"rows\": [\n{}\n]}}\n",
+        escape(artefact),
+        escape(scale),
+        rendered.join(",\n")
+    );
+    let result = std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes()));
+    match result {
+        Ok(()) => {
+            eprintln!("BENCH json: wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("BENCH json: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_object() {
+        let obj = JsonObj::new()
+            .str("name", "e80a1 \"zipf\"")
+            .int("subs", 100)
+            .num("us", 12.5)
+            .num("bad", f64::NAN);
+        assert_eq!(
+            obj.render(),
+            "{\"name\": \"e80a1 \\\"zipf\\\"\", \"subs\": 100, \"us\": 12.5, \"bad\": null}"
+        );
+    }
+
+    #[test]
+    fn escape_handles_controls() {
+        assert_eq!(escape("a\nb\t\"c\\"), "a\\nb\\t\\\"c\\\\");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn emitted_file_parses_as_json_shape() {
+        // Poor man's JSON validation: balanced braces/brackets and the
+        // expected skeleton (no serde available offline).
+        let rows = [JsonObj::new().int("x", 1), JsonObj::new().int("x", 2)];
+        let rendered: Vec<String> = rows.iter().map(|r| r.render()).collect();
+        let doc = format!("{{\"rows\": [{}]}}", rendered.join(","));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+}

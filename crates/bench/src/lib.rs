@@ -10,10 +10,17 @@
 //! | `fig6` | Figure 6 | matching time vs #subscriptions, all nine workloads, plaintext outside |
 //! | `fig7` | Figure 7 | per workload: Out ASPE vs In AES vs Out AES + cache-miss % |
 //! | `fig8` | Figure 8 | registration-time and page-fault in/out ratios vs database size |
+//! | `scaleout` | extension | partitioned router vs the EPC limit, 1/2/4/8 slices |
+//! | `batching` | extension | batch size × slice count: amortised enclave transitions |
 //!
 //! All times are **virtual nanoseconds** from the `sgx-sim` cost model
-//! (deterministic, host-independent); see `EXPERIMENTS.md` at the
-//! repository root for the paper-vs-reproduction comparison.
+//! (deterministic, host-independent) unless a column is explicitly
+//! labelled wall-clock; see `EXPERIMENTS.md` at the repository root for
+//! the paper-vs-reproduction comparison.
+//!
+//! Set `SCBR_JSON=1` (or `SCBR_JSON=<dir>`) and the binaries additionally
+//! write machine-readable `BENCH_<artefact>.json` files ([`json`]), so
+//! the performance trajectory can be tracked across PRs.
 //!
 //! Scale is controlled by `SCBR_SCALE`:
 //!
@@ -24,6 +31,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
 
 use scbr::engine::RouterEngine;
 use scbr::ids::{ClientId, SubscriptionId};
@@ -226,9 +235,7 @@ impl MatchExperiment {
         self.engine.reset_counters();
         if self.config.encrypted() {
             for ct in &encrypted {
-                self.engine
-                    .call(|e| e.match_encrypted(ct))
-                    .expect("encrypted matching");
+                self.engine.call(|e| e.match_encrypted(ct)).expect("encrypted matching");
             }
         } else {
             for p in publications {
@@ -271,10 +278,8 @@ impl AspeExperiment {
         let numeric_refs: Vec<&str> = numeric.iter().map(|s| s.as_str()).collect();
         let eq_refs: Vec<&str> = eq.iter().map(|s| s.as_str()).collect();
         let authority = AspeAuthority::new(&numeric_refs, &eq_refs, &mut rng);
-        let mem = sgx_sim::MemorySim::native(
-            *platform.cache_config(),
-            platform.cost_model().clone(),
-        );
+        let mem =
+            sgx_sim::MemorySim::native(*platform.cache_config(), platform.cost_model().clone());
         AspeExperiment { authority, matcher: AspeMatcher::new(&mem), rng, loaded: 0 }
     }
 
@@ -330,10 +335,7 @@ pub fn banner(figure: &str, description: &str, scale: &Scale) {
     println!("==============================================================");
     println!("SCBR reproduction — {figure}");
     println!("{description}");
-    println!(
-        "scale={} (SCBR_SCALE=smoke|quick|full), virtual-clock measurements",
-        scale.name
-    );
+    println!("scale={} (SCBR_SCALE=smoke|quick|full), virtual-clock measurements", scale.name);
     println!("==============================================================");
 }
 

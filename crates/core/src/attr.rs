@@ -128,7 +128,9 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let s = s.clone();
-                std::thread::spawn(move || (0..100).map(|i| s.intern(&format!("a{i}"))).collect::<Vec<_>>())
+                std::thread::spawn(move || {
+                    (0..100).map(|i| s.intern(&format!("a{i}"))).collect::<Vec<_>>()
+                })
             })
             .collect();
         let results: Vec<Vec<AttrId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();

@@ -1,4 +1,5 @@
-//! Horizontal scaling: a StreamHub-style partitioned router.
+//! Horizontal scaling: a StreamHub-style partitioned router on real
+//! worker threads.
 //!
 //! The paper's conclusion points out that the EPC limit "can be overcome
 //! through horizontal scalability", and §3.4 advocates a StreamHub-like
@@ -9,32 +10,130 @@
 //!
 //! Each slice holds `1/n`-th of the index, so a database that would
 //! overflow one enclave's EPC (and fall off the Figure 8 cliff) stays
-//! within budget on `n` slices. The slices share nothing; in a real
-//! deployment they would be separate machines, so the fan-out matching
-//! time is the *maximum* over slices, which
-//! [`PartitionedRouter::parallel_elapsed_ns`] reports.
+//! within budget on `n` slices.
+//!
+//! ## Execution model
+//!
+//! Every slice owns a dedicated OS worker thread fed by a job channel;
+//! fan-out genuinely runs the slices concurrently and the dispatcher
+//! merges replies as they arrive. Two clocks describe a fan-out:
+//!
+//! * [`PartitionedRouter::parallel_elapsed_ns`] — the *virtual* critical
+//!   path: the slowest slice's simulated clock (deterministic, what the
+//!   figures report);
+//! * [`PartitionedRouter::fanout_wall_ns`] — accumulated *wall-clock*
+//!   time from dispatch to merge, measured on the host. With N worker
+//!   threads this drops below the single-slice wall time once per-slice
+//!   matching work dominates dispatch overhead.
+//!
+//! Batches are the unit of work: [`PartitionedRouter::match_encrypted_batch`]
+//! ships the whole batch to each slice, which matches it through a
+//! **single enclave crossing** ([`RouterEngine::match_batch`]), so the
+//! per-message transition cost scales as `slices / batch_size`.
+//!
+//! ## Placement and rebalancing
+//!
+//! Registrations are placed round-robin, which balances slice *occupancy*
+//! without inspecting ciphertexts (the router must not learn which
+//! subscriptions are related). Unregistrations can still skew slices over
+//! time: round-robin never moves a live subscription, so a slice whose
+//! tenants happen to unsubscribe ends up under-filled while the others
+//! carry its share of the EPC budget. [`PartitionedRouter::slice_stats`]
+//! and [`PartitionedRouter::occupancy_skew`] expose the imbalance
+//! (subscriptions, index bytes, EPC swaps per slice) so an operator — or a
+//! future auto-rebalancer — can detect it. The correct remedy in this
+//! architecture is *re-registration*: pick the fullest slice, unregister a
+//! batch of its subscriptions and replay their stored registration
+//! envelopes on the emptiest slice (the envelopes are producer-signed, so
+//! the move needs no client involvement). That machinery is deliberately
+//! not wired in yet; today the module guarantees detection, not
+//! correction.
 
 use crate::engine::RouterEngine;
 use crate::error::ScbrError;
 use crate::ids::{ClientId, SubscriptionId};
 use crate::index::IndexKind;
 use crate::subscription::SubscriptionSpec;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
 use scbr_crypto::ctr::SymmetricKey;
 use scbr_crypto::rsa::RsaPublicKey;
-use sgx_sim::SgxPlatform;
+use sgx_sim::{MemStats, SgxPlatform};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
 
-/// A router made of `n` enclave-hosted matcher slices.
+/// A unit of work executed on a slice's worker thread.
+type SliceJob = Box<dyn FnOnce(&mut RouterEngine) + Send + 'static>;
+
+/// One enclave-hosted matcher slice and its worker thread.
+#[derive(Debug)]
+struct SliceWorker {
+    /// Job queue feeding the worker thread (`None` once shut down).
+    jobs: Option<Sender<SliceJob>>,
+    /// The slice's engine. The worker thread holds the lock while running
+    /// jobs; the dispatcher locks it only between fan-outs (inspection).
+    engine: Arc<Mutex<RouterEngine>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl SliceWorker {
+    fn spawn(engine: RouterEngine) -> Self {
+        let engine = Arc::new(Mutex::new(engine));
+        let (tx, rx) = unbounded::<SliceJob>();
+        let thread_engine = engine.clone();
+        let handle = std::thread::spawn(move || {
+            while let Ok(job) = rx.recv() {
+                let mut engine = thread_engine.lock();
+                job(&mut engine);
+            }
+        });
+        SliceWorker { jobs: Some(tx), engine, handle: Some(handle) }
+    }
+
+    fn send(&self, job: SliceJob) {
+        let accepted = self.jobs.as_ref().expect("slice worker running").send(job).is_ok();
+        assert!(accepted, "slice worker accepts jobs");
+    }
+}
+
+/// Per-slice occupancy and memory counters (see the module docs'
+/// rebalancing story).
+#[derive(Debug, Clone, Copy)]
+pub struct SliceStats {
+    /// Slice position in the fan-out order.
+    pub slice: usize,
+    /// Live subscriptions placed on this slice.
+    pub subscriptions: usize,
+    /// Structural nodes in the slice's index.
+    pub nodes: usize,
+    /// Simulated index footprint in bytes (what presses on the EPC).
+    pub index_bytes: u64,
+    /// The slice memory's counters since the last reset (includes
+    /// `ecalls`, `epc_swaps`, virtual `elapsed_ns`).
+    pub mem: MemStats,
+    /// Lifetime enclave crossings (not reset by
+    /// [`PartitionedRouter::reset_counters`]).
+    pub lifetime_ecalls: u64,
+}
+
+/// A router made of `n` enclave-hosted matcher slices, each on its own
+/// worker thread.
 #[derive(Debug)]
 pub struct PartitionedRouter {
-    slices: Vec<RouterEngine>,
+    workers: Vec<SliceWorker>,
     /// Which slice holds each subscription (for unregistration).
     placement: HashMap<SubscriptionId, usize>,
     next: usize,
+    /// Wall-clock nanoseconds spent in fan-out/merge since the last reset.
+    fanout_wall_ns: AtomicU64,
 }
 
 impl PartitionedRouter {
-    /// Launches `n` matcher enclaves on `platform`.
+    /// Launches `n` matcher enclaves on `platform`, one worker thread
+    /// each.
     ///
     /// # Errors
     ///
@@ -49,25 +148,51 @@ impl PartitionedRouter {
         n: usize,
     ) -> Result<Self, ScbrError> {
         assert!(n > 0, "at least one slice required");
-        let mut slices = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
         for _ in 0..n {
-            slices.push(RouterEngine::in_enclave(platform, kind)?);
+            workers.push(SliceWorker::spawn(RouterEngine::in_enclave(platform, kind)?));
         }
-        Ok(PartitionedRouter { slices, placement: HashMap::new(), next: 0 })
+        Ok(PartitionedRouter {
+            workers,
+            placement: HashMap::new(),
+            next: 0,
+            fanout_wall_ns: AtomicU64::new(0),
+        })
     }
 
     /// Number of slices.
     pub fn slice_count(&self) -> usize {
-        self.slices.len()
+        self.workers.len()
+    }
+
+    /// Runs `job` on one slice's worker thread and waits for its result.
+    fn run_on<R: Send + 'static>(
+        &self,
+        slice: usize,
+        job: impl FnOnce(&mut RouterEngine) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = unbounded();
+        self.workers[slice].send(Box::new(move |engine| {
+            let _ = tx.send(job(engine));
+        }));
+        rx.recv().expect("slice worker replies")
     }
 
     /// Provisions every slice with the shared keys (each slice would run
     /// its own attestation in a real deployment; the producer-side key
     /// management "could be simply replicated", §3.4).
     pub fn provision_keys(&mut self, sk: &SymmetricKey, producer_key: &RsaPublicKey) {
-        for slice in &mut self.slices {
-            let (sk, pk) = (sk.clone(), producer_key.clone());
-            slice.call(move |e| e.provision_keys(sk, pk));
+        let (tx, rx) = unbounded();
+        for worker in &self.workers {
+            let (sk, pk, tx) = (sk.clone(), producer_key.clone(), tx.clone());
+            worker.send(Box::new(move |engine| {
+                engine.call(move |e| e.provision_keys(sk, pk));
+                let _ = tx.send(());
+            }));
+        }
+        drop(tx);
+        for _ in &self.workers {
+            rx.recv().expect("slice provisions");
         }
     }
 
@@ -78,9 +203,11 @@ impl PartitionedRouter {
     ///
     /// Propagates the slice engine's verification/decryption failures.
     pub fn register_envelope(&mut self, envelope: &[u8]) -> Result<SubscriptionId, ScbrError> {
-        let slice = self.next % self.slices.len();
+        let slice = self.next % self.workers.len();
         self.next += 1;
-        let id = self.slices[slice].call(|e| e.register_envelope(envelope))?;
+        let envelope = envelope.to_vec();
+        let id =
+            self.run_on(slice, move |engine| engine.call(|e| e.register_envelope(&envelope)))?;
         self.placement.insert(id, slice);
         Ok(id)
     }
@@ -96,9 +223,10 @@ impl PartitionedRouter {
         client: ClientId,
         spec: &SubscriptionSpec,
     ) -> Result<(), ScbrError> {
-        let slice = self.next % self.slices.len();
+        let slice = self.next % self.workers.len();
         self.next += 1;
-        self.slices[slice].call(|e| e.register_plain(id, client, spec))?;
+        let spec = spec.clone();
+        self.run_on(slice, move |engine| engine.call(|e| e.register_plain(id, client, &spec)))?;
         self.placement.insert(id, slice);
         Ok(())
     }
@@ -106,30 +234,78 @@ impl PartitionedRouter {
     /// Unregisters a subscription wherever it lives.
     pub fn unregister(&mut self, id: SubscriptionId) -> bool {
         match self.placement.remove(&id) {
-            Some(slice) => self.slices[slice].call(|e| e.unregister(id)),
+            Some(slice) => self.run_on(slice, move |engine| engine.call(|e| e.unregister(id))),
             None => false,
         }
     }
 
-    /// Matches an encrypted header against every slice and merges the
-    /// client lists (sorted, deduplicated).
+    /// Matches one encrypted header against every slice and merges the
+    /// client lists (sorted, deduplicated). Shorthand for a one-element
+    /// [`PartitionedRouter::match_encrypted_batch`].
     ///
     /// # Errors
     ///
     /// Fails if any slice fails.
     pub fn match_encrypted(&mut self, header_ct: &[u8]) -> Result<Vec<ClientId>, ScbrError> {
-        let mut merged = Vec::new();
-        for slice in &mut self.slices {
-            merged.extend(slice.call(|e| e.match_encrypted(header_ct))?);
+        let mut results = self.match_encrypted_batch(std::slice::from_ref(&header_ct.to_vec()))?;
+        Ok(results.pop().expect("one result per header"))
+    }
+
+    /// Fans a whole batch of encrypted headers out to every slice
+    /// **concurrently** — each slice matches the batch through a single
+    /// enclave crossing — and merges the per-publication client lists
+    /// (sorted, deduplicated).
+    ///
+    /// Wall-clock time from dispatch to merge is accumulated in
+    /// [`PartitionedRouter::fanout_wall_ns`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if any slice fails on any header (all-or-nothing, matching
+    /// [`RouterEngine::match_batch`]).
+    pub fn match_encrypted_batch(
+        &mut self,
+        headers: &[Vec<u8>],
+    ) -> Result<Vec<Vec<ClientId>>, ScbrError> {
+        let n = self.workers.len();
+        let shared: Arc<[Vec<u8>]> = headers.to_vec().into();
+        let started = Instant::now();
+        let (tx, rx) = unbounded();
+        for (slice, worker) in self.workers.iter().enumerate() {
+            let (shared, tx) = (shared.clone(), tx.clone());
+            worker.send(Box::new(move |engine| {
+                let _ = tx.send((slice, engine.match_batch(&shared)));
+            }));
         }
-        merged.sort_unstable_by_key(|c| c.0);
-        merged.dedup();
+        drop(tx);
+
+        let mut merged: Vec<Vec<ClientId>> = vec![Vec::new(); headers.len()];
+        let mut first_err = None;
+        for _ in 0..n {
+            let (_, result) = rx.recv().expect("slice worker replies");
+            match result {
+                Ok(per_publication) => {
+                    for (i, clients) in per_publication.into_iter().enumerate() {
+                        merged[i].extend(clients);
+                    }
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        self.fanout_wall_ns.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        for clients in &mut merged {
+            clients.sort_unstable_by_key(|c| c.0);
+            clients.dedup();
+        }
         Ok(merged)
     }
 
     /// Total subscriptions across slices.
     pub fn len(&self) -> usize {
-        self.slices.iter().map(|s| s.engine().index().len()).sum()
+        self.workers.iter().map(|w| w.engine.lock().engine().index().len()).sum()
     }
 
     /// True when no subscription is registered.
@@ -137,36 +313,99 @@ impl PartitionedRouter {
         self.len() == 0
     }
 
-    /// Wall-clock model for the fan-out deployment: slices run in
+    /// Virtual critical path of the fan-out deployment: slices run in
     /// parallel, so matching latency is the slowest slice's virtual time.
     pub fn parallel_elapsed_ns(&self) -> f64 {
-        self.slices
-            .iter()
-            .map(|s| s.elapsed_ns())
-            .fold(0.0, f64::max)
+        self.workers.iter().map(|w| w.engine.lock().elapsed_ns()).fold(0.0, f64::max)
     }
 
     /// Aggregate virtual time (total energy/work across slices).
     pub fn total_elapsed_ns(&self) -> f64 {
-        self.slices.iter().map(|s| s.elapsed_ns()).sum()
+        self.workers.iter().map(|w| w.engine.lock().elapsed_ns()).sum()
+    }
+
+    /// Wall-clock nanoseconds spent in fan-out dispatch + merge since the
+    /// last [`PartitionedRouter::reset_counters`] — host-measured truth,
+    /// complementing the virtual clocks.
+    pub fn fanout_wall_ns(&self) -> u64 {
+        self.fanout_wall_ns.load(Ordering::Relaxed)
     }
 
     /// Total EPC page swaps across slices (the Figure 8 failure mode this
     /// architecture avoids).
     pub fn total_epc_swaps(&self) -> u64 {
-        self.slices.iter().map(|s| s.stats().epc_swaps).sum()
+        self.workers.iter().map(|w| w.engine.lock().stats().epc_swaps).sum()
     }
 
-    /// Resets every slice's counters.
-    pub fn reset_counters(&self) {
-        for slice in &self.slices {
-            slice.reset_counters();
+    /// Total enclave crossings across slices since the last reset.
+    pub fn total_ecalls(&self) -> u64 {
+        self.workers.iter().map(|w| w.engine.lock().stats().ecalls).sum()
+    }
+
+    /// Per-slice occupancy and memory counters, in fan-out order.
+    pub fn slice_stats(&self) -> Vec<SliceStats> {
+        self.workers
+            .iter()
+            .enumerate()
+            .map(|(slice, w)| {
+                let engine = w.engine.lock();
+                let index = engine.engine().index();
+                SliceStats {
+                    slice,
+                    subscriptions: index.len(),
+                    nodes: index.node_count(),
+                    index_bytes: index.logical_bytes(),
+                    mem: engine.stats(),
+                    lifetime_ecalls: engine.enclave().map(|e| e.ecall_count()).unwrap_or_default(),
+                }
+            })
+            .collect()
+    }
+
+    /// Occupancy skew: the fullest slice's subscription count over the
+    /// mean (1.0 = perfectly balanced; grows as unregistrations cluster).
+    /// Returns 1.0 for an empty router.
+    pub fn occupancy_skew(&self) -> f64 {
+        let counts: Vec<usize> =
+            self.workers.iter().map(|w| w.engine.lock().engine().index().len()).collect();
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            return 1.0;
         }
+        let mean = total as f64 / counts.len() as f64;
+        counts.iter().copied().max().unwrap_or(0) as f64 / mean
     }
 
-    /// Access to the underlying slices (inspection).
-    pub fn slices(&self) -> &[RouterEngine] {
-        &self.slices
+    /// Resets every slice's counters and the wall-clock accumulator
+    /// (between measurement phases).
+    pub fn reset_counters(&self) {
+        for worker in &self.workers {
+            worker.engine.lock().reset_counters();
+        }
+        self.fanout_wall_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// Runs `f` with read access to one slice's engine (inspection; the
+    /// lock excludes the worker thread while held).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of bounds.
+    pub fn with_slice<R>(&self, slice: usize, f: impl FnOnce(&RouterEngine) -> R) -> R {
+        f(&self.workers[slice].engine.lock())
+    }
+}
+
+impl Drop for PartitionedRouter {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            worker.jobs = None; // close the queue; the worker loop exits
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
     }
 }
 
@@ -204,9 +443,8 @@ mod tests {
 
         for i in 0..40u64 {
             let spec = SubscriptionSpec::new().gt("price", (i % 10) as f64);
-            let env = crypto
-                .seal_registration(&spec, SubscriptionId(i), ClientId(i), &mut rng)
-                .unwrap();
+            let env =
+                crypto.seal_registration(&spec, SubscriptionId(i), ClientId(i), &mut rng).unwrap();
             one.register_envelope(&env).unwrap();
             four.register_envelope(&env).unwrap();
         }
@@ -222,6 +460,37 @@ mod tests {
                 "price {price}"
             );
         }
+    }
+
+    #[test]
+    fn batch_fanout_merges_like_per_message() {
+        let platform = SgxPlatform::for_testing(7);
+        let (crypto, mut rng) = producer();
+        let mut router = PartitionedRouter::in_enclaves(&platform, IndexKind::Poset, 3).unwrap();
+        router.provision_keys(crypto.sk(), crypto.public_key());
+        for i in 0..30u64 {
+            let spec = SubscriptionSpec::new().gt("price", (i % 10) as f64);
+            let env =
+                crypto.seal_registration(&spec, SubscriptionId(i), ClientId(i), &mut rng).unwrap();
+            router.register_envelope(&env).unwrap();
+        }
+        let headers: Vec<Vec<u8>> = [0.5f64, 3.5, 7.5, 11.0]
+            .iter()
+            .map(|p| crypto.encrypt_header(&PublicationSpec::new().attr("price", *p), &mut rng))
+            .collect();
+
+        router.reset_counters();
+        let batched = router.match_encrypted_batch(&headers).unwrap();
+        // One crossing per slice for the whole batch.
+        assert_eq!(router.total_ecalls(), 3);
+        assert!(router.fanout_wall_ns() > 0, "wall clock measured");
+        for (i, ct) in headers.iter().enumerate() {
+            assert_eq!(batched[i], router.match_encrypted(ct).unwrap());
+        }
+        // A poisoned header fails the whole batch.
+        let mut bad = headers.clone();
+        bad[1].truncate(3);
+        assert!(router.match_encrypted_batch(&bad).is_err());
     }
 
     #[test]
@@ -245,7 +514,7 @@ mod tests {
     }
 
     #[test]
-    fn slices_split_the_footprint() {
+    fn slices_split_the_footprint_and_report_stats() {
         let platform = SgxPlatform::for_testing(4);
         let mut router = PartitionedRouter::in_enclaves(&platform, IndexKind::Poset, 4).unwrap();
         for i in 0..400u64 {
@@ -257,10 +526,20 @@ mod tests {
                 )
                 .unwrap();
         }
-        for slice in router.slices() {
-            let len = slice.engine().index().len();
-            assert_eq!(len, 100, "round-robin balances slices");
+        let stats = router.slice_stats();
+        assert_eq!(stats.len(), 4);
+        for s in &stats {
+            assert_eq!(s.subscriptions, 100, "round-robin balances slices");
+            assert!(s.index_bytes > 0);
+            assert!(s.lifetime_ecalls >= 100, "one crossing per registration");
         }
+        assert!((router.occupancy_skew() - 1.0).abs() < 1e-9);
+
+        // Clustered unregistrations skew one slice; the stats expose it.
+        for i in (0..400u64).filter(|i| i % 4 == 0).take(50) {
+            router.unregister(SubscriptionId(i));
+        }
+        assert!(router.occupancy_skew() > 1.1, "skew detected after churn");
     }
 
     #[test]

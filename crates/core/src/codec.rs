@@ -375,10 +375,8 @@ mod tests {
 
     #[test]
     fn subscription_round_trip() {
-        let spec = SubscriptionSpec::new()
-            .eq("symbol", "HAL")
-            .lt("price", 50.0)
-            .ge("volume", 1000i64);
+        let spec =
+            SubscriptionSpec::new().eq("symbol", "HAL").lt("price", 50.0).ge("volume", 1000i64);
         let bytes = encode_subscription(&spec);
         assert_eq!(decode_subscription(&bytes).unwrap(), spec);
     }

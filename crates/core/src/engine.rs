@@ -119,17 +119,44 @@ impl MatchingEngine {
     /// Matches a batch of encrypted headers in one call — the paper's
     /// future-work optimisation ("message batching … to reduce the
     /// frequency of enclave enters/exits"): wrap this in a *single*
-    /// [`RouterEngine::call`] and the EENTER/EEXIT pair is amortised over
-    /// the whole batch.
+    /// [`RouterEngine::call`] (or use [`RouterEngine::match_batch`], which
+    /// does exactly that) and the EENTER/EEXIT pair is amortised over the
+    /// whole batch.
     ///
     /// # Errors
     ///
-    /// Fails on the first undecryptable header, reporting its index.
+    /// Fails on the first undecryptable header. Use
+    /// [`MatchingEngine::match_encrypted_batch_each`] when one poisoned
+    /// header must not sink its batch-mates.
     pub fn match_encrypted_batch(
         &self,
         headers: &[Vec<u8>],
     ) -> Result<Vec<Vec<ClientId>>, ScbrError> {
         headers.iter().map(|ct| self.match_encrypted(ct)).collect()
+    }
+
+    /// Matches a batch of encrypted headers, reporting each outcome
+    /// independently — the fault-isolating variant the router event loop
+    /// uses, since a batch drained off the wire may mix traffic from
+    /// several producers.
+    pub fn match_encrypted_batch_each(
+        &self,
+        headers: &[Vec<u8>],
+    ) -> Vec<Result<Vec<ClientId>, ScbrError>> {
+        headers.iter().map(|ct| self.match_encrypted(ct)).collect()
+    }
+
+    /// Matches a batch of plaintext headers (baseline path for the
+    /// batching ablation).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first header that does not compile.
+    pub fn match_plain_batch(
+        &self,
+        publications: &[PublicationSpec],
+    ) -> Result<Vec<Vec<ClientId>>, ScbrError> {
+        publications.iter().map(|p| self.match_plain(p)).collect()
     }
 
     /// Serialises the registered subscriptions (raw registration bodies)
@@ -239,9 +266,7 @@ impl RouterEngine {
     /// Propagates enclave-launch failures.
     pub fn in_enclave(platform: &SgxPlatform, kind: IndexKind) -> Result<Self, ScbrError> {
         let enclave = platform.launch(
-            EnclaveBuilder::new("scbr-router")
-                .add_page(b"scbr matching engine v1")
-                .isv_prod_id(1),
+            EnclaveBuilder::new("scbr-router").add_page(b"scbr matching engine v1").isv_prod_id(1),
         )?;
         let engine = MatchingEngine::new(enclave.memory(), kind);
         Ok(RouterEngine { placement: Placement::InEnclave, enclave: Some(enclave), engine })
@@ -251,7 +276,11 @@ impl RouterEngine {
     /// cost model (the outside-enclave baseline on the same machine).
     pub fn outside(platform: &SgxPlatform, kind: IndexKind) -> Self {
         let mem = MemorySim::native(*platform.cache_config(), platform.cost_model().clone());
-        RouterEngine { placement: Placement::Outside, enclave: None, engine: MatchingEngine::new(&mem, kind) }
+        RouterEngine {
+            placement: Placement::Outside,
+            enclave: None,
+            engine: MatchingEngine::new(&mem, kind),
+        }
     }
 
     /// The placement.
@@ -271,6 +300,30 @@ impl RouterEngine {
             Some(enclave) => enclave.ecall(|_ctx| f(engine)),
             None => f(engine),
         }
+    }
+
+    /// Matches a batch of encrypted headers in a **single enclave
+    /// crossing**: the EENTER/EEXIT pair (and its [`MemStats::ecalls`]
+    /// tick) is paid once for the whole slice of headers, so per-message
+    /// transition cost scales as `1/batch_size`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first undecryptable header (all-or-nothing; see
+    /// [`RouterEngine::match_batch_each`] for per-item outcomes).
+    pub fn match_batch(&mut self, headers: &[Vec<u8>]) -> Result<Vec<Vec<ClientId>>, ScbrError> {
+        self.call(|e| e.match_encrypted_batch(headers))
+    }
+
+    /// Matches a batch of encrypted headers in a single enclave crossing,
+    /// reporting each header's outcome independently (the router event
+    /// loop's drain path: one corrupt publication must not void the rest
+    /// of the batch).
+    pub fn match_batch_each(
+        &mut self,
+        headers: &[Vec<u8>],
+    ) -> Vec<Result<Vec<ClientId>, ScbrError>> {
+        self.call(|e| e.match_encrypted_batch_each(headers))
     }
 
     /// Read-only access without crossing the gate (setup/inspection).
@@ -330,9 +383,8 @@ mod tests {
         engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
 
         let spec = SubscriptionSpec::new().eq("symbol", "INTC");
-        let envelope = producer
-            .seal_registration(&spec, SubscriptionId(7), ClientId(3), &mut rng)
-            .unwrap();
+        let envelope =
+            producer.seal_registration(&spec, SubscriptionId(7), ClientId(3), &mut rng).unwrap();
         assert_eq!(engine.register_envelope(&envelope).unwrap(), SubscriptionId(7));
 
         let publication = PublicationSpec::new().attr("symbol", "INTC").attr("price", 1.0);
@@ -358,7 +410,12 @@ mod tests {
         let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
         engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
         let mut envelope = producer
-            .seal_registration(&SubscriptionSpec::new().eq("s", 1i64), SubscriptionId(1), ClientId(1), &mut rng)
+            .seal_registration(
+                &SubscriptionSpec::new().eq("s", 1i64),
+                SubscriptionId(1),
+                ClientId(1),
+                &mut rng,
+            )
             .unwrap();
         envelope[6] ^= 1;
         assert!(engine.register_envelope(&envelope).is_err());
@@ -376,7 +433,12 @@ mod tests {
         let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
         engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
         let envelope = rogue
-            .seal_registration(&SubscriptionSpec::new().eq("s", 1i64), SubscriptionId(1), ClientId(1), &mut rng)
+            .seal_registration(
+                &SubscriptionSpec::new().eq("s", 1i64),
+                SubscriptionId(1),
+                ClientId(1),
+                &mut rng,
+            )
             .unwrap();
         assert!(engine.register_envelope(&envelope).is_err());
     }
@@ -449,9 +511,7 @@ mod tests {
 
         let build = || {
             platform
-                .launch(
-                    sgx_sim::enclave::EnclaveBuilder::new("scbr-router").add_page(b"engine v1"),
-                )
+                .launch(sgx_sim::enclave::EnclaveBuilder::new("scbr-router").add_page(b"engine v1"))
                 .unwrap()
         };
         let enclave = build();
@@ -518,6 +578,53 @@ mod tests {
     }
 
     #[test]
+    fn match_batch_is_one_enclave_crossing() {
+        let platform = SgxPlatform::for_testing(8);
+        let mut rng = CryptoRng::from_seed(25);
+        let producer = producer(&mut rng);
+        let mut engine = RouterEngine::in_enclave(&platform, IndexKind::Poset).unwrap();
+        engine.call(|e| e.provision_keys(producer.sk().clone(), producer.public_key().clone()));
+        for i in 0..8u64 {
+            let spec = SubscriptionSpec::new().gt("p", i as f64);
+            engine.call(|e| e.register_plain(SubscriptionId(i), ClientId(i), &spec)).unwrap();
+        }
+        let headers: Vec<Vec<u8>> = (0..16)
+            .map(|i| {
+                producer.encrypt_header(&PublicationSpec::new().attr("p", i as f64 + 0.5), &mut rng)
+            })
+            .collect();
+
+        engine.reset_counters();
+        let sequential: Vec<_> =
+            headers.iter().map(|ct| engine.call(|e| e.match_encrypted(ct)).unwrap()).collect();
+        let seq_stats = engine.stats();
+        assert_eq!(seq_stats.ecalls, headers.len() as u64);
+
+        engine.reset_counters();
+        let batched = engine.match_batch(&headers).unwrap();
+        let batch_stats = engine.stats();
+        assert_eq!(batch_stats.ecalls, 1, "whole batch crosses the gate once");
+        assert_eq!(batched, sequential, "batching never changes the match set");
+        assert!(
+            batch_stats.elapsed_ns < seq_stats.elapsed_ns,
+            "amortised transitions are cheaper: {} vs {}",
+            batch_stats.elapsed_ns,
+            seq_stats.elapsed_ns
+        );
+
+        // The per-item variant isolates a poisoned header.
+        let mut mixed = headers.clone();
+        mixed[3].truncate(2);
+        let outcomes = engine.match_batch_each(&mixed);
+        assert!(outcomes[3].is_err());
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i != 3 {
+                assert_eq!(outcome.as_ref().unwrap(), &sequential[i]);
+            }
+        }
+    }
+
+    #[test]
     fn enclave_placement_charges_transitions() {
         let platform = SgxPlatform::for_testing(5);
         let mut inside = RouterEngine::in_enclave(&platform, IndexKind::Poset).unwrap();
@@ -526,12 +633,8 @@ mod tests {
         assert_eq!(outside.placement(), Placement::Outside);
 
         let spec = SubscriptionSpec::new().eq("s", "X");
-        inside
-            .call(|e| e.register_plain(SubscriptionId(1), ClientId(1), &spec))
-            .unwrap();
-        outside
-            .call(|e| e.register_plain(SubscriptionId(1), ClientId(1), &spec))
-            .unwrap();
+        inside.call(|e| e.register_plain(SubscriptionId(1), ClientId(1), &spec)).unwrap();
+        outside.call(|e| e.register_plain(SubscriptionId(1), ClientId(1), &spec)).unwrap();
         assert_eq!(inside.enclave().unwrap().ecall_count(), 1);
         assert!(
             inside.elapsed_ns() > outside.elapsed_ns(),
@@ -547,9 +650,7 @@ mod tests {
         let mut inside = RouterEngine::in_enclave(&platform, IndexKind::Poset).unwrap();
         let mut outside = RouterEngine::outside(&platform, IndexKind::Poset);
         for engine in [&mut inside, &mut outside] {
-            engine.call(|e| {
-                e.provision_keys(producer.sk().clone(), producer.public_key().clone())
-            });
+            engine.call(|e| e.provision_keys(producer.sk().clone(), producer.public_key().clone()));
         }
         for i in 0..20u64 {
             let spec = SubscriptionSpec::new().gt("price", i as f64);

@@ -181,7 +181,8 @@ mod tests {
             sub(&schema, SubscriptionSpec::new().eq("a", 1i64).eq("b", 2i64).eq("c", 3i64)),
         );
         // Two of three constraints satisfied: no match.
-        let partial = header(&schema, &[("a", 1i64.into()), ("b", 2i64.into()), ("c", 9i64.into())]);
+        let partial =
+            header(&schema, &[("a", 1i64.into()), ("b", 2i64.into()), ("c", 9i64.into())]);
         assert!(matches(&index, &partial).is_empty());
         let full = header(&schema, &[("a", 1i64.into()), ("b", 2i64.into()), ("c", 3i64.into())]);
         assert_eq!(matches(&index, &full), vec![0]);

@@ -507,10 +507,7 @@ mod tests {
             index.insert(
                 SubscriptionId(i),
                 ClientId(i),
-                sub(
-                    &schema,
-                    SubscriptionSpec::new().eq("symbol", "HAL").gt("price", i as f64),
-                ),
+                sub(&schema, SubscriptionSpec::new().eq("symbol", "HAL").gt("price", i as f64)),
             );
         }
         // A non-HAL publication must only evaluate the root.
@@ -526,10 +523,7 @@ mod tests {
         let h2 = header(&schema, &[("symbol", "HAL".into()), ("price", 100.0.into())]);
         index.match_header(&h2, &mut out);
         let full_reads = mem.stats().reads;
-        assert!(
-            full_reads >= 5 * pruned_reads,
-            "pruned {pruned_reads} vs full {full_reads}"
-        );
+        assert!(full_reads >= 5 * pruned_reads, "pruned {pruned_reads} vs full {full_reads}");
     }
 
     #[test]

@@ -116,9 +116,10 @@ impl ConstraintSet {
     pub fn covers(&self, other: &ConstraintSet) -> bool {
         match (self, other) {
             (ConstraintSet::StrEq(a), ConstraintSet::StrEq(b)) => a == b,
-            (ConstraintSet::Range { lo: alo, hi: ahi }, ConstraintSet::Range { lo: blo, hi: bhi }) => {
-                lo_covers(alo, blo) && hi_covers(ahi, bhi)
-            }
+            (
+                ConstraintSet::Range { lo: alo, hi: ahi },
+                ConstraintSet::Range { lo: blo, hi: bhi },
+            ) => lo_covers(alo, blo) && hi_covers(ahi, bhi),
             // A range never covers a string constraint or vice versa: their
             // value domains are disjoint, and an empty-domain `other` would
             // make coverage vacuous but also useless for the index.
@@ -138,7 +139,10 @@ impl ConstraintSet {
                     None
                 }
             }
-            (ConstraintSet::Range { lo: alo, hi: ahi }, ConstraintSet::Range { lo: blo, hi: bhi }) => {
+            (
+                ConstraintSet::Range { lo: alo, hi: ahi },
+                ConstraintSet::Range { lo: blo, hi: bhi },
+            ) => {
                 let lo = tighter_lo(alo, blo)?;
                 let hi = tighter_hi(ahi, bhi)?;
                 if range_is_empty(&lo, &hi) {

@@ -76,10 +76,7 @@ impl ClientDirectory {
     ///
     /// [`ScbrError::NotFound`] for unknown clients.
     pub fn suspend(&mut self, id: ClientId) -> Result<(), ScbrError> {
-        let record = self
-            .clients
-            .get_mut(&id)
-            .ok_or(ScbrError::NotFound { what: "client" })?;
+        let record = self.clients.get_mut(&id).ok_or(ScbrError::NotFound { what: "client" })?;
         if record.status == ClientStatus::Active {
             record.status = ClientStatus::Suspended;
         }
@@ -92,10 +89,7 @@ impl ClientDirectory {
     ///
     /// [`ScbrError::NotFound`] for unknown clients.
     pub fn reactivate(&mut self, id: ClientId) -> Result<(), ScbrError> {
-        let record = self
-            .clients
-            .get_mut(&id)
-            .ok_or(ScbrError::NotFound { what: "client" })?;
+        let record = self.clients.get_mut(&id).ok_or(ScbrError::NotFound { what: "client" })?;
         if record.status == ClientStatus::Suspended {
             record.status = ClientStatus::Active;
         }
@@ -108,10 +102,7 @@ impl ClientDirectory {
     ///
     /// [`ScbrError::NotFound`] for unknown clients.
     pub fn revoke(&mut self, id: ClientId) -> Result<(), ScbrError> {
-        let record = self
-            .clients
-            .get_mut(&id)
-            .ok_or(ScbrError::NotFound { what: "client" })?;
+        let record = self.clients.get_mut(&id).ok_or(ScbrError::NotFound { what: "client" })?;
         record.status = ClientStatus::Revoked;
         Ok(())
     }
@@ -142,11 +133,7 @@ impl ClientDirectory {
         self.check_admitted(id)?;
         let sub = SubscriptionId(self.next_subscription);
         self.next_subscription += 1;
-        self.clients
-            .get_mut(&id)
-            .expect("checked above")
-            .subscriptions
-            .push(sub);
+        self.clients.get_mut(&id).expect("checked above").subscriptions.push(sub);
         Ok(sub)
     }
 
@@ -205,10 +192,7 @@ mod tests {
         assert!(dir.check_admitted(c).is_ok());
 
         dir.revoke(c).unwrap();
-        assert!(matches!(
-            dir.check_admitted(c),
-            Err(ScbrError::NotAdmitted { status: "revoked" })
-        ));
+        assert!(matches!(dir.check_admitted(c), Err(ScbrError::NotAdmitted { status: "revoked" })));
         // Revocation is permanent.
         dir.reactivate(c).unwrap();
         assert!(dir.check_admitted(c).is_err());

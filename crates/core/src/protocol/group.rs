@@ -113,7 +113,11 @@ impl GroupKeyStore {
     /// # Errors
     ///
     /// Crypto failures when the update is not for this client's key pair.
-    pub fn ingest_update(&mut self, pair: &RsaKeyPair, wrapped: &[u8]) -> Result<KeyEpoch, ScbrError> {
+    pub fn ingest_update(
+        &mut self,
+        pair: &RsaKeyPair,
+        wrapped: &[u8],
+    ) -> Result<KeyEpoch, ScbrError> {
         let body = hybrid_decrypt(pair, wrapped)?;
         if body.len() < 8 {
             return Err(ScbrError::Codec { context: "key update" });
@@ -132,10 +136,8 @@ impl GroupKeyStore {
     /// epoch's key (e.g. it was revoked before the rekey), or crypto errors
     /// on tampering.
     pub fn open_payload(&self, epoch: KeyEpoch, sealed: &[u8]) -> Result<Vec<u8>, ScbrError> {
-        let key = self
-            .keys
-            .get(&epoch)
-            .ok_or(ScbrError::MissingKeys { which: "group key epoch" })?;
+        let key =
+            self.keys.get(&epoch).ok_or(ScbrError::MissingKeys { which: "group key epoch" })?;
         Ok(SealedBox::new(key).open(sealed, &epoch.0.to_be_bytes())?)
     }
 

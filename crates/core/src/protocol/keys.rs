@@ -43,10 +43,7 @@ pub fn hybrid_encrypt(
 /// # Errors
 ///
 /// [`ScbrError::Crypto`] on any unwrap or authentication failure.
-pub fn hybrid_decrypt(
-    pair: &RsaKeyPair,
-    ciphertext: &[u8],
-) -> Result<Vec<u8>, ScbrError> {
+pub fn hybrid_decrypt(pair: &RsaKeyPair, ciphertext: &[u8]) -> Result<Vec<u8>, ScbrError> {
     let mut r = Reader::new(ciphertext);
     let wrapped = r.bytes()?;
     let sealed = r.bytes()?;
@@ -184,13 +181,8 @@ pub fn provision_sk_via_attestation(
     // Step 3: producer side. SK and the verification key travel together.
     let mut secret = Writer::new();
     secret.bytes(producer.sk().as_bytes());
-    let wrapped_secret = provision::release_secret(
-        service,
-        policy,
-        &request,
-        &secret.into_bytes(),
-        producer_rng,
-    )?;
+    let wrapped_secret =
+        provision::release_secret(service, policy, &request, &secret.into_bytes(), producer_rng)?;
     let pk_bytes = producer.public_key().to_bytes();
     // Step 4: inside the enclave again.
     let sk = enclave.ecall(|_ctx| {
@@ -290,9 +282,8 @@ mod tests {
     #[test]
     fn attestation_provisioning_rejects_wrong_measurement() {
         let platform = SgxPlatform::for_testing(43);
-        let enclave = platform
-            .launch(EnclaveBuilder::new("evil-router").add_page(b"evil engine"))
-            .unwrap();
+        let enclave =
+            platform.launch(EnclaveBuilder::new("evil-router").add_page(b"evil engine")).unwrap();
         let mut service = AttestationService::new();
         service.trust_platform(platform.attestation_public_key().clone());
         // Policy pins a different measurement.

@@ -7,7 +7,40 @@
 use crate::codec::{Reader, Writer};
 use crate::error::ScbrError;
 use crate::ids::{ClientId, KeyEpoch, SubscriptionId};
-use scbr_net::Envelope;
+use scbr_net::{batch, Envelope};
+
+/// One publication inside a [`Message::PublishBatch`]: the same triple a
+/// [`Message::Publish`] carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublishItem {
+    /// `{header}SK`.
+    pub header_ct: Vec<u8>,
+    /// Group-key epoch of the payload.
+    pub epoch: KeyEpoch,
+    /// Payload ciphertext (opaque to the router).
+    pub payload_ct: Vec<u8>,
+}
+
+impl PublishItem {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&self.header_ct).u64(self.epoch.0).bytes(&self.payload_ct);
+        w.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, ScbrError> {
+        let mut r = Reader::new(bytes);
+        let item = PublishItem {
+            header_ct: r.bytes()?,
+            epoch: KeyEpoch(r.u64()?),
+            payload_ct: r.bytes()?,
+        };
+        if !r.is_exhausted() {
+            return Err(ScbrError::Codec { context: "publish item trailing bytes" });
+        }
+        Ok(item)
+    }
+}
 
 /// All SCBR protocol messages.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +81,13 @@ pub enum Message {
         /// Payload ciphertext (opaque to the router).
         payload_ct: Vec<u8>,
     },
+    /// Producer → router: a whole batch of encrypted publications in one
+    /// wire unit (the batch-first pipeline; the router matches the batch
+    /// through a single enclave crossing).
+    PublishBatch {
+        /// The batched publications, in publish order.
+        items: Vec<PublishItem>,
+    },
     /// Router → client: matched publication payload (step 6).
     Deliver {
         /// Group-key epoch of the payload.
@@ -85,6 +125,7 @@ impl Message {
             Message::Register { .. } => "register",
             Message::RegisterAck { .. } => "register-ack",
             Message::Publish { .. } => "publish",
+            Message::PublishBatch { .. } => "publish-batch",
             Message::Deliver { .. } => "deliver",
             Message::KeyUpdate { .. } => "key-update",
             Message::Hello { .. } => "hello",
@@ -94,6 +135,15 @@ impl Message {
     }
 
     /// Serialises into an envelope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Message::PublishBatch`] exceeds the net layer's
+    /// frame limits (more than [`scbr_net::batch::MAX_BATCH_ITEMS`] items
+    /// or a packed payload beyond `MAX_FRAME`). The producer role never
+    /// builds such batches — it chunks outgoing traffic (see
+    /// [`crate::roles::producer`]); direct API users assembling their own
+    /// `PublishBatch` messages must do the same.
     pub fn to_envelope(&self) -> Envelope {
         let mut w = Writer::new();
         match self {
@@ -114,6 +164,13 @@ impl Message {
             }
             Message::Publish { header_ct, epoch, payload_ct } => {
                 w.bytes(header_ct).u64(epoch.0).bytes(payload_ct);
+            }
+            Message::PublishBatch { items } => {
+                // The payload *is* the net-layer batch frame: member i is
+                // one encoded publish triple.
+                let packed = batch::pack(items.iter().map(PublishItem::encode))
+                    .expect("publish batch within frame limits");
+                return Envelope::new(self.kind(), packed);
             }
             Message::Deliver { epoch, payload_ct } => {
                 w.u64(epoch.0).bytes(payload_ct);
@@ -153,6 +210,15 @@ impl Message {
                 epoch: KeyEpoch(r.u64()?),
                 payload_ct: r.bytes()?,
             },
+            "publish-batch" => {
+                let packed = batch::unpack(&env.payload)
+                    .map_err(|_| ScbrError::Codec { context: "publish batch framing" })?;
+                let items = packed
+                    .iter()
+                    .map(|bytes| PublishItem::decode(bytes))
+                    .collect::<Result<Vec<_>, _>>()?;
+                return Ok(Message::PublishBatch { items });
+            }
             "deliver" => Message::Deliver { epoch: KeyEpoch(r.u64()?), payload_ct: r.bytes()? },
             "key-update" => Message::KeyUpdate { wrapped: r.bytes()? },
             "hello" => Message::Hello { client: ClientId(r.u64()?) },
@@ -207,6 +273,13 @@ mod tests {
             epoch: KeyEpoch(2),
             payload_ct: vec![3],
         });
+        round_trip(Message::PublishBatch { items: vec![] });
+        round_trip(Message::PublishBatch {
+            items: vec![
+                PublishItem { header_ct: vec![1, 2], epoch: KeyEpoch(3), payload_ct: vec![4] },
+                PublishItem { header_ct: vec![], epoch: KeyEpoch(0), payload_ct: vec![5; 100] },
+            ],
+        });
         round_trip(Message::Deliver { epoch: KeyEpoch(0), payload_ct: vec![] });
         round_trip(Message::KeyUpdate { wrapped: vec![9; 40] });
         round_trip(Message::Hello { client: ClientId(1) });
@@ -230,5 +303,22 @@ mod tests {
     #[test]
     fn malformed_wire_rejected() {
         assert!(Message::from_wire(b"not an envelope").is_err());
+    }
+
+    #[test]
+    fn corrupt_publish_batch_rejected() {
+        let msg = Message::PublishBatch {
+            items: vec![PublishItem {
+                header_ct: vec![1],
+                epoch: KeyEpoch(2),
+                payload_ct: vec![3],
+            }],
+        };
+        let mut env = msg.to_envelope();
+        env.payload.truncate(env.payload.len() - 1);
+        assert!(Message::from_envelope(&env).is_err());
+        let mut env2 = msg.to_envelope();
+        env2.payload.push(9);
+        assert!(Message::from_envelope(&env2).is_err());
     }
 }

@@ -103,10 +103,7 @@ impl CompiledHeader {
 
     /// Looks up the scalar for `attr`.
     pub fn get(&self, attr: AttrId) -> Option<&Scalar> {
-        self.entries
-            .binary_search_by_key(&attr, |(a, _)| *a)
-            .ok()
-            .map(|i| &self.entries[i].1)
+        self.entries.binary_search_by_key(&attr, |(a, _)| *a).ok().map(|i| &self.entries[i].1)
     }
 }
 

@@ -121,9 +121,7 @@ impl ClientNode {
                 Message::KeyUpdate { wrapped } => {
                     let _ = self.keys.ingest_update(&self.key_pair, &wrapped);
                 }
-                other => {
-                    return Err(ScbrError::UnexpectedMessage { got: other.kind().to_owned() })
-                }
+                other => return Err(ScbrError::UnexpectedMessage { got: other.kind().to_owned() }),
             }
         }
     }

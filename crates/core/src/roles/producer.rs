@@ -10,10 +10,10 @@ use crate::ids::ClientId;
 use crate::protocol::admission::ClientDirectory;
 use crate::protocol::group::GroupKeyManager;
 use crate::protocol::keys::ProducerCrypto;
-use crate::protocol::messages::Message;
+use crate::protocol::messages::{Message, PublishItem};
 use crate::publication::PublicationSpec;
-use crate::roles::{pump_connection, pump_listener, send_best_effort};
 use crate::roles::ConnEvent;
+use crate::roles::{pump_connection, pump_listener, send_best_effort};
 use crossbeam::channel::{unbounded, Sender};
 use scbr_crypto::rng::CryptoRng;
 use scbr_crypto::rsa::RsaPublicKey;
@@ -43,6 +43,10 @@ pub enum ProducerCommand {
     /// Publish a quote: header encrypted under SK, payload under the group
     /// key.
     Publish(PublicationSpec),
+    /// Publish a whole batch of quotes as one wire frame
+    /// ([`Message::PublishBatch`]): the router matches the batch through a
+    /// single enclave crossing, amortising the call-gate cost.
+    PublishBatch(Vec<PublicationSpec>),
     /// Stop the event loop.
     Shutdown,
 }
@@ -136,6 +140,55 @@ impl Producer {
                                     router.as_ref(),
                                     &Message::Publish { header_ct, epoch, payload_ct },
                                 );
+                            }
+                            ProducerCommand::PublishBatch(publications) => {
+                                // Chunk the outgoing frames: never exceed
+                                // the router's per-crossing drain bound per
+                                // frame, and stay far inside the wire-level
+                                // frame limit so encoding cannot fail (an
+                                // oversized batch must degrade into more
+                                // frames, not kill the event loop). An
+                                // empty command sends nothing.
+                                const MAX_BATCH_BYTES: usize = 4 << 20;
+                                let mut items: Vec<PublishItem> = Vec::new();
+                                let mut batch_bytes = 0usize;
+                                for publication in &publications {
+                                    let header_ct = crypto.encrypt_header(publication, &mut rng);
+                                    let (epoch, payload_ct) =
+                                        group.encrypt_payload(publication.payload_bytes(), &mut rng);
+                                    let item_bytes = header_ct.len() + payload_ct.len() + 32;
+                                    if item_bytes > MAX_BATCH_BYTES {
+                                        // A single outsized publication
+                                        // cannot ride in a batch frame; ship
+                                        // it alone so the wire layer applies
+                                        // its own size policy (exactly like
+                                        // ProducerCommand::Publish).
+                                        send_best_effort(
+                                            router.as_ref(),
+                                            &Message::Publish { header_ct, epoch, payload_ct },
+                                        );
+                                        continue;
+                                    }
+                                    batch_bytes += item_bytes;
+                                    items.push(PublishItem { header_ct, epoch, payload_ct });
+                                    if items.len() >= crate::roles::router::MAX_DRAIN
+                                        || batch_bytes >= MAX_BATCH_BYTES
+                                    {
+                                        send_best_effort(
+                                            router.as_ref(),
+                                            &Message::PublishBatch {
+                                                items: std::mem::take(&mut items),
+                                            },
+                                        );
+                                        batch_bytes = 0;
+                                    }
+                                }
+                                if !items.is_empty() {
+                                    send_best_effort(
+                                        router.as_ref(),
+                                        &Message::PublishBatch { items },
+                                    );
+                                }
                             }
                             ProducerCommand::Shutdown => {
                                 send_best_effort(router.as_ref(), &Message::Shutdown);

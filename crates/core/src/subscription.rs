@@ -126,29 +126,25 @@ impl SubscriptionSpec {
                     })
                 }
                 (Op::Eq, _) => ConstraintSet::point(scalar),
-                (Op::Lt, _) => ConstraintSet::Range {
-                    lo: Bound::Unbounded,
-                    hi: Bound::Exclusive(scalar),
-                },
-                (Op::Le, _) => ConstraintSet::Range {
-                    lo: Bound::Unbounded,
-                    hi: Bound::Inclusive(scalar),
-                },
-                (Op::Gt, _) => ConstraintSet::Range {
-                    lo: Bound::Exclusive(scalar),
-                    hi: Bound::Unbounded,
-                },
-                (Op::Ge, _) => ConstraintSet::Range {
-                    lo: Bound::Inclusive(scalar),
-                    hi: Bound::Unbounded,
-                },
+                (Op::Lt, _) => {
+                    ConstraintSet::Range { lo: Bound::Unbounded, hi: Bound::Exclusive(scalar) }
+                }
+                (Op::Le, _) => {
+                    ConstraintSet::Range { lo: Bound::Unbounded, hi: Bound::Inclusive(scalar) }
+                }
+                (Op::Gt, _) => {
+                    ConstraintSet::Range { lo: Bound::Exclusive(scalar), hi: Bound::Unbounded }
+                }
+                (Op::Ge, _) => {
+                    ConstraintSet::Range { lo: Bound::Inclusive(scalar), hi: Bound::Unbounded }
+                }
             };
             let attr = schema.intern(&pred.attr);
             match constraints.iter_mut().find(|(a, _)| *a == attr) {
                 Some((_, existing)) => {
-                    *existing = existing.intersect(&set).ok_or(
-                        ScbrError::InvalidSubscription { reason: "contradictory predicates" },
-                    )?;
+                    *existing = existing.intersect(&set).ok_or(ScbrError::InvalidSubscription {
+                        reason: "contradictory predicates",
+                    })?;
                 }
                 None => constraints.push((attr, set)),
             }
@@ -306,10 +302,7 @@ mod tests {
         AttrSchema::new()
     }
 
-    fn header(
-        schema: &AttrSchema,
-        attrs: &[(&str, Value)],
-    ) -> crate::publication::CompiledHeader {
+    fn header(schema: &AttrSchema, attrs: &[(&str, Value)]) -> crate::publication::CompiledHeader {
         let mut spec = PublicationSpec::new();
         for (name, v) in attrs {
             spec = spec.attr(name, v.clone());
@@ -351,11 +344,7 @@ mod tests {
     #[test]
     fn repeated_attribute_intersects() {
         let s = schema();
-        let sub = SubscriptionSpec::new()
-            .ge("price", 10.0)
-            .le("price", 20.0)
-            .compile(&s)
-            .unwrap();
+        let sub = SubscriptionSpec::new().ge("price", 10.0).le("price", 20.0).compile(&s).unwrap();
         assert_eq!(sub.len(), 1, "two predicates fold into one constraint");
         assert!(sub.matches(&header(&s, &[("price", 15.0.into())])));
         assert!(!sub.matches(&header(&s, &[("price", 25.0.into())])));
@@ -374,16 +363,10 @@ mod tests {
     #[test]
     fn contradiction_rejected() {
         let s = schema();
-        let err = SubscriptionSpec::new()
-            .lt("price", 1.0)
-            .gt("price", 2.0)
-            .compile(&s);
+        let err = SubscriptionSpec::new().lt("price", 1.0).gt("price", 2.0).compile(&s);
         assert!(matches!(err, Err(ScbrError::InvalidSubscription { .. })));
         // Mixing kinds on one attribute is also contradictory.
-        let err2 = SubscriptionSpec::new()
-            .eq("price", 5i64)
-            .lt("price", 10.0)
-            .compile(&s);
+        let err2 = SubscriptionSpec::new().eq("price", 5i64).lt("price", 10.0).compile(&s);
         assert!(err2.is_err());
     }
 

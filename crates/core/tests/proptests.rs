@@ -54,7 +54,11 @@ fn build_spec(preds: &[RawPred]) -> SubscriptionSpec {
     spec
 }
 
-fn build_header(schema: &AttrSchema, values: &[f64], sym: usize) -> scbr::publication::CompiledHeader {
+fn build_header(
+    schema: &AttrSchema,
+    values: &[f64],
+    sym: usize,
+) -> scbr::publication::CompiledHeader {
     PublicationSpec::new()
         .attr("price", values[0])
         .attr("volume", values[1])

@@ -144,10 +144,7 @@ mod tests {
     #[test]
     fn too_short_rejected() {
         let (sb, _) = setup();
-        assert!(matches!(
-            sb.open(&[0u8; 10], b""),
-            Err(CryptoError::InvalidLength { .. })
-        ));
+        assert!(matches!(sb.open(&[0u8; 10], b""), Err(CryptoError::InvalidLength { .. })));
     }
 
     #[test]

@@ -261,11 +261,7 @@ impl BigUint {
         } else {
             for i in limb_shift..self.limbs.len() {
                 let lo = self.limbs[i] >> bit_shift;
-                let hi = self
-                    .limbs
-                    .get(i + 1)
-                    .map(|&l| l << (32 - bit_shift))
-                    .unwrap_or(0);
+                let hi = self.limbs.get(i + 1).map(|&l| l << (32 - bit_shift)).unwrap_or(0);
                 out.push(lo | hi);
             }
         }
@@ -315,9 +311,7 @@ impl BigUint {
             let top = ((u[j + n] as u64) << 32) | u[j + n - 1] as u64;
             let mut qhat = top / v[n - 1] as u64;
             let mut rhat = top % v[n - 1] as u64;
-            while qhat >= b
-                || qhat * v[n - 2] as u64 > ((rhat << 32) | u[j + n - 2] as u64)
-            {
+            while qhat >= b || qhat * v[n - 2] as u64 > ((rhat << 32) | u[j + n - 2] as u64) {
                 qhat -= 1;
                 rhat += v[n - 1] as u64;
                 if rhat >= b {
@@ -749,8 +743,10 @@ mod tests {
         assert_eq!(BigUint::zero().to_string(), "0");
         assert_eq!(BigUint::one().to_string(), "1");
         assert_eq!(BigUint::from_u64(123456789012345).to_string(), "123456789012345");
-        assert_eq!(big(340282366920938463463374607431768211455).to_string(),
-            "340282366920938463463374607431768211455");
+        assert_eq!(
+            big(340282366920938463463374607431768211455).to_string(),
+            "340282366920938463463374607431768211455"
+        );
     }
 
     #[test]

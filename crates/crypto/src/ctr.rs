@@ -31,10 +31,7 @@ impl SymmetricKey {
     /// Wraps an existing 16- or 32-byte key.
     pub fn from_bytes<B: Into<Vec<u8>>>(bytes: B) -> Self {
         let bytes = bytes.into();
-        assert!(
-            bytes.len() == 16 || bytes.len() == 32,
-            "symmetric keys are 16 or 32 bytes"
-        );
+        assert!(bytes.len() == 16 || bytes.len() == 32, "symmetric keys are 16 or 32 bytes");
         SymmetricKey { bytes }
     }
 

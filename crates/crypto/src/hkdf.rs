@@ -57,10 +57,7 @@ mod tests {
     }
 
     fn unhex(s: &str) -> Vec<u8> {
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     // RFC 5869 test case 1.
@@ -70,10 +67,7 @@ mod tests {
         let salt = unhex("000102030405060708090a0b0c");
         let info = unhex("f0f1f2f3f4f5f6f7f8f9");
         let prk = extract(&salt, &ikm);
-        assert_eq!(
-            hex(&prk),
-            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
-        );
+        assert_eq!(hex(&prk), "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
         let mut okm = [0u8; 42];
         expand(&prk, &info, &mut okm);
         assert_eq!(

@@ -19,8 +19,8 @@ pub const PUBLIC_EXPONENT: u64 = 65537;
 
 /// DER prefix of the `DigestInfo` structure for SHA-256 (RFC 8017 §9.2).
 const SHA256_DIGEST_INFO: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// An RSA public key `(n, e)`.
@@ -45,9 +45,7 @@ pub struct RsaPrivateKey {
 impl std::fmt::Debug for RsaPrivateKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print private material.
-        f.debug_struct("RsaPrivateKey")
-            .field("modulus_bits", &self.n.bits())
-            .finish()
+        f.debug_struct("RsaPrivateKey").field("modulus_bits", &self.n.bits()).finish()
     }
 }
 
@@ -77,7 +75,9 @@ impl RsaKeyPair {
     /// for testing) or odd sizes are requested.
     pub fn generate(bits: usize, rng: &mut CryptoRng) -> Result<Self, CryptoError> {
         if bits < 256 || !bits.is_multiple_of(2) {
-            return Err(CryptoError::InvalidKey { reason: "modulus size must be an even number >= 256" });
+            return Err(CryptoError::InvalidKey {
+                reason: "modulus size must be an even number >= 256",
+            });
         }
         let e = BigUint::from_u64(PUBLIC_EXPONENT);
         loop {
@@ -376,10 +376,7 @@ mod tests {
         let pair = test_pair();
         let mut rng = CryptoRng::from_seed(7);
         let too_long = vec![1u8; pair.public().modulus_len() - 10];
-        assert_eq!(
-            pair.public().encrypt(&too_long, &mut rng),
-            Err(CryptoError::MessageTooLong)
-        );
+        assert_eq!(pair.public().encrypt(&too_long, &mut rng), Err(CryptoError::MessageTooLong));
     }
 
     #[test]
@@ -408,10 +405,7 @@ mod tests {
     fn signature_rejects_wrong_message() {
         let pair = test_pair();
         let sig = pair.private().sign(b"msg a").unwrap();
-        assert_eq!(
-            pair.public().verify(b"msg b", &sig),
-            Err(CryptoError::VerificationFailed)
-        );
+        assert_eq!(pair.public().verify(b"msg b", &sig), Err(CryptoError::VerificationFailed));
     }
 
     #[test]

@@ -33,14 +33,8 @@ fn hex(s: &str) -> Vec<u8> {
 #[test]
 fn sha256_fips180_vectors() {
     let cases: &[(&[u8], &str)] = &[
-        (
-            b"",
-            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
-        ),
-        (
-            b"abc",
-            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
-        ),
+        (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+        (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
         (
             b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
@@ -85,10 +79,8 @@ fn aes128_fips197_example() {
 
 #[test]
 fn aes256_fips197_example() {
-    let aes = Aes::new(&hex(
-        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-    ))
-    .unwrap();
+    let aes =
+        Aes::new(&hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")).unwrap();
     let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
     aes.encrypt_block(&mut block);
     assert_eq!(block.to_vec(), hex("8ea2b7ca516745bfeafc49904b496089"));

@@ -1,0 +1,142 @@
+//! Batch framing: many sub-frames packed into one wire unit.
+//!
+//! The batch-first routing pipeline ships publications in groups so the
+//! router can match a whole group through a single enclave crossing. On
+//! the wire a batch is one ordinary frame/envelope whose payload packs the
+//! member frames:
+//!
+//! ```text
+//! u32 count | (u32 len | len bytes) × count      (big-endian)
+//! ```
+//!
+//! The format is content-agnostic — members are opaque byte strings — so
+//! the same packing serves protocol-level publication batches today and
+//! any future batched message kind. Sizes are validated against
+//! [`crate::frame::MAX_FRAME`] on both sides, mirroring the stream
+//! framing's defence against corrupt length prefixes.
+
+use crate::error::NetError;
+use crate::frame::MAX_FRAME;
+
+/// Maximum number of members accepted in one batch (sanity bound against
+/// corrupt counts; generous next to any useful drain size).
+pub const MAX_BATCH_ITEMS: usize = 65_536;
+
+/// Packs `items` into a single batch payload.
+///
+/// # Errors
+///
+/// [`NetError::FrameTooLarge`] if an item, or the packed batch, exceeds
+/// [`MAX_FRAME`]; [`NetError::Malformed`] if there are more than
+/// [`MAX_BATCH_ITEMS`] items.
+pub fn pack<I, B>(items: I) -> Result<Vec<u8>, NetError>
+where
+    I: IntoIterator<Item = B>,
+    B: AsRef<[u8]>,
+{
+    let mut out = vec![0u8; 4];
+    let mut count: usize = 0;
+    for item in items {
+        let item = item.as_ref();
+        if item.len() > MAX_FRAME {
+            return Err(NetError::FrameTooLarge { size: item.len() });
+        }
+        count += 1;
+        if count > MAX_BATCH_ITEMS {
+            return Err(NetError::Malformed { context: "batch item count" });
+        }
+        out.extend_from_slice(&(item.len() as u32).to_be_bytes());
+        out.extend_from_slice(item);
+        if out.len() > MAX_FRAME {
+            return Err(NetError::FrameTooLarge { size: out.len() });
+        }
+    }
+    out[..4].copy_from_slice(&(count as u32).to_be_bytes());
+    Ok(out)
+}
+
+/// Unpacks a batch payload produced by [`pack`].
+///
+/// # Errors
+///
+/// [`NetError::Malformed`] on truncated payloads, trailing bytes or
+/// absurd counts; [`NetError::FrameTooLarge`] for oversized members.
+pub fn unpack(payload: &[u8]) -> Result<Vec<Vec<u8>>, NetError> {
+    if payload.len() < 4 {
+        return Err(NetError::Malformed { context: "batch header" });
+    }
+    let count = u32::from_be_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+    if count > MAX_BATCH_ITEMS {
+        return Err(NetError::Malformed { context: "batch item count" });
+    }
+    let mut items = Vec::with_capacity(count.min(1024));
+    let mut at = 4usize;
+    for _ in 0..count {
+        let Some(len_bytes) = payload.get(at..at + 4) else {
+            return Err(NetError::Malformed { context: "batch item length" });
+        };
+        let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(NetError::FrameTooLarge { size: len });
+        }
+        at += 4;
+        let Some(body) = payload.get(at..at + len) else {
+            return Err(NetError::Malformed { context: "batch item body" });
+        };
+        items.push(body.to_vec());
+        at += len;
+    }
+    if at != payload.len() {
+        return Err(NetError::Malformed { context: "batch trailing bytes" });
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let items: Vec<Vec<u8>> = vec![b"one".to_vec(), Vec::new(), vec![0xff; 1000]];
+        let packed = pack(&items).unwrap();
+        assert_eq!(unpack(&packed).unwrap(), items);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let packed = pack(Vec::<Vec<u8>>::new()).unwrap();
+        assert_eq!(packed, vec![0, 0, 0, 0]);
+        assert!(unpack(&packed).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let packed = pack([b"hello".as_slice()]).unwrap();
+        for cut in [0, 2, 5, packed.len() - 1] {
+            assert!(unpack(&packed[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut packed = pack([b"x".as_slice()]).unwrap();
+        packed.push(0);
+        assert!(matches!(unpack(&packed), Err(NetError::Malformed { .. })));
+    }
+
+    #[test]
+    fn lying_count_rejected() {
+        let mut packed = pack([b"x".as_slice()]).unwrap();
+        packed[..4].copy_from_slice(&2u32.to_be_bytes());
+        assert!(unpack(&packed).is_err());
+        packed[..4].copy_from_slice(&(MAX_BATCH_ITEMS as u32 + 1).to_be_bytes());
+        assert!(matches!(unpack(&packed), Err(NetError::Malformed { .. })));
+    }
+
+    #[test]
+    fn oversize_member_rejected_on_pack() {
+        let huge = vec![0u8; MAX_FRAME + 1];
+        assert!(matches!(pack([huge.as_slice()]), Err(NetError::FrameTooLarge { .. })));
+    }
+}

@@ -92,19 +92,13 @@ mod tests {
     fn oversize_length_rejected() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(u32::MAX).to_be_bytes());
-        assert!(matches!(
-            read_frame(Cursor::new(&buf)),
-            Err(NetError::FrameTooLarge { .. })
-        ));
+        assert!(matches!(read_frame(Cursor::new(&buf)), Err(NetError::FrameTooLarge { .. })));
     }
 
     #[test]
     fn oversize_payload_rejected_on_write() {
         let huge = vec![0u8; MAX_FRAME + 1];
         let mut buf = Vec::new();
-        assert!(matches!(
-            write_frame(&mut buf, &huge),
-            Err(NetError::FrameTooLarge { .. })
-        ));
+        assert!(matches!(write_frame(&mut buf, &huge), Err(NetError::FrameTooLarge { .. })));
     }
 }

@@ -7,6 +7,8 @@
 //! with no external dependency:
 //!
 //! * [`frame`] — length-prefixed binary framing over any byte stream;
+//! * [`batch`] — many sub-frames packed into one wire unit, the transport
+//!   of the batch-first routing pipeline;
 //! * [`envelope`] — the Base64 text envelope (`SCBR1 <kind> <payload>`)
 //!   used on the wire;
 //! * [`transport`] — a blocking connection/listener abstraction with two
@@ -31,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod envelope;
 pub mod error;
 pub mod frame;

@@ -93,9 +93,7 @@ impl Connection for InProcConnection {
         match self.rx.recv_timeout(timeout) {
             Ok(frame) => Ok(Some(frame)),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                Err(NetError::Disconnected)
-            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
         }
     }
 }
@@ -148,9 +146,8 @@ impl Transport for InProcNetwork {
 
     fn connect(&self, name: &str) -> Result<Box<dyn Connection>, NetError> {
         let reg = self.registry.lock();
-        let acceptor = reg
-            .get(name)
-            .ok_or_else(|| NetError::NoSuchEndpoint { name: name.to_owned() })?;
+        let acceptor =
+            reg.get(name).ok_or_else(|| NetError::NoSuchEndpoint { name: name.to_owned() })?;
         let (a_tx, b_rx) = unbounded();
         let (b_tx, a_rx) = unbounded();
         let server_side = InProcConnection { tx: b_tx, rx: b_rx };

@@ -68,7 +68,8 @@ pub fn create_report(ctx: &EnclaveContext<'_>, report_data: ReportData) -> Repor
 pub(crate) fn verify_report(platform_key: &[u8; 32], report: &Report) -> Result<(), SgxError> {
     let mut key = [0u8; 32];
     scbr_crypto::hkdf::derive(platform_key, b"sgx-report-key", b"", &mut key);
-    let expected = HmacSha256::mac(&key, &Report::signing_bytes(&report.identity, &report.report_data));
+    let expected =
+        HmacSha256::mac(&key, &Report::signing_bytes(&report.identity, &report.report_data));
     if scbr_crypto::ct::ct_eq(&expected, &report.mac) {
         Ok(())
     } else {
@@ -311,9 +312,8 @@ mod tests {
         assert!(rogue.quote(&report).is_err());
         // ...and a quote from a rogue platform's own enclave fails at the
         // service, which doesn't trust that platform.
-        let rogue_enclave = rogue
-            .launch(EnclaveBuilder::new("router").add_page(b"matching code"))
-            .unwrap();
+        let rogue_enclave =
+            rogue.launch(EnclaveBuilder::new("router").add_page(b"matching code")).unwrap();
         let rogue_report = rogue_enclave.ecall(|ctx| create_report(ctx, [0u8; 64]));
         let rogue_quote = rogue.quote(&rogue_report).unwrap();
         assert!(service.verify(&rogue_quote).is_err());
@@ -349,9 +349,8 @@ mod tests {
     #[test]
     fn debug_enclaves_rejected_by_default() {
         let platform = SgxPlatform::for_testing(50);
-        let enclave = platform
-            .launch(EnclaveBuilder::new("dbg").add_page(b"code").debug(true))
-            .unwrap();
+        let enclave =
+            platform.launch(EnclaveBuilder::new("dbg").add_page(b"code").debug(true)).unwrap();
         let policy = VerifierPolicy::require_mr_enclave(enclave.identity().mr_enclave);
         assert!(matches!(
             policy.check(enclave.identity()),
@@ -372,16 +371,19 @@ mod tests {
             (report, pair)
         });
         let quote = platform.quote(&request).unwrap();
-        let req = provision::ProvisioningRequest {
-            quote,
-            response_key: response_pair.public().clone(),
-        };
+        let req =
+            provision::ProvisioningRequest { quote, response_key: response_pair.public().clone() };
 
         // Verifier: release the secret only to the expected measurement.
         let policy = VerifierPolicy::require_mr_enclave(enclave.identity().mr_enclave);
-        let wrapped =
-            provision::release_secret(&service, &policy, &req, b"the symmetric key SK", &mut verifier_rng)
-                .unwrap();
+        let wrapped = provision::release_secret(
+            &service,
+            &policy,
+            &req,
+            b"the symmetric key SK",
+            &mut verifier_rng,
+        )
+        .unwrap();
 
         // Enclave decrypts.
         let secret = response_pair.private().decrypt(&wrapped).unwrap();

@@ -86,10 +86,8 @@ impl CacheSim {
         }
         // Miss: fill an invalid way, else evict LRU.
         self.misses += 1;
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|w| if w.valid { w.last_use } else { 0 })
-            .expect("ways > 0");
+        let victim =
+            ways.iter_mut().min_by_key(|w| if w.valid { w.last_use } else { 0 }).expect("ways > 0");
         victim.tag = tag;
         victim.valid = true;
         victim.last_use = self.tick;

@@ -187,10 +187,14 @@ impl Enclave {
     /// Enters the enclave, runs `f` with an [`EnclaveContext`], and exits.
     ///
     /// Charges the `EENTER`/`EEXIT` transition costs on the enclave's
-    /// virtual clock, like the paper's call gates.
+    /// virtual clock, like the paper's call gates, and records the
+    /// transition in the memory's [`crate::mem::MemStats::ecalls`] counter
+    /// so batching experiments can observe amortisation directly. The cost
+    /// is per *crossing*, not per unit of work: matching a whole batch of
+    /// publications inside one `ecall` pays the pair exactly once.
     pub fn ecall<R>(&self, f: impl FnOnce(&EnclaveContext<'_>) -> R) -> R {
         self.inner.ecalls.fetch_add(1, Ordering::Relaxed);
-        self.inner.mem.charge_ns(self.inner.costs.eenter_ns);
+        self.inner.mem.record_ecall(self.inner.costs.eenter_ns);
         let ctx = EnclaveContext { inner: &self.inner };
         let result = f(&ctx);
         self.inner.mem.charge_ns(self.inner.costs.eexit_ns);
@@ -233,9 +237,9 @@ impl EnclaveContext<'_> {
     /// Performs an OCALL: leaves the enclave, runs `f` untrusted, re-enters.
     pub fn ocall<R>(&self, f: impl FnOnce() -> R) -> R {
         self.inner.ocalls.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .mem
-            .charge_ns(self.inner.costs.eexit_ns + self.inner.costs.ocall_ns + self.inner.costs.eenter_ns);
+        self.inner.mem.record_ocall(
+            self.inner.costs.eexit_ns + self.inner.costs.ocall_ns + self.inner.costs.eenter_ns,
+        );
         f()
     }
 
@@ -336,6 +340,21 @@ mod tests {
             assert!(ctx.memory().elapsed_ns() > t0);
         });
         assert_eq!(e.ocall_count(), 1);
+    }
+
+    #[test]
+    fn mem_stats_count_transitions_and_reset() {
+        let e = enclave();
+        e.ecall(|_| ());
+        e.ecall(|ctx| {
+            ctx.ocall(|| ());
+        });
+        let st = e.memory().stats();
+        assert_eq!(st.ecalls, 2, "one per crossing, not per unit of work");
+        assert_eq!(st.ocalls, 1);
+        e.memory().reset_counters();
+        assert_eq!(e.memory().stats().ecalls, 0, "phase counters reset");
+        assert_eq!(e.ecall_count(), 2, "lifetime counter survives reset");
     }
 
     #[test]

@@ -175,8 +175,8 @@ mod tests {
         let mut epc = Epc::new(2);
         epc.touch(0); // slots: [(0,R), _]
         epc.touch(1); // slots: [(0,R), (1,R)], hand at 0
-        // Page 2 sweeps: clears both bits, evicts page 0 (FIFO from hand when
-        // everything is referenced), leaving [(2,R), (1,-)], hand past slot 0.
+                      // Page 2 sweeps: clears both bits, evicts page 0 (FIFO from hand when
+                      // everything is referenced), leaving [(2,R), (1,-)], hand past slot 0.
         assert_eq!(epc.touch(2), PageAccess::Admitted);
         // Page 3 must evict the unreferenced page 1, *not* page 2 whose
         // reference bit grants it a second chance.

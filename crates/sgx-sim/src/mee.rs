@@ -89,7 +89,12 @@ impl CounterTree {
             cover *= FANOUT;
             depth += 1;
         }
-        CounterTree { key: mac_key, depth, root: Node::default(), untrusted: UntrustedTreeState::default() }
+        CounterTree {
+            key: mac_key,
+            depth,
+            root: Node::default(),
+            untrusted: UntrustedTreeState::default(),
+        }
     }
 
     /// Number of levels below the trusted root.
@@ -127,12 +132,8 @@ impl CounterTree {
             self.root.counters[slot]
         } else {
             let pidx = self.node_index(block, parent_level);
-            self.untrusted
-                .nodes
-                .get(&(parent_level, pidx))
-                .copied()
-                .unwrap_or_default()
-                .counters[slot]
+            self.untrusted.nodes.get(&(parent_level, pidx)).copied().unwrap_or_default().counters
+                [slot]
         }
     }
 

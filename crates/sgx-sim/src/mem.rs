@@ -40,6 +40,12 @@ pub struct MemStats {
     pub epc_admissions: u64,
     /// EPC swap-ins of evicted pages (expensive).
     pub epc_swaps: u64,
+    /// Enclave entries (`EENTER`/`EEXIT` pairs) charged to this memory.
+    /// Batched call gates are what make this counter interesting: N
+    /// publications matched through one ECALL increment it once.
+    pub ecalls: u64,
+    /// OCALL round-trips charged to this memory.
+    pub ocalls: u64,
     /// Virtual nanoseconds elapsed.
     pub elapsed_ns: f64,
     /// Bytes allocated from the logical address space.
@@ -261,6 +267,22 @@ impl MemorySim {
         self.state.lock().stats.elapsed_ns += ns;
     }
 
+    /// Records one enclave transition pair (`EENTER` + `EEXIT`), charging
+    /// `ns` of call-gate time. Called by the enclave's call gate — one
+    /// ECALL covering a whole batch records a single transition.
+    pub fn record_ecall(&self, ns: f64) {
+        let mut st = self.state.lock();
+        st.stats.ecalls += 1;
+        st.stats.elapsed_ns += ns;
+    }
+
+    /// Records one OCALL round-trip, charging `ns` of transition time.
+    pub fn record_ocall(&self, ns: f64) {
+        let mut st = self.state.lock();
+        st.stats.ocalls += 1;
+        st.stats.elapsed_ns += ns;
+    }
+
     /// Charges the CPU cost of `n` predicate evaluations.
     pub fn charge_predicate_evals(&self, n: u64) {
         self.charge_ns(self.costs.predicate_eval_ns * n as f64);
@@ -445,10 +467,7 @@ mod tests {
     use super::*;
 
     fn free_native() -> MemorySim {
-        MemorySim::native(
-            CacheConfig { capacity: 4096, ways: 4, line_size: 64 },
-            CostModel::free(),
-        )
+        MemorySim::native(CacheConfig { capacity: 4096, ways: 4, line_size: 64 }, CostModel::free())
     }
 
     #[test]
@@ -623,12 +642,8 @@ mod tests {
 
     #[test]
     fn stats_page_faults_aggregates() {
-        let st = MemStats {
-            minor_faults: 2,
-            epc_admissions: 3,
-            epc_swaps: 4,
-            ..MemStats::default()
-        };
+        let st =
+            MemStats { minor_faults: 2, epc_admissions: 3, epc_swaps: 4, ..MemStats::default() };
         assert_eq!(st.page_faults(), 9);
     }
 }

@@ -55,10 +55,7 @@ pub struct SgxPlatform {
 
 impl std::fmt::Debug for SgxPlatform {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SgxPlatform")
-            .field("cache", &self.cache)
-            .field("epc", &self.epc)
-            .finish()
+        f.debug_struct("SgxPlatform").field("cache", &self.cache).field("epc", &self.epc).finish()
     }
 }
 
@@ -248,10 +245,7 @@ mod tests {
         let p = SgxPlatform::for_testing(3);
         let e = p.launch(EnclaveBuilder::new("a").add_page(b"x")).unwrap();
         // Enclave memory reflects the platform's EPC sizing.
-        assert_eq!(
-            e.memory().protection(),
-            crate::mem::Protection::Enclave
-        );
+        assert_eq!(e.memory().protection(), crate::mem::Protection::Enclave);
         assert_eq!(p.epc_config().total_bytes, 128 * 1024 * 1024);
     }
 }

@@ -193,8 +193,7 @@ mod tests {
     }
 
     fn launch(p: &SgxPlatform, name: &str, page: &[u8]) -> crate::enclave::Enclave {
-        p.launch(EnclaveBuilder::new(name).add_page(page).signer([5u8; 32]))
-            .expect("launch")
+        p.launch(EnclaveBuilder::new(name).add_page(page).signer([5u8; 32])).expect("launch")
     }
 
     #[test]
@@ -214,8 +213,7 @@ mod tests {
         let a = launch(&p, "a", b"code-a");
         let b = launch(&p, "b", b"code-b");
         let mut rng = CryptoRng::from_seed(2);
-        let sealed =
-            a.ecall(|ctx| seal_data(ctx, SealPolicy::MrEnclave, b"secret", b"", &mut rng));
+        let sealed = a.ecall(|ctx| seal_data(ctx, SealPolicy::MrEnclave, b"secret", b"", &mut rng));
         let out = b.ecall(|ctx| unseal_data(ctx, SealPolicy::MrEnclave, &sealed, b""));
         assert!(out.is_err());
     }
@@ -238,11 +236,8 @@ mod tests {
         let a1 = launch(&p1, "a", b"code");
         let a2 = launch(&p2, "a", b"code"); // identical enclave, other machine
         let mut rng = CryptoRng::from_seed(4);
-        let sealed =
-            a1.ecall(|ctx| seal_data(ctx, SealPolicy::MrEnclave, b"local", b"", &mut rng));
-        assert!(a2
-            .ecall(|ctx| unseal_data(ctx, SealPolicy::MrEnclave, &sealed, b""))
-            .is_err());
+        let sealed = a1.ecall(|ctx| seal_data(ctx, SealPolicy::MrEnclave, b"local", b"", &mut rng));
+        assert!(a2.ecall(|ctx| unseal_data(ctx, SealPolicy::MrEnclave, &sealed, b"")).is_err());
     }
 
     #[test]
@@ -253,9 +248,7 @@ mod tests {
         let mut sealed =
             e.ecall(|ctx| seal_data(ctx, SealPolicy::MrEnclave, b"secret", b"", &mut rng));
         sealed[9] ^= 1;
-        assert!(e
-            .ecall(|ctx| unseal_data(ctx, SealPolicy::MrEnclave, &sealed, b""))
-            .is_err());
+        assert!(e.ecall(|ctx| unseal_data(ctx, SealPolicy::MrEnclave, &sealed, b"")).is_err());
     }
 
     #[test]
@@ -301,9 +294,8 @@ mod tests {
             })
             .unwrap();
         // Serving the stale blob must fail; the fresh one must succeed.
-        let stale = e.ecall(|ctx| {
-            VersionedSeal::unseal(ctx, SealPolicy::MrEnclave, &p, counter, &old)
-        });
+        let stale =
+            e.ecall(|ctx| VersionedSeal::unseal(ctx, SealPolicy::MrEnclave, &p, counter, &old));
         assert!(matches!(stale, Err(SgxError::UnsealFailed { .. })));
         let fresh = e
             .ecall(|ctx| VersionedSeal::unseal(ctx, SealPolicy::MrEnclave, &p, counter, &new))

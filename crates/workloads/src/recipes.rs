@@ -109,16 +109,12 @@ impl Workload {
                 E80A1 => (vec![(0, 0.2), (1, 0.8)], 1, ValueSelection::Uniform),
                 E80A2 => (vec![(0, 0.2), (1, 0.8)], 2, ValueSelection::Uniform),
                 E80A4 => (vec![(0, 0.2), (1, 0.8)], 4, ValueSelection::Uniform),
-                ExtSub2 => (
-                    vec![(0, 0.15), (1, 0.60), (2, 0.15), (3, 0.10)],
-                    2,
-                    ValueSelection::Uniform,
-                ),
-                ExtSub4 => (
-                    vec![(0, 0.15), (1, 0.60), (2, 0.15), (3, 0.10)],
-                    4,
-                    ValueSelection::Uniform,
-                ),
+                ExtSub2 => {
+                    (vec![(0, 0.15), (1, 0.60), (2, 0.15), (3, 0.10)], 2, ValueSelection::Uniform)
+                }
+                ExtSub4 => {
+                    (vec![(0, 0.15), (1, 0.60), (2, 0.15), (3, 0.10)], 4, ValueSelection::Uniform)
+                }
                 E80A1Z100 => (vec![(0, 0.2), (1, 0.8)], 1, ValueSelection::ZipfSymbol),
                 E80A1Zz100 => (vec![(0, 0.2), (1, 0.8)], 1, ValueSelection::ZipfAll),
                 E100A1Zz100 => (vec![(1, 1.0)], 1, ValueSelection::ZipfAll),
@@ -128,10 +124,7 @@ impl Workload {
 
     /// Looks a recipe up by the paper's dataset name.
     pub fn by_name(name: &str) -> Option<Self> {
-        WorkloadName::all()
-            .into_iter()
-            .find(|w| w.as_str() == name)
-            .map(Self::from_name)
+        WorkloadName::all().into_iter().find(|w| w.as_str() == name).map(Self::from_name)
     }
 
     /// All nine recipes in Table 1 order.
@@ -259,11 +252,8 @@ impl Workload {
             } else {
                 self.draw_symbol(market, symbol_zipf, rng)
             };
-            let day = if rng.chance(0.15) {
-                rng.below(market.config().days as u64) as usize
-            } else {
-                0
-            };
+            let day =
+                if rng.chance(0.15) { rng.below(market.config().days as u64) as usize } else { 0 };
             let quote = market.quote(sym, day);
             let center: f64 = match attr_base {
                 "open" => quote.open,
@@ -296,12 +286,7 @@ impl Workload {
     }
 
     /// Generates `n` publications deterministically from `seed`.
-    pub fn publications(
-        &self,
-        market: &StockMarket,
-        n: usize,
-        seed: u64,
-    ) -> Vec<PublicationSpec> {
+    pub fn publications(&self, market: &StockMarket, n: usize, seed: u64) -> Vec<PublicationSpec> {
         let mut rng = CryptoRng::from_seed(seed);
         let symbol_zipf = Zipf::new(market.symbols().len(), 1.0);
         let mut out = Vec::with_capacity(n);
@@ -331,9 +316,9 @@ mod tests {
     use super::*;
     use crate::market::MarketConfig;
     use scbr::attr::AttrSchema;
+    use scbr::ids::{ClientId, SubscriptionId};
     use scbr::index::poset::PosetIndex;
     use scbr::index::SubscriptionIndex;
-    use scbr::ids::{ClientId, SubscriptionId};
     use sgx_sim::{CostModel, MemorySim};
 
     fn market() -> StockMarket {
@@ -388,11 +373,7 @@ mod tests {
         let subs = w.subscriptions(&m, 2000, 11);
         let with_eq = subs
             .iter()
-            .filter(|s| {
-                s.predicates()
-                    .iter()
-                    .any(|p| p.op == scbr::predicate::Op::Eq)
-            })
+            .filter(|s| s.predicates().iter().any(|p| p.op == scbr::predicate::Op::Eq))
             .count();
         let share = with_eq as f64 / subs.len() as f64;
         assert!((share - 0.8).abs() < 0.05, "e80a1 eq share {share}");
@@ -435,9 +416,9 @@ mod tests {
         let m = market();
         let w4 = Workload::from_name(WorkloadName::E80A4);
         let subs = w4.subscriptions(&m, 500, 15);
-        let touches_suffix = subs.iter().any(|s| {
-            s.predicates().iter().any(|p| p.attr.contains("_2") || p.attr.contains("_4"))
-        });
+        let touches_suffix = subs
+            .iter()
+            .any(|s| s.predicates().iter().any(|p| p.attr.contains("_2") || p.attr.contains("_4")));
         assert!(touches_suffix, "a4 subscriptions spread over merged attribute groups");
     }
 

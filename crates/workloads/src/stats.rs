@@ -73,11 +73,8 @@ impl WorkloadStats {
 
     /// Renders one row of the Table 1 reproduction.
     pub fn row(&self) -> String {
-        let eq: Vec<String> = self
-            .eq_histogram
-            .iter()
-            .map(|(k, v)| format!("{:.0}%:{k}eq", v * 100.0))
-            .collect();
+        let eq: Vec<String> =
+            self.eq_histogram.iter().map(|(k, v)| format!("{:.0}%:{k}eq", v * 100.0)).collect();
         format!(
             "{:<12} {:<30} preds/sub={:<4.1} attrs={:<3} pub-attrs={:<5.1} top-sym={:.1}%",
             self.name,
@@ -118,13 +115,8 @@ mod tests {
     #[test]
     fn zipf_stats_show_concentration() {
         let market = StockMarket::generate(&MarketConfig::small(), 1);
-        let uniform = WorkloadStats::compute(
-            &Workload::from_name(WorkloadName::E80A1),
-            &market,
-            1000,
-            10,
-            4,
-        );
+        let uniform =
+            WorkloadStats::compute(&Workload::from_name(WorkloadName::E80A1), &market, 1000, 10, 4);
         let zipf = WorkloadStats::compute(
             &Workload::from_name(WorkloadName::E80A1Z100),
             &market,
@@ -138,8 +130,10 @@ mod tests {
     #[test]
     fn multiplied_workloads_have_wider_headers() {
         let market = StockMarket::generate(&MarketConfig::small(), 1);
-        let a1 = WorkloadStats::compute(&Workload::from_name(WorkloadName::E80A1), &market, 200, 20, 5);
-        let a4 = WorkloadStats::compute(&Workload::from_name(WorkloadName::E80A4), &market, 200, 20, 5);
+        let a1 =
+            WorkloadStats::compute(&Workload::from_name(WorkloadName::E80A1), &market, 200, 20, 5);
+        let a4 =
+            WorkloadStats::compute(&Workload::from_name(WorkloadName::E80A4), &market, 200, 20, 5);
         assert!(a4.mean_publication_attrs > 3.0 * a1.mean_publication_attrs);
         assert!(a4.distinct_attributes > a1.distinct_attributes);
     }

@@ -46,12 +46,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let genuine = genuine_platform.launch(router_builder(GENUINE_CODE))?;
     let mut rng1 = CryptoRng::from_seed(3);
     match provision_sk_via_attestation(
-        &genuine_platform, &genuine, &ias, &policy, &producer, &mut rng1, &mut producer_rng,
+        &genuine_platform,
+        &genuine,
+        &ias,
+        &policy,
+        &producer,
+        &mut rng1,
+        &mut producer_rng,
     ) {
-        Ok((sk, _pk)) => println!(
-            "[1] genuine enclave:   SK provisioned ({} key bytes) ✓",
-            sk.as_bytes().len()
-        ),
+        Ok((sk, _pk)) => {
+            println!("[1] genuine enclave:   SK provisioned ({} key bytes) ✓", sk.as_bytes().len())
+        }
         Err(e) => println!("[1] genuine enclave:   UNEXPECTED failure: {e}"),
     }
 
@@ -60,7 +65,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         genuine_platform.launch(router_builder(b"scbr matching engine v1.0 + backdoor"))?;
     let mut rng2 = CryptoRng::from_seed(4);
     match provision_sk_via_attestation(
-        &genuine_platform, &tampered, &ias, &policy, &producer, &mut rng2, &mut producer_rng,
+        &genuine_platform,
+        &tampered,
+        &ias,
+        &policy,
+        &producer,
+        &mut rng2,
+        &mut producer_rng,
     ) {
         Ok(_) => println!("[2] tampered binary:   UNEXPECTEDLY got SK!"),
         Err(e) => println!("[2] tampered binary:   rejected ✓  ({e})"),
@@ -71,7 +82,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let on_emulator = emulator.launch(router_builder(GENUINE_CODE))?;
     let mut rng3 = CryptoRng::from_seed(5);
     match provision_sk_via_attestation(
-        &emulator, &on_emulator, &ias, &policy, &producer, &mut rng3, &mut producer_rng,
+        &emulator,
+        &on_emulator,
+        &ias,
+        &policy,
+        &producer,
+        &mut rng3,
+        &mut producer_rng,
     ) {
         Ok(_) => println!("[3] untrusted platform: UNEXPECTEDLY got SK!"),
         Err(e) => println!("[3] untrusted platform: rejected ✓  ({e})"),
@@ -82,10 +99,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let counter = genuine_platform.create_counter();
     let mut seal_rng = CryptoRng::from_seed(6);
     let v1 = genuine.ecall(|ctx| {
-        VersionedSeal::seal(ctx, SealPolicy::MrEnclave, &genuine_platform, counter, b"index: 10k subs", &mut seal_rng)
+        VersionedSeal::seal(
+            ctx,
+            SealPolicy::MrEnclave,
+            &genuine_platform,
+            counter,
+            b"index: 10k subs",
+            &mut seal_rng,
+        )
     })?;
     let v2 = genuine.ecall(|ctx| {
-        VersionedSeal::seal(ctx, SealPolicy::MrEnclave, &genuine_platform, counter, b"index: 12k subs", &mut seal_rng)
+        VersionedSeal::seal(
+            ctx,
+            SealPolicy::MrEnclave,
+            &genuine_platform,
+            counter,
+            b"index: 12k subs",
+            &mut seal_rng,
+        )
     })?;
     println!("  sealed v1 ({} bytes) and v2 ({} bytes)", v1.len(), v2.len());
 

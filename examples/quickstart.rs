@@ -37,8 +37,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let alice = SubscriptionSpec::new().eq("symbol", "HAL").lt("price", 50.0);
     let bob = SubscriptionSpec::new().gt("volume", 10_000i64);
     for (i, (spec, client)) in [(alice, 1u64), (bob, 2u64)].into_iter().enumerate() {
-        let envelope =
-            producer.seal_registration(&spec, SubscriptionId(i as u64), ClientId(client), &mut rng)?;
+        let envelope = producer.seal_registration(
+            &spec,
+            SubscriptionId(i as u64),
+            ClientId(client),
+            &mut rng,
+        )?;
         router.call(|e| e.register_envelope(&envelope))?;
         println!("registered {spec} for client#{client}");
     }

@@ -32,14 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("epoch {}: both members hold the group key", group.epoch());
 
     let (epoch0, quote1) = group.encrypt_payload(b"HAL 49.75 +0.3%", &mut rng);
-    println!(
-        "  alice reads: {:?}",
-        String::from_utf8_lossy(&alice.open_payload(epoch0, &quote1)?)
-    );
-    println!(
-        "  bob reads:   {:?}",
-        String::from_utf8_lossy(&bob.open_payload(epoch0, &quote1)?)
-    );
+    println!("  alice reads: {:?}", String::from_utf8_lossy(&alice.open_payload(epoch0, &quote1)?));
+    println!("  bob reads:   {:?}", String::from_utf8_lossy(&bob.open_payload(epoch0, &quote1)?));
 
     // Bob stops paying: revoke + rekey + redistribute.
     println!("\nbob's subscription lapses: revoking and rotating the key …");
@@ -52,10 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (epoch1, quote2) = group.encrypt_payload(b"HAL 51.20 +2.9%", &mut rng);
     println!("epoch {}: new quote published", group.epoch());
-    println!(
-        "  alice reads: {:?}",
-        String::from_utf8_lossy(&alice.open_payload(epoch1, &quote2)?)
-    );
+    println!("  alice reads: {:?}", String::from_utf8_lossy(&alice.open_payload(epoch1, &quote2)?));
     match bob.open_payload(epoch1, &quote2) {
         Ok(_) => println!("  bob reads:   UNEXPECTEDLY decrypted!"),
         Err(e) => println!("  bob reads:   ✗ cannot decrypt ({e})"),

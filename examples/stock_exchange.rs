@@ -77,10 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             CryptoRng::from_seed(100 + i as u64),
         )?;
         client.set_producer_key(exchange_keys.public_key().clone());
-        producer.handle().send(ProducerCommand::Admit {
-            client: id,
-            public_key: client.public_key().clone(),
-        });
+        producer
+            .handle()
+            .send(ProducerCommand::Admit { client: id, public_key: client.public_key().clone() });
         while client.epochs_held() == 0 {
             client.drain_key_updates(Duration::from_millis(200))?;
         }

@@ -35,7 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     engine.call(move |e| e.provision_keys(sk, pk));
 
     let router = Router::spawn(router_listener, engine);
-    let producer = Producer::spawn(producer_listener, tcp.connect(&router_addr)?, keys.clone(), rng);
+    let producer =
+        Producer::spawn(producer_listener, tcp.connect(&router_addr)?, keys.clone(), rng);
 
     // One client over TCP.
     let mut client = ClientNode::connect(
@@ -64,9 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .attr("price", 48.75)
             .payload(b"HAL 48.75 -0.4%".to_vec()),
     ));
-    let delivery = client
-        .poll_delivery(Duration::from_secs(5))?
-        .expect("delivery arrives");
+    let delivery = client.poll_delivery(Duration::from_secs(5))?.expect("delivery arrives");
     println!("delivered over tcp: {:?}", String::from_utf8_lossy(&delivery.payload));
 
     producer.shutdown()?;

@@ -9,8 +9,8 @@ use scbr::engine::RouterEngine;
 use scbr::ids::ClientId;
 use scbr::index::IndexKind;
 use scbr::protocol::keys::{provision_sk_via_attestation, ProducerCrypto};
-use scbr::roles::{ClientNode, Producer, ProducerCommand, Router};
 use scbr::publication::PublicationSpec;
+use scbr::roles::{ClientNode, Producer, ProducerCommand, Router};
 use scbr::subscription::SubscriptionSpec;
 use scbr_crypto::rng::CryptoRng;
 use scbr_net::transport::{InProcNetwork, Transport};
@@ -44,9 +44,8 @@ fn deploy(seed: u64) -> Deployment {
     let producer_crypto = ProducerCrypto::generate(512, &mut producer_rng).expect("keys");
     let mut service = AttestationService::new();
     service.trust_platform(platform.attestation_public_key().clone());
-    let policy = VerifierPolicy::require_mr_enclave(
-        engine.enclave().expect("inside").identity().mr_enclave,
-    );
+    let policy =
+        VerifierPolicy::require_mr_enclave(engine.enclave().expect("inside").identity().mr_enclave);
 
     // Remote attestation delivers SK + the producer verification key into
     // the enclave.
@@ -108,8 +107,7 @@ fn subscribe_publish_deliver_decrypt() {
     alice
         .subscribe(&SubscriptionSpec::new().eq("symbol", "HAL").lt("price", 50.0), WAIT)
         .expect("alice subscribes");
-    bob.subscribe(&SubscriptionSpec::new().eq("symbol", "IBM"), WAIT)
-        .expect("bob subscribes");
+    bob.subscribe(&SubscriptionSpec::new().eq("symbol", "IBM"), WAIT).expect("bob subscribes");
 
     // A HAL quote under 50: only alice matches.
     d.producer.handle().send(ProducerCommand::Publish(
@@ -136,7 +134,10 @@ fn subscribe_publish_deliver_decrypt() {
     d.producer.shutdown().expect("producer shutdown");
     let engine = d.router.unwrap().join().expect("router drains");
     assert_eq!(engine.engine().index().len(), 2, "both subscriptions registered");
-    assert!(engine.enclave().unwrap().ecall_count() >= 4, "registrations + matches crossed the gate");
+    assert!(
+        engine.enclave().unwrap().ecall_count() >= 4,
+        "registrations + matches crossed the gate"
+    );
 }
 
 #[test]
@@ -181,9 +182,7 @@ fn revoked_client_cannot_read_new_payloads() {
     let d = deploy(130);
     let mut alice = new_client(&d, 1, 400);
     let mut mallory = new_client(&d, 2, 401);
-    alice
-        .subscribe(&SubscriptionSpec::new().eq("symbol", "HAL"), WAIT)
-        .expect("alice subscribes");
+    alice.subscribe(&SubscriptionSpec::new().eq("symbol", "HAL"), WAIT).expect("alice subscribes");
     mallory
         .subscribe(&SubscriptionSpec::new().eq("symbol", "HAL"), WAIT)
         .expect("mallory subscribes");
@@ -221,10 +220,7 @@ fn revoked_client_cannot_read_new_payloads() {
         // poll_delivery_raw consumed the message; simulate decryption via
         // another publication and poll_delivery.
         d.producer.handle().send(ProducerCommand::Publish(
-            PublicationSpec::new()
-                .attr("symbol", "HAL")
-                .attr("price", 3.0)
-                .payload(b"v3".to_vec()),
+            PublicationSpec::new().attr("symbol", "HAL").attr("price", 3.0).payload(b"v3".to_vec()),
         ));
         mallory.poll_delivery(WAIT)
     };
@@ -238,19 +234,12 @@ fn revoked_client_cannot_read_new_payloads() {
 fn multiple_subscriptions_deduplicate_deliveries() {
     let d = deploy(140);
     let mut alice = new_client(&d, 1, 500);
-    alice
-        .subscribe(&SubscriptionSpec::new().eq("symbol", "HAL"), WAIT)
-        .expect("sub 1");
-    alice
-        .subscribe(&SubscriptionSpec::new().gt("price", 10.0), WAIT)
-        .expect("sub 2");
+    alice.subscribe(&SubscriptionSpec::new().eq("symbol", "HAL"), WAIT).expect("sub 1");
+    alice.subscribe(&SubscriptionSpec::new().gt("price", 10.0), WAIT).expect("sub 2");
     // A publication matching both subscriptions is delivered once (the
     // engine deduplicates the client list).
     d.producer.handle().send(ProducerCommand::Publish(
-        PublicationSpec::new()
-            .attr("symbol", "HAL")
-            .attr("price", 50.0)
-            .payload(b"once".to_vec()),
+        PublicationSpec::new().attr("symbol", "HAL").attr("price", 50.0).payload(b"once".to_vec()),
     ));
     assert_eq!(alice.poll_delivery(WAIT).unwrap().unwrap().payload, b"once");
     assert!(
@@ -260,4 +249,38 @@ fn multiple_subscriptions_deduplicate_deliveries() {
 
     d.producer.shutdown().expect("shutdown");
     d.router.unwrap().join().expect("join");
+}
+
+#[test]
+fn publish_batch_flows_end_to_end() {
+    // The batch-first pipeline over the wire: one PublishBatch frame from
+    // the producer carries several quotes; the router matches the whole
+    // frame through a single enclave crossing and fans out deliveries.
+    let d = deploy(150);
+    let mut alice = new_client(&d, 1, 600);
+    let mut bob = new_client(&d, 2, 601);
+    alice.subscribe(&SubscriptionSpec::new().eq("symbol", "HAL"), WAIT).expect("alice subscribes");
+    bob.subscribe(&SubscriptionSpec::new().eq("symbol", "IBM"), WAIT).expect("bob subscribes");
+
+    d.producer.handle().send(ProducerCommand::PublishBatch(vec![
+        PublicationSpec::new().attr("symbol", "HAL").attr("price", 1.0).payload(b"h1".to_vec()),
+        PublicationSpec::new().attr("symbol", "IBM").attr("price", 2.0).payload(b"i1".to_vec()),
+        PublicationSpec::new().attr("symbol", "AMD").attr("price", 3.0).payload(b"a1".to_vec()),
+        PublicationSpec::new().attr("symbol", "HAL").attr("price", 4.0).payload(b"h2".to_vec()),
+    ]));
+
+    assert_eq!(alice.poll_delivery(WAIT).unwrap().unwrap().payload, b"h1");
+    assert_eq!(alice.poll_delivery(WAIT).unwrap().unwrap().payload, b"h2");
+    assert_eq!(bob.poll_delivery(WAIT).unwrap().unwrap().payload, b"i1");
+    assert!(alice.poll_delivery(Duration::from_millis(300)).unwrap().is_none());
+    assert!(bob.poll_delivery(Duration::from_millis(300)).unwrap().is_none());
+
+    d.producer.shutdown().expect("shutdown");
+    let engine = d.router.unwrap().join().expect("join");
+    // The whole batch crossed the call gate once: matching added exactly
+    // one ECALL on top of the two registrations and key provisioning.
+    let match_ecalls = engine.stats().ecalls
+        - 3  // deploy(): two attestation calls + one provisioning call
+        - 2; // one per registration
+    assert_eq!(match_ecalls, 1, "four publications, one crossing");
 }

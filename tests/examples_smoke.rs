@@ -38,10 +38,7 @@ fn all_examples_run_to_completion() {
     let dir = examples_dir();
     for name in EXAMPLES {
         let binary = dir.join(name);
-        assert!(
-            binary.exists(),
-            "example binary {binary:?} missing — was the example renamed?"
-        );
+        assert!(binary.exists(), "example binary {binary:?} missing — was the example renamed?");
         let output = Command::new(&binary)
             .output()
             .unwrap_or_else(|e| panic!("spawning example '{name}' failed: {e}"));

@@ -5,10 +5,10 @@
 //! full-scale numbers live in `EXPERIMENTS.md`; these tests keep the
 //! reproduction honest under refactoring.
 
-use scbr_bench::{AspeExperiment, EngineConfig, MatchExperiment, Scale};
 use scbr::engine::RouterEngine;
 use scbr::ids::{ClientId, SubscriptionId};
 use scbr::index::IndexKind;
+use scbr_bench::{AspeExperiment, EngineConfig, MatchExperiment, Scale};
 use scbr_workloads::{StockMarket, Workload, WorkloadName};
 use sgx_sim::{EpcConfig, SgxPlatform};
 
@@ -74,10 +74,7 @@ fn fig6_workload_ordering() {
     };
     let fast = time_of(WorkloadName::E100A1);
     let slow = time_of(WorkloadName::ExtSub4);
-    assert!(
-        slow > fast,
-        "extsub4 ({slow} µs) should be slower than e100a1 ({fast} µs)"
-    );
+    assert!(slow > fast, "extsub4 ({slow} µs) should be slower than e100a1 ({fast} µs)");
 }
 
 /// Figure 7's claim: ASPE is substantially slower than enclave-based
@@ -146,14 +143,8 @@ fn fig8_paging_cliff() {
     }
     let first = ratios[0];
     let last = *ratios.last().expect("nonempty");
-    assert!(
-        last > 2.0 * first,
-        "paging cliff: early ratio {first:.1}, late ratio {last:.1}"
-    );
-    assert!(
-        inside.stats().epc_swaps > 0,
-        "enclave registration swapped pages at 4x EPC"
-    );
+    assert!(last > 2.0 * first, "paging cliff: early ratio {first:.1}, late ratio {last:.1}");
+    assert!(inside.stats().epc_swaps > 0, "enclave registration swapped pages at 4x EPC");
 }
 
 /// The engine agrees across placements regardless of encryption — the
@@ -166,24 +157,92 @@ fn all_configs_agree_on_results() {
     let subs = workload.subscriptions(&market, 1_000, 10);
     let pubs = workload.publications(&market, 10, 11);
 
-    let results: Vec<Vec<u64>> = [
-        EngineConfig::InAes,
-        EngineConfig::InPlain,
-        EngineConfig::OutAes,
-        EngineConfig::OutPlain,
-    ]
-    .iter()
-    .map(|config| {
-        let mut exp = MatchExperiment::new(&platform, *config);
-        exp.load_to(&subs, subs.len());
-        let mut all = Vec::new();
-        for p in &pubs {
-            all.extend(exp.match_clients(p));
-        }
-        all
-    })
-    .collect();
+    let results: Vec<Vec<u64>> =
+        [EngineConfig::InAes, EngineConfig::InPlain, EngineConfig::OutAes, EngineConfig::OutPlain]
+            .iter()
+            .map(|config| {
+                let mut exp = MatchExperiment::new(&platform, *config);
+                exp.load_to(&subs, subs.len());
+                let mut all = Vec::new();
+                for p in &pubs {
+                    all.extend(exp.match_clients(p));
+                }
+                all
+            })
+            .collect();
     for r in &results[1..] {
         assert_eq!(r, &results[0]);
     }
+}
+
+/// The batching ablation's two claims (this PR's acceptance criteria),
+/// asserted on the deterministic virtual clocks: measured transitions
+/// scale as `slices / batch_size`, and a partitioned router whose slices
+/// each fit the EPC beats the single EPC-thrashing slice on a Zipf
+/// workload.
+#[test]
+fn batching_amortises_transitions_and_partitioning_beats_epc_thrash() {
+    use scbr::cluster::PartitionedRouter;
+    use scbr_crypto::ctr::AesCtr;
+    use scbr_crypto::rng::CryptoRng;
+    use sgx_sim::{CacheConfig, CostModel};
+
+    let scale = Scale::smoke();
+    let market = StockMarket::generate(&scale.market, 1);
+    let workload = Workload::from_name(WorkloadName::E80A1Zz100);
+    // A tight EPC: one slice's index overflows usable EPC, two fit.
+    let epc = EpcConfig { total_bytes: 2 << 20, usable_bytes: 1 << 20, page_size: 4096 };
+    let platform =
+        SgxPlatform::with_config(31, CacheConfig::default(), epc, CostModel::default(), 512);
+    let subs = workload.subscriptions(&market, 5_000, 7);
+    let pubs = workload.publications(&market, 32, 8);
+    let sk = scbr_crypto::ctr::SymmetricKey::from_bytes([0x5c; 16]);
+    let pk = scbr_crypto::rsa::RsaPublicKey::from_parts(
+        scbr_crypto::BigUint::from_u64(3233),
+        scbr_crypto::BigUint::from_u64(17),
+    );
+    let mut rng = CryptoRng::from_seed(3);
+    let headers: Vec<Vec<u8>> = pubs
+        .iter()
+        .map(|p| AesCtr::encrypt_with_nonce(&sk, &mut rng, &scbr::codec::encode_header(p)))
+        .collect();
+
+    let mut virt_per_batch = Vec::new();
+    for slices in [1usize, 2] {
+        let mut router =
+            PartitionedRouter::in_enclaves(&platform, IndexKind::Poset, slices).expect("launch");
+        router.provision_keys(&sk, &pk);
+        for (i, spec) in subs.iter().enumerate() {
+            router
+                .register_plain(SubscriptionId(i as u64), ClientId(i as u64), spec)
+                .expect("register");
+        }
+        if slices == 1 {
+            assert!(router.total_epc_swaps() > 0, "single slice must thrash the EPC");
+        } else {
+            assert_eq!(router.total_epc_swaps(), 0, "partitioned slices fit the EPC");
+        }
+        for batch in [1usize, 8, 32] {
+            router.reset_counters();
+            for chunk in headers.chunks(batch) {
+                router.match_encrypted_batch(chunk).expect("match");
+            }
+            // Transition count scales as slices / batch (ceil per chunk).
+            let expected = slices as u64 * headers.chunks(batch).len() as u64;
+            assert_eq!(router.total_ecalls(), expected, "slices {slices}, batch {batch}");
+            if slices == 1 {
+                virt_per_batch.push(router.parallel_elapsed_ns());
+            }
+        }
+        if slices == 2 {
+            // The partitioned router's critical path beats the thrashing
+            // single slice (compared at batch 32, the last measurement).
+            assert!(
+                router.parallel_elapsed_ns() < virt_per_batch[2] / 2.0,
+                "2 fitting slices at least halve the thrashing slice's time"
+            );
+        }
+    }
+    // Bigger batches never cost more virtual time (fewer crossings).
+    assert!(virt_per_batch[0] > virt_per_batch[1] && virt_per_batch[1] > virt_per_batch[2]);
 }

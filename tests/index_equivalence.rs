@@ -76,8 +76,7 @@ fn run_scenario(ops: Vec<Op>) -> Result<(), TestCaseError> {
                     continue;
                 }
                 let id = inserted.remove(nth % inserted.len());
-                let removed: Vec<bool> =
-                    indexes.iter_mut().map(|i| i.remove(id)).collect();
+                let removed: Vec<bool> = indexes.iter_mut().map(|i| i.remove(id)).collect();
                 prop_assert!(removed.iter().all(|&r| r), "all indexes had {id}");
             }
             Op::Match { symbol, values } => {

@@ -46,9 +46,8 @@ fn infrastructure_cannot_replay_modified_envelopes() {
     let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
     engine.provision_keys(honest.sk().clone(), honest.public_key().clone());
     let spec = SubscriptionSpec::new().eq("symbol", "SPY");
-    let envelope = honest
-        .seal_registration(&spec, SubscriptionId(1), ClientId(1), &mut rng)
-        .expect("seal");
+    let envelope =
+        honest.seal_registration(&spec, SubscriptionId(1), ClientId(1), &mut rng).expect("seal");
     // Unmodified: accepted. Any bit flip anywhere: rejected.
     assert!(engine.register_envelope(&envelope).is_ok());
     for i in (0..envelope.len()).step_by(envelope.len() / 16) {
@@ -77,9 +76,8 @@ fn sk_never_reaches_an_unexpected_enclave() {
     let platform = SgxPlatform::for_testing(6);
     // The attacker controls what code actually runs; the measurement
     // policy pins the honest engine's identity.
-    let honest_measurement = EnclaveBuilder::new("scbr-router")
-        .add_page(b"honest engine v1")
-        .measurement();
+    let honest_measurement =
+        EnclaveBuilder::new("scbr-router").add_page(b"honest engine v1").measurement();
     let evil = platform
         .launch(EnclaveBuilder::new("scbr-router").add_page(b"evil engine"))
         .expect("launch");
@@ -130,20 +128,33 @@ fn sealed_router_state_resists_rollback() {
     // monotonic counter; the host serving a stale (but validly sealed)
     // snapshot is detected — the paper's §2 replay discussion.
     let platform = SgxPlatform::for_testing(12);
-    let enclave = platform
-        .launch(EnclaveBuilder::new("router").add_page(b"engine"))
-        .expect("launch");
+    let enclave =
+        platform.launch(EnclaveBuilder::new("router").add_page(b"engine")).expect("launch");
     let counter = platform.create_counter();
     let mut rng = CryptoRng::from_seed(13);
 
     let old_state = enclave
         .ecall(|ctx| {
-            VersionedSeal::seal(ctx, SealPolicy::MrEnclave, &platform, counter, b"10 subs", &mut rng)
+            VersionedSeal::seal(
+                ctx,
+                SealPolicy::MrEnclave,
+                &platform,
+                counter,
+                b"10 subs",
+                &mut rng,
+            )
         })
         .expect("seal v1");
     let new_state = enclave
         .ecall(|ctx| {
-            VersionedSeal::seal(ctx, SealPolicy::MrEnclave, &platform, counter, b"12 subs", &mut rng)
+            VersionedSeal::seal(
+                ctx,
+                SealPolicy::MrEnclave,
+                &platform,
+                counter,
+                b"12 subs",
+                &mut rng,
+            )
         })
         .expect("seal v2");
 
@@ -174,9 +185,7 @@ fn evicted_page_store_detects_host_attacks() {
 
     // Confidentiality: ciphertext does not contain the plaintext.
     let raw = store.raw_page(7).expect("stored").clone();
-    assert!(!raw
-        .windows(b"subscription".len())
-        .any(|w| w == b"subscription"));
+    assert!(!raw.windows(b"subscription".len()).any(|w| w == b"subscription"));
 
     // Tampering detected.
     let mut bent = raw.clone();
@@ -199,15 +208,13 @@ fn headers_and_subscriptions_are_opaque_on_the_wire() {
     // What the infrastructure sees: AES-CTR ciphertexts. Sanity-check that
     // neither the symbol nor the price survives in the clear.
     let (crypto, mut rng) = producer(15);
-    let publication = scbr::publication::PublicationSpec::new()
-        .attr("symbol", "NVDA")
-        .attr("price", 1234.5);
+    let publication =
+        scbr::publication::PublicationSpec::new().attr("symbol", "NVDA").attr("price", 1234.5);
     let header_ct = crypto.encrypt_header(&publication, &mut rng);
     assert!(!header_ct.windows(4).any(|w| w == b"NVDA"));
 
     let spec = SubscriptionSpec::new().eq("symbol", "NVDA");
-    let sub_ct = crypto
-        .seal_registration(&spec, SubscriptionId(1), ClientId(1), &mut rng)
-        .expect("seal");
+    let sub_ct =
+        crypto.seal_registration(&spec, SubscriptionId(1), ClientId(1), &mut rng).expect("seal");
     assert!(!sub_ct.windows(4).any(|w| w == b"NVDA"));
 }

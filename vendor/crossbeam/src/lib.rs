@@ -139,11 +139,7 @@ pub mod channel {
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
                     return Err(RecvError);
                 }
-                queue = self
-                    .shared
-                    .ready
-                    .wait(queue)
-                    .unwrap_or_else(|e| e.into_inner());
+                queue = self.shared.ready.wait(queue).unwrap_or_else(|e| e.into_inner());
             }
         }
 
@@ -264,10 +260,7 @@ mod tests {
     #[test]
     fn timeout_fires() {
         let (_tx, rx) = unbounded::<u8>();
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(5)),
-            Err(RecvTimeoutError::Timeout)
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
     }
 
     #[test]

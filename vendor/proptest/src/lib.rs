@@ -107,10 +107,7 @@ pub mod test_runner {
 
         /// Next raw 64 random bits.
         pub fn next_u64(&mut self) -> u64 {
-            let result = self.s[0]
-                .wrapping_add(self.s[3])
-                .rotate_left(23)
-                .wrapping_add(self.s[0]);
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
             self.s[3] ^= self.s[1];
@@ -543,7 +540,9 @@ pub mod prelude {
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::test_runner::TestCaseError;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Declares property test functions.

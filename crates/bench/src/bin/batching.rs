@@ -114,11 +114,13 @@ fn main() {
                     .int("publications", headers.len() as u64)
                     .int("subscriptions", n_subs as u64)
                     .int("ecalls", ecalls)
+                    .int("ocalls", router.total_ocalls())
                     .num("transitions_per_msg", trans_per_msg)
                     .num("virtual_us_per_msg", virt_us)
                     .num("throughput_virtual_msg_per_s", 1_000_000.0 / virt_us)
                     .num("wall_us_per_msg", wall_us)
-                    .int("epc_swaps", swaps),
+                    .int("epc_swaps", swaps)
+                    .num("occupancy_skew", router.occupancy_skew()),
             );
             if batch == 32 {
                 wall_at_32.push((n_slices, virt_us, wall_us));

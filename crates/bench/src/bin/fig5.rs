@@ -13,6 +13,7 @@
 //! cargo run --release -p scbr-bench --bin fig5
 //! ```
 
+use scbr_bench::json::{emit, JsonObj};
 use scbr_bench::{banner, EngineConfig, MatchExperiment, Scale};
 use scbr_workloads::{StockMarket, Workload, WorkloadName};
 use sgx_sim::SgxPlatform;
@@ -37,14 +38,23 @@ fn main() {
         "\n{:<10} {:>9} {:>14} {:>14} {:>14} {:>14}",
         "subs", "db (MB)", "in-aes (µs)", "in-plain", "out-aes", "out-plain"
     );
+    let mut rows: Vec<JsonObj> = Vec::new();
     for &count in &scale.sub_counts {
         let mut row: Vec<f64> = Vec::new();
         let mut db_mb = 0.0;
-        for exp in experiments.iter_mut() {
+        for (config, exp) in configs.iter().zip(experiments.iter_mut()) {
             exp.load_to(&subs, count);
             let point = exp.measure(&pubs);
             row.push(point.matching_us);
             db_mb = point.index_bytes as f64 / (1024.0 * 1024.0);
+            rows.push(
+                JsonObj::new()
+                    .str("config", config.label())
+                    .int("subscriptions", count as u64)
+                    .num("matching_us", point.matching_us)
+                    .num("cache_miss_rate", point.cache_miss_rate)
+                    .int("index_bytes", point.index_bytes),
+            );
         }
         println!(
             "{:<10} {:>9.2} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
@@ -54,4 +64,5 @@ fn main() {
     println!("\n(cache limit: 8 MB; the index crosses it between 10 k and 25 k subscriptions)");
     println!("expected (paper): <5 µs constant AES overhead; in/out gap opens past the");
     println!("cache limit, approaching ~40% at 100 k subscriptions");
+    emit("fig5", scale.name, &rows);
 }

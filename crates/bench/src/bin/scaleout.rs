@@ -13,6 +13,7 @@
 use scbr::cluster::PartitionedRouter;
 use scbr::ids::{ClientId, SubscriptionId};
 use scbr::index::IndexKind;
+use scbr_bench::json::{emit, JsonObj};
 use scbr_bench::{banner, Scale};
 use scbr_crypto::ctr::AesCtr;
 use scbr_crypto::rng::CryptoRng;
@@ -50,6 +51,7 @@ fn main() {
         "\n{:<8} {:>12} {:>12} {:>14} {:>16}",
         "slices", "reg µs/sub", "epc swaps", "match µs/pub", "slice db (MB)"
     );
+    let mut rows: Vec<JsonObj> = Vec::new();
     for n in [1usize, 2, 4, 8] {
         let mut router =
             PartitionedRouter::in_enclaves(&platform, IndexKind::Poset, n).expect("launch");
@@ -73,7 +75,19 @@ fn main() {
         let slice_mb =
             router.with_slice(0, |s| s.engine().index().logical_bytes()) as f64 / (1024.0 * 1024.0);
         println!("{:<8} {:>12.2} {:>12} {:>14.1} {:>16.2}", n, reg_us, swaps, match_us, slice_mb);
+        rows.push(
+            JsonObj::new()
+                .int("slices", n as u64)
+                .int("subscriptions", subs.len() as u64)
+                .int("publications", headers.len() as u64)
+                .num("registration_us_per_sub", reg_us)
+                .int("epc_swaps", swaps)
+                .num("matching_us_per_pub", match_us)
+                .num("slice_db_mb", slice_mb)
+                .num("occupancy_skew", router.occupancy_skew()),
+        );
     }
     println!("\nexpected: swaps vanish once the per-slice index fits the usable EPC;");
     println!("fan-out matching latency (slowest slice) improves with slices");
+    emit("scaleout", scale.name, &rows);
 }

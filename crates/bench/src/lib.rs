@@ -12,6 +12,7 @@
 //! | `fig8` | Figure 8 | registration-time and page-fault in/out ratios vs database size |
 //! | `scaleout` | extension | partitioned router vs the EPC limit, 1/2/4/8 slices |
 //! | `batching` | extension | batch size × slice count: amortised enclave transitions |
+//! | `overlay` | extension | broker chains: covering-pruned propagation, multi-hop batches |
 //!
 //! All times are **virtual nanoseconds** from the `sgx-sim` cost model
 //! (deterministic, host-independent) unless a column is explicitly

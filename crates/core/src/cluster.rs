@@ -342,6 +342,11 @@ impl PartitionedRouter {
         self.workers.iter().map(|w| w.engine.lock().stats().ecalls).sum()
     }
 
+    /// Total OCALL round-trips across slices since the last reset.
+    pub fn total_ocalls(&self) -> u64 {
+        self.workers.iter().map(|w| w.engine.lock().stats().ocalls).sum()
+    }
+
     /// Per-slice occupancy and memory counters, in fan-out order.
     pub fn slice_stats(&self) -> Vec<SliceStats> {
         self.workers

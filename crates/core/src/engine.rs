@@ -92,6 +92,31 @@ impl MatchingEngine {
     ///
     /// Signature or decryption failures, malformed bodies, or missing keys.
     pub fn register_envelope(&mut self, envelope: &[u8]) -> Result<SubscriptionId, ScbrError> {
+        self.register_envelope_as(envelope, None).map(|(id, _)| id)
+    }
+
+    /// Registers an envelope, optionally overriding the delivery identity
+    /// recorded in the index — the overlay's re-registration path: a
+    /// router that learnt a subscription from a neighbour link indexes it
+    /// under the *link's* interface id rather than the edge client, so a
+    /// matched publication is forwarded down that link instead of
+    /// delivered locally. Returns the compiled form alongside the id so
+    /// in-enclave callers can maintain covering-pruned forwarding tables
+    /// without re-deriving it. The compiled subscription is plaintext:
+    /// it must not leave the trust boundary.
+    ///
+    /// Snapshots keep the envelope's embedded client identity, so a
+    /// restore re-registers with edge semantics (sealed forwarding-table
+    /// recovery is future work).
+    ///
+    /// # Errors
+    ///
+    /// Signature or decryption failures, malformed bodies, or missing keys.
+    pub fn register_envelope_as(
+        &mut self,
+        envelope: &[u8],
+        deliver_to: Option<ClientId>,
+    ) -> Result<(SubscriptionId, crate::subscription::CompiledSubscription), ScbrError> {
         let sk = self.sk.as_ref().ok_or(ScbrError::MissingKeys { which: "SK" })?;
         let producer = self
             .producer_key
@@ -106,9 +131,9 @@ impl MatchingEngine {
         let body = AesCtr::decrypt_with_nonce(sk, &body_ct)?;
         let (spec, id, client) = codec::decode_registration(&body)?;
         let compiled = spec.compile(&self.schema)?;
-        self.index.insert(id, client, compiled);
+        self.index.insert(id, deliver_to.unwrap_or(client), compiled.clone());
         self.registered.push(body);
-        Ok(id)
+        Ok((id, compiled))
     }
 
     /// Unregisters a subscription.
@@ -390,6 +415,25 @@ mod tests {
         let publication = PublicationSpec::new().attr("symbol", "INTC").attr("price", 1.0);
         let header_ct = producer.encrypt_header(&publication, &mut rng);
         assert_eq!(engine.match_encrypted(&header_ct).unwrap(), vec![ClientId(3)]);
+    }
+
+    #[test]
+    fn register_envelope_as_overrides_delivery_identity() {
+        let mut rng = CryptoRng::from_seed(31);
+        let producer = producer(&mut rng);
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
+        let spec = SubscriptionSpec::new().eq("symbol", "HAL");
+        let envelope =
+            producer.seal_registration(&spec, SubscriptionId(4), ClientId(9), &mut rng).unwrap();
+        // Registered under a link interface, not the edge client.
+        let link = ClientId((1 << 63) | 2);
+        let (id, compiled) = engine.register_envelope_as(&envelope, Some(link)).unwrap();
+        assert_eq!(id, SubscriptionId(4));
+        assert_eq!(compiled, spec.compile(engine.schema()).unwrap());
+        let publication = PublicationSpec::new().attr("symbol", "HAL");
+        assert_eq!(engine.match_plain(&publication).unwrap(), vec![link]);
     }
 
     #[test]

@@ -69,4 +69,4 @@ pub use error::ScbrError;
 pub use ids::{ClientId, KeyEpoch, SubscriptionId};
 pub use index::{IndexKind, SubscriptionIndex};
 pub use publication::PublicationSpec;
-pub use subscription::SubscriptionSpec;
+pub use subscription::{CompiledSubscription, SubscriptionSpec};

@@ -106,6 +106,32 @@ pub enum Message {
         /// The connecting client.
         client: ClientId,
     },
+    /// Router → router: first overlay link-handshake message (a serialised
+    /// `sgx_sim::link::LinkHello` — quote plus bound response key).
+    LinkHello {
+        /// Opaque handshake bytes (parsed by the overlay layer).
+        payload: Vec<u8>,
+    },
+    /// Router → router: second link-handshake message (responder quote and
+    /// wrapped secret; a serialised `sgx_sim::link::LinkAccept`).
+    LinkAccept {
+        /// Opaque handshake bytes.
+        payload: Vec<u8>,
+    },
+    /// Router → router: final link-handshake message (a serialised
+    /// `sgx_sim::link::LinkFinish`).
+    LinkFinish {
+        /// Opaque handshake bytes.
+        payload: Vec<u8>,
+    },
+    /// Router → router: a registration envelope propagated through the
+    /// overlay (covering-pruned at each hop). The envelope is the same
+    /// producer-signed `{s}SK` unit a [`Message::Register`] carries, so
+    /// the next hop's enclave can authenticate it independently.
+    SubForward {
+        /// The forwarded registration envelope.
+        envelope: Vec<u8>,
+    },
     /// Generic failure notice.
     Error {
         /// What went wrong.
@@ -129,6 +155,10 @@ impl Message {
             Message::Deliver { .. } => "deliver",
             Message::KeyUpdate { .. } => "key-update",
             Message::Hello { .. } => "hello",
+            Message::LinkHello { .. } => "link-hello",
+            Message::LinkAccept { .. } => "link-accept",
+            Message::LinkFinish { .. } => "link-finish",
+            Message::SubForward { .. } => "sub-forward",
             Message::Error { .. } => "error",
             Message::Shutdown => "shutdown",
         }
@@ -181,6 +211,14 @@ impl Message {
             Message::Hello { client } => {
                 w.u64(client.0);
             }
+            Message::LinkHello { payload }
+            | Message::LinkAccept { payload }
+            | Message::LinkFinish { payload } => {
+                w.bytes(payload);
+            }
+            Message::SubForward { envelope } => {
+                w.bytes(envelope);
+            }
             Message::Error { message } => {
                 w.str(message);
             }
@@ -222,6 +260,10 @@ impl Message {
             "deliver" => Message::Deliver { epoch: KeyEpoch(r.u64()?), payload_ct: r.bytes()? },
             "key-update" => Message::KeyUpdate { wrapped: r.bytes()? },
             "hello" => Message::Hello { client: ClientId(r.u64()?) },
+            "link-hello" => Message::LinkHello { payload: r.bytes()? },
+            "link-accept" => Message::LinkAccept { payload: r.bytes()? },
+            "link-finish" => Message::LinkFinish { payload: r.bytes()? },
+            "sub-forward" => Message::SubForward { envelope: r.bytes()? },
             "error" => Message::Error { message: r.str()? },
             "shutdown" => Message::Shutdown,
             _ => return Err(ScbrError::Codec { context: "message kind" }),
@@ -283,6 +325,10 @@ mod tests {
         round_trip(Message::Deliver { epoch: KeyEpoch(0), payload_ct: vec![] });
         round_trip(Message::KeyUpdate { wrapped: vec![9; 40] });
         round_trip(Message::Hello { client: ClientId(1) });
+        round_trip(Message::LinkHello { payload: vec![1, 2, 3] });
+        round_trip(Message::LinkAccept { payload: vec![] });
+        round_trip(Message::LinkFinish { payload: vec![9; 80] });
+        round_trip(Message::SubForward { envelope: vec![4; 32] });
         round_trip(Message::Error { message: "boom".into() });
         round_trip(Message::Shutdown);
     }

@@ -142,7 +142,17 @@ impl Router {
                                     }
                                 }
                             }
-                            Message::Shutdown => break,
+                            Message::Shutdown => {
+                                // Surface the transition counters the
+                                // batch-first loop exists to amortise.
+                                let stats = engine.stats();
+                                eprintln!(
+                                    "router: shutdown after {} enclave crossings \
+                                     ({} ocalls, {:.0} virtual ns)",
+                                    stats.ecalls, stats.ocalls, stats.elapsed_ns
+                                );
+                                break;
+                            }
                             other => {
                                 if let Some(c) = conns.get(&conn) {
                                     send_best_effort(

@@ -11,6 +11,9 @@
 //!   of the batch-first routing pipeline;
 //! * [`envelope`] — the Base64 text envelope (`SCBR1 <kind> <payload>`)
 //!   used on the wire;
+//! * [`link`] — sealed broker-to-broker channels (AEAD with direction and
+//!   sequence bound as associated data), the transport of the overlay
+//!   fabric's inter-router links;
 //! * [`transport`] — a blocking connection/listener abstraction with two
 //!   implementations: an in-process network ([`transport::InProcNetwork`])
 //!   for deterministic tests and benchmarks, and TCP
@@ -37,8 +40,10 @@ pub mod batch;
 pub mod envelope;
 pub mod error;
 pub mod frame;
+pub mod link;
 pub mod transport;
 
 pub use envelope::Envelope;
 pub use error::NetError;
+pub use link::SecureLink;
 pub use transport::{Connection, InProcNetwork, Listener, TcpTransport, Transport};

@@ -1,0 +1,694 @@
+//! One overlay broker: an enclave-hosted matching core on an untrusted
+//! host, joined to its neighbours by attested, sealed links.
+//!
+//! ## Trust split
+//!
+//! The in-enclave state is [`BrokerCore`]: the matching engine (holding
+//! `SK` and the plaintext compiled subscriptions) plus the per-link
+//! covering tables. The untrusted [`Broker`] shell only ever handles
+//! ciphertext — registration envelopes, encrypted headers, sealed link
+//! frames — and the *routing decisions* the enclave intentionally reveals
+//! (which link to forward on, which local client to deliver to), exactly
+//! the §3.3 leak the paper accepts for the single-router case.
+//!
+//! ## Interfaces
+//!
+//! The engine's index is shared by local subscribers and links: a
+//! subscription learnt from neighbour `n` is registered under the
+//! synthetic delivery identity [`link_interface`]`(n)` (top bit set), so
+//! **one decrypt+match per publication** yields local deliveries *and*
+//! the outgoing link set in the same enclave crossing. Per-hop batches go
+//! through the gate in [`MAX_DRAIN`]-bounded chunks, mirroring the
+//! single-router event loop.
+
+use crate::error::OverlayError;
+use crate::forwarding::ForwardingTable;
+use scbr::engine::MatchingEngine;
+use scbr::ids::{ClientId, KeyEpoch, SubscriptionId};
+use scbr::index::IndexKind;
+use scbr::protocol::keys::{provision_sk_via_attestation, ProducerCrypto};
+use scbr::protocol::messages::{Message, PublishItem};
+use scbr::roles::router::MAX_DRAIN;
+use scbr::ScbrError;
+use scbr_crypto::rng::CryptoRng;
+use scbr_net::SecureLink;
+use sgx_sim::attest::{AttestationService, VerifierPolicy};
+use sgx_sim::enclave::EnclaveBuilder;
+use sgx_sim::link::{LinkAccept, LinkFinish, LinkHello, LinkInitiator, LinkKey, LinkResponder};
+use sgx_sim::{CacheConfig, CostModel, Enclave, MemorySim, SgxPlatform};
+use std::collections::BTreeMap;
+
+/// Top bit of a [`ClientId`] marks a link interface rather than an edge
+/// client.
+pub const LINK_INTERFACE_BIT: u64 = 1 << 63;
+
+/// The synthetic delivery identity for subscriptions learnt from
+/// neighbour `n`.
+pub fn link_interface(neighbor: usize) -> ClientId {
+    ClientId(LINK_INTERFACE_BIT | neighbor as u64)
+}
+
+/// Where a message entered this broker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// Injected locally (an edge client or producer attached here).
+    Local,
+    /// Received on the link from this neighbour.
+    Link(usize),
+}
+
+/// What the enclave decided for one publication.
+#[derive(Debug, Clone, Default)]
+struct RouteDecision {
+    /// Edge clients at this broker to deliver to.
+    locals: Vec<ClientId>,
+    /// Neighbour links to forward on (ascending, origin excluded).
+    links: Vec<usize>,
+}
+
+/// Outcome of admitting one subscription envelope.
+#[derive(Debug, Clone)]
+struct AdmitOutcome {
+    id: SubscriptionId,
+    forward_to: Vec<usize>,
+}
+
+/// The enclave-resident routing state.
+struct BrokerCore {
+    engine: MatchingEngine,
+    /// Per neighbour (ascending), the covering table of subscriptions
+    /// forwarded on that link.
+    upstream: Vec<(usize, ForwardingTable)>,
+    /// Flood mode: forward every subscription on every link (the
+    /// equivalence oracle for tests; covering-pruned is the real mode).
+    flood: bool,
+}
+
+impl BrokerCore {
+    /// Registers an envelope and decides which links to propagate it on.
+    fn admit(&mut self, envelope: &[u8], origin: Origin) -> Result<AdmitOutcome, ScbrError> {
+        let deliver_to = match origin {
+            Origin::Local => None,
+            Origin::Link(l) => Some(link_interface(l)),
+        };
+        let (id, compiled) = self.engine.register_envelope_as(envelope, deliver_to)?;
+        let flood = self.flood;
+        let mut forward_to = Vec::new();
+        for (neighbor, table) in &mut self.upstream {
+            if origin == Origin::Link(*neighbor) {
+                continue; // never forward back where it came from
+            }
+            // Flood mode records too (the table *is* the forwarded set,
+            // and the counters stay comparable across modes) — it just
+            // never consults coverage.
+            if !flood && table.covered(&compiled) {
+                table.note_pruned();
+            } else {
+                table.record(id, compiled.clone());
+                forward_to.push(*neighbor);
+            }
+        }
+        Ok(AdmitOutcome { id, forward_to })
+    }
+
+    /// Decrypts and matches a chunk of headers, splitting each match set
+    /// into local deliveries and outgoing links.
+    fn route(&self, headers: &[&[u8]], origin: Origin) -> Vec<Result<RouteDecision, ScbrError>> {
+        headers
+            .iter()
+            .map(|ct| {
+                let matched = self.engine.match_encrypted(ct)?;
+                let mut decision = RouteDecision::default();
+                for client in matched {
+                    if client.0 & LINK_INTERFACE_BIT == 0 {
+                        decision.locals.push(client);
+                    } else {
+                        let neighbor = (client.0 & !LINK_INTERFACE_BIT) as usize;
+                        if origin != Origin::Link(neighbor) {
+                            decision.links.push(neighbor);
+                        }
+                    }
+                }
+                Ok(decision)
+            })
+            .collect()
+    }
+}
+
+/// One sealed frame to hand to a neighbour.
+#[derive(Debug, Clone)]
+pub struct LinkFrame {
+    /// Destination router.
+    pub to: usize,
+    /// Source router (the receiver selects its inbound channel by this).
+    pub from: usize,
+    /// The sealed wire bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A publication delivered to an edge client of this broker.
+#[derive(Debug, Clone)]
+pub struct LocalDelivery {
+    /// The delivering broker.
+    pub router: usize,
+    /// The edge client.
+    pub client: ClientId,
+    /// The delivered item (payload still encrypted under the group key).
+    pub item: PublishItem,
+}
+
+/// The two halves of one established link at one endpoint.
+enum LinkChannel {
+    /// Sealed under an attested link key.
+    Sealed { outbound: SecureLink, inbound: SecureLink },
+    /// Pre-shared-trust mode: frames pass in the clear.
+    Plain,
+}
+
+/// Per-broker counters (cumulative unless reset).
+#[derive(Debug, Clone, Copy)]
+pub struct BrokerStats {
+    /// The broker's router id.
+    pub router: usize,
+    /// Live subscriptions in the index (local + link interfaces).
+    pub subscriptions: usize,
+    /// Enclave crossings since the last reset.
+    pub ecalls: u64,
+    /// OCALL round-trips since the last reset.
+    pub ocalls: u64,
+    /// Virtual nanoseconds elapsed since the last reset.
+    pub elapsed_ns: f64,
+    /// Subscriptions forwarded upstream, summed over links.
+    pub forwarded: u64,
+    /// Subscriptions covering-pruned, summed over links.
+    pub pruned: u64,
+}
+
+/// One overlay broker (untrusted shell + enclave-resident core).
+pub struct Broker {
+    id: usize,
+    platform: Option<SgxPlatform>,
+    enclave: Option<Enclave>,
+    core: BrokerCore,
+    links: BTreeMap<usize, LinkChannel>,
+    rng: CryptoRng,
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broker")
+            .field("id", &self.id)
+            .field("attested", &self.enclave.is_some())
+            .field("links", &self.links.len())
+            .field("subscriptions", &self.core.engine.index().len())
+            .finish()
+    }
+}
+
+impl Broker {
+    /// Launches an attested broker: own platform (its own machine), the
+    /// routing enclave measured from `code`, index in enclave memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enclave-launch failures.
+    pub fn attested(
+        id: usize,
+        seed: u64,
+        kind: IndexKind,
+        code: &[u8],
+        flood: bool,
+    ) -> Result<Self, OverlayError> {
+        let platform = SgxPlatform::for_testing(seed);
+        let enclave = platform.launch(router_builder(code))?;
+        let engine = MatchingEngine::new(enclave.memory(), kind);
+        Ok(Broker {
+            id,
+            platform: Some(platform),
+            enclave: Some(enclave),
+            core: BrokerCore { engine, upstream: Vec::new(), flood },
+            links: BTreeMap::new(),
+            rng: CryptoRng::from_seed(seed ^ 0x6c69_6e6b),
+        })
+    }
+
+    /// Builds a plain broker for pre-shared-trust deployments and tests:
+    /// no enclave, free-cost native memory, unsealed links.
+    pub fn preshared(id: usize, seed: u64, kind: IndexKind, flood: bool) -> Self {
+        let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
+        Broker {
+            id,
+            platform: None,
+            enclave: None,
+            core: BrokerCore {
+                engine: MatchingEngine::new(&mem, kind),
+                upstream: Vec::new(),
+                flood,
+            },
+            links: BTreeMap::new(),
+            rng: CryptoRng::from_seed(seed ^ 0x6c69_6e6b),
+        }
+    }
+
+    /// The broker's router id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The broker's platform (attested brokers only).
+    pub fn platform(&self) -> Option<&SgxPlatform> {
+        self.platform.as_ref()
+    }
+
+    /// The broker's enclave (attested brokers only).
+    pub fn enclave(&self) -> Option<&Enclave> {
+        self.enclave.as_ref()
+    }
+
+    /// Runs `f` on the enclave-resident core, crossing the call gate when
+    /// attested.
+    fn call<R>(&mut self, f: impl FnOnce(&mut BrokerCore) -> R) -> R {
+        let core = &mut self.core;
+        match &self.enclave {
+            Some(enclave) => enclave.ecall(|_ctx| f(core)),
+            None => f(core),
+        }
+    }
+
+    /// Declares the broker's neighbour set, creating one (empty) covering
+    /// table per link. Call once, before any traffic.
+    pub fn set_neighbors(&mut self, neighbors: &[usize]) {
+        self.core.upstream = neighbors.iter().map(|&n| (n, ForwardingTable::new())).collect();
+    }
+
+    /// Installs `SK` and the producer key directly (pre-shared trust).
+    pub fn provision_preshared(&mut self, producer: &ProducerCrypto) {
+        let sk = producer.sk().clone();
+        let pk = producer.public_key().clone();
+        self.call(|c| c.engine.provision_keys(sk, pk));
+    }
+
+    /// Provisions `SK` into the broker's enclave via remote attestation
+    /// (the producer releases the key only to the expected measurement).
+    ///
+    /// # Errors
+    ///
+    /// Any attestation, policy or crypto failure; also fails on a
+    /// pre-shared broker (nothing to attest).
+    pub fn provision_attested(
+        &mut self,
+        service: &AttestationService,
+        policy: &VerifierPolicy,
+        producer: &ProducerCrypto,
+        producer_rng: &mut CryptoRng,
+    ) -> Result<(), OverlayError> {
+        let platform = self
+            .platform
+            .as_ref()
+            .ok_or(OverlayError::Link { reason: "broker has no platform" })?;
+        let enclave =
+            self.enclave.as_ref().ok_or(OverlayError::Link { reason: "broker has no enclave" })?;
+        let (sk, pk) = provision_sk_via_attestation(
+            platform,
+            enclave,
+            service,
+            policy,
+            producer,
+            &mut self.rng,
+            producer_rng,
+        )?;
+        self.call(|c| c.engine.provision_keys(sk, pk));
+        Ok(())
+    }
+
+    // ---- link handshake (attested mode) --------------------------------
+
+    fn attested_parts(&mut self) -> Result<(&SgxPlatform, &Enclave, &mut CryptoRng), OverlayError> {
+        match (&self.platform, &self.enclave) {
+            (Some(p), Some(e)) => Ok((p, e, &mut self.rng)),
+            _ => Err(OverlayError::Link { reason: "link handshake requires an attested broker" }),
+        }
+    }
+
+    /// Starts a handshake towards a neighbour; returns the wire frame to
+    /// send and the state to keep for [`Broker::link_finish`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates handshake failures; fails on pre-shared brokers.
+    pub fn link_hello(&mut self) -> Result<(Vec<u8>, LinkInitiator), OverlayError> {
+        let (platform, enclave, rng) = self.attested_parts()?;
+        let (hello, state) = sgx_sim::link::initiate(platform, enclave, rng)?;
+        Ok((Message::LinkHello { payload: hello.to_bytes() }.to_wire(), state))
+    }
+
+    /// Responds to a neighbour's hello after verifying its quote against
+    /// `service` and `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Attestation or policy failures refuse the link.
+    pub fn link_accept(
+        &mut self,
+        hello_wire: &[u8],
+        service: &AttestationService,
+        policy: &VerifierPolicy,
+    ) -> Result<(Vec<u8>, LinkResponder), OverlayError> {
+        let Message::LinkHello { payload } = Message::from_wire(hello_wire)? else {
+            return Err(OverlayError::Link { reason: "expected link-hello" });
+        };
+        let hello = LinkHello::from_bytes(&payload)?;
+        let (platform, enclave, rng) = self.attested_parts()?;
+        let (accept, state) =
+            sgx_sim::link::accept(platform, enclave, service, policy, &hello, rng)?;
+        Ok((Message::LinkAccept { payload: accept.to_bytes() }.to_wire(), state))
+    }
+
+    /// Completes the initiator side, verifying the responder's quote and
+    /// deriving the link key.
+    ///
+    /// # Errors
+    ///
+    /// Attestation or policy failures refuse the link.
+    pub fn link_finish(
+        &mut self,
+        state: LinkInitiator,
+        accept_wire: &[u8],
+        service: &AttestationService,
+        policy: &VerifierPolicy,
+    ) -> Result<(Vec<u8>, LinkKey), OverlayError> {
+        let Message::LinkAccept { payload } = Message::from_wire(accept_wire)? else {
+            return Err(OverlayError::Link { reason: "expected link-accept" });
+        };
+        let accept = LinkAccept::from_bytes(&payload)?;
+        let (_platform, enclave, rng) = self.attested_parts()?;
+        let (finish, key) = sgx_sim::link::finish(state, &accept, service, policy, enclave, rng)?;
+        Ok((Message::LinkFinish { payload: finish.to_bytes() }.to_wire(), key))
+    }
+
+    /// Completes the responder side, deriving the same link key.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the wrapped secret does not unwrap.
+    pub fn link_complete(
+        &mut self,
+        state: LinkResponder,
+        finish_wire: &[u8],
+    ) -> Result<LinkKey, OverlayError> {
+        let Message::LinkFinish { payload } = Message::from_wire(finish_wire)? else {
+            return Err(OverlayError::Link { reason: "expected link-finish" });
+        };
+        let finish = LinkFinish::from_bytes(&payload)?;
+        let (_platform, enclave, _rng) = self.attested_parts()?;
+        Ok(sgx_sim::link::complete(state, &finish, enclave)?)
+    }
+
+    /// Installs the sealed channels for the link to `neighbor` (both
+    /// directions derive from the handshake key).
+    pub fn install_sealed_link(&mut self, neighbor: usize, key: &LinkKey) {
+        let local = self.id as u64;
+        self.links.insert(
+            neighbor,
+            LinkChannel::Sealed {
+                outbound: SecureLink::outbound(key.as_bytes(), local, neighbor as u64),
+                inbound: SecureLink::inbound(key.as_bytes(), local, neighbor as u64),
+            },
+        );
+    }
+
+    /// Installs an unsealed link to `neighbor` (pre-shared trust).
+    pub fn install_plain_link(&mut self, neighbor: usize) {
+        self.links.insert(neighbor, LinkChannel::Plain);
+    }
+
+    fn seal_to(&mut self, neighbor: usize, wire: &[u8]) -> Result<Vec<u8>, OverlayError> {
+        let rng = &mut self.rng;
+        match self.links.get_mut(&neighbor) {
+            Some(LinkChannel::Sealed { outbound, .. }) => Ok(outbound.seal(wire, rng)),
+            Some(LinkChannel::Plain) => Ok(wire.to_vec()),
+            None => Err(OverlayError::Link { reason: "no link to neighbour" }),
+        }
+    }
+
+    fn open_from(&mut self, neighbor: usize, frame: &[u8]) -> Result<Vec<u8>, OverlayError> {
+        match self.links.get_mut(&neighbor) {
+            Some(LinkChannel::Sealed { inbound, .. }) => Ok(inbound.open(frame)?),
+            Some(LinkChannel::Plain) => Ok(frame.to_vec()),
+            None => Err(OverlayError::Link { reason: "no link to neighbour" }),
+        }
+    }
+
+    // ---- traffic -------------------------------------------------------
+
+    /// Admits a registration envelope and returns the sealed `SubForward`
+    /// frames for the links it propagates on (covering-pruned unless in
+    /// flood mode).
+    ///
+    /// # Errors
+    ///
+    /// Registration failures (bad signature, undecryptable body, missing
+    /// keys) and sealing failures.
+    pub fn handle_subscription(
+        &mut self,
+        envelope: &[u8],
+        origin: Origin,
+    ) -> Result<(SubscriptionId, Vec<LinkFrame>), OverlayError> {
+        let outcome = self.call(|c| c.admit(envelope, origin))?;
+        let wire = Message::SubForward { envelope: envelope.to_vec() }.to_wire();
+        let mut frames = Vec::with_capacity(outcome.forward_to.len());
+        for neighbor in outcome.forward_to {
+            let bytes = self.seal_to(neighbor, &wire)?;
+            frames.push(LinkFrame { to: neighbor, from: self.id, bytes });
+        }
+        Ok((outcome.id, frames))
+    }
+
+    /// Routes a batch of publications: decrypt+match the whole batch in
+    /// [`MAX_DRAIN`]-bounded single enclave crossings, deliver locally,
+    /// and forward each item on every matching link (origin excluded).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first undecryptable header or sealing failure.
+    pub fn handle_publish(
+        &mut self,
+        items: &[PublishItem],
+        origin: Origin,
+    ) -> Result<(Vec<LocalDelivery>, Vec<LinkFrame>), OverlayError> {
+        let mut deliveries = Vec::new();
+        // Per-link outgoing batches, in ascending neighbour order.
+        let mut outgoing: BTreeMap<usize, Vec<PublishItem>> = BTreeMap::new();
+        for chunk in items.chunks(MAX_DRAIN) {
+            let headers: Vec<&[u8]> = chunk.iter().map(|i| i.header_ct.as_slice()).collect();
+            let decisions = self
+                .call(|c| c.route(&headers, origin).into_iter().collect::<Result<Vec<_>, _>>())?;
+            for (item, decision) in chunk.iter().zip(decisions) {
+                for client in decision.locals {
+                    deliveries.push(LocalDelivery { router: self.id, client, item: item.clone() });
+                }
+                for neighbor in decision.links {
+                    outgoing.entry(neighbor).or_default().push(item.clone());
+                }
+            }
+        }
+        let mut frames = Vec::with_capacity(outgoing.len());
+        for (neighbor, items) in outgoing {
+            let wire = Message::PublishBatch { items }.to_wire();
+            let bytes = self.seal_to(neighbor, &wire)?;
+            frames.push(LinkFrame { to: neighbor, from: self.id, bytes });
+        }
+        Ok((deliveries, frames))
+    }
+
+    /// Handles one sealed frame from a neighbour: open, parse, dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Authentication failures (tampered/replayed frames), unknown links,
+    /// unexpected message kinds, and the underlying handler errors.
+    pub fn receive(
+        &mut self,
+        from: usize,
+        frame: &[u8],
+    ) -> Result<(Vec<LocalDelivery>, Vec<LinkFrame>), OverlayError> {
+        let wire = self.open_from(from, frame)?;
+        match Message::from_wire(&wire)? {
+            Message::SubForward { envelope } => self
+                .handle_subscription(&envelope, Origin::Link(from))
+                .map(|(_, frames)| (Vec::new(), frames)),
+            Message::PublishBatch { items } => self.handle_publish(&items, Origin::Link(from)),
+            Message::Publish { header_ct, epoch, payload_ct } => {
+                let item = PublishItem { header_ct, epoch, payload_ct };
+                self.handle_publish(std::slice::from_ref(&item), Origin::Link(from))
+            }
+            _ => Err(OverlayError::Link { reason: "unexpected message kind on link" }),
+        }
+    }
+
+    // ---- inspection ----------------------------------------------------
+
+    /// Live subscriptions in the index (edge clients + link interfaces).
+    pub fn subscriptions(&self) -> usize {
+        self.core.engine.index().len()
+    }
+
+    /// Counters for this broker.
+    pub fn stats(&self) -> BrokerStats {
+        let mem = self.core.engine.memory().stats();
+        let (mut forwarded, mut pruned) = (0u64, 0u64);
+        for (_, table) in &self.core.upstream {
+            forwarded += table.forwarded() as u64;
+            pruned += table.pruned();
+        }
+        BrokerStats {
+            router: self.id,
+            subscriptions: self.core.engine.index().len(),
+            ecalls: mem.ecalls,
+            ocalls: mem.ocalls,
+            elapsed_ns: mem.elapsed_ns,
+            forwarded,
+            pruned,
+        }
+    }
+
+    /// Resets the broker's memory counters (between measurement phases).
+    pub fn reset_counters(&self) {
+        self.core.engine.memory().reset_counters();
+    }
+}
+
+/// The canonical routing-enclave builder: all genuine overlay routers
+/// share this measurement (`code` is the measured routing binary).
+pub fn router_builder(code: &[u8]) -> EnclaveBuilder {
+    EnclaveBuilder::new("scbr-overlay-router").add_page(code).isv_prod_id(2)
+}
+
+/// A [`KeyEpoch`] for overlay demo payloads (group-key rotation is
+/// orthogonal to the overlay and handled by the producer role).
+pub const DEMO_EPOCH: KeyEpoch = KeyEpoch(0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scbr::{PublicationSpec, SubscriptionSpec};
+
+    fn producer(rng: &mut CryptoRng) -> ProducerCrypto {
+        ProducerCrypto::generate(512, rng).unwrap()
+    }
+
+    #[test]
+    fn link_interface_encoding() {
+        let iface = link_interface(5);
+        assert_eq!(iface.0 & LINK_INTERFACE_BIT, LINK_INTERFACE_BIT);
+        assert_eq!(iface.0 & !LINK_INTERFACE_BIT, 5);
+    }
+
+    #[test]
+    fn preshared_broker_admits_and_routes() {
+        let mut rng = CryptoRng::from_seed(1);
+        let producer = producer(&mut rng);
+        let mut broker = Broker::preshared(0, 1, IndexKind::Poset, false);
+        broker.set_neighbors(&[1, 2]);
+        broker.install_plain_link(1);
+        broker.install_plain_link(2);
+        broker.provision_preshared(&producer);
+
+        // A local subscription propagates to both neighbours.
+        let spec = SubscriptionSpec::new().gt("price", 10.0);
+        let envelope =
+            producer.seal_registration(&spec, SubscriptionId(1), ClientId(7), &mut rng).unwrap();
+        let (id, frames) = broker.handle_subscription(&envelope, Origin::Local).unwrap();
+        assert_eq!(id, SubscriptionId(1));
+        assert_eq!(frames.iter().map(|f| f.to).collect::<Vec<_>>(), vec![1, 2]);
+
+        // A covered subscription from link 1 is pruned towards 2 but the
+        // index still records it (for reverse-path delivery).
+        let narrow = SubscriptionSpec::new().gt("price", 50.0);
+        let envelope2 =
+            producer.seal_registration(&narrow, SubscriptionId(2), ClientId(8), &mut rng).unwrap();
+        let (_, frames2) = broker.handle_subscription(&envelope2, Origin::Link(1)).unwrap();
+        assert!(frames2.is_empty(), "covered subscription is pruned");
+        assert_eq!(broker.subscriptions(), 2);
+        assert_eq!(broker.stats().pruned, 1);
+
+        // Publications split into local delivery + link forwarding; the
+        // origin link is excluded.
+        let publication = PublicationSpec::new().attr("price", 60.0);
+        let item = PublishItem {
+            header_ct: producer.encrypt_header(&publication, &mut rng),
+            epoch: DEMO_EPOCH,
+            payload_ct: vec![0xaa],
+        };
+        let (deliveries, frames) =
+            broker.handle_publish(std::slice::from_ref(&item), Origin::Link(2)).unwrap();
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].client, ClientId(7));
+        // price>10 came locally; price>50 came from link 1 → forward to 1.
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].to, 1);
+    }
+
+    #[test]
+    fn flood_mode_skips_pruning() {
+        let mut rng = CryptoRng::from_seed(2);
+        let producer = producer(&mut rng);
+        let mut broker = Broker::preshared(0, 2, IndexKind::Poset, true);
+        broker.set_neighbors(&[1]);
+        broker.install_plain_link(1);
+        broker.provision_preshared(&producer);
+        for (i, spec) in
+            [SubscriptionSpec::new().gt("price", 0.0), SubscriptionSpec::new().gt("price", 10.0)]
+                .iter()
+                .enumerate()
+        {
+            let envelope = producer
+                .seal_registration(spec, SubscriptionId(i as u64), ClientId(i as u64), &mut rng)
+                .unwrap();
+            let (_, frames) = broker.handle_subscription(&envelope, Origin::Local).unwrap();
+            assert_eq!(frames.len(), 1, "flood forwards everything");
+        }
+    }
+
+    #[test]
+    fn attested_broker_counts_one_crossing_per_batch() {
+        let mut rng = CryptoRng::from_seed(3);
+        let producer = producer(&mut rng);
+        let mut broker = Broker::attested(0, 33, IndexKind::Poset, b"router v1", false).unwrap();
+        broker.set_neighbors(&[]);
+        // Install keys directly (attestation is exercised in the fabric
+        // tests; this test is about crossing accounting).
+        broker.provision_preshared(&producer);
+        let envelope = producer
+            .seal_registration(
+                &SubscriptionSpec::new().gt("p", 1.0),
+                SubscriptionId(1),
+                ClientId(1),
+                &mut rng,
+            )
+            .unwrap();
+        broker.handle_subscription(&envelope, Origin::Local).unwrap();
+        broker.reset_counters();
+        let items: Vec<PublishItem> = (0..10)
+            .map(|i| PublishItem {
+                header_ct: producer
+                    .encrypt_header(&PublicationSpec::new().attr("p", 2.0 + i as f64), &mut rng),
+                epoch: DEMO_EPOCH,
+                payload_ct: vec![i as u8],
+            })
+            .collect();
+        let (deliveries, frames) = broker.handle_publish(&items, Origin::Local).unwrap();
+        assert_eq!(deliveries.len(), 10);
+        assert!(frames.is_empty());
+        assert_eq!(broker.stats().ecalls, 1, "whole batch in one crossing");
+    }
+
+    #[test]
+    fn frames_on_unknown_links_are_refused() {
+        let mut broker = Broker::preshared(0, 4, IndexKind::Poset, false);
+        assert!(matches!(
+            broker.receive(9, b"junk"),
+            Err(OverlayError::Link { reason: "no link to neighbour" })
+        ));
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for overlay operations.
+
+use scbr::ScbrError;
+use scbr_net::NetError;
+use sgx_sim::SgxError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the overlay subsystem.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum OverlayError {
+    /// The broker graph is not a tree (or refers to unknown routers).
+    Topology {
+        /// What was wrong with the graph.
+        reason: &'static str,
+    },
+    /// A link handshake message arrived out of protocol order or a frame
+    /// arrived on a link that was never established.
+    Link {
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// A routing-layer failure (registration, matching, codec).
+    Routing(ScbrError),
+    /// An attestation or enclave failure (includes refused link peers).
+    Sgx(SgxError),
+    /// A transport-layer failure (includes sealed-frame authentication).
+    Net(NetError),
+}
+
+impl fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlayError::Topology { reason } => write!(f, "invalid topology: {reason}"),
+            OverlayError::Link { reason } => write!(f, "link error: {reason}"),
+            OverlayError::Routing(e) => write!(f, "routing error: {e}"),
+            OverlayError::Sgx(e) => write!(f, "sgx error: {e}"),
+            OverlayError::Net(e) => write!(f, "net error: {e}"),
+        }
+    }
+}
+
+impl Error for OverlayError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OverlayError::Routing(e) => Some(e),
+            OverlayError::Sgx(e) => Some(e),
+            OverlayError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScbrError> for OverlayError {
+    fn from(e: ScbrError) -> Self {
+        OverlayError::Routing(e)
+    }
+}
+
+impl From<SgxError> for OverlayError {
+    fn from(e: SgxError) -> Self {
+        OverlayError::Sgx(e)
+    }
+}
+
+impl From<NetError> for OverlayError {
+    fn from(e: NetError) -> Self {
+        OverlayError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let t = OverlayError::Topology { reason: "cycle" };
+        assert!(t.to_string().contains("cycle"));
+        assert!(t.source().is_none());
+        let r: OverlayError = ScbrError::MissingKeys { which: "SK" }.into();
+        assert!(r.to_string().contains("SK"));
+        assert!(r.source().is_some());
+        let s: OverlayError = SgxError::AttestationFailed { reason: "mr" }.into();
+        assert!(s.source().is_some());
+        let n: OverlayError = NetError::Disconnected.into();
+        assert!(n.source().is_some());
+    }
+}

@@ -1,0 +1,464 @@
+//! The overlay fabric: wiring, attestation and traffic orchestration for
+//! a whole broker tree.
+//!
+//! [`OverlayFabric`] owns one [`Broker`] per router of a [`Topology`] and
+//! drives the deployment end to end:
+//!
+//! 1. **Bootstrap** — in [`Trust::Attested`] mode every broker runs on its
+//!    own simulated SGX machine; the producer provisions `SK` into each
+//!    enclave via remote attestation, and every tree edge performs the
+//!    mutual-quote handshake of [`sgx_sim::link`], after which all frames
+//!    on that edge travel through sealed channels
+//!    ([`scbr_net::SecureLink`]).
+//! 2. **Subscription propagation** — a subscription enters at its edge
+//!    broker and flows up the tree, covering-pruned per link
+//!    ([`crate::forwarding::ForwardingTable`]).
+//! 3. **Publication forwarding** — a publication batch enters at any
+//!    broker; each hop decrypts and matches the whole batch in single
+//!    enclave crossings and forwards it only on links with matching
+//!    interest, delivering to edge clients along the way (reverse-path,
+//!    loop-free on the tree).
+//!
+//! The fabric processes frames breadth-first, so traffic order is
+//! deterministic for a given seed — what the equivalence proptests and
+//! the `overlay` bench rely on.
+
+use crate::broker::{Broker, BrokerStats, LinkFrame, LocalDelivery, Origin, DEMO_EPOCH};
+use crate::error::OverlayError;
+use crate::topology::Topology;
+use scbr::ids::{ClientId, SubscriptionId};
+use scbr::index::IndexKind;
+use scbr::protocol::keys::ProducerCrypto;
+use scbr::protocol::messages::PublishItem;
+use scbr::{PublicationSpec, SubscriptionSpec};
+use scbr_crypto::rng::CryptoRng;
+use sgx_sim::attest::{AttestationService, VerifierPolicy};
+use std::collections::VecDeque;
+
+/// The measured content of the genuine overlay routing enclave. A broker
+/// built from different code has a different `MRENCLAVE` and is refused
+/// by every honest peer's link policy.
+pub const ROUTER_ENCLAVE_CODE: &[u8] = b"scbr overlay routing engine v1";
+
+/// The `MRENCLAVE` all genuine overlay routers share.
+pub fn router_measurement() -> sgx_sim::enclave::Measurement {
+    crate::broker::router_builder(ROUTER_ENCLAVE_CODE).measurement()
+}
+
+/// How subscriptions propagate through the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Propagation {
+    /// Forward a subscription on a link only when nothing already
+    /// forwarded there covers it (the real mode).
+    CoveringPruned,
+    /// Forward every subscription on every link (the equivalence oracle).
+    Flood,
+}
+
+/// How brokers and links authenticate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trust {
+    /// Per-broker SGX platforms, SK via remote attestation, links keyed
+    /// by mutual-quote handshakes and sealed.
+    Attested,
+    /// Keys installed directly, links in the clear (fast functional
+    /// testing; no security claims).
+    PreShared,
+}
+
+/// Fabric construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricConfig {
+    /// Seed for all deterministic key material and workload encryption.
+    pub seed: u64,
+    /// Index implementation each broker runs.
+    pub index: IndexKind,
+    /// Subscription-propagation mode.
+    pub propagation: Propagation,
+    /// Authentication mode.
+    pub trust: Trust,
+}
+
+impl FabricConfig {
+    /// The default production-shaped configuration: attested brokers,
+    /// covering-pruned propagation, poset index.
+    pub fn attested(seed: u64) -> Self {
+        FabricConfig {
+            seed,
+            index: IndexKind::Poset,
+            propagation: Propagation::CoveringPruned,
+            trust: Trust::Attested,
+        }
+    }
+
+    /// Fast functional-test configuration (no attestation, no sealing).
+    pub fn preshared(seed: u64) -> Self {
+        FabricConfig { trust: Trust::PreShared, ..FabricConfig::attested(seed) }
+    }
+}
+
+/// One delivered publication: which edge client received which
+/// publication of a [`OverlayFabric::publish`] call, at which router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Delivery {
+    /// The broker that delivered.
+    pub router: usize,
+    /// The receiving edge client.
+    pub client: ClientId,
+    /// Index of the publication within the published batch.
+    pub publication: usize,
+}
+
+/// A running overlay of attested brokers.
+pub struct OverlayFabric {
+    topology: Topology,
+    brokers: Vec<Broker>,
+    producer: ProducerCrypto,
+    rng: CryptoRng,
+    next_sub: u64,
+}
+
+impl std::fmt::Debug for OverlayFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OverlayFabric")
+            .field("routers", &self.topology.routers())
+            .field("subscriptions", &self.next_sub)
+            .finish()
+    }
+}
+
+impl OverlayFabric {
+    /// Builds, attests and links a fabric over `topology`, generating a
+    /// fresh producer identity from the config seed.
+    ///
+    /// # Errors
+    ///
+    /// Enclave-launch, attestation, provisioning or handshake failures.
+    pub fn build(topology: Topology, config: FabricConfig) -> Result<Self, OverlayError> {
+        let mut rng = CryptoRng::from_seed(config.seed);
+        let producer = ProducerCrypto::generate(512, &mut rng).map_err(OverlayError::Routing)?;
+        Self::build_with_producer(topology, config, producer)
+    }
+
+    /// Builds, attests and links a fabric around an existing producer
+    /// identity (whose `SK` the enclaves will share). Useful when one
+    /// service provider runs several fabrics, and for tests that compare
+    /// fabrics without regenerating keys.
+    ///
+    /// # Errors
+    ///
+    /// Enclave-launch, attestation, provisioning or handshake failures.
+    pub fn build_with_producer(
+        topology: Topology,
+        config: FabricConfig,
+        producer: ProducerCrypto,
+    ) -> Result<Self, OverlayError> {
+        let mut rng = CryptoRng::from_seed(config.seed);
+        let flood = config.propagation == Propagation::Flood;
+        let n = topology.routers();
+        let mut brokers = Vec::with_capacity(n);
+        match config.trust {
+            Trust::PreShared => {
+                for id in 0..n {
+                    let mut broker = Broker::preshared(
+                        id,
+                        config.seed.wrapping_add(id as u64),
+                        config.index,
+                        flood,
+                    );
+                    broker.set_neighbors(topology.neighbors(id));
+                    broker.provision_preshared(&producer);
+                    brokers.push(broker);
+                }
+                for (a, b) in topology.edges() {
+                    brokers[a].install_plain_link(b);
+                    brokers[b].install_plain_link(a);
+                }
+            }
+            Trust::Attested => {
+                // Each broker is its own machine; the attestation service
+                // (the producer's trust anchor) knows all their platforms.
+                let mut service = AttestationService::new();
+                for id in 0..n {
+                    let seed = config.seed.wrapping_mul(7919).wrapping_add(id as u64 + 1);
+                    let mut broker =
+                        Broker::attested(id, seed, config.index, ROUTER_ENCLAVE_CODE, flood)?;
+                    broker.set_neighbors(topology.neighbors(id));
+                    let platform = broker.platform().expect("attested broker has a platform");
+                    service.trust_platform(platform.attestation_public_key().clone());
+                    brokers.push(broker);
+                }
+                let policy = VerifierPolicy::require_mr_enclave(router_measurement());
+                for broker in &mut brokers {
+                    broker.provision_attested(&service, &policy, &producer, &mut rng)?;
+                }
+                for (a, b) in topology.edges() {
+                    let (left, right) = brokers.split_at_mut(b);
+                    establish_link(&mut left[a], &mut right[0], &service, &policy)?;
+                }
+            }
+        }
+        Ok(OverlayFabric { topology, brokers, producer, rng, next_sub: 0 })
+    }
+
+    /// The broker tree.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The producer whose `SK` the fabric's enclaves share.
+    pub fn producer(&self) -> &ProducerCrypto {
+        &self.producer
+    }
+
+    /// Checks an injection point against the topology.
+    fn check_router(&self, at: usize) -> Result<(), OverlayError> {
+        if at >= self.brokers.len() {
+            return Err(OverlayError::Topology { reason: "router out of range" });
+        }
+        Ok(())
+    }
+
+    /// Registers `client`'s subscription at edge router `at` and
+    /// propagates it through the tree.
+    ///
+    /// # Errors
+    ///
+    /// An out-of-range `at`, or registration/link failures anywhere along
+    /// the propagation.
+    pub fn subscribe(
+        &mut self,
+        at: usize,
+        client: ClientId,
+        spec: &SubscriptionSpec,
+    ) -> Result<SubscriptionId, OverlayError> {
+        self.check_router(at)?;
+        let id = SubscriptionId(self.next_sub);
+        self.next_sub += 1;
+        let envelope = self
+            .producer
+            .seal_registration(spec, id, client, &mut self.rng)
+            .map_err(OverlayError::Routing)?;
+        let (_, frames) = self.brokers[at].handle_subscription(&envelope, Origin::Local)?;
+        self.pump(frames)?;
+        Ok(id)
+    }
+
+    /// Publishes a batch at router `at`, forwarding it hop by hop, and
+    /// returns every edge delivery (sorted by router, client,
+    /// publication index).
+    ///
+    /// # Errors
+    ///
+    /// An out-of-range `at`, or matching/link failures anywhere along the
+    /// forwarding paths.
+    pub fn publish(
+        &mut self,
+        at: usize,
+        publications: &[PublicationSpec],
+    ) -> Result<Vec<Delivery>, OverlayError> {
+        self.check_router(at)?;
+        let items: Vec<PublishItem> = publications
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PublishItem {
+                header_ct: self.producer.encrypt_header(p, &mut self.rng),
+                epoch: DEMO_EPOCH,
+                // The payload is opaque to routers; the fabric tags it
+                // with the batch index so tests can identify deliveries.
+                payload_ct: (i as u32).to_be_bytes().to_vec(),
+            })
+            .collect();
+        let (local, frames) = self.brokers[at].handle_publish(&items, Origin::Local)?;
+        let mut deliveries: Vec<Delivery> =
+            local.iter().map(decode_delivery).collect::<Result<_, _>>()?;
+        let mut queue: VecDeque<LinkFrame> = frames.into();
+        while let Some(frame) = queue.pop_front() {
+            let (local, more) = self.brokers[frame.to].receive(frame.from, &frame.bytes)?;
+            for delivery in &local {
+                deliveries.push(decode_delivery(delivery)?);
+            }
+            queue.extend(more);
+        }
+        deliveries.sort_unstable();
+        Ok(deliveries)
+    }
+
+    /// Drives queued subscription frames until the tree is quiescent.
+    fn pump(&mut self, frames: Vec<LinkFrame>) -> Result<(), OverlayError> {
+        let mut queue: VecDeque<LinkFrame> = frames.into();
+        while let Some(frame) = queue.pop_front() {
+            let (_, more) = self.brokers[frame.to].receive(frame.from, &frame.bytes)?;
+            queue.extend(more);
+        }
+        Ok(())
+    }
+
+    /// Per-broker counters, in router order.
+    pub fn broker_stats(&self) -> Vec<BrokerStats> {
+        self.brokers.iter().map(|b| b.stats()).collect()
+    }
+
+    /// Sum of enclave crossings across brokers since the last reset.
+    pub fn total_ecalls(&self) -> u64 {
+        self.brokers.iter().map(|b| b.stats().ecalls).sum()
+    }
+
+    /// Slowest broker's virtual clock since the last reset (the overlay's
+    /// critical path for concurrently-running brokers).
+    pub fn max_elapsed_ns(&self) -> f64 {
+        self.brokers.iter().map(|b| b.stats().elapsed_ns).fold(0.0, f64::max)
+    }
+
+    /// Total subscription-forwards sent on links (propagation traffic).
+    pub fn total_forwarded(&self) -> u64 {
+        self.brokers.iter().map(|b| b.stats().forwarded).sum()
+    }
+
+    /// Total covering-pruned subscription-forwards (traffic avoided).
+    pub fn total_pruned(&self) -> u64 {
+        self.brokers.iter().map(|b| b.stats().pruned).sum()
+    }
+
+    /// Total index entries across brokers (edge + link-interface copies).
+    pub fn total_index_entries(&self) -> usize {
+        self.brokers.iter().map(|b| b.subscriptions()).sum()
+    }
+
+    /// Resets every broker's counters (between measurement phases).
+    pub fn reset_counters(&self) {
+        for broker in &self.brokers {
+            broker.reset_counters();
+        }
+    }
+}
+
+/// Runs the four-step mutual-attestation handshake between two brokers
+/// and installs the sealed channels on both ends.
+///
+/// # Errors
+///
+/// Any quote, policy or unwrap failure — a broker with an unexpected
+/// measurement or untrusted platform never gets a link.
+pub fn establish_link(
+    a: &mut Broker,
+    b: &mut Broker,
+    service: &AttestationService,
+    policy: &VerifierPolicy,
+) -> Result<(), OverlayError> {
+    let (hello_wire, init_state) = a.link_hello()?;
+    let (accept_wire, resp_state) = b.link_accept(&hello_wire, service, policy)?;
+    let (finish_wire, key_a) = a.link_finish(init_state, &accept_wire, service, policy)?;
+    let key_b = b.link_complete(resp_state, &finish_wire)?;
+    a.install_sealed_link(b.id(), &key_a);
+    b.install_sealed_link(a.id(), &key_b);
+    Ok(())
+}
+
+/// Decodes the batch index the fabric tagged into a delivered payload.
+fn decode_delivery(local: &LocalDelivery) -> Result<Delivery, OverlayError> {
+    let bytes: [u8; 4] = local
+        .item
+        .payload_ct
+        .as_slice()
+        .try_into()
+        .map_err(|_| OverlayError::Link { reason: "unexpected payload tag" })?;
+    Ok(Delivery {
+        router: local.router,
+        client: local.client,
+        publication: u32::from_be_bytes(bytes) as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preshared_line_routes_end_to_end() {
+        let mut fabric =
+            OverlayFabric::build(Topology::line(3), FabricConfig::preshared(7)).unwrap();
+        fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("price", 10.0)).unwrap();
+        fabric.subscribe(2, ClientId(2), &SubscriptionSpec::new().eq("symbol", "HAL")).unwrap();
+        let deliveries = fabric
+            .publish(
+                1,
+                &[
+                    PublicationSpec::new().attr("price", 20.0).attr("symbol", "HAL"),
+                    PublicationSpec::new().attr("price", 5.0).attr("symbol", "IBM"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(
+            deliveries,
+            vec![
+                Delivery { router: 0, client: ClientId(1), publication: 0 },
+                Delivery { router: 2, client: ClientId(2), publication: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn covering_prunes_propagation_traffic() {
+        let mut fabric =
+            OverlayFabric::build(Topology::line(4), FabricConfig::preshared(8)).unwrap();
+        // A broad subscription at router 0 travels all 3 links; narrower
+        // ones behind it are pruned at the first hop.
+        fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+        assert_eq!(fabric.total_forwarded(), 3);
+        fabric.subscribe(0, ClientId(2), &SubscriptionSpec::new().gt("price", 10.0)).unwrap();
+        fabric.subscribe(0, ClientId(3), &SubscriptionSpec::new().gt("price", 20.0)).unwrap();
+        assert_eq!(fabric.total_forwarded(), 3, "covered subscriptions never leave router 0");
+        assert_eq!(fabric.total_pruned(), 2);
+        // Index copies: every sub at router 0, one interface copy per hop
+        // for the broad one only.
+        assert_eq!(fabric.total_index_entries(), 3 + 3);
+        // Deliveries are still exact.
+        let deliveries = fabric.publish(3, &[PublicationSpec::new().attr("price", 15.0)]).unwrap();
+        assert_eq!(
+            deliveries,
+            vec![
+                Delivery { router: 0, client: ClientId(1), publication: 0 },
+                Delivery { router: 0, client: ClientId(2), publication: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn flood_mode_forwards_everything() {
+        let mut fabric = OverlayFabric::build(
+            Topology::line(3),
+            FabricConfig { propagation: Propagation::Flood, ..FabricConfig::preshared(9) },
+        )
+        .unwrap();
+        fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+        fabric.subscribe(0, ClientId(2), &SubscriptionSpec::new().gt("price", 10.0)).unwrap();
+        assert_eq!(fabric.total_index_entries(), 2 * 3, "every broker holds every subscription");
+    }
+
+    #[test]
+    fn out_of_range_routers_are_an_error_not_a_panic() {
+        let mut fabric =
+            OverlayFabric::build(Topology::line(2), FabricConfig::preshared(11)).unwrap();
+        assert!(matches!(
+            fabric.subscribe(5, ClientId(1), &SubscriptionSpec::new()),
+            Err(OverlayError::Topology { reason: "router out of range" })
+        ));
+        assert!(matches!(
+            fabric.publish(2, &[PublicationSpec::new().attr("x", 1.0)]),
+            Err(OverlayError::Topology { reason: "router out of range" })
+        ));
+    }
+
+    #[test]
+    fn publications_do_not_echo_to_their_origin() {
+        let mut fabric =
+            OverlayFabric::build(Topology::line(2), FabricConfig::preshared(10)).unwrap();
+        fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("x", 0.0)).unwrap();
+        // Published at the subscriber's own router: delivered locally,
+        // no frame crosses the link and comes back.
+        let deliveries = fabric.publish(0, &[PublicationSpec::new().attr("x", 1.0)]).unwrap();
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].router, 0);
+    }
+}

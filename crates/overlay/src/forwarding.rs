@@ -1,0 +1,97 @@
+//! Per-link covering-pruned forwarding tables.
+//!
+//! A router forwards a subscription up a link only when no subscription
+//! already forwarded on that link **covers** it (every publication the new
+//! subscription matches, the old one matches too — the partial order the
+//! poset index is built on, `CompiledSubscription::covers`). Covered
+//! subscriptions are pruned: the upstream router's interest is already
+//! broad enough to send every relevant publication back down, and the
+//! local index delivers from there. Over skewed workloads (many narrow
+//! subscriptions under a few broad ones) this collapses the propagation
+//! traffic and the upstream routers' index sizes — the same effect
+//! covering has *inside* the poset index, lifted to the network.
+//!
+//! The table lives inside the broker's enclave: entries are plaintext
+//! compiled subscriptions and must never cross the trust boundary.
+
+use scbr::ids::SubscriptionId;
+use scbr::CompiledSubscription;
+
+/// The subscriptions a broker has forwarded on one link, plus pruning
+/// counters.
+#[derive(Debug, Default)]
+pub struct ForwardingTable {
+    entries: Vec<(SubscriptionId, CompiledSubscription)>,
+    pruned: u64,
+}
+
+impl ForwardingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        ForwardingTable::default()
+    }
+
+    /// Is `sub` covered by a subscription already forwarded on this link?
+    pub fn covered(&self, sub: &CompiledSubscription) -> bool {
+        self.entries.iter().any(|(_, fwd)| fwd.covers(sub))
+    }
+
+    /// Records a subscription as forwarded on this link.
+    pub fn record(&mut self, id: SubscriptionId, sub: CompiledSubscription) {
+        self.entries.push((id, sub));
+    }
+
+    /// Counts one covering-pruned (not forwarded) subscription.
+    pub fn note_pruned(&mut self) {
+        self.pruned += 1;
+    }
+
+    /// Number of subscriptions forwarded on this link.
+    pub fn forwarded(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of subscriptions pruned on this link.
+    pub fn pruned(&self) -> u64 {
+        self.pruned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scbr::attr::AttrSchema;
+    use scbr::SubscriptionSpec;
+
+    fn compiled(spec: SubscriptionSpec, schema: &AttrSchema) -> CompiledSubscription {
+        spec.compile(schema).unwrap()
+    }
+
+    #[test]
+    fn covering_prunes_and_non_covering_forwards() {
+        let schema = AttrSchema::new();
+        let broad = compiled(SubscriptionSpec::new().gt("price", 0.0), &schema);
+        let narrow = compiled(SubscriptionSpec::new().gt("price", 10.0), &schema);
+        let other = compiled(SubscriptionSpec::new().eq("symbol", "HAL"), &schema);
+
+        let mut table = ForwardingTable::new();
+        assert!(!table.covered(&broad), "empty table covers nothing");
+        table.record(SubscriptionId(1), broad.clone());
+        assert!(table.covered(&narrow), "broad covers narrow");
+        assert!(table.covered(&broad), "covering is reflexive");
+        assert!(!table.covered(&other), "unrelated attribute is not covered");
+        table.note_pruned();
+        assert_eq!(table.forwarded(), 1);
+        assert_eq!(table.pruned(), 1);
+    }
+
+    #[test]
+    fn narrow_first_does_not_block_broad() {
+        let schema = AttrSchema::new();
+        let narrow = compiled(SubscriptionSpec::new().between("price", 5.0, 6.0), &schema);
+        let broad = compiled(SubscriptionSpec::new().ge("price", 0.0), &schema);
+        let mut table = ForwardingTable::new();
+        table.record(SubscriptionId(1), narrow);
+        assert!(!table.covered(&broad), "the broader subscription must still be forwarded");
+    }
+}

@@ -1,0 +1,57 @@
+//! # scbr-overlay — a multi-hop network of attested SCBR routers
+//!
+//! The paper evaluates one SGX-hosted router; its §3.4 and conclusion
+//! point at the real deployment shape: a *network* of routing enclaves
+//! spread across untrusted hosts. This crate builds that overlay on top of
+//! the single-router engine:
+//!
+//! * [`topology`] — the broker graph: a validated spanning tree, so
+//!   reverse-path forwarding is loop-free by construction.
+//! * [`sgx_sim::link`] + [`scbr_net::SecureLink`] — every tree edge is
+//!   bootstrapped by a mutual-quote attestation handshake (both routers
+//!   prove measurement and platform before contributing key material) and
+//!   then sealed with the derived link key.
+//! * [`forwarding`] — covering-pruned subscription propagation: a router
+//!   forwards a subscription up a link only if nothing already forwarded
+//!   there covers it, reusing the containment relation the poset index is
+//!   built on.
+//! * [`broker`] — one overlay node: the matching engine (inside the
+//!   enclave) indexes link interfaces alongside edge clients, so each hop
+//!   decrypts and matches a whole publication batch in **one enclave
+//!   crossing** and learns local deliveries and outgoing links together.
+//! * [`fabric`] — deployment orchestration: build, attest, link, then
+//!   [`fabric::OverlayFabric::subscribe`] and
+//!   [`fabric::OverlayFabric::publish`].
+//!
+//! ## Example
+//!
+//! ```
+//! use scbr::ids::ClientId;
+//! use scbr::{PublicationSpec, SubscriptionSpec};
+//! use scbr_overlay::fabric::{FabricConfig, OverlayFabric};
+//! use scbr_overlay::topology::Topology;
+//!
+//! // A 3-broker chain with pre-shared trust (fast; see
+//! // `FabricConfig::attested` for the fully attested mode).
+//! let mut fabric = OverlayFabric::build(Topology::line(3), FabricConfig::preshared(1))?;
+//! fabric.subscribe(0, ClientId(7), &SubscriptionSpec::new().eq("symbol", "HAL"))?;
+//! let deliveries = fabric.publish(2, &[PublicationSpec::new().attr("symbol", "HAL")])?;
+//! assert_eq!(deliveries.len(), 1);
+//! assert_eq!(deliveries[0].client, ClientId(7));
+//! # Ok::<(), scbr_overlay::OverlayError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod error;
+pub mod fabric;
+pub mod forwarding;
+pub mod topology;
+
+pub use broker::{Broker, BrokerStats, Origin};
+pub use error::OverlayError;
+pub use fabric::{Delivery, FabricConfig, OverlayFabric, Propagation, Trust};
+pub use forwarding::ForwardingTable;
+pub use topology::Topology;

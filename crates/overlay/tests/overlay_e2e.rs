@@ -1,0 +1,239 @@
+//! End-to-end overlay integration: a fully attested broker chain.
+//!
+//! Covers the acceptance path of the overlay subsystem: SK provisioning
+//! via remote attestation into every broker, mutual-quote link
+//! establishment on every tree edge, covering-pruned subscription
+//! propagation, and multi-hop publication forwarding with exact edge
+//! delivery — plus the negative path: a router whose quote fails the
+//! `require_mr_enclave` policy never gets a link.
+
+use scbr::ids::ClientId;
+use scbr::index::IndexKind;
+use scbr::{PublicationSpec, SubscriptionSpec};
+use scbr_overlay::broker::Broker;
+use scbr_overlay::fabric::{
+    establish_link, router_measurement, FabricConfig, OverlayFabric, ROUTER_ENCLAVE_CODE,
+};
+use scbr_overlay::{Delivery, OverlayError, Topology};
+use sgx_sim::attest::{AttestationService, VerifierPolicy};
+use sgx_sim::SgxError;
+
+/// A 4-broker chain: publications injected at one end must cross 3 links
+/// (3 hops) to reach a subscriber at the other end.
+#[test]
+fn three_hop_chain_delivers_exactly_the_matching_publications() {
+    let mut fabric =
+        OverlayFabric::build(Topology::line(4), FabricConfig::attested(42)).expect("build");
+
+    // Subscribers at the far edge (router 0); publications enter at 3.
+    fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().eq("symbol", "HAL")).unwrap();
+    fabric.subscribe(0, ClientId(2), &SubscriptionSpec::new().gt("price", 50.0)).unwrap();
+    // A bystander in the middle.
+    fabric.subscribe(1, ClientId(3), &SubscriptionSpec::new().eq("symbol", "IBM")).unwrap();
+
+    let publications = [
+        PublicationSpec::new().attr("symbol", "HAL").attr("price", 10.0), // -> client 1
+        PublicationSpec::new().attr("symbol", "IBM").attr("price", 90.0), // -> clients 2, 3
+        PublicationSpec::new().attr("symbol", "XYZ").attr("price", 1.0),  // -> nobody
+    ];
+    let deliveries = fabric.publish(3, &publications).unwrap();
+    assert_eq!(
+        deliveries,
+        vec![
+            Delivery { router: 0, client: ClientId(1), publication: 0 },
+            Delivery { router: 0, client: ClientId(2), publication: 1 },
+            Delivery { router: 1, client: ClientId(3), publication: 1 },
+        ]
+    );
+
+    // The whole batch crossed each forwarding hop in one ecall: router 3
+    // matched once, and only the links with interest saw traffic.
+    let stats = fabric.broker_stats();
+    assert!(stats.iter().all(|s| s.ecalls > 0), "every broker crossed its gate");
+}
+
+/// The non-matching tail of the tree never sees a publication.
+#[test]
+fn forwarding_stops_where_interest_stops() {
+    // Star: subscriber under leaf 1; publications from leaf 2 must reach
+    // leaf 1 via the hub 0 but never touch leaf 3.
+    let mut fabric =
+        OverlayFabric::build(Topology::star(4), FabricConfig::attested(43)).expect("build");
+    fabric.subscribe(1, ClientId(9), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+    fabric.reset_counters();
+    let deliveries = fabric.publish(2, &[PublicationSpec::new().attr("price", 5.0)]).unwrap();
+    assert_eq!(deliveries, vec![Delivery { router: 1, client: ClientId(9), publication: 0 }]);
+    let stats = fabric.broker_stats();
+    assert_eq!(stats[3].ecalls, 0, "leaf 3 has no interest and sees no traffic");
+    assert!(stats[0].ecalls > 0 && stats[1].ecalls > 0 && stats[2].ecalls > 0);
+}
+
+/// Batches stay batches across hops: 10 publications forwarded over 3
+/// links cost one crossing per hop, not one per message per hop.
+#[test]
+fn batches_amortise_crossings_across_hops() {
+    let mut fabric =
+        OverlayFabric::build(Topology::line(4), FabricConfig::attested(44)).expect("build");
+    fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+    fabric.reset_counters();
+    let publications: Vec<PublicationSpec> =
+        (0..10).map(|i| PublicationSpec::new().attr("price", 1.0 + i as f64)).collect();
+    let deliveries = fabric.publish(3, &publications).unwrap();
+    assert_eq!(deliveries.len(), 10);
+    // 4 brokers each matched the whole batch once.
+    assert_eq!(fabric.total_ecalls(), 4, "one crossing per hop for the whole batch");
+}
+
+/// Covering-pruned propagation: downstream brokers hold only the covering
+/// subscription, yet delivery stays exact.
+#[test]
+fn pruning_shrinks_upstream_state() {
+    let mut fabric =
+        OverlayFabric::build(Topology::line(3), FabricConfig::attested(45)).expect("build");
+    fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().ge("price", 0.0)).unwrap();
+    for i in 0..5u64 {
+        fabric
+            .subscribe(
+                0,
+                ClientId(10 + i),
+                &SubscriptionSpec::new().ge("price", 10.0 * (i + 1) as f64),
+            )
+            .unwrap();
+    }
+    // 6 subscriptions at the edge; only the covering one propagated. The
+    // covered ones are pruned at router 0 and never even reach router 1,
+    // so the pruning happens exactly once per subscription.
+    assert_eq!(fabric.total_forwarded(), 2, "one forward per link of the chain");
+    assert_eq!(fabric.total_pruned(), 5, "five subs pruned at the first hop");
+    let stats = fabric.broker_stats();
+    assert_eq!(stats[0].subscriptions, 6);
+    assert_eq!(stats[1].subscriptions, 1);
+    assert_eq!(stats[2].subscriptions, 1);
+    let deliveries = fabric.publish(2, &[PublicationSpec::new().attr("price", 35.0)]).unwrap();
+    let clients: Vec<u64> = deliveries.iter().map(|d| d.client.0).collect();
+    assert_eq!(clients, vec![1, 10, 11, 12], "price=35 matches thresholds 0,10,20,30");
+}
+
+/// Link establishment refuses a router whose quote fails the
+/// `require_mr_enclave` policy — a tampered routing binary cannot join
+/// the overlay.
+#[test]
+fn link_establishment_rejects_wrong_measurement() {
+    let mut genuine =
+        Broker::attested(0, 1000, IndexKind::Poset, ROUTER_ENCLAVE_CODE, false).unwrap();
+    let mut tampered =
+        Broker::attested(1, 1001, IndexKind::Poset, b"routing engine + backdoor", false).unwrap();
+    let mut service = AttestationService::new();
+    service.trust_platform(genuine.platform().unwrap().attestation_public_key().clone());
+    service.trust_platform(tampered.platform().unwrap().attestation_public_key().clone());
+    let policy = VerifierPolicy::require_mr_enclave(router_measurement());
+
+    // Tampered initiator: the genuine responder refuses at `accept`.
+    let result = establish_link(&mut tampered, &mut genuine, &service, &policy);
+    assert!(
+        matches!(
+            result,
+            Err(OverlayError::Sgx(SgxError::AttestationFailed { reason: "unexpected mrenclave" }))
+        ),
+        "got {result:?}"
+    );
+
+    // Tampered responder: the genuine initiator refuses at `finish`, even
+    // if the responder skipped its own policy check.
+    let (hello, state) = genuine.link_hello().unwrap();
+    let lax =
+        VerifierPolicy { mr_enclave: None, mr_signer: None, min_isv_svn: 0, allow_debug: true };
+    let (accept_wire, _resp) = tampered.link_accept(&hello, &service, &lax).unwrap();
+    let result = genuine.link_finish(state, &accept_wire, &service, &policy);
+    assert!(matches!(
+        result,
+        Err(OverlayError::Sgx(SgxError::AttestationFailed { reason: "unexpected mrenclave" }))
+    ));
+}
+
+/// A quote from an untrusted platform (an emulator, say) is refused even
+/// when the measurement matches.
+#[test]
+fn link_establishment_rejects_untrusted_platform() {
+    let mut genuine =
+        Broker::attested(0, 1002, IndexKind::Poset, ROUTER_ENCLAVE_CODE, false).unwrap();
+    let mut emulated =
+        Broker::attested(1, 1003, IndexKind::Poset, ROUTER_ENCLAVE_CODE, false).unwrap();
+    // Only the genuine broker's platform is trusted.
+    let mut service = AttestationService::new();
+    service.trust_platform(genuine.platform().unwrap().attestation_public_key().clone());
+    let policy = VerifierPolicy::require_mr_enclave(router_measurement());
+    assert!(establish_link(&mut emulated, &mut genuine, &service, &policy).is_err());
+}
+
+/// Sealed links reject tampered frames end to end.
+#[test]
+fn tampered_link_frames_are_refused() {
+    let mut rng = scbr_crypto::rng::CryptoRng::from_seed(99);
+    let producer = scbr::protocol::keys::ProducerCrypto::generate(512, &mut rng).unwrap();
+    let item = scbr::protocol::messages::PublishItem {
+        header_ct: producer.encrypt_header(&PublicationSpec::new().attr("price", 1.0), &mut rng),
+        epoch: scbr::ids::KeyEpoch(0),
+        payload_ct: vec![0, 0, 0, 0],
+    };
+    // Two attested brokers with an established sealed link; flip one
+    // ciphertext bit in a forwarded frame and watch it bounce.
+    let mut a = Broker::attested(0, 1004, IndexKind::Poset, ROUTER_ENCLAVE_CODE, false).unwrap();
+    let mut b = Broker::attested(1, 1005, IndexKind::Poset, ROUTER_ENCLAVE_CODE, false).unwrap();
+    let mut service = AttestationService::new();
+    service.trust_platform(a.platform().unwrap().attestation_public_key().clone());
+    service.trust_platform(b.platform().unwrap().attestation_public_key().clone());
+    let policy = VerifierPolicy::require_mr_enclave(router_measurement());
+    a.set_neighbors(&[1]);
+    b.set_neighbors(&[0]);
+    a.provision_preshared(&producer);
+    b.provision_preshared(&producer);
+    establish_link(&mut a, &mut b, &service, &policy).unwrap();
+    let envelope = producer
+        .seal_registration(
+            &SubscriptionSpec::new().gt("price", 0.0),
+            scbr::ids::SubscriptionId(0),
+            ClientId(1),
+            &mut rng,
+        )
+        .unwrap();
+    let (_, sub_frames) = a.handle_subscription(&envelope, scbr_overlay::Origin::Local).unwrap();
+    for frame in &sub_frames {
+        b.receive(frame.from, &frame.bytes).unwrap();
+    }
+    let (_, frames) =
+        b.handle_publish(std::slice::from_ref(&item), scbr_overlay::Origin::Local).unwrap();
+    assert_eq!(frames.len(), 1);
+    let mut bytes = frames[0].bytes.clone();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 1;
+    assert!(a.receive(1, &bytes).is_err(), "tampered frame must not open");
+    // The untampered frame still routes.
+    let (deliveries, _) = a.receive(1, &frames[0].bytes).unwrap();
+    assert_eq!(deliveries.len(), 1);
+}
+
+/// All three index kinds route identically through the overlay.
+#[test]
+fn index_kinds_agree_on_overlay_routing() {
+    let mut reference: Option<Vec<Delivery>> = None;
+    for kind in [IndexKind::Poset, IndexKind::Counting, IndexKind::Naive] {
+        let config = FabricConfig { index: kind, ..FabricConfig::preshared(47) };
+        let mut fabric = OverlayFabric::build(Topology::line(3), config).unwrap();
+        fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("price", 10.0)).unwrap();
+        fabric.subscribe(2, ClientId(2), &SubscriptionSpec::new().eq("symbol", "HAL")).unwrap();
+        let deliveries = fabric
+            .publish(
+                1,
+                &[
+                    PublicationSpec::new().attr("price", 20.0).attr("symbol", "HAL"),
+                    PublicationSpec::new().attr("price", 1.0).attr("symbol", "HAL"),
+                ],
+            )
+            .unwrap();
+        match &reference {
+            None => reference = Some(deliveries),
+            Some(expected) => assert_eq!(&deliveries, expected, "{kind:?} disagrees"),
+        }
+    }
+}

@@ -48,6 +48,48 @@ impl Report {
         out.extend_from_slice(data);
         out
     }
+
+    /// Serialises the report for the wire (fixed layout: identity,
+    /// report data, MAC).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Report::signing_bytes(&self.identity, &self.report_data);
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses a report serialised by [`Report::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::AttestationFailed`] on truncated or oversized input.
+    /// (The MAC itself is only checked by verification, as on hardware.)
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        // mr_enclave(32) mr_signer(32) prod(2) svn(2) debug(1) data(64) mac(32)
+        const LEN: usize = 32 + 32 + 2 + 2 + 1 + 64 + 32;
+        if bytes.len() != LEN {
+            return Err(SgxError::AttestationFailed { reason: "malformed report bytes" });
+        }
+        let mut mr_enclave = [0u8; 32];
+        mr_enclave.copy_from_slice(&bytes[0..32]);
+        let mut mr_signer = [0u8; 32];
+        mr_signer.copy_from_slice(&bytes[32..64]);
+        let isv_prod_id = u16::from_be_bytes([bytes[64], bytes[65]]);
+        let isv_svn = u16::from_be_bytes([bytes[66], bytes[67]]);
+        let debug = match bytes[68] {
+            0 => false,
+            1 => true,
+            _ => return Err(SgxError::AttestationFailed { reason: "malformed report bytes" }),
+        };
+        let mut report_data = [0u8; 64];
+        report_data.copy_from_slice(&bytes[69..133]);
+        let mut mac = [0u8; 32];
+        mac.copy_from_slice(&bytes[133..165]);
+        Ok(Report {
+            identity: EnclaveIdentity { mr_enclave, mr_signer, isv_prod_id, isv_svn, debug },
+            report_data,
+            mac,
+        })
+    }
 }
 
 /// Creates a report for the calling enclave (`EREPORT`).
@@ -84,6 +126,40 @@ pub struct Quote {
     /// The quoted report (identity + report data).
     pub report: Report,
     signature: Vec<u8>,
+}
+
+impl Quote {
+    /// Serialises the quote for the wire (report, then the platform
+    /// signature length-prefixed), so overlay routers can exchange quotes
+    /// over untrusted links.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.report.to_bytes();
+        out.extend_from_slice(&(self.signature.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Parses a quote serialised by [`Quote::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::AttestationFailed`] on malformed input. A parsed quote
+    /// carries no trust until [`AttestationService::verify`] accepts it.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        const REPORT_LEN: usize = 165;
+        if bytes.len() < REPORT_LEN + 4 {
+            return Err(SgxError::AttestationFailed { reason: "malformed quote bytes" });
+        }
+        let report = Report::from_bytes(&bytes[..REPORT_LEN])?;
+        let sig_len =
+            u32::from_be_bytes(bytes[REPORT_LEN..REPORT_LEN + 4].try_into().expect("4 bytes"))
+                as usize;
+        let rest = &bytes[REPORT_LEN + 4..];
+        if rest.len() != sig_len {
+            return Err(SgxError::AttestationFailed { reason: "malformed quote bytes" });
+        }
+        Ok(Quote { report, signature: rest.to_vec() })
+    }
 }
 
 /// The platform component that turns reports into quotes.
@@ -356,6 +432,26 @@ mod tests {
             policy.check(enclave.identity()),
             Err(SgxError::AttestationFailed { reason: "debug enclave rejected" })
         ));
+    }
+
+    #[test]
+    fn report_and_quote_wire_round_trip() {
+        let (platform, enclave, service) = setup();
+        let report = enclave.ecall(|ctx| create_report(ctx, [3u8; 64]));
+        let parsed = Report::from_bytes(&report.to_bytes()).unwrap();
+        assert_eq!(parsed, report);
+        let quote = platform.quote(&report).unwrap();
+        let parsed = Quote::from_bytes(&quote.to_bytes()).unwrap();
+        assert_eq!(parsed, quote);
+        // The round-tripped quote still verifies.
+        assert!(service.verify(&parsed).is_ok());
+        // Truncations and trailing bytes are rejected.
+        let bytes = quote.to_bytes();
+        assert!(Quote::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(Quote::from_bytes(&long).is_err());
+        assert!(Report::from_bytes(&report.to_bytes()[..100]).is_err());
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod costs;
 pub mod enclave;
 pub mod epc;
 pub mod error;
+pub mod link;
 pub mod mee;
 pub mod mem;
 pub mod platform;

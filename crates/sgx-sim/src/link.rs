@@ -1,0 +1,520 @@
+//! Attested broker-to-broker link sessions.
+//!
+//! The SCBR overlay (a Siena-style network of routing enclaves) needs a
+//! way for two routers on *different* machines to convince each other that
+//! the peer really is the expected routing code in a genuine enclave, and
+//! to agree on a symmetric key protecting the link between them. This
+//! module builds that on the primitives of [`crate::attest`]: a
+//! three-message handshake of **mutual quotes** with a fresh RSA response
+//! key bound into each side's report data, finishing with an HKDF-derived
+//! 256-bit link key.
+//!
+//! ```text
+//! initiator                                   responder
+//!   [hello]  ── quote(bind pk_i), pk_i ──────▶  verify quote+policy
+//!            ◀─ quote(bind pk_r), pk_r, ───── [accept]
+//!               {secret_r}pk_i
+//!  [finish]  ── {secret_i}pk_r ──────────────▶ [complete]
+//!
+//!   link key = HKDF(salt = mr_i ‖ mr_r,
+//!                   ikm  = secret_i ‖ secret_r,
+//!                   info = "scbr-overlay-link-v1")
+//! ```
+//!
+//! Each side refuses to contribute its secret before the peer's quote has
+//! passed the [`AttestationService`] *and* the caller's
+//! [`VerifierPolicy`] — a router whose measurement differs (tampered
+//! binary) or whose platform is untrusted (emulator) never obtains a link
+//! key, so it can neither receive forwarded subscriptions nor inject
+//! publications into the overlay.
+
+use crate::attest::{create_report, provision, AttestationService, Quote, VerifierPolicy};
+use crate::enclave::{Enclave, Measurement};
+use crate::error::SgxError;
+use crate::platform::SgxPlatform;
+use scbr_crypto::rng::CryptoRng;
+use scbr_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+
+/// Length of a derived link key in bytes.
+pub const LINK_KEY_LEN: usize = 32;
+
+/// Per-secret contribution length in bytes.
+const SECRET_LEN: usize = 32;
+
+/// HKDF info label pinning the protocol version.
+const LINK_INFO: &[u8] = b"scbr-overlay-link-v1";
+
+/// A symmetric key shared by the two enclaves at the ends of a link.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LinkKey([u8; LINK_KEY_LEN]);
+
+impl LinkKey {
+    /// The raw key bytes (feed into an AEAD, e.g. a sealed link channel).
+    pub fn as_bytes(&self) -> &[u8; LINK_KEY_LEN] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for LinkKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "LinkKey(…)")
+    }
+}
+
+/// First handshake message: a quote binding a fresh response key.
+#[derive(Debug, Clone)]
+pub struct LinkHello {
+    /// Quote whose report data commits to `response_key`.
+    pub quote: Quote,
+    /// The fresh RSA key the peer should encrypt its secret to.
+    pub response_key: RsaPublicKey,
+}
+
+impl LinkHello {
+    /// Serialises for the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let quote = self.quote.to_bytes();
+        let key = self.response_key.to_bytes();
+        let mut out = Vec::with_capacity(8 + quote.len() + key.len());
+        out.extend_from_slice(&(quote.len() as u32).to_be_bytes());
+        out.extend_from_slice(&quote);
+        out.extend_from_slice(&(key.len() as u32).to_be_bytes());
+        out.extend_from_slice(&key);
+        out
+    }
+
+    /// Parses a hello serialised by [`LinkHello::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::AttestationFailed`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let (quote_bytes, rest) = take_prefixed(bytes)?;
+        let (key_bytes, rest) = take_prefixed(rest)?;
+        if !rest.is_empty() {
+            return Err(SgxError::AttestationFailed { reason: "link hello trailing bytes" });
+        }
+        let quote = Quote::from_bytes(quote_bytes)?;
+        let response_key = RsaPublicKey::from_bytes(key_bytes)
+            .map_err(|_| SgxError::AttestationFailed { reason: "malformed link response key" })?;
+        Ok(LinkHello { quote, response_key })
+    }
+}
+
+/// Second handshake message: the responder's hello plus its wrapped secret.
+#[derive(Debug, Clone)]
+pub struct LinkAccept {
+    /// The responder's own quote and response key.
+    pub hello: LinkHello,
+    /// The responder's secret contribution, encrypted to the initiator's
+    /// response key.
+    pub wrapped_secret: Vec<u8>,
+}
+
+impl LinkAccept {
+    /// Serialises for the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let hello = self.hello.to_bytes();
+        let mut out = Vec::with_capacity(8 + hello.len() + self.wrapped_secret.len());
+        out.extend_from_slice(&(hello.len() as u32).to_be_bytes());
+        out.extend_from_slice(&hello);
+        out.extend_from_slice(&(self.wrapped_secret.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.wrapped_secret);
+        out
+    }
+
+    /// Parses an accept serialised by [`LinkAccept::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::AttestationFailed`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let (hello_bytes, rest) = take_prefixed(bytes)?;
+        let (wrapped, rest) = take_prefixed(rest)?;
+        if !rest.is_empty() {
+            return Err(SgxError::AttestationFailed { reason: "link accept trailing bytes" });
+        }
+        Ok(LinkAccept {
+            hello: LinkHello::from_bytes(hello_bytes)?,
+            wrapped_secret: wrapped.to_vec(),
+        })
+    }
+}
+
+/// Third handshake message: the initiator's wrapped secret.
+#[derive(Debug, Clone)]
+pub struct LinkFinish {
+    /// The initiator's secret contribution, encrypted to the responder's
+    /// response key.
+    pub wrapped_secret: Vec<u8>,
+}
+
+impl LinkFinish {
+    /// Serialises for the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.wrapped_secret.len());
+        out.extend_from_slice(&(self.wrapped_secret.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.wrapped_secret);
+        out
+    }
+
+    /// Parses a finish serialised by [`LinkFinish::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::AttestationFailed`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let (wrapped, rest) = take_prefixed(bytes)?;
+        if !rest.is_empty() {
+            return Err(SgxError::AttestationFailed { reason: "link finish trailing bytes" });
+        }
+        Ok(LinkFinish { wrapped_secret: wrapped.to_vec() })
+    }
+}
+
+/// Splits a `u32`-length-prefixed blob off the front of `bytes`.
+fn take_prefixed(bytes: &[u8]) -> Result<(&[u8], &[u8]), SgxError> {
+    if bytes.len() < 4 {
+        return Err(SgxError::AttestationFailed { reason: "truncated link message" });
+    }
+    let len = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    let rest = &bytes[4..];
+    if rest.len() < len {
+        return Err(SgxError::AttestationFailed { reason: "truncated link message" });
+    }
+    Ok((&rest[..len], &rest[len..]))
+}
+
+/// Initiator-side handshake state between [`initiate`] and [`finish`]
+/// (conceptually enclave-resident: it holds the response private key).
+#[derive(Debug)]
+pub struct LinkInitiator {
+    pair: RsaKeyPair,
+    mr_local: Measurement,
+}
+
+/// Responder-side handshake state between [`accept`] and [`complete`].
+#[derive(Debug)]
+pub struct LinkResponder {
+    pair: RsaKeyPair,
+    secret_local: [u8; SECRET_LEN],
+    mr_initiator: Measurement,
+    mr_local: Measurement,
+}
+
+/// Starts a link handshake: inside the enclave, generate a response key
+/// pair and bind its public half into a quoted report.
+///
+/// # Errors
+///
+/// Propagates key-generation and quoting failures.
+pub fn initiate(
+    platform: &SgxPlatform,
+    enclave: &Enclave,
+    rng: &mut CryptoRng,
+) -> Result<(LinkHello, LinkInitiator), SgxError> {
+    let (report, pair) = enclave.ecall(|ctx| {
+        let pair = RsaKeyPair::generate(512, rng)
+            .map_err(|_| SgxError::AttestationFailed { reason: "link key generation failed" })?;
+        let report = create_report(ctx, provision::bind_key(pair.public()));
+        Ok::<_, SgxError>((report, pair))
+    })?;
+    let quote = platform.quote(&report)?;
+    let hello = LinkHello { quote, response_key: pair.public().clone() };
+    let initiator = LinkInitiator { pair, mr_local: enclave.identity().mr_enclave };
+    Ok((hello, initiator))
+}
+
+/// Responder side: verify the initiator's quote against `service` and
+/// `policy`, then answer with an own quoted hello plus a wrapped secret
+/// contribution.
+///
+/// # Errors
+///
+/// Any attestation failure, policy violation or binding mismatch refuses
+/// the link before any secret material is produced.
+pub fn accept(
+    platform: &SgxPlatform,
+    enclave: &Enclave,
+    service: &AttestationService,
+    policy: &VerifierPolicy,
+    peer: &LinkHello,
+    rng: &mut CryptoRng,
+) -> Result<(LinkAccept, LinkResponder), SgxError> {
+    let (mr_initiator, report, pair, secret, wrapped) = enclave.ecall(|ctx| {
+        let identity = verify_hello(service, policy, peer)?;
+        let pair = RsaKeyPair::generate(512, rng)
+            .map_err(|_| SgxError::AttestationFailed { reason: "link key generation failed" })?;
+        let mut secret = [0u8; SECRET_LEN];
+        rng.fill(&mut secret);
+        let wrapped = peer
+            .response_key
+            .encrypt(&secret, rng)
+            .map_err(|_| SgxError::AttestationFailed { reason: "link secret wrap failed" })?;
+        let report = create_report(ctx, provision::bind_key(pair.public()));
+        Ok::<_, SgxError>((identity, report, pair, secret, wrapped))
+    })?;
+    let quote = platform.quote(&report)?;
+    let accept = LinkAccept {
+        hello: LinkHello { quote, response_key: pair.public().clone() },
+        wrapped_secret: wrapped,
+    };
+    let responder = LinkResponder {
+        pair,
+        secret_local: secret,
+        mr_initiator,
+        mr_local: enclave.identity().mr_enclave,
+    };
+    Ok((accept, responder))
+}
+
+/// Initiator side: verify the responder's quote, unwrap its secret,
+/// contribute an own secret, and derive the link key.
+///
+/// # Errors
+///
+/// Any attestation failure, policy violation, binding mismatch or unwrap
+/// failure aborts the handshake.
+pub fn finish(
+    initiator: LinkInitiator,
+    peer: &LinkAccept,
+    service: &AttestationService,
+    policy: &VerifierPolicy,
+    enclave: &Enclave,
+    rng: &mut CryptoRng,
+) -> Result<(LinkFinish, LinkKey), SgxError> {
+    enclave.ecall(|_ctx| {
+        let mr_responder = verify_hello(service, policy, &peer.hello)?;
+        let secret_peer = initiator
+            .pair
+            .private()
+            .decrypt(&peer.wrapped_secret)
+            .map_err(|_| SgxError::AttestationFailed { reason: "link secret unwrap failed" })?;
+        let mut secret_local = [0u8; SECRET_LEN];
+        rng.fill(&mut secret_local);
+        let wrapped = peer
+            .hello
+            .response_key
+            .encrypt(&secret_local, rng)
+            .map_err(|_| SgxError::AttestationFailed { reason: "link secret wrap failed" })?;
+        let key = derive_key(initiator.mr_local, mr_responder, &secret_local, &secret_peer);
+        Ok((LinkFinish { wrapped_secret: wrapped }, key))
+    })
+}
+
+/// Responder side: unwrap the initiator's secret and derive the same link
+/// key as [`finish`].
+///
+/// # Errors
+///
+/// [`SgxError::AttestationFailed`] if the wrapped secret does not unwrap
+/// under the responder's response key.
+pub fn complete(
+    responder: LinkResponder,
+    finish: &LinkFinish,
+    enclave: &Enclave,
+) -> Result<LinkKey, SgxError> {
+    enclave.ecall(|_ctx| {
+        let secret_peer = responder
+            .pair
+            .private()
+            .decrypt(&finish.wrapped_secret)
+            .map_err(|_| SgxError::AttestationFailed { reason: "link secret unwrap failed" })?;
+        Ok(derive_key(
+            responder.mr_initiator,
+            responder.mr_local,
+            &secret_peer,
+            &responder.secret_local,
+        ))
+    })
+}
+
+/// Checks a hello's quote, identity policy and key binding, returning the
+/// attested measurement.
+fn verify_hello(
+    service: &AttestationService,
+    policy: &VerifierPolicy,
+    hello: &LinkHello,
+) -> Result<Measurement, SgxError> {
+    let (identity, report_data) = service.verify(&hello.quote)?;
+    policy.check(&identity)?;
+    if report_data != provision::bind_key(&hello.response_key) {
+        return Err(SgxError::AttestationFailed { reason: "link response key not bound in quote" });
+    }
+    Ok(identity.mr_enclave)
+}
+
+/// Both ends derive the same key from the ordered measurements and the
+/// ordered secret contributions (initiator first).
+fn derive_key(
+    mr_initiator: Measurement,
+    mr_responder: Measurement,
+    secret_initiator: &[u8],
+    secret_responder: &[u8],
+) -> LinkKey {
+    let mut salt = Vec::with_capacity(64);
+    salt.extend_from_slice(&mr_initiator);
+    salt.extend_from_slice(&mr_responder);
+    let mut ikm = Vec::with_capacity(secret_initiator.len() + secret_responder.len());
+    ikm.extend_from_slice(secret_initiator);
+    ikm.extend_from_slice(secret_responder);
+    let mut key = [0u8; LINK_KEY_LEN];
+    scbr_crypto::hkdf::derive(&salt, &ikm, LINK_INFO, &mut key);
+    LinkKey(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::EnclaveBuilder;
+
+    const ROUTER_CODE: &[u8] = b"scbr overlay router v1";
+
+    fn router(platform: &SgxPlatform) -> Enclave {
+        platform.launch(EnclaveBuilder::new("scbr-router").add_page(ROUTER_CODE)).unwrap()
+    }
+
+    fn trust_both(a: &SgxPlatform, b: &SgxPlatform) -> AttestationService {
+        let mut service = AttestationService::new();
+        service.trust_platform(a.attestation_public_key().clone());
+        service.trust_platform(b.attestation_public_key().clone());
+        service
+    }
+
+    /// Runs the whole handshake between two enclaves, returning both keys.
+    fn handshake(
+        pa: &SgxPlatform,
+        ea: &Enclave,
+        pb: &SgxPlatform,
+        eb: &Enclave,
+        service: &AttestationService,
+        policy: &VerifierPolicy,
+        seed: u64,
+    ) -> Result<(LinkKey, LinkKey), SgxError> {
+        let mut rng_a = CryptoRng::from_seed(seed);
+        let mut rng_b = CryptoRng::from_seed(seed + 1);
+        let (hello, st_a) = initiate(pa, ea, &mut rng_a)?;
+        // Everything travels as bytes, as it would over a real link.
+        let hello = LinkHello::from_bytes(&hello.to_bytes())?;
+        let (accept_msg, st_b) = accept(pb, eb, service, policy, &hello, &mut rng_b)?;
+        let accept_msg = LinkAccept::from_bytes(&accept_msg.to_bytes())?;
+        let (finish_msg, key_a) = finish(st_a, &accept_msg, service, policy, ea, &mut rng_a)?;
+        let finish_msg = LinkFinish::from_bytes(&finish_msg.to_bytes())?;
+        let key_b = complete(st_b, &finish_msg, eb)?;
+        Ok((key_a, key_b))
+    }
+
+    #[test]
+    fn both_ends_derive_the_same_key() {
+        let pa = SgxPlatform::for_testing(1);
+        let pb = SgxPlatform::for_testing(2);
+        let (ea, eb) = (router(&pa), router(&pb));
+        let service = trust_both(&pa, &pb);
+        let policy = VerifierPolicy::require_mr_enclave(ea.identity().mr_enclave);
+        let (key_a, key_b) = handshake(&pa, &ea, &pb, &eb, &service, &policy, 100).unwrap();
+        assert_eq!(key_a, key_b);
+        assert_ne!(key_a.as_bytes(), &[0u8; LINK_KEY_LEN]);
+    }
+
+    #[test]
+    fn distinct_links_get_distinct_keys() {
+        let pa = SgxPlatform::for_testing(3);
+        let pb = SgxPlatform::for_testing(4);
+        let (ea, eb) = (router(&pa), router(&pb));
+        let service = trust_both(&pa, &pb);
+        let policy = VerifierPolicy::require_mr_enclave(ea.identity().mr_enclave);
+        let (k1, _) = handshake(&pa, &ea, &pb, &eb, &service, &policy, 100).unwrap();
+        let (k2, _) = handshake(&pa, &ea, &pb, &eb, &service, &policy, 300).unwrap();
+        assert_ne!(k1, k2, "fresh secrets per handshake");
+    }
+
+    #[test]
+    fn tampered_measurement_is_refused_by_responder() {
+        let pa = SgxPlatform::for_testing(5);
+        let pb = SgxPlatform::for_testing(6);
+        let rogue =
+            pa.launch(EnclaveBuilder::new("scbr-router").add_page(b"router + backdoor")).unwrap();
+        let eb = router(&pb);
+        let service = trust_both(&pa, &pb);
+        let policy = VerifierPolicy::require_mr_enclave(eb.identity().mr_enclave);
+        let mut rng = CryptoRng::from_seed(7);
+        let (hello, _st) = initiate(&pa, &rogue, &mut rng).unwrap();
+        let result = accept(&pb, &eb, &service, &policy, &hello, &mut rng);
+        assert!(matches!(
+            result,
+            Err(SgxError::AttestationFailed { reason: "unexpected mrenclave" })
+        ));
+    }
+
+    #[test]
+    fn untrusted_platform_is_refused() {
+        let pa = SgxPlatform::for_testing(8);
+        let emulator = SgxPlatform::for_testing(9);
+        let ea = router(&pa);
+        let on_emulator = router(&emulator);
+        // Only pa's platform is trusted.
+        let mut service = AttestationService::new();
+        service.trust_platform(pa.attestation_public_key().clone());
+        let policy = VerifierPolicy::require_mr_enclave(ea.identity().mr_enclave);
+        let mut rng = CryptoRng::from_seed(10);
+        let (hello, _st) = initiate(&emulator, &on_emulator, &mut rng).unwrap();
+        assert!(accept(&pa, &ea, &service, &policy, &hello, &mut rng).is_err());
+    }
+
+    #[test]
+    fn initiator_verifies_responder_too() {
+        let pa = SgxPlatform::for_testing(11);
+        let pb = SgxPlatform::for_testing(12);
+        let ea = router(&pa);
+        let rogue =
+            pb.launch(EnclaveBuilder::new("scbr-router").add_page(b"router + backdoor")).unwrap();
+        let service = trust_both(&pa, &pb);
+        let policy = VerifierPolicy::require_mr_enclave(ea.identity().mr_enclave);
+        let mut rng_a = CryptoRng::from_seed(13);
+        let mut rng_b = CryptoRng::from_seed(14);
+        let (hello, st_a) = initiate(&pa, &ea, &mut rng_a).unwrap();
+        // The rogue responder skips its own policy check and answers anyway.
+        let lax = VerifierPolicy::require_mr_enclave(ea.identity().mr_enclave);
+        let (accept_msg, _st_b) = accept(&pb, &rogue, &service, &lax, &hello, &mut rng_b).unwrap();
+        assert!(finish(st_a, &accept_msg, &service, &policy, &ea, &mut rng_a).is_err());
+    }
+
+    #[test]
+    fn substituted_response_key_is_refused() {
+        let pa = SgxPlatform::for_testing(15);
+        let pb = SgxPlatform::for_testing(16);
+        let (ea, eb) = (router(&pa), router(&pb));
+        let service = trust_both(&pa, &pb);
+        let policy = VerifierPolicy::require_mr_enclave(ea.identity().mr_enclave);
+        let mut rng = CryptoRng::from_seed(17);
+        let (mut hello, _st) = initiate(&pa, &ea, &mut rng).unwrap();
+        // A man in the middle swaps in their own response key.
+        let mitm = RsaKeyPair::generate(512, &mut rng).unwrap();
+        hello.response_key = mitm.public().clone();
+        assert!(matches!(
+            accept(&pb, &eb, &service, &policy, &hello, &mut rng),
+            Err(SgxError::AttestationFailed { reason: "link response key not bound in quote" })
+        ));
+    }
+
+    #[test]
+    fn handshake_charges_enclave_crossings() {
+        let pa = SgxPlatform::for_testing(18);
+        let pb = SgxPlatform::for_testing(19);
+        let (ea, eb) = (router(&pa), router(&pb));
+        let service = trust_both(&pa, &pb);
+        let policy = VerifierPolicy::require_mr_enclave(ea.identity().mr_enclave);
+        handshake(&pa, &ea, &pb, &eb, &service, &policy, 100).unwrap();
+        // initiate + finish on one side, accept + complete on the other.
+        assert_eq!(ea.memory().stats().ecalls, 2);
+        assert_eq!(eb.memory().stats().ecalls, 2);
+    }
+
+    #[test]
+    fn wire_forms_reject_garbage() {
+        assert!(LinkHello::from_bytes(b"nope").is_err());
+        assert!(LinkAccept::from_bytes(&[0, 0, 0, 9, 1]).is_err());
+        assert!(LinkFinish::from_bytes(&[0, 0, 0, 1, 7, 8]).is_err());
+    }
+}

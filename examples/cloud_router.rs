@@ -134,5 +134,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(_) => println!("  rollback:            UNEXPECTEDLY accepted!"),
         Err(e) => println!("  rollback:            rejected ✓  ({e})"),
     }
+
+    // Every trust operation above crossed a call gate — the cost axis the
+    // batch-first pipeline amortises for data traffic.
+    let genuine_stats = genuine.memory().stats();
+    let restarted_stats = restarted.memory().stats();
+    println!("\nenclave crossings (MemStats.ecalls):");
+    println!(
+        "  genuine router:   {} ecalls ({} ocalls) across attestation + sealing",
+        genuine_stats.ecalls, genuine_stats.ocalls
+    );
+    println!(
+        "  restarted router: {} ecalls ({} ocalls) across restore + rollback checks",
+        restarted_stats.ecalls, restarted_stats.ocalls
+    );
     Ok(())
 }

@@ -18,6 +18,7 @@ const EXAMPLES: &[&str] = &[
     "stock_exchange",
     "tcp_deployment",
     "cloud_router",
+    "overlay_fabric",
     "workload_explorer",
 ];
 

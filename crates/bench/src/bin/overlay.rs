@@ -127,4 +127,65 @@ fn main() {
          the 1/batch_size transition amortisation at every hop"
     );
     emit("overlay", scale.name, &rows);
+
+    // ---- churn mode: the full lifecycle as a sweep ---------------------
+    //
+    // Subscribe the whole Zipf population at one edge, then unsubscribe
+    // it again in arrival order. Removing early (broad, heavily covering)
+    // subscriptions while later (covered) ones are still live forces the
+    // uncovering rule at every hop — this measures what subscription
+    // churn costs the overlay in re-propagation traffic, and checks that
+    // the fabric drains to zero state.
+    println!(
+        "\n{:<8} {:<6} {:>9} {:>8} {:>9} {:>9} {:>10} {:>12}",
+        "routers", "hops", "fwd tot", "pruned", "removed", "uncovered", "leftover", "virt ms tot"
+    );
+    let mut churn_rows: Vec<JsonObj> = Vec::new();
+    for &routers in router_counts {
+        let hops = routers - 1;
+        let config = FabricConfig {
+            seed: 13,
+            index: scbr::index::IndexKind::Poset,
+            propagation: Propagation::CoveringPruned,
+            trust: Trust::Attested,
+        };
+        let mut fabric =
+            OverlayFabric::build(Topology::line(routers), config).expect("fabric build");
+        fabric.reset_counters();
+        let mut ids = Vec::with_capacity(subs.len());
+        for (i, spec) in subs.iter().enumerate() {
+            ids.push(fabric.subscribe(0, ClientId(i as u64), spec).expect("subscribe"));
+        }
+        for id in &ids {
+            fabric.unsubscribe(*id).expect("unsubscribe");
+        }
+        let forwarded_total = fabric.total_forwarded_cumulative();
+        let pruned = fabric.total_pruned();
+        let removed = fabric.total_removed();
+        let uncovered = fabric.total_uncovered();
+        let leftover = fabric.total_index_entries() as u64 + fabric.total_forwarded();
+        let virt_ms = fabric.max_elapsed_ns() / 1_000_000.0;
+        println!(
+            "{:<8} {:<6} {:>9} {:>8} {:>9} {:>9} {:>10} {:>12.2}",
+            routers, hops, forwarded_total, pruned, removed, uncovered, leftover, virt_ms
+        );
+        churn_rows.push(
+            JsonObj::new()
+                .int("routers", routers as u64)
+                .int("hops", hops as u64)
+                .int("subscribers", n_subs as u64)
+                .int("forwarded_total", forwarded_total)
+                .int("pruned_subs", pruned)
+                .int("removed_rows", removed)
+                .int("uncovered_promotions", uncovered)
+                .int("leftover_state", leftover)
+                .num("virtual_ms_total", virt_ms),
+        );
+    }
+    println!(
+        "\nexpected: forwarded_total == removed (every row churned away), leftover == 0 \
+         (no leaked index entries or table rows), and uncovered grows with hop count — \
+         the price of covering-pruned propagation under removal"
+    );
+    emit("overlay_churn", scale.name, &churn_rows);
 }

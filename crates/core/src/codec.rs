@@ -297,6 +297,38 @@ pub fn decode_registration(
     Ok((decode_subscription(&body)?, id, client))
 }
 
+/// Tag byte opening an unregistration body: keeps the two envelope body
+/// formats (registration vs unregistration) from ever decoding as each
+/// other, even though both travel `{body}SK` + producer signature.
+const UNREGISTRATION_TAG: u8 = 0x55;
+
+/// Encodes the unregistration body a producer signs and forwards to
+/// routers: which subscription to retire, on behalf of which client.
+pub fn encode_unregistration(id: SubscriptionId, client: ClientId) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(UNREGISTRATION_TAG).u64(id.0).u64(client.0);
+    w.into_bytes()
+}
+
+/// Decodes an unregistration body.
+///
+/// # Errors
+///
+/// [`ScbrError::Codec`] on malformed input (including a registration body
+/// passed by mistake — the tag byte differs).
+pub fn decode_unregistration(bytes: &[u8]) -> Result<(SubscriptionId, ClientId), ScbrError> {
+    let mut r = Reader::new(bytes);
+    if r.u8()? != UNREGISTRATION_TAG {
+        return Err(ScbrError::Codec { context: "unregistration tag" });
+    }
+    let id = SubscriptionId(r.u64()?);
+    let client = ClientId(r.u64()?);
+    if !r.is_exhausted() {
+        return Err(ScbrError::Codec { context: "unregistration trailing bytes" });
+    }
+    Ok((id, client))
+}
+
 /// Encodes a published message: encrypted header, key epoch and payload
 /// ciphertext.
 pub fn encode_publish(header_ct: &[u8], epoch: KeyEpoch, payload_ct: &[u8]) -> Vec<u8> {
@@ -413,6 +445,29 @@ mod tests {
         assert_eq!(back, spec);
         assert_eq!(id, SubscriptionId(42));
         assert_eq!(client, ClientId(7));
+    }
+
+    #[test]
+    fn unregistration_round_trip() {
+        let bytes = encode_unregistration(SubscriptionId(42), ClientId(7));
+        assert_eq!(decode_unregistration(&bytes).unwrap(), (SubscriptionId(42), ClientId(7)));
+    }
+
+    #[test]
+    fn unregistration_and_registration_bodies_never_cross_decode() {
+        let reg = encode_registration(
+            &SubscriptionSpec::new().eq("s", 1i64),
+            SubscriptionId(1),
+            ClientId(2),
+        );
+        assert!(decode_unregistration(&reg).is_err(), "registration body is not an unregistration");
+        let unreg = encode_unregistration(SubscriptionId(1), ClientId(2));
+        assert!(decode_registration(&unreg).is_err(), "unregistration body is not a registration");
+        // Truncation and trailing bytes are rejected too.
+        assert!(decode_unregistration(&unreg[..unreg.len() - 1]).is_err());
+        let mut extended = unreg.clone();
+        extended.push(0);
+        assert!(decode_unregistration(&extended).is_err());
     }
 
     #[test]

@@ -27,8 +27,10 @@ pub struct MatchingEngine {
     mem: MemorySim,
     sk: Option<SymmetricKey>,
     producer_key: Option<RsaPublicKey>,
-    /// Raw registration bodies, retained for sealing snapshots.
-    registered: Vec<Vec<u8>>,
+    /// Raw registration bodies keyed by subscription id, retained for
+    /// sealing snapshots; unregistration purges the matching body so a
+    /// restore never resurrects removed interest.
+    registered: Vec<(SubscriptionId, Vec<u8>)>,
 }
 
 impl std::fmt::Debug for MatchingEngine {
@@ -80,9 +82,20 @@ impl MatchingEngine {
     ) -> Result<(), ScbrError> {
         self.mem.charge_message_parse();
         let compiled = spec.compile(&self.schema)?;
+        self.retain_body(id, codec::encode_registration(spec, id, client));
         self.index.insert(id, client, compiled);
-        self.registered.push(codec::encode_registration(spec, id, client));
         Ok(())
+    }
+
+    /// Retains a registration body for snapshots, displacing any previous
+    /// registration under the same id (re-registration replaces, so the
+    /// index never accumulates duplicate rows for one id).
+    fn retain_body(&mut self, id: SubscriptionId, body: Vec<u8>) {
+        if self.registered.iter().any(|(r, _)| *r == id) {
+            self.registered.retain(|(r, _)| *r != id);
+            self.index.remove(id);
+        }
+        self.registered.push((id, body));
     }
 
     /// Registers an encrypted, signed registration envelope
@@ -131,14 +144,48 @@ impl MatchingEngine {
         let body = AesCtr::decrypt_with_nonce(sk, &body_ct)?;
         let (spec, id, client) = codec::decode_registration(&body)?;
         let compiled = spec.compile(&self.schema)?;
+        self.retain_body(id, body);
         self.index.insert(id, deliver_to.unwrap_or(client), compiled.clone());
-        self.registered.push(body);
         Ok((id, compiled))
     }
 
-    /// Unregisters a subscription.
+    /// Unregisters a subscription (and drops its retained snapshot body).
     pub fn unregister(&mut self, id: SubscriptionId) -> bool {
+        self.registered.retain(|(r, _)| *r != id);
         self.index.remove(id)
+    }
+
+    /// Processes a signed, encrypted unregistration envelope
+    /// (`{id, client}SK` + producer signature, built by
+    /// [`crate::protocol::keys::ProducerCrypto::seal_unregistration`]).
+    /// Removal is **idempotent**: retiring an id that is not (or no
+    /// longer) in the index authenticates and decrypts normally but
+    /// reports `existed = false` — the caller decides whether that is an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Signature or decryption failures, malformed bodies, or missing
+    /// keys. An unknown id is *not* an error (see above).
+    pub fn unregister_envelope(
+        &mut self,
+        envelope: &[u8],
+    ) -> Result<(SubscriptionId, ClientId, bool), ScbrError> {
+        let sk = self.sk.as_ref().ok_or(ScbrError::MissingKeys { which: "SK" })?;
+        let producer = self
+            .producer_key
+            .as_ref()
+            .ok_or(ScbrError::MissingKeys { which: "producer signature key" })?;
+        let mut r = codec::Reader::new(envelope);
+        let body_ct = r.bytes()?;
+        let signature = r.bytes()?;
+        producer.verify(&body_ct, &signature)?;
+        self.mem.charge_message_parse();
+        self.mem.charge_crypto_op(body_ct.len() as u64);
+        let body = AesCtr::decrypt_with_nonce(sk, &body_ct)?;
+        let (id, client) = codec::decode_unregistration(&body)?;
+        let existed = self.unregister(id);
+        Ok((id, client, existed))
     }
 
     /// Matches a batch of encrypted headers in one call — the paper's
@@ -191,7 +238,7 @@ impl MatchingEngine {
     pub fn snapshot(&self) -> Vec<u8> {
         let mut w = codec::Writer::new();
         w.u32(self.registered.len() as u32);
-        for body in &self.registered {
+        for (_, body) in &self.registered {
             w.bytes(body);
         }
         w.into_bytes()
@@ -212,7 +259,7 @@ impl MatchingEngine {
             let (spec, id, client) = codec::decode_registration(&body)?;
             let compiled = spec.compile(&self.schema)?;
             self.index.insert(id, client, compiled);
-            self.registered.push(body);
+            self.registered.push((id, body));
             restored += 1;
         }
         if !r.is_exhausted() {
@@ -434,6 +481,116 @@ mod tests {
         assert_eq!(compiled, spec.compile(engine.schema()).unwrap());
         let publication = PublicationSpec::new().attr("symbol", "HAL");
         assert_eq!(engine.match_plain(&publication).unwrap(), vec![link]);
+    }
+
+    #[test]
+    fn unregister_envelope_removes_and_is_idempotent() {
+        let mut rng = CryptoRng::from_seed(41);
+        let producer = producer(&mut rng);
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
+        let spec = SubscriptionSpec::new().eq("symbol", "HAL");
+        let envelope =
+            producer.seal_registration(&spec, SubscriptionId(3), ClientId(5), &mut rng).unwrap();
+        engine.register_envelope(&envelope).unwrap();
+        assert_eq!(engine.index().len(), 1);
+
+        let unreg = producer.seal_unregistration(SubscriptionId(3), ClientId(5), &mut rng).unwrap();
+        assert_eq!(
+            engine.unregister_envelope(&unreg).unwrap(),
+            (SubscriptionId(3), ClientId(5), true)
+        );
+        assert_eq!(engine.index().len(), 0);
+        let publication = PublicationSpec::new().attr("symbol", "HAL");
+        assert!(engine.match_plain(&publication).unwrap().is_empty());
+        // Second removal authenticates but reports "did not exist".
+        let unreg2 =
+            producer.seal_unregistration(SubscriptionId(3), ClientId(5), &mut rng).unwrap();
+        assert_eq!(
+            engine.unregister_envelope(&unreg2).unwrap(),
+            (SubscriptionId(3), ClientId(5), false)
+        );
+    }
+
+    #[test]
+    fn forged_unregistration_rejected_and_changes_nothing() {
+        let mut rng = CryptoRng::from_seed(42);
+        let producer = producer(&mut rng);
+        let rogue = ProducerCrypto::generate(512, &mut rng).unwrap();
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
+        let envelope = producer
+            .seal_registration(
+                &SubscriptionSpec::new().eq("s", 1i64),
+                SubscriptionId(1),
+                ClientId(1),
+                &mut rng,
+            )
+            .unwrap();
+        engine.register_envelope(&envelope).unwrap();
+        // Signed by the wrong key: refused, index untouched.
+        let forged = rogue.seal_unregistration(SubscriptionId(1), ClientId(1), &mut rng).unwrap();
+        assert!(engine.unregister_envelope(&forged).is_err());
+        // Tampered ciphertext: refused too.
+        let mut bent =
+            producer.seal_unregistration(SubscriptionId(1), ClientId(1), &mut rng).unwrap();
+        bent[6] ^= 1;
+        assert!(engine.unregister_envelope(&bent).is_err());
+        // A registration envelope fed to the unregister path is a codec
+        // error, not a removal.
+        assert!(engine.unregister_envelope(&envelope).is_err());
+        assert_eq!(engine.index().len(), 1, "nothing was removed");
+    }
+
+    #[test]
+    fn unregistered_subscriptions_never_survive_a_snapshot() {
+        let mut rng = CryptoRng::from_seed(43);
+        let producer = producer(&mut rng);
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
+        engine
+            .register_plain(SubscriptionId(1), ClientId(1), &SubscriptionSpec::new().eq("s", "A"))
+            .unwrap();
+        engine
+            .register_plain(SubscriptionId(2), ClientId(2), &SubscriptionSpec::new().eq("s", "B"))
+            .unwrap();
+        assert!(engine.unregister(SubscriptionId(1)));
+        let snapshot = engine.snapshot();
+        let mem2 = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut restored = MatchingEngine::new(&mem2, IndexKind::Poset);
+        assert_eq!(restored.restore(&snapshot).unwrap(), 1, "only the live subscription");
+        assert!(restored.match_plain(&PublicationSpec::new().attr("s", "A")).unwrap().is_empty());
+        assert_eq!(
+            restored.match_plain(&PublicationSpec::new().attr("s", "B")).unwrap(),
+            vec![ClientId(2)]
+        );
+    }
+
+    #[test]
+    fn re_registration_replaces_instead_of_duplicating() {
+        let mut rng = CryptoRng::from_seed(44);
+        let producer = producer(&mut rng);
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
+        let envelope = producer
+            .seal_registration(
+                &SubscriptionSpec::new().eq("s", "X"),
+                SubscriptionId(7),
+                ClientId(1),
+                &mut rng,
+            )
+            .unwrap();
+        engine.register_envelope(&envelope).unwrap();
+        engine.register_envelope(&envelope).unwrap();
+        assert_eq!(engine.index().len(), 1, "same id registered twice keeps one row");
+        // One removal fully clears it.
+        assert!(engine.unregister(SubscriptionId(7)));
+        assert_eq!(engine.index().len(), 0);
+        assert_eq!(engine.snapshot(), MatchingEngine::new(&mem, IndexKind::Poset).snapshot());
     }
 
     #[test]

@@ -137,6 +137,29 @@ impl ClientDirectory {
         Ok(sub)
     }
 
+    /// Retires a subscription previously issued to `id` — the bookkeeping
+    /// half of an unsubscribe. Ownership is enforced: a client can only
+    /// retire its own subscriptions.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::NotFound`] for unknown clients or for a subscription
+    /// not (or no longer) owned by this client.
+    pub fn retire_subscription(
+        &mut self,
+        id: ClientId,
+        sub: SubscriptionId,
+    ) -> Result<(), ScbrError> {
+        let record = self.clients.get_mut(&id).ok_or(ScbrError::NotFound { what: "client" })?;
+        let pos = record
+            .subscriptions
+            .iter()
+            .position(|s| *s == sub)
+            .ok_or(ScbrError::NotFound { what: "subscription" })?;
+        record.subscriptions.remove(pos);
+        Ok(())
+    }
+
     /// Looks up a client record regardless of standing.
     pub fn get(&self, id: ClientId) -> Option<&ClientRecord> {
         self.clients.get(&id)
@@ -218,6 +241,24 @@ mod tests {
         assert_ne!(s1, s2);
         assert_ne!(s2, s3);
         assert_eq!(dir.get(ClientId(1)).unwrap().subscriptions(), &[s1, s3]);
+    }
+
+    #[test]
+    fn retire_enforces_ownership_and_is_single_shot() {
+        let mut rng = CryptoRng::from_seed(5);
+        let mut dir = ClientDirectory::new();
+        dir.admit(ClientId(1), key(&mut rng));
+        dir.admit(ClientId(2), key(&mut rng));
+        let s1 = dir.issue_subscription(ClientId(1)).unwrap();
+        // The wrong client cannot retire someone else's subscription.
+        assert!(dir.retire_subscription(ClientId(2), s1).is_err());
+        assert_eq!(dir.get(ClientId(1)).unwrap().subscriptions(), &[s1]);
+        // The owner can, exactly once.
+        dir.retire_subscription(ClientId(1), s1).unwrap();
+        assert!(dir.get(ClientId(1)).unwrap().subscriptions().is_empty());
+        assert!(dir.retire_subscription(ClientId(1), s1).is_err(), "already retired");
+        // Unknown clients are a clean error.
+        assert!(dir.retire_subscription(ClientId(9), s1).is_err());
     }
 
     #[test]

@@ -121,6 +121,30 @@ impl ProducerCrypto {
         Ok(w.into_bytes())
     }
 
+    /// Seals an unregistration under `SK` and signs it — the removal
+    /// counterpart of [`ProducerCrypto::seal_registration`]. Routers
+    /// accept the output in
+    /// [`crate::engine::MatchingEngine::unregister_envelope`], and overlay
+    /// brokers forward it hop by hop (each enclave re-authenticates it
+    /// independently).
+    ///
+    /// # Errors
+    ///
+    /// Propagates signing failures.
+    pub fn seal_unregistration(
+        &self,
+        id: SubscriptionId,
+        client: ClientId,
+        rng: &mut CryptoRng,
+    ) -> Result<Vec<u8>, ScbrError> {
+        let body = codec::encode_unregistration(id, client);
+        let body_ct = AesCtr::encrypt_with_nonce(&self.sk, rng, &body);
+        let signature = self.rsa.private().sign(&body_ct)?;
+        let mut w = Writer::new();
+        w.bytes(&body_ct).bytes(&signature);
+        Ok(w.into_bytes())
+    }
+
     /// Encrypts a publication header under `SK` (protocol step 4).
     pub fn encrypt_header(&self, publication: &PublicationSpec, rng: &mut CryptoRng) -> Vec<u8> {
         let plain = codec::encode_header(publication);
@@ -140,6 +164,16 @@ pub fn encrypt_subscription_for_producer(
     rng: &mut CryptoRng,
 ) -> Result<Vec<u8>, ScbrError> {
     hybrid_encrypt(producer_pk, &codec::encode_subscription(spec), rng)
+}
+
+/// The canonical bytes a client signs to prove an unsubscribe request:
+/// a domain-separation label plus the client and subscription ids. Both
+/// the client ([`crate::roles::ClientNode::unsubscribe`]) and the
+/// producer's verification build exactly this buffer.
+pub fn unsubscribe_signing_bytes(client: ClientId, id: SubscriptionId) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.str("scbr-unsubscribe-v1").u64(client.0).u64(id.0);
+    w.into_bytes()
 }
 
 /// Provisions `SK` (and the producer's verification key) into a routing
@@ -250,6 +284,32 @@ mod tests {
         let plain = AesCtr::decrypt_with_nonce(producer.sk(), &ct).unwrap();
         let decoded = codec::decode_header(&plain).unwrap();
         assert_eq!(decoded.header(), publication.header());
+    }
+
+    #[test]
+    fn unregistration_sealing_round_trip() {
+        use crate::ids::{ClientId, SubscriptionId};
+        let mut r = rng(11);
+        let producer = ProducerCrypto::generate(512, &mut r).unwrap();
+        let envelope =
+            producer.seal_unregistration(SubscriptionId(9), ClientId(4), &mut r).unwrap();
+        // The envelope opens exactly like a registration: signature over the
+        // ciphertext, body under SK.
+        let mut reader = Reader::new(&envelope);
+        let body_ct = reader.bytes().unwrap();
+        let signature = reader.bytes().unwrap();
+        producer.public_key().verify(&body_ct, &signature).unwrap();
+        let body = AesCtr::decrypt_with_nonce(producer.sk(), &body_ct).unwrap();
+        assert_eq!(codec::decode_unregistration(&body).unwrap(), (SubscriptionId(9), ClientId(4)));
+    }
+
+    #[test]
+    fn unsubscribe_signing_bytes_are_canonical_and_distinct() {
+        use crate::ids::{ClientId, SubscriptionId};
+        let a = unsubscribe_signing_bytes(ClientId(1), SubscriptionId(2));
+        assert_eq!(a, unsubscribe_signing_bytes(ClientId(1), SubscriptionId(2)));
+        assert_ne!(a, unsubscribe_signing_bytes(ClientId(2), SubscriptionId(1)));
+        assert_ne!(a, unsubscribe_signing_bytes(ClientId(1), SubscriptionId(3)));
     }
 
     #[test]

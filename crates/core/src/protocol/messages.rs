@@ -72,6 +72,36 @@ pub enum Message {
         /// The registered subscription id.
         id: SubscriptionId,
     },
+    /// Client → producer: retire one of this client's subscriptions. The
+    /// signature (by the client's admission key, over
+    /// [`crate::protocol::keys::unsubscribe_signing_bytes`]) proves the
+    /// request really comes from the subscription's owner.
+    Unsubscribe {
+        /// The requesting client.
+        client: ClientId,
+        /// The subscription to retire.
+        id: SubscriptionId,
+        /// Client signature over the canonical unsubscribe bytes.
+        signature: Vec<u8>,
+    },
+    /// Producer → client: the subscription was retired (idempotent — a
+    /// second unsubscribe of the same id also lands here).
+    Unsubscribed {
+        /// The retired subscription id.
+        id: SubscriptionId,
+    },
+    /// Producer → router: signed `{id, client}SK` unregistration envelope
+    /// — the removal counterpart of [`Message::Register`], authenticated
+    /// by the routing enclave the same way.
+    Unregister {
+        /// Envelope accepted by the routing enclave.
+        envelope: Vec<u8>,
+    },
+    /// Router → producer: unregistration processed (idempotent).
+    UnregisterAck {
+        /// The retired subscription id.
+        id: SubscriptionId,
+    },
     /// Producer → router: encrypted header + payload (step 4).
     Publish {
         /// `{header}SK`.
@@ -132,6 +162,15 @@ pub enum Message {
         /// The forwarded registration envelope.
         envelope: Vec<u8>,
     },
+    /// Router → router: an unregistration envelope propagated through the
+    /// overlay. Sent only on links the subscription was actually forwarded
+    /// on (a covering-pruned removal generates no traffic); receiving it
+    /// may *uncover* previously-pruned subscriptions, which the receiver
+    /// then forwards upstream as fresh [`Message::SubForward`]s.
+    SubRemove {
+        /// The forwarded unregistration envelope.
+        envelope: Vec<u8>,
+    },
     /// Generic failure notice.
     Error {
         /// What went wrong.
@@ -150,6 +189,10 @@ impl Message {
             Message::SubscriptionRejected { .. } => "rejected",
             Message::Register { .. } => "register",
             Message::RegisterAck { .. } => "register-ack",
+            Message::Unsubscribe { .. } => "unsubscribe",
+            Message::Unsubscribed { .. } => "unsubscribed",
+            Message::Unregister { .. } => "unregister",
+            Message::UnregisterAck { .. } => "unregister-ack",
             Message::Publish { .. } => "publish",
             Message::PublishBatch { .. } => "publish-batch",
             Message::Deliver { .. } => "deliver",
@@ -159,6 +202,7 @@ impl Message {
             Message::LinkAccept { .. } => "link-accept",
             Message::LinkFinish { .. } => "link-finish",
             Message::SubForward { .. } => "sub-forward",
+            Message::SubRemove { .. } => "sub-remove",
             Message::Error { .. } => "error",
             Message::Shutdown => "shutdown",
         }
@@ -192,6 +236,15 @@ impl Message {
             Message::RegisterAck { id } => {
                 w.u64(id.0);
             }
+            Message::Unsubscribe { client, id, signature } => {
+                w.u64(client.0).u64(id.0).bytes(signature);
+            }
+            Message::Unsubscribed { id } | Message::UnregisterAck { id } => {
+                w.u64(id.0);
+            }
+            Message::Unregister { envelope } => {
+                w.bytes(envelope);
+            }
             Message::Publish { header_ct, epoch, payload_ct } => {
                 w.bytes(header_ct).u64(epoch.0).bytes(payload_ct);
             }
@@ -216,7 +269,7 @@ impl Message {
             | Message::LinkFinish { payload } => {
                 w.bytes(payload);
             }
-            Message::SubForward { envelope } => {
+            Message::SubForward { envelope } | Message::SubRemove { envelope } => {
                 w.bytes(envelope);
             }
             Message::Error { message } => {
@@ -243,6 +296,14 @@ impl Message {
             "rejected" => Message::SubscriptionRejected { reason: r.str()? },
             "register" => Message::Register { envelope: r.bytes()? },
             "register-ack" => Message::RegisterAck { id: SubscriptionId(r.u64()?) },
+            "unsubscribe" => Message::Unsubscribe {
+                client: ClientId(r.u64()?),
+                id: SubscriptionId(r.u64()?),
+                signature: r.bytes()?,
+            },
+            "unsubscribed" => Message::Unsubscribed { id: SubscriptionId(r.u64()?) },
+            "unregister" => Message::Unregister { envelope: r.bytes()? },
+            "unregister-ack" => Message::UnregisterAck { id: SubscriptionId(r.u64()?) },
             "publish" => Message::Publish {
                 header_ct: r.bytes()?,
                 epoch: KeyEpoch(r.u64()?),
@@ -264,6 +325,7 @@ impl Message {
             "link-accept" => Message::LinkAccept { payload: r.bytes()? },
             "link-finish" => Message::LinkFinish { payload: r.bytes()? },
             "sub-forward" => Message::SubForward { envelope: r.bytes()? },
+            "sub-remove" => Message::SubRemove { envelope: r.bytes()? },
             "error" => Message::Error { message: r.str()? },
             "shutdown" => Message::Shutdown,
             _ => return Err(ScbrError::Codec { context: "message kind" }),
@@ -310,6 +372,14 @@ mod tests {
         round_trip(Message::SubscriptionRejected { reason: "suspended".into() });
         round_trip(Message::Register { envelope: vec![4, 5] });
         round_trip(Message::RegisterAck { id: SubscriptionId(1) });
+        round_trip(Message::Unsubscribe {
+            client: ClientId(3),
+            id: SubscriptionId(8),
+            signature: vec![7; 64],
+        });
+        round_trip(Message::Unsubscribed { id: SubscriptionId(8) });
+        round_trip(Message::Unregister { envelope: vec![6; 24] });
+        round_trip(Message::UnregisterAck { id: SubscriptionId(8) });
         round_trip(Message::Publish {
             header_ct: vec![1],
             epoch: KeyEpoch(2),
@@ -329,6 +399,7 @@ mod tests {
         round_trip(Message::LinkAccept { payload: vec![] });
         round_trip(Message::LinkFinish { payload: vec![9; 80] });
         round_trip(Message::SubForward { envelope: vec![4; 32] });
+        round_trip(Message::SubRemove { envelope: vec![5; 32] });
         round_trip(Message::Error { message: "boom".into() });
         round_trip(Message::Shutdown);
     }

@@ -4,7 +4,7 @@
 use crate::error::ScbrError;
 use crate::ids::{ClientId, KeyEpoch, SubscriptionId};
 use crate::protocol::group::GroupKeyStore;
-use crate::protocol::keys::encrypt_subscription_for_producer;
+use crate::protocol::keys::{encrypt_subscription_for_producer, unsubscribe_signing_bytes};
 use crate::protocol::messages::Message;
 use crate::subscription::SubscriptionSpec;
 use scbr_crypto::rng::CryptoRng;
@@ -117,6 +117,40 @@ impl ClientNode {
                 Message::SubscriptionAccepted { id } => return Ok(id),
                 Message::SubscriptionRejected { reason } => {
                     return Err(ScbrError::UnexpectedMessage { got: format!("rejected: {reason}") })
+                }
+                Message::KeyUpdate { wrapped } => {
+                    let _ = self.keys.ingest_update(&self.key_pair, &wrapped);
+                }
+                other => return Err(ScbrError::UnexpectedMessage { got: other.kind().to_owned() }),
+            }
+        }
+    }
+
+    /// Retires one of this client's subscriptions and waits for the
+    /// producer's confirmation. The request is signed with the client's
+    /// admission key so nobody else can shed this client's interest.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::UnexpectedMessage`] when the producer rejects the
+    /// request (not admitted, bad signature, not the owner) or the wait
+    /// times out; transport/crypto failures otherwise.
+    pub fn unsubscribe(&mut self, id: SubscriptionId, timeout: Duration) -> Result<(), ScbrError> {
+        let signature = self.key_pair.private().sign(&unsubscribe_signing_bytes(self.id, id))?;
+        let msg = Message::Unsubscribe { client: self.id, id, signature };
+        self.producer.send(&msg.to_wire())?;
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let Some(frame) = self.producer.recv_timeout(remaining)? else {
+                return Err(ScbrError::UnexpectedMessage { got: "timeout".into() });
+            };
+            match Message::from_wire(&frame)? {
+                Message::Unsubscribed { id: got } if got == id => return Ok(()),
+                Message::Error { message } => {
+                    return Err(ScbrError::UnexpectedMessage {
+                        got: format!("rejected: {message}"),
+                    })
                 }
                 Message::KeyUpdate { wrapped } => {
                     let _ = self.keys.ingest_update(&self.key_pair, &wrapped);

@@ -7,9 +7,10 @@
 
 use crate::error::ScbrError;
 use crate::ids::ClientId;
+use crate::ids::SubscriptionId;
 use crate::protocol::admission::ClientDirectory;
 use crate::protocol::group::GroupKeyManager;
-use crate::protocol::keys::ProducerCrypto;
+use crate::protocol::keys::{unsubscribe_signing_bytes, ProducerCrypto};
 use crate::protocol::messages::{Message, PublishItem};
 use crate::publication::PublicationSpec;
 use crate::roles::ConnEvent;
@@ -49,6 +50,15 @@ pub enum ProducerCommand {
     PublishBatch(Vec<PublicationSpec>),
     /// Stop the event loop.
     Shutdown,
+}
+
+/// Which kind of router request a queued ack slot belongs to (router
+/// replies are FIFO over one connection, but ack and error shapes differ
+/// per kind).
+#[derive(Debug, Clone, Copy)]
+enum PendingKind {
+    Register,
+    Unregister,
 }
 
 /// Control handle to a running producer.
@@ -97,8 +107,12 @@ impl Producer {
             let mut group = GroupKeyManager::new(&mut rng);
             let mut conns: HashMap<u64, Arc<dyn Connection>> = HashMap::new();
             let mut client_conns: HashMap<ClientId, u64> = HashMap::new();
-            // Pending acks from the router, oldest first: (client conn, sub).
-            let mut pending_acks: Vec<u64> = Vec::new();
+            // Requests in flight to the router, oldest first. One queue
+            // for both kinds: the router processes its connection in FIFO
+            // order and replies (ack *or* error) once per request, so the
+            // front entry always tells us which client — and which kind of
+            // request — the next router reply belongs to.
+            let mut pending_acks: Vec<(u64, PendingKind)> = Vec::new();
 
             loop {
                 crossbeam::channel::select! {
@@ -228,7 +242,7 @@ impl Producer {
                                         &mut rng,
                                     );
                                     match reply {
-                                        Ok(()) => pending_acks.push(conn),
+                                        Ok(()) => pending_acks.push((conn, PendingKind::Register)),
                                         Err(e) => {
                                             if let Some(c) = conns.get(&conn) {
                                                 send_best_effort(
@@ -241,12 +255,36 @@ impl Producer {
                                         }
                                     }
                                 }
+                                Message::Unsubscribe { client, id, signature } => {
+                                    let reply = handle_unsubscription(
+                                        &crypto,
+                                        &mut directory,
+                                        client,
+                                        id,
+                                        &signature,
+                                        router.as_ref(),
+                                        &mut rng,
+                                    );
+                                    match reply {
+                                        Ok(()) => {
+                                            pending_acks.push((conn, PendingKind::Unregister))
+                                        }
+                                        Err(e) => {
+                                            if let Some(c) = conns.get(&conn) {
+                                                send_best_effort(
+                                                    c.as_ref(),
+                                                    &Message::Error { message: e.to_string() },
+                                                );
+                                            }
+                                        }
+                                    }
+                                }
                                 // Router acknowledgements map onto the oldest
                                 // pending submission (the router processes
                                 // registrations in order).
                                 Message::RegisterAck { id } if conn == ROUTER_CONN => {
                                     if !pending_acks.is_empty() {
-                                        let client_conn = pending_acks.remove(0);
+                                        let (client_conn, _) = pending_acks.remove(0);
                                         if let Some(c) = conns.get(&client_conn) {
                                             send_best_effort(
                                                 c.as_ref(),
@@ -255,14 +293,36 @@ impl Producer {
                                         }
                                     }
                                 }
-                                Message::Error { message } if conn == ROUTER_CONN => {
+                                Message::UnregisterAck { id } if conn == ROUTER_CONN => {
                                     if !pending_acks.is_empty() {
-                                        let client_conn = pending_acks.remove(0);
+                                        let (client_conn, _) = pending_acks.remove(0);
                                         if let Some(c) = conns.get(&client_conn) {
                                             send_best_effort(
                                                 c.as_ref(),
-                                                &Message::SubscriptionRejected { reason: message },
+                                                &Message::Unsubscribed { id },
                                             );
+                                        }
+                                    }
+                                }
+                                // A router error refuses the *oldest* in-
+                                // flight request, whichever kind it was —
+                                // the stored kind picks the reply shape the
+                                // waiting client understands.
+                                Message::Error { message } if conn == ROUTER_CONN => {
+                                    if !pending_acks.is_empty() {
+                                        let (client_conn, kind) = pending_acks.remove(0);
+                                        if let Some(c) = conns.get(&client_conn) {
+                                            let reply = match kind {
+                                                PendingKind::Register => {
+                                                    Message::SubscriptionRejected {
+                                                        reason: message,
+                                                    }
+                                                }
+                                                PendingKind::Unregister => {
+                                                    Message::Error { message }
+                                                }
+                                            };
+                                            send_best_effort(c.as_ref(), &reply);
                                         }
                                     }
                                 }
@@ -320,6 +380,28 @@ fn handle_submission(
     let id = directory.issue_subscription(client)?;
     let envelope = crypto.seal_registration(&spec, id, client, rng)?;
     send_best_effort(router, &Message::Register { envelope });
+    Ok(())
+}
+
+/// Validates and forwards one client unsubscribe request: the client must
+/// be admitted, the request must carry a valid signature under the
+/// client's admission key, and the subscription must belong to that
+/// client. Only then does the producer seal an unregistration envelope
+/// for the router.
+fn handle_unsubscription(
+    crypto: &ProducerCrypto,
+    directory: &mut ClientDirectory,
+    client: ClientId,
+    id: SubscriptionId,
+    signature: &[u8],
+    router: &dyn Connection,
+    rng: &mut CryptoRng,
+) -> Result<(), ScbrError> {
+    let record = directory.check_admitted(client)?;
+    record.public_key().verify(&unsubscribe_signing_bytes(client, id), signature)?;
+    directory.retire_subscription(client, id)?;
+    let envelope = crypto.seal_unregistration(id, client, rng)?;
+    send_best_effort(router, &Message::Unregister { envelope });
     Ok(())
 }
 

@@ -106,6 +106,20 @@ impl Router {
                                     send_best_effort(c.as_ref(), &reply);
                                 }
                             }
+                            Message::Unregister { envelope } => {
+                                // Removal is idempotent at the engine: an
+                                // already-gone id still acks (the producer
+                                // retired it either way); only broken
+                                // envelopes error.
+                                let result = engine.call(|e| e.unregister_envelope(&envelope));
+                                if let Some(c) = conns.get(&conn) {
+                                    let reply = match result {
+                                        Ok((id, _, _)) => Message::UnregisterAck { id },
+                                        Err(e) => Message::Error { message: e.to_string() },
+                                    };
+                                    send_best_effort(c.as_ref(), &reply);
+                                }
+                            }
                             message @ (Message::Publish { .. } | Message::PublishBatch { .. }) => {
                                 // Drain the channel into one batch, then
                                 // match it in MAX_DRAIN-bounded enclave

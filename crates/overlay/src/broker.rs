@@ -73,12 +73,44 @@ struct AdmitOutcome {
     forward_to: Vec<usize>,
 }
 
+/// One live subscription as the broker's enclave tracks it: where it
+/// entered, its compiled (plaintext — never leaves the enclave) form, and
+/// the producer-signed envelope that proves it — kept so an uncovering
+/// promotion can re-forward the subscription upstream with a unit the
+/// next hop authenticates independently.
+struct LiveSub {
+    origin: Origin,
+    compiled: scbr::CompiledSubscription,
+    envelope: Vec<u8>,
+}
+
+/// What a removal requires on one link: the envelopes of newly uncovered
+/// subscriptions to forward first (make-before-break — upstream interest
+/// never dips), then the removal itself.
+struct LinkRemoval {
+    neighbor: usize,
+    uncovered: Vec<Vec<u8>>,
+}
+
+/// Outcome of processing one unregistration envelope.
+struct RemoveOutcome {
+    id: SubscriptionId,
+    /// False when the id was unknown here (double-unsubscribe): nothing
+    /// changed, no traffic due.
+    removed: bool,
+    /// Links the subscription had actually been forwarded on. Links where
+    /// it was pruned are absent — a pruned removal is free.
+    links: Vec<LinkRemoval>,
+}
+
 /// The enclave-resident routing state.
 struct BrokerCore {
     engine: MatchingEngine,
     /// Per neighbour (ascending), the covering table of subscriptions
     /// forwarded on that link.
     upstream: Vec<(usize, ForwardingTable)>,
+    /// Every live subscription, keyed by id (the uncovering candidates).
+    live: BTreeMap<SubscriptionId, LiveSub>,
     /// Flood mode: forward every subscription on every link (the
     /// equivalence oracle for tests; covering-pruned is the real mode).
     flood: bool,
@@ -98,17 +130,85 @@ impl BrokerCore {
             if origin == Origin::Link(*neighbor) {
                 continue; // never forward back where it came from
             }
-            // Flood mode records too (the table *is* the forwarded set,
-            // and the counters stay comparable across modes) — it just
-            // never consults coverage.
-            if !flood && table.covered(&compiled) {
+            if table.contains(id) {
+                // Re-registration of an id already forwarded there: the
+                // filter may have changed, so replace the row *and*
+                // re-forward — the next hop replaces its copy the same
+                // way, recursively, and never matches a stale spec. (The
+                // coverage check must not run here: the id's own stale
+                // row could "cover" its replacement.)
+                table.record(id, compiled.clone());
+                forward_to.push(*neighbor);
+            } else if !flood && table.covered(&compiled) {
+                // Flood mode records everything (the table *is* the
+                // forwarded set, and the counters stay comparable across
+                // modes) — it never consults coverage.
                 table.note_pruned();
             } else {
                 table.record(id, compiled.clone());
                 forward_to.push(*neighbor);
             }
         }
+        self.live.insert(id, LiveSub { origin, compiled, envelope: envelope.to_vec() });
         Ok(AdmitOutcome { id, forward_to })
+    }
+
+    /// Processes an unregistration envelope: authenticate + remove from
+    /// the index, then apply Siena's **uncovering rule** per link — any
+    /// still-live subscription the removed one had covered (and therefore
+    /// pruned) must now be promoted into the forwarding table and sent
+    /// upstream, while links that only ever saw the subscription pruned
+    /// stay silent.
+    fn remove(&mut self, envelope: &[u8], origin: Origin) -> Result<RemoveOutcome, ScbrError> {
+        let (id, _client, existed) = self.engine.unregister_envelope(envelope)?;
+        if !existed {
+            return Ok(RemoveOutcome { id, removed: false, links: Vec::new() });
+        }
+        self.live.remove(&id);
+        let live = &self.live;
+        let mut links = Vec::new();
+        for (neighbor, table) in &mut self.upstream {
+            if origin == Origin::Link(*neighbor) {
+                continue; // the removal came from there; it already knows
+            }
+            if !table.remove(id) {
+                continue; // pruned on this link: upstream never saw it
+            }
+            // Candidates for promotion: live subscriptions routed toward
+            // this link that are not already forwarded there. (In flood
+            // mode everything is already in the table, so this is empty
+            // and no uncovering ever happens — correct, nothing was ever
+            // pruned.)
+            let candidates: Vec<(&SubscriptionId, &LiveSub)> = live
+                .iter()
+                .filter(|(cid, sub)| {
+                    sub.origin != Origin::Link(*neighbor) && !table.contains(**cid)
+                })
+                .collect();
+            // Broadest-first, so one promotion can keep narrower
+            // candidates pruned (ties broken by id for determinism).
+            let coverage: Vec<usize> = candidates
+                .iter()
+                .map(|(_, a)| {
+                    candidates.iter().filter(|(_, b)| a.compiled.covers(&b.compiled)).count()
+                })
+                .collect();
+            let mut order: Vec<usize> = (0..candidates.len()).collect();
+            order.sort_by(|&i, &j| {
+                coverage[j].cmp(&coverage[i]).then(candidates[i].0 .0.cmp(&candidates[j].0 .0))
+            });
+            let mut uncovered = Vec::new();
+            for &i in &order {
+                let (cid, sub) = candidates[i];
+                if table.covered(&sub.compiled) {
+                    continue; // still covered by the remaining interest
+                }
+                table.record_uncovered(*cid, sub.compiled.clone());
+                uncovered.push(sub.envelope.clone());
+            }
+            links.push(LinkRemoval { neighbor: *neighbor, uncovered });
+        }
+        Ok(RemoveOutcome { id, removed: true, links })
     }
 
     /// Decrypts and matches a chunk of headers, splitting each match set
@@ -178,10 +278,20 @@ pub struct BrokerStats {
     pub ocalls: u64,
     /// Virtual nanoseconds elapsed since the last reset.
     pub elapsed_ns: f64,
-    /// Subscriptions forwarded upstream, summed over links.
+    /// Live forwarding-table rows, summed over links (equals
+    /// `forwarded_total − removed`).
     pub forwarded: u64,
-    /// Subscriptions covering-pruned, summed over links.
+    /// Subscriptions covering-pruned, summed over links (cumulative).
     pub pruned: u64,
+    /// Subscriptions ever forwarded upstream, summed over links
+    /// (cumulative; includes uncovering promotions).
+    pub forwarded_total: u64,
+    /// Forwarding-table rows removed again, summed over links
+    /// (cumulative).
+    pub removed: u64,
+    /// Uncovering promotions (previously-pruned subscriptions forwarded
+    /// after a removal exposed them), summed over links (cumulative).
+    pub uncovered: u64,
 }
 
 /// One overlay broker (untrusted shell + enclave-resident core).
@@ -226,7 +336,7 @@ impl Broker {
             id,
             platform: Some(platform),
             enclave: Some(enclave),
-            core: BrokerCore { engine, upstream: Vec::new(), flood },
+            core: BrokerCore { engine, upstream: Vec::new(), live: BTreeMap::new(), flood },
             links: BTreeMap::new(),
             rng: CryptoRng::from_seed(seed ^ 0x6c69_6e6b),
         })
@@ -243,6 +353,7 @@ impl Broker {
             core: BrokerCore {
                 engine: MatchingEngine::new(&mem, kind),
                 upstream: Vec::new(),
+                live: BTreeMap::new(),
                 flood,
             },
             links: BTreeMap::new(),
@@ -464,6 +575,41 @@ impl Broker {
         Ok((outcome.id, frames))
     }
 
+    /// Processes an unregistration envelope and returns whether the
+    /// subscription existed here, plus the sealed frames its removal
+    /// requires: on every link the subscription had been **forwarded** on,
+    /// first the `SubForward`s of any newly *uncovered* subscriptions
+    /// (make-before-break — the upstream covering set never dips below the
+    /// live interest), then the `SubRemove` itself, which recurses at the
+    /// next hop. A removal that was covering-pruned on a link sends
+    /// nothing there, and a double-unsubscribe sends nothing anywhere.
+    ///
+    /// # Errors
+    ///
+    /// Authentication/decryption failures of the envelope, and sealing
+    /// failures.
+    pub fn handle_unsubscribe(
+        &mut self,
+        envelope: &[u8],
+        origin: Origin,
+    ) -> Result<(SubscriptionId, bool, Vec<LinkFrame>), OverlayError> {
+        let outcome = self.call(|c| c.remove(envelope, origin))?;
+        let mut frames = Vec::new();
+        if outcome.removed {
+            let remove_wire = Message::SubRemove { envelope: envelope.to_vec() }.to_wire();
+            for link in outcome.links {
+                for env in &link.uncovered {
+                    let wire = Message::SubForward { envelope: env.clone() }.to_wire();
+                    let bytes = self.seal_to(link.neighbor, &wire)?;
+                    frames.push(LinkFrame { to: link.neighbor, from: self.id, bytes });
+                }
+                let bytes = self.seal_to(link.neighbor, &remove_wire)?;
+                frames.push(LinkFrame { to: link.neighbor, from: self.id, bytes });
+            }
+        }
+        Ok((outcome.id, outcome.removed, frames))
+    }
+
     /// Routes a batch of publications: decrypt+match the whole batch in
     /// [`MAX_DRAIN`]-bounded single enclave crossings, deliver locally,
     /// and forward each item on every matching link (origin excluded).
@@ -517,6 +663,9 @@ impl Broker {
             Message::SubForward { envelope } => self
                 .handle_subscription(&envelope, Origin::Link(from))
                 .map(|(_, frames)| (Vec::new(), frames)),
+            Message::SubRemove { envelope } => self
+                .handle_unsubscribe(&envelope, Origin::Link(from))
+                .map(|(_, _, frames)| (Vec::new(), frames)),
             Message::PublishBatch { items } => self.handle_publish(&items, Origin::Link(from)),
             Message::Publish { header_ct, epoch, payload_ct } => {
                 let item = PublishItem { header_ct, epoch, payload_ct };
@@ -537,9 +686,13 @@ impl Broker {
     pub fn stats(&self) -> BrokerStats {
         let mem = self.core.engine.memory().stats();
         let (mut forwarded, mut pruned) = (0u64, 0u64);
+        let (mut forwarded_total, mut removed, mut uncovered) = (0u64, 0u64, 0u64);
         for (_, table) in &self.core.upstream {
             forwarded += table.forwarded() as u64;
             pruned += table.pruned();
+            forwarded_total += table.forwarded_total();
+            removed += table.removed();
+            uncovered += table.uncovered();
         }
         BrokerStats {
             router: self.id,
@@ -549,6 +702,9 @@ impl Broker {
             elapsed_ns: mem.elapsed_ns,
             forwarded,
             pruned,
+            forwarded_total,
+            removed,
+            uncovered,
         }
     }
 
@@ -648,6 +804,163 @@ mod tests {
             let (_, frames) = broker.handle_subscription(&envelope, Origin::Local).unwrap();
             assert_eq!(frames.len(), 1, "flood forwards everything");
         }
+    }
+
+    #[test]
+    fn removing_a_covering_sub_uncovers_and_reforwards() {
+        let mut rng = CryptoRng::from_seed(5);
+        let producer = producer(&mut rng);
+        let mut broker = Broker::preshared(0, 5, IndexKind::Poset, false);
+        broker.set_neighbors(&[1]);
+        broker.install_plain_link(1);
+        broker.provision_preshared(&producer);
+
+        let broad = producer
+            .seal_registration(
+                &SubscriptionSpec::new().gt("price", 0.0),
+                SubscriptionId(1),
+                ClientId(1),
+                &mut rng,
+            )
+            .unwrap();
+        let narrow = producer
+            .seal_registration(
+                &SubscriptionSpec::new().gt("price", 10.0),
+                SubscriptionId(2),
+                ClientId(2),
+                &mut rng,
+            )
+            .unwrap();
+        let (_, f1) = broker.handle_subscription(&broad, Origin::Local).unwrap();
+        assert_eq!(f1.len(), 1, "broad forwards");
+        let (_, f2) = broker.handle_subscription(&narrow, Origin::Local).unwrap();
+        assert!(f2.is_empty(), "narrow is pruned under broad");
+
+        // Removing the broad one uncovers the narrow one: the link sees a
+        // SubForward (narrow) *then* a SubRemove (broad).
+        let unreg = producer.seal_unregistration(SubscriptionId(1), ClientId(1), &mut rng).unwrap();
+        let (id, removed, frames) = broker.handle_unsubscribe(&unreg, Origin::Local).unwrap();
+        assert_eq!(id, SubscriptionId(1));
+        assert!(removed);
+        let kinds: Vec<String> = frames
+            .iter()
+            .map(|f| Message::from_wire(&f.bytes).unwrap().kind().to_owned())
+            .collect();
+        assert_eq!(kinds, vec!["sub-forward", "sub-remove"], "make-before-break ordering");
+        let stats = broker.stats();
+        assert_eq!(stats.uncovered, 1);
+        assert_eq!(stats.removed, 1);
+        assert_eq!(stats.forwarded, stats.forwarded_total - stats.removed);
+        assert_eq!(broker.subscriptions(), 1, "only the narrow subscription remains");
+    }
+
+    #[test]
+    fn re_registration_with_changed_filter_reforwards_upstream() {
+        // Two linked brokers: a (edge) — b. A re-registered id with a
+        // *broader* filter must replace the upstream copy, or b keeps
+        // matching the stale narrow spec and drops deliveries.
+        let mut rng = CryptoRng::from_seed(7);
+        let producer = producer(&mut rng);
+        let mut a = Broker::preshared(0, 7, IndexKind::Poset, false);
+        let mut b = Broker::preshared(1, 8, IndexKind::Poset, false);
+        a.set_neighbors(&[1]);
+        b.set_neighbors(&[0]);
+        a.install_plain_link(1);
+        b.install_plain_link(0);
+        a.provision_preshared(&producer);
+        b.provision_preshared(&producer);
+
+        let narrow = producer
+            .seal_registration(
+                &SubscriptionSpec::new().gt("price", 10.0),
+                SubscriptionId(1),
+                ClientId(1),
+                &mut rng,
+            )
+            .unwrap();
+        let (_, frames) = a.handle_subscription(&narrow, Origin::Local).unwrap();
+        for f in &frames {
+            b.receive(f.from, &f.bytes).unwrap();
+        }
+
+        // Same id, broader filter: must travel again and replace b's copy.
+        let broad = producer
+            .seal_registration(
+                &SubscriptionSpec::new().gt("price", 0.0),
+                SubscriptionId(1),
+                ClientId(1),
+                &mut rng,
+            )
+            .unwrap();
+        let (_, frames) = a.handle_subscription(&broad, Origin::Local).unwrap();
+        assert_eq!(frames.len(), 1, "the replacement is re-forwarded");
+        for f in &frames {
+            b.receive(f.from, &f.bytes).unwrap();
+        }
+        assert_eq!(a.subscriptions(), 1, "replaced, not duplicated");
+        assert_eq!(b.subscriptions(), 1, "replaced, not duplicated");
+
+        // A publication matching only the broad spec, entering at b, must
+        // now cross the link and deliver at a.
+        let item = PublishItem {
+            header_ct: producer
+                .encrypt_header(&PublicationSpec::new().attr("price", 5.0), &mut rng),
+            epoch: DEMO_EPOCH,
+            payload_ct: vec![0xbb],
+        };
+        let (_, frames) = b.handle_publish(std::slice::from_ref(&item), Origin::Local).unwrap();
+        assert_eq!(frames.len(), 1, "b forwards under the replaced (broad) spec");
+        let (deliveries, _) = a.receive(1, &frames[0].bytes).unwrap();
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].client, ClientId(1));
+    }
+
+    #[test]
+    fn pruned_removal_is_silent_and_double_remove_is_idempotent() {
+        let mut rng = CryptoRng::from_seed(6);
+        let producer = producer(&mut rng);
+        let mut broker = Broker::preshared(0, 6, IndexKind::Poset, false);
+        broker.set_neighbors(&[1]);
+        broker.install_plain_link(1);
+        broker.provision_preshared(&producer);
+        let broad = producer
+            .seal_registration(
+                &SubscriptionSpec::new().gt("price", 0.0),
+                SubscriptionId(1),
+                ClientId(1),
+                &mut rng,
+            )
+            .unwrap();
+        let narrow = producer
+            .seal_registration(
+                &SubscriptionSpec::new().gt("price", 10.0),
+                SubscriptionId(2),
+                ClientId(2),
+                &mut rng,
+            )
+            .unwrap();
+        broker.handle_subscription(&broad, Origin::Local).unwrap();
+        broker.handle_subscription(&narrow, Origin::Local).unwrap();
+
+        // The narrow sub was pruned: its removal must not touch the link.
+        let unreg = producer.seal_unregistration(SubscriptionId(2), ClientId(2), &mut rng).unwrap();
+        let (_, removed, frames) = broker.handle_unsubscribe(&unreg, Origin::Local).unwrap();
+        assert!(removed);
+        assert!(frames.is_empty(), "a pruned removal generates no network traffic");
+        assert_eq!(broker.subscriptions(), 1);
+
+        // Removing it again: idempotent, no error, still silent.
+        let unreg2 =
+            producer.seal_unregistration(SubscriptionId(2), ClientId(2), &mut rng).unwrap();
+        let (_, removed2, frames2) = broker.handle_unsubscribe(&unreg2, Origin::Local).unwrap();
+        assert!(!removed2);
+        assert!(frames2.is_empty());
+
+        // A forged unregistration is refused outright.
+        let rogue = ProducerCrypto::generate(512, &mut rng).unwrap();
+        let forged = rogue.seal_unregistration(SubscriptionId(1), ClientId(1), &mut rng).unwrap();
+        assert!(broker.handle_unsubscribe(&forged, Origin::Local).is_err());
+        assert_eq!(broker.subscriptions(), 1, "forgery removed nothing");
     }
 
     #[test]

@@ -30,10 +30,10 @@ use scbr::ids::{ClientId, SubscriptionId};
 use scbr::index::IndexKind;
 use scbr::protocol::keys::ProducerCrypto;
 use scbr::protocol::messages::PublishItem;
-use scbr::{PublicationSpec, SubscriptionSpec};
+use scbr::{PublicationSpec, ScbrError, SubscriptionSpec};
 use scbr_crypto::rng::CryptoRng;
 use sgx_sim::attest::{AttestationService, VerifierPolicy};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// The measured content of the genuine overlay routing enclave. A broker
 /// built from different code has a different `MRENCLAVE` and is refused
@@ -116,6 +116,10 @@ pub struct OverlayFabric {
     producer: ProducerCrypto,
     rng: CryptoRng,
     next_sub: u64,
+    /// Every subscription ever issued: id → (edge router, client). Kept
+    /// across removal so a double-unsubscribe is recognised (idempotent)
+    /// while a never-issued id is a clean error.
+    issued: BTreeMap<SubscriptionId, (usize, ClientId)>,
 }
 
 impl std::fmt::Debug for OverlayFabric {
@@ -198,7 +202,7 @@ impl OverlayFabric {
                 }
             }
         }
-        Ok(OverlayFabric { topology, brokers, producer, rng, next_sub: 0 })
+        Ok(OverlayFabric { topology, brokers, producer, rng, next_sub: 0, issued: BTreeMap::new() })
     }
 
     /// The broker tree.
@@ -240,8 +244,35 @@ impl OverlayFabric {
             .seal_registration(spec, id, client, &mut self.rng)
             .map_err(OverlayError::Routing)?;
         let (_, frames) = self.brokers[at].handle_subscription(&envelope, Origin::Local)?;
+        self.issued.insert(id, (at, client));
         self.pump(frames)?;
         Ok(id)
+    }
+
+    /// Retires subscription `id`, propagating the removal through the
+    /// tree: each broker drops the entry from its index, and on every
+    /// link the subscription had been forwarded on, newly *uncovered*
+    /// subscriptions are re-forwarded ahead of the removal (Siena's
+    /// uncovering rule). Returns whether the subscription was still live —
+    /// a second unsubscribe of the same id is an idempotent `Ok(false)`.
+    ///
+    /// # Errors
+    ///
+    /// An id this fabric never issued is a clean
+    /// [`ScbrError::NotFound`] error; link/authentication failures
+    /// propagate.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> Result<bool, OverlayError> {
+        let &(at, client) = self
+            .issued
+            .get(&id)
+            .ok_or(OverlayError::Routing(ScbrError::NotFound { what: "subscription" }))?;
+        let envelope = self
+            .producer
+            .seal_unregistration(id, client, &mut self.rng)
+            .map_err(OverlayError::Routing)?;
+        let (_, removed, frames) = self.brokers[at].handle_unsubscribe(&envelope, Origin::Local)?;
+        self.pump(frames)?;
+        Ok(removed)
     }
 
     /// Publishes a batch at router `at`, forwarding it hop by hop, and
@@ -310,7 +341,8 @@ impl OverlayFabric {
         self.brokers.iter().map(|b| b.stats().elapsed_ns).fold(0.0, f64::max)
     }
 
-    /// Total subscription-forwards sent on links (propagation traffic).
+    /// Total live forwarding-table rows across links (upstream interest
+    /// currently recorded; shrinks again as subscriptions are removed).
     pub fn total_forwarded(&self) -> u64 {
         self.brokers.iter().map(|b| b.stats().forwarded).sum()
     }
@@ -318,6 +350,23 @@ impl OverlayFabric {
     /// Total covering-pruned subscription-forwards (traffic avoided).
     pub fn total_pruned(&self) -> u64 {
         self.brokers.iter().map(|b| b.stats().pruned).sum()
+    }
+
+    /// Total subscription-forwards ever sent on links (cumulative
+    /// propagation traffic, including uncovering re-forwards).
+    pub fn total_forwarded_cumulative(&self) -> u64 {
+        self.brokers.iter().map(|b| b.stats().forwarded_total).sum()
+    }
+
+    /// Total forwarding-table removals (cumulative).
+    pub fn total_removed(&self) -> u64 {
+        self.brokers.iter().map(|b| b.stats().removed).sum()
+    }
+
+    /// Total uncovering promotions (cumulative re-forwards caused by
+    /// removals).
+    pub fn total_uncovered(&self) -> u64 {
+        self.brokers.iter().map(|b| b.stats().uncovered).sum()
     }
 
     /// Total index entries across brokers (edge + link-interface copies).
@@ -434,6 +483,52 @@ mod tests {
         fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
         fabric.subscribe(0, ClientId(2), &SubscriptionSpec::new().gt("price", 10.0)).unwrap();
         assert_eq!(fabric.total_index_entries(), 2 * 3, "every broker holds every subscription");
+    }
+
+    #[test]
+    fn unsubscribe_uncovers_across_hops_and_drains_state() {
+        use scbr::ids::SubscriptionId;
+        let mut fabric =
+            OverlayFabric::build(Topology::line(3), FabricConfig::preshared(12)).unwrap();
+        let broad =
+            fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+        let narrow =
+            fabric.subscribe(0, ClientId(2), &SubscriptionSpec::new().gt("price", 10.0)).unwrap();
+        assert_eq!(fabric.total_forwarded(), 2, "only the broad one crossed the two links");
+        assert_eq!(fabric.total_pruned(), 1, "the narrow one is pruned once, at its edge");
+
+        // Removing the broad subscription must re-forward the narrow one
+        // along the whole chain before withdrawing the broad interest.
+        assert!(fabric.unsubscribe(broad).unwrap());
+        assert_eq!(fabric.total_uncovered(), 2, "one promotion per link of the chain");
+        assert_eq!(fabric.total_forwarded(), 2, "narrow rows replaced broad rows");
+        // Delivery reflects only the narrow interest now.
+        let deliveries = fabric
+            .publish(
+                2,
+                &[
+                    PublicationSpec::new().attr("price", 5.0),
+                    PublicationSpec::new().attr("price", 15.0),
+                ],
+            )
+            .unwrap();
+        assert_eq!(deliveries, vec![Delivery { router: 0, client: ClientId(2), publication: 1 }]);
+
+        // Removing the last subscription drains every broker and table.
+        assert!(fabric.unsubscribe(narrow).unwrap());
+        assert_eq!(fabric.total_index_entries(), 0, "no leaked index entries");
+        assert_eq!(fabric.total_forwarded(), 0, "no leaked forwarding rows");
+        assert!(fabric
+            .publish(0, &[PublicationSpec::new().attr("price", 99.0)])
+            .unwrap()
+            .is_empty());
+
+        // Idempotent double-unsubscribe; unknown ids are clean errors.
+        assert!(!fabric.unsubscribe(broad).unwrap());
+        assert!(matches!(
+            fabric.unsubscribe(SubscriptionId(999)),
+            Err(OverlayError::Routing(scbr::ScbrError::NotFound { .. }))
+        ));
     }
 
     #[test]

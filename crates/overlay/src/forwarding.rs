@@ -11,18 +11,34 @@
 //! traffic and the upstream routers' index sizes — the same effect
 //! covering has *inside* the poset index, lifted to the network.
 //!
+//! Removal is the mirror image (Siena's *uncovering* rule): dropping a
+//! forwarded entry may leave previously-pruned subscriptions uncovered,
+//! and the broker must then promote them into the table (and forward them
+//! upstream) to keep the link's recorded interest complete. The table
+//! tracks the churn with monotone counters so the invariant
+//! `rows == forwarded_total − removed` is checkable from outside.
+//!
 //! The table lives inside the broker's enclave: entries are plaintext
 //! compiled subscriptions and must never cross the trust boundary.
 
 use scbr::ids::SubscriptionId;
 use scbr::CompiledSubscription;
 
-/// The subscriptions a broker has forwarded on one link, plus pruning
+/// The subscriptions a broker has forwarded on one link, plus churn
 /// counters.
 #[derive(Debug, Default)]
 pub struct ForwardingTable {
     entries: Vec<(SubscriptionId, CompiledSubscription)>,
+    /// Covering-pruned (withheld) subscriptions, cumulative.
     pruned: u64,
+    /// Subscriptions ever recorded as forwarded, cumulative.
+    forwarded_total: u64,
+    /// Entries removed again (unsubscription), cumulative.
+    removed: u64,
+    /// Records that were *uncovering promotions* — previously-pruned
+    /// subscriptions forwarded because a removal exposed them. A subset
+    /// of `forwarded_total`.
+    uncovered: u64,
 }
 
 impl ForwardingTable {
@@ -36,9 +52,46 @@ impl ForwardingTable {
         self.entries.iter().any(|(_, fwd)| fwd.covers(sub))
     }
 
-    /// Records a subscription as forwarded on this link.
-    pub fn record(&mut self, id: SubscriptionId, sub: CompiledSubscription) {
+    /// Is `id` currently recorded as forwarded on this link?
+    pub fn contains(&self, id: SubscriptionId) -> bool {
+        self.entries.iter().any(|(e, _)| *e == id)
+    }
+
+    /// Records a subscription as forwarded on this link. Idempotent per
+    /// [`SubscriptionId`]: re-recording an id replaces its entry instead
+    /// of stacking a stale duplicate row, and returns `false` so the
+    /// caller knows no new forward is due.
+    pub fn record(&mut self, id: SubscriptionId, sub: CompiledSubscription) -> bool {
+        if let Some(entry) = self.entries.iter_mut().find(|(e, _)| *e == id) {
+            entry.1 = sub;
+            return false;
+        }
         self.entries.push((id, sub));
+        self.forwarded_total += 1;
+        true
+    }
+
+    /// Records an uncovering promotion: a previously-pruned subscription
+    /// forwarded because a removal exposed it.
+    pub fn record_uncovered(&mut self, id: SubscriptionId, sub: CompiledSubscription) -> bool {
+        let fresh = self.record(id, sub);
+        if fresh {
+            self.uncovered += 1;
+        }
+        fresh
+    }
+
+    /// Removes a forwarded entry. Returns whether it was present (a
+    /// pruned subscription was never in the table, so removing it is a
+    /// no-op and — crucially — generates no upstream traffic).
+    pub fn remove(&mut self, id: SubscriptionId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(e, _)| *e != id);
+        let removed = self.entries.len() < before;
+        if removed {
+            self.removed += 1;
+        }
+        removed
     }
 
     /// Counts one covering-pruned (not forwarded) subscription.
@@ -46,14 +99,31 @@ impl ForwardingTable {
         self.pruned += 1;
     }
 
-    /// Number of subscriptions forwarded on this link.
+    /// Number of subscriptions currently forwarded on this link (live
+    /// rows; equals [`ForwardingTable::forwarded_total`] −
+    /// [`ForwardingTable::removed`]).
     pub fn forwarded(&self) -> usize {
         self.entries.len()
     }
 
-    /// Number of subscriptions pruned on this link.
+    /// Number of subscriptions pruned on this link, cumulative.
     pub fn pruned(&self) -> u64 {
         self.pruned
+    }
+
+    /// Subscriptions ever recorded as forwarded, cumulative.
+    pub fn forwarded_total(&self) -> u64 {
+        self.forwarded_total
+    }
+
+    /// Entries removed again, cumulative.
+    pub fn removed(&self) -> u64 {
+        self.removed
+    }
+
+    /// Uncovering promotions, cumulative.
+    pub fn uncovered(&self) -> u64 {
+        self.uncovered
     }
 }
 
@@ -93,5 +163,45 @@ mod tests {
         let mut table = ForwardingTable::new();
         table.record(SubscriptionId(1), narrow);
         assert!(!table.covered(&broad), "the broader subscription must still be forwarded");
+    }
+
+    #[test]
+    fn record_is_idempotent_per_id() {
+        // Regression: `record` used to append unconditionally, so
+        // re-registering an id left a stale duplicate row that a single
+        // `remove` could not clear.
+        let schema = AttrSchema::new();
+        let sub = compiled(SubscriptionSpec::new().gt("price", 1.0), &schema);
+        let wider = compiled(SubscriptionSpec::new().gt("price", 0.0), &schema);
+        let mut table = ForwardingTable::new();
+        assert!(table.record(SubscriptionId(1), sub.clone()));
+        assert!(!table.record(SubscriptionId(1), sub.clone()), "same id again: no new forward");
+        assert_eq!(table.forwarded(), 1, "one row, not two");
+        assert_eq!(table.forwarded_total(), 1);
+        // Re-recording replaces the stored subscription.
+        assert!(!table.record(SubscriptionId(1), wider.clone()));
+        assert!(table.covered(&wider));
+        // One removal fully clears the id.
+        assert!(table.remove(SubscriptionId(1)));
+        assert_eq!(table.forwarded(), 0);
+        assert!(!table.contains(SubscriptionId(1)));
+    }
+
+    #[test]
+    fn removal_and_counters_stay_consistent() {
+        let schema = AttrSchema::new();
+        let a = compiled(SubscriptionSpec::new().gt("price", 0.0), &schema);
+        let b = compiled(SubscriptionSpec::new().gt("price", 5.0), &schema);
+        let mut table = ForwardingTable::new();
+        table.record(SubscriptionId(1), a);
+        assert!(!table.remove(SubscriptionId(9)), "absent id: no-op");
+        assert_eq!(table.removed(), 0);
+        assert!(table.remove(SubscriptionId(1)));
+        assert!(!table.remove(SubscriptionId(1)), "second removal is a no-op");
+        table.record_uncovered(SubscriptionId(2), b);
+        assert_eq!(table.forwarded_total(), 2);
+        assert_eq!(table.removed(), 1);
+        assert_eq!(table.uncovered(), 1);
+        assert_eq!(table.forwarded() as u64, table.forwarded_total() - table.removed());
     }
 }

@@ -14,14 +14,19 @@
 //! * [`forwarding`] — covering-pruned subscription propagation: a router
 //!   forwards a subscription up a link only if nothing already forwarded
 //!   there covers it, reusing the containment relation the poset index is
-//!   built on.
+//!   built on. Removal is symmetric (Siena's *uncovering* rule): an
+//!   unregistration travels only on links the subscription was actually
+//!   forwarded on, and any still-live subscriptions it had covered are
+//!   re-forwarded ahead of it, so upstream interest never dips below the
+//!   live set.
 //! * [`broker`] — one overlay node: the matching engine (inside the
 //!   enclave) indexes link interfaces alongside edge clients, so each hop
 //!   decrypts and matches a whole publication batch in **one enclave
 //!   crossing** and learns local deliveries and outgoing links together.
 //! * [`fabric`] — deployment orchestration: build, attest, link, then
-//!   [`fabric::OverlayFabric::subscribe`] and
-//!   [`fabric::OverlayFabric::publish`].
+//!   [`fabric::OverlayFabric::subscribe`],
+//!   [`fabric::OverlayFabric::publish`] and
+//!   [`fabric::OverlayFabric::unsubscribe`].
 //!
 //! ## Example
 //!

@@ -1,0 +1,134 @@
+//! Churn soak: a fully attested 3-hop overlay driven through ~1 000
+//! subscribe/publish/unsubscribe operations.
+//!
+//! Every round pushes a covering pair (broad + narrow) through the chain,
+//! publishes a batch end to end, then retires the broad subscription —
+//! forcing an *uncovering* promotion of the narrow one at every hop —
+//! and finally retires the narrow one too. Throughout, the test pins the
+//! operational invariants a long-lived deployment depends on:
+//!
+//! * **ECALL discipline**: a publication batch still costs exactly one
+//!   enclave crossing per broker it visits, no matter how much
+//!   subscription churn preceded it;
+//! * **counter consistency**: per broker,
+//!   `rows == forwarded_total − removed` and `uncovered ≤ forwarded_total`
+//!   after every round (the `forwarded − removed + uncovered` ledger);
+//! * **no leaks**: index sizes and forwarding tables return to their
+//!   baseline after each round's removals, and to zero when the anchor
+//!   subscription finally goes too.
+
+use scbr::ids::ClientId;
+use scbr::{PublicationSpec, SubscriptionSpec};
+use scbr_overlay::fabric::{FabricConfig, OverlayFabric};
+use scbr_overlay::Topology;
+
+/// Rounds of (2 subscribes + 1 publish + 2 unsubscribes) — ≈1 000
+/// lifecycle operations over the soak.
+const ROUNDS: usize = 200;
+
+fn assert_counters(fabric: &OverlayFabric, round: usize) {
+    for stats in fabric.broker_stats() {
+        assert_eq!(
+            stats.forwarded,
+            stats.forwarded_total - stats.removed,
+            "round {round}: rows != forwarded_total - removed at router {}",
+            stats.router
+        );
+        assert!(
+            stats.uncovered <= stats.forwarded_total,
+            "round {round}: uncovered exceeds forwarded_total at router {}",
+            stats.router
+        );
+    }
+}
+
+#[test]
+fn attested_three_hop_overlay_survives_heavy_churn() {
+    let routers = 4; // a line: 3 hops end to end
+    let mut fabric =
+        OverlayFabric::build(Topology::line(routers), FabricConfig::attested(77)).expect("build");
+
+    // A long-lived anchor at the far end keeps every publication crossing
+    // the full chain for the whole soak.
+    let anchor = fabric
+        .subscribe(routers - 1, ClientId(1_000), &SubscriptionSpec::new().ge("price", 0.0))
+        .expect("anchor subscribes");
+    // Anchor copies: one edge entry plus one link-interface entry per hop.
+    let baseline_entries = fabric.total_index_entries();
+    assert_eq!(baseline_entries, routers);
+    let baseline_rows = fabric.total_forwarded();
+
+    let mut uncovered_before = fabric.total_uncovered();
+    for round in 0..ROUNDS {
+        // A covering pair at the near end: the narrow one is pruned
+        // behind the broad one on every link it would travel.
+        let threshold = (round % 4) as f64;
+        let broad = fabric
+            .subscribe(0, ClientId(2), &SubscriptionSpec::new().gt("price", threshold))
+            .expect("broad subscribes");
+        let narrow = fabric
+            .subscribe(0, ClientId(3), &SubscriptionSpec::new().gt("price", threshold + 2.0))
+            .expect("narrow subscribes");
+
+        // One batch, far edge → near edge: exactly one crossing per
+        // broker, independent of all the churn that came before.
+        fabric.reset_counters();
+        let deliveries = fabric
+            .publish(
+                routers - 1,
+                &[
+                    PublicationSpec::new().attr("price", 7.0),
+                    PublicationSpec::new().attr("price", threshold + 1.0),
+                ],
+            )
+            .expect("publish");
+        assert_eq!(
+            fabric.total_ecalls(),
+            routers as u64,
+            "round {round}: a batch costs one ECALL per hop, even under churn"
+        );
+        // price 7 matches anchor + broad + narrow; threshold+1 matches
+        // anchor + broad only.
+        assert_eq!(deliveries.len(), 5, "round {round}: exact delivery under churn");
+
+        // Retiring the broad subscription uncovers the narrow one at
+        // every hop of the chain.
+        assert!(fabric.unsubscribe(broad).expect("unsubscribe broad"));
+        let uncovered_now = fabric.total_uncovered();
+        assert_eq!(
+            uncovered_now - uncovered_before,
+            (routers - 1) as u64,
+            "round {round}: one uncovering promotion per link"
+        );
+        uncovered_before = uncovered_now;
+        assert_counters(&fabric, round);
+
+        // Retiring the narrow one restores the baseline exactly.
+        assert!(fabric.unsubscribe(narrow).expect("unsubscribe narrow"));
+        assert_counters(&fabric, round);
+        assert_eq!(
+            fabric.total_index_entries(),
+            baseline_entries,
+            "round {round}: leaked index entries"
+        );
+        assert_eq!(
+            fabric.total_forwarded(),
+            baseline_rows,
+            "round {round}: leaked forwarding rows"
+        );
+    }
+
+    // The cumulative ledger survived ~1k operations.
+    assert_eq!(fabric.total_removed(), 2 * (ROUNDS as u64) * (routers as u64 - 1));
+    // Finally retire the anchor: the whole fabric drains to empty.
+    assert!(fabric.unsubscribe(anchor).expect("unsubscribe anchor"));
+    assert_eq!(fabric.total_index_entries(), 0, "anchor removal leaves no entries");
+    assert_eq!(fabric.total_forwarded(), 0, "anchor removal leaves no rows");
+    assert!(
+        fabric
+            .publish(0, &[PublicationSpec::new().attr("price", 3.0)])
+            .expect("publish")
+            .is_empty(),
+        "an empty overlay delivers nothing"
+    );
+}

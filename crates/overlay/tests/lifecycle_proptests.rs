@@ -1,0 +1,328 @@
+//! Property: the **full subscription lifecycle** — random interleavings
+//! of subscribe and unsubscribe over random trees — keeps the overlay
+//! delivery-equivalent to a flat single-router oracle *after every step*,
+//! in both covering-pruned and flooded propagation modes.
+//!
+//! Unsubscription is where the covering optimisation gets dangerous: a
+//! removal may *uncover* subscriptions that were pruned behind it, and
+//! forgetting to re-forward them silently under-delivers, while
+//! re-forwarding too eagerly leaks table rows. These properties pin both
+//! failure modes:
+//!
+//! * after every subscribe/unsubscribe, a probe publication batch is
+//!   routed through the pruned fabric, the flooded fabric and a flat
+//!   oracle engine, and all three delivery sets must be identical;
+//! * when the script ends, every remaining subscription is removed and
+//!   every broker's index and every per-link forwarding table must be
+//!   **empty** — no leaked entries, no leaked rows;
+//! * throughout, each broker's counters satisfy
+//!   `rows == forwarded_total − removed` with `uncovered ⊆ forwarded_total`.
+
+use proptest::prelude::*;
+use scbr::engine::MatchingEngine;
+use scbr::ids::{ClientId, SubscriptionId};
+use scbr::index::IndexKind;
+use scbr::protocol::keys::ProducerCrypto;
+use scbr::publication::PublicationSpec;
+use scbr::subscription::SubscriptionSpec;
+use scbr_crypto::rng::CryptoRng;
+use scbr_overlay::fabric::{FabricConfig, OverlayFabric, Propagation};
+use scbr_overlay::{Delivery, Topology};
+use sgx_sim::{CacheConfig, CostModel, MemorySim};
+
+const SYMBOLS: [&str; 3] = ["HAL", "IBM", "AMD"];
+const NUMERIC: [&str; 2] = ["price", "volume"];
+
+/// A generated subscription plus its edge-router placement.
+#[derive(Debug, Clone)]
+struct RawSub {
+    router: usize,
+    symbol: Option<usize>,
+    bounds: Vec<(usize, u8, u8)>,
+}
+
+fn sub_strategy() -> impl Strategy<Value = RawSub> {
+    (
+        0usize..64,
+        proptest::option::of(0usize..SYMBOLS.len()),
+        // Discrete bounds so covering chains (and hence pruning and
+        // *uncovering*) are frequent, not accidental.
+        proptest::collection::vec((0usize..NUMERIC.len(), 0u8..4, 0u8..8), 0..3),
+    )
+        .prop_map(|(router, symbol, bounds)| RawSub { router, symbol, bounds })
+}
+
+fn build_sub(raw: &RawSub) -> SubscriptionSpec {
+    let mut spec = SubscriptionSpec::new();
+    if let Some(s) = raw.symbol {
+        spec = spec.eq("symbol", SYMBOLS[s]);
+    }
+    let mut used = std::collections::HashSet::new();
+    for (attr, op, bound) in &raw.bounds {
+        if !used.insert(*attr) {
+            continue; // one predicate per attribute avoids contradictions
+        }
+        let name = NUMERIC[*attr];
+        let value = *bound as f64;
+        spec = match op {
+            0 => spec.lt(name, value),
+            1 => spec.le(name, value),
+            2 => spec.gt(name, value),
+            _ => spec.ge(name, value),
+        };
+    }
+    spec
+}
+
+/// A generated probe publication on the same discrete grid.
+#[derive(Debug, Clone)]
+struct RawPub {
+    symbol: usize,
+    values: Vec<u8>,
+}
+
+fn pub_strategy() -> impl Strategy<Value = RawPub> {
+    (0usize..SYMBOLS.len(), proptest::collection::vec(0u8..9, NUMERIC.len()))
+        .prop_map(|(symbol, values)| RawPub { symbol, values })
+}
+
+fn build_pub(raw: &RawPub) -> PublicationSpec {
+    let mut spec = PublicationSpec::new().attr("symbol", SYMBOLS[raw.symbol]);
+    for (i, v) in raw.values.iter().enumerate() {
+        spec = spec.attr(NUMERIC[i], *v as f64);
+    }
+    spec
+}
+
+/// Builds a random tree from parent choices: router `i`'s parent is
+/// `parents[i-1] % i`, guaranteeing acyclicity and connectivity.
+fn build_tree(parents: &[usize]) -> Topology {
+    let n = parents.len() + 1;
+    let edges: Vec<(usize, usize)> =
+        parents.iter().enumerate().map(|(i, p)| (p % (i + 1), i + 1)).collect();
+    Topology::tree(n, &edges).expect("parent construction always yields a tree")
+}
+
+/// One producer identity for the whole property run: RSA key generation
+/// dominates fabric construction and is orthogonal to the property.
+fn shared_producer() -> ProducerCrypto {
+    static PRODUCER: std::sync::OnceLock<ProducerCrypto> = std::sync::OnceLock::new();
+    PRODUCER
+        .get_or_init(|| {
+            ProducerCrypto::generate(512, &mut CryptoRng::from_seed(0x6c696665))
+                .expect("producer keys")
+        })
+        .clone()
+}
+
+/// One lifecycle step, decoded from the generated script.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Subscribe the next not-yet-subscribed generated subscription.
+    Subscribe,
+    /// Unsubscribe the `pick % live`-th live subscription.
+    Unsubscribe(usize),
+}
+
+/// Decodes the raw script into concrete steps against the generated
+/// subscription pool, ending with the removal of everything still live.
+fn decode_script(script: &[(bool, usize)], total_subs: usize) -> Vec<Step> {
+    let mut steps = Vec::new();
+    let mut pending = total_subs;
+    let mut live = 0usize;
+    for &(subscribe, pick) in script {
+        if subscribe && pending > 0 {
+            steps.push(Step::Subscribe);
+            pending -= 1;
+            live += 1;
+        } else if !subscribe && live > 0 {
+            steps.push(Step::Unsubscribe(pick));
+            live -= 1;
+        }
+    }
+    // Drain everything so the final emptiness check always runs.
+    while pending > 0 {
+        steps.push(Step::Subscribe);
+        pending -= 1;
+        live += 1;
+    }
+    while live > 0 {
+        steps.push(Step::Unsubscribe(0));
+        live -= 1;
+    }
+    steps
+}
+
+/// Asserts the per-broker churn-counter invariant.
+fn assert_counters(fabric: &OverlayFabric, ctx: &str) -> Result<(), TestCaseError> {
+    for stats in fabric.broker_stats() {
+        prop_assert_eq!(
+            stats.forwarded,
+            stats.forwarded_total - stats.removed,
+            "rows != forwarded_total - removed at router {} ({})",
+            stats.router,
+            ctx
+        );
+        prop_assert!(
+            stats.uncovered <= stats.forwarded_total,
+            "uncovered exceeds forwarded_total at router {} ({})",
+            stats.router,
+            ctx
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// After every subscribe/unsubscribe step, pruned ≡ flooded ≡ flat
+    /// oracle; after the final step, every broker is completely drained.
+    #[test]
+    fn lifecycle_interleavings_stay_oracle_equivalent(
+        parents in proptest::collection::vec(0usize..8, 1..5),
+        subs in proptest::collection::vec(sub_strategy(), 1..8),
+        script in proptest::collection::vec((any::<bool>(), 0usize..16), 0..16),
+        pubs in proptest::collection::vec(pub_strategy(), 1..3),
+        publish_router in 0usize..64,
+        seed in 0u64..1_000,
+    ) {
+        let topology = build_tree(&parents);
+        let routers = topology.routers();
+        let publish_at = publish_router % routers;
+        let publications: Vec<PublicationSpec> = pubs.iter().map(build_pub).collect();
+        let steps = decode_script(&script, subs.len());
+
+        let producer = shared_producer();
+        let mut pruned = OverlayFabric::build_with_producer(
+            topology.clone(),
+            FabricConfig { index: IndexKind::Poset, ..FabricConfig::preshared(seed) },
+            producer.clone(),
+        ).expect("pruned fabric");
+        let mut flooded = OverlayFabric::build_with_producer(
+            topology.clone(),
+            FabricConfig {
+                index: IndexKind::Poset,
+                propagation: Propagation::Flood,
+                ..FabricConfig::preshared(seed)
+            },
+            producer.clone(),
+        ).expect("flooded fabric");
+        // The flat oracle: one big router holding exactly the live set.
+        let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
+        let mut oracle = MatchingEngine::new(&mem, IndexKind::Naive);
+
+        // id → index into `subs`, for oracle-expectation building.
+        let mut live: Vec<(SubscriptionId, usize)> = Vec::new();
+        let mut next_sub = 0usize;
+
+        for (step_no, step) in steps.iter().enumerate() {
+            match *step {
+                Step::Subscribe => {
+                    let raw = &subs[next_sub];
+                    let at = raw.router % routers;
+                    let spec = build_sub(raw);
+                    let client = ClientId(next_sub as u64);
+                    let id = pruned.subscribe(at, client, &spec).expect("pruned subscribe");
+                    let id2 = flooded.subscribe(at, client, &spec).expect("flooded subscribe");
+                    prop_assert_eq!(id, id2, "both fabrics allocate ids in lockstep");
+                    oracle.register_plain(id, client, &spec).expect("oracle register");
+                    live.push((id, next_sub));
+                    next_sub += 1;
+                }
+                Step::Unsubscribe(pick) => {
+                    let (id, _) = live.remove(pick % live.len());
+                    prop_assert!(pruned.unsubscribe(id).expect("pruned unsubscribe"));
+                    prop_assert!(flooded.unsubscribe(id).expect("flooded unsubscribe"));
+                    prop_assert!(oracle.unregister(id), "oracle had the subscription");
+                }
+            }
+
+            // Probe: all three views agree on every delivery.
+            let got_pruned = pruned.publish(publish_at, &publications).expect("pruned publish");
+            let got_flooded = flooded.publish(publish_at, &publications).expect("flooded publish");
+            prop_assert_eq!(
+                &got_pruned, &got_flooded,
+                "pruned and flooded disagree after step {}", step_no
+            );
+            let mut expected: Vec<Delivery> = Vec::new();
+            for (p, publication) in publications.iter().enumerate() {
+                for client in oracle.match_plain(publication).expect("oracle match") {
+                    let raw = &subs[client.0 as usize];
+                    expected.push(Delivery {
+                        router: raw.router % routers,
+                        client,
+                        publication: p,
+                    });
+                }
+            }
+            expected.sort_unstable();
+            prop_assert_eq!(
+                got_pruned, expected,
+                "overlay disagrees with the flat oracle after step {}", step_no
+            );
+            assert_counters(&pruned, "pruned")?;
+            assert_counters(&flooded, "flooded")?;
+            // Pruning must never store more than flooding.
+            prop_assert!(pruned.total_index_entries() <= flooded.total_index_entries());
+        }
+
+        // Everything was removed: state returns to baseline everywhere.
+        for fabric in [&pruned, &flooded] {
+            prop_assert_eq!(fabric.total_index_entries(), 0, "leaked index entries");
+            prop_assert_eq!(fabric.total_forwarded(), 0, "leaked forwarding-table rows");
+            for stats in fabric.broker_stats() {
+                prop_assert_eq!(stats.subscriptions, 0, "router {} index not empty", stats.router);
+            }
+        }
+    }
+
+    /// The final-drain guarantee holds for every index kind, not just the
+    /// poset (removal goes through `SubscriptionIndex::remove`, whose
+    /// implementations differ structurally).
+    #[test]
+    fn all_index_kinds_drain_to_empty(
+        parents in proptest::collection::vec(0usize..4, 1..4),
+        subs in proptest::collection::vec(sub_strategy(), 1..6),
+        pubs in proptest::collection::vec(pub_strategy(), 1..2),
+        seed in 0u64..1_000,
+    ) {
+        let topology = build_tree(&parents);
+        let routers = topology.routers();
+        let publications: Vec<PublicationSpec> = pubs.iter().map(build_pub).collect();
+        for kind in [IndexKind::Poset, IndexKind::Counting, IndexKind::Naive] {
+            let mut fabric = OverlayFabric::build_with_producer(
+                topology.clone(),
+                FabricConfig { index: kind, ..FabricConfig::preshared(seed) },
+                shared_producer(),
+            ).expect("fabric");
+            let mut ids = Vec::new();
+            for (i, raw) in subs.iter().enumerate() {
+                let at = raw.router % routers;
+                ids.push(
+                    fabric
+                        .subscribe(at, ClientId(i as u64), &build_sub(raw))
+                        .expect("subscribe"),
+                );
+            }
+            // Remove the first half, publish, remove the rest.
+            let half = ids.len() / 2;
+            for id in &ids[..half] {
+                prop_assert!(fabric.unsubscribe(*id).expect("unsubscribe"));
+            }
+            // Deliveries reflect only the surviving half.
+            let deliveries = fabric.publish(0, &publications).expect("publish");
+            for d in &deliveries {
+                prop_assert!(
+                    (d.client.0 as usize) >= half,
+                    "removed subscription still delivering under {:?}", kind
+                );
+            }
+            for id in &ids[half..] {
+                prop_assert!(fabric.unsubscribe(*id).expect("unsubscribe rest"));
+            }
+            prop_assert_eq!(fabric.total_index_entries(), 0, "{:?} leaked entries", kind);
+            prop_assert_eq!(fabric.total_forwarded(), 0, "{:?} leaked rows", kind);
+        }
+    }
+}

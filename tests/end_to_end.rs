@@ -9,6 +9,7 @@ use scbr::engine::RouterEngine;
 use scbr::ids::ClientId;
 use scbr::index::IndexKind;
 use scbr::protocol::keys::{provision_sk_via_attestation, ProducerCrypto};
+use scbr::protocol::messages::Message;
 use scbr::publication::PublicationSpec;
 use scbr::roles::{ClientNode, Producer, ProducerCommand, Router};
 use scbr::subscription::SubscriptionSpec;
@@ -228,6 +229,125 @@ fn revoked_client_cannot_read_new_payloads() {
 
     d.producer.shutdown().expect("shutdown");
     d.router.unwrap().join().expect("join");
+}
+
+#[test]
+fn unsubscribe_stops_delivery_end_to_end() {
+    let d = deploy(160);
+    let mut alice = new_client(&d, 1, 700);
+    let sub = alice
+        .subscribe(&SubscriptionSpec::new().eq("symbol", "HAL"), WAIT)
+        .expect("alice subscribes");
+
+    d.producer.handle().send(ProducerCommand::Publish(
+        PublicationSpec::new().attr("symbol", "HAL").attr("price", 1.0).payload(b"pre".to_vec()),
+    ));
+    assert_eq!(alice.poll_delivery(WAIT).unwrap().unwrap().payload, b"pre");
+
+    // The full removal loop: client signature → producer validation →
+    // signed unregistration envelope → router enclave → acks back.
+    alice.unsubscribe(sub, WAIT).expect("unsubscribe accepted");
+    d.producer.handle().send(ProducerCommand::Publish(
+        PublicationSpec::new().attr("symbol", "HAL").attr("price", 2.0).payload(b"post".to_vec()),
+    ));
+    assert!(
+        alice.poll_delivery(Duration::from_millis(300)).unwrap().is_none(),
+        "retired interest receives nothing"
+    );
+    // A second unsubscribe of the same id is refused by the directory (it
+    // no longer owns the subscription) — an error reply, not a panic.
+    assert!(alice.unsubscribe(sub, WAIT).is_err());
+
+    d.producer.shutdown().expect("shutdown");
+    let engine = d.router.unwrap().join().expect("join");
+    assert_eq!(engine.engine().index().len(), 0, "the router's index is clean");
+}
+
+#[test]
+fn forged_or_mismatched_unsubscribe_is_rejected() {
+    let d = deploy(170);
+    let mut alice = new_client(&d, 1, 800);
+    let mut mallory = new_client(&d, 2, 801);
+    let sub = alice
+        .subscribe(&SubscriptionSpec::new().eq("symbol", "HAL"), WAIT)
+        .expect("alice subscribes");
+
+    // Mallory signs validly — but for a subscription she does not own.
+    assert!(mallory.unsubscribe(sub, WAIT).is_err(), "ownership is enforced");
+
+    // A raw request under alice's identity with a forged signature.
+    let conn = d.net.connect("producer").expect("rogue connection");
+    let forged = Message::Unsubscribe { client: ClientId(1), id: sub, signature: vec![0xab; 64] };
+    conn.send(&forged.to_wire()).expect("send");
+    let frame = conn.recv_timeout(WAIT).expect("reply").expect("reply frame");
+    assert!(
+        matches!(Message::from_wire(&frame).unwrap(), Message::Error { .. }),
+        "forged signature bounces"
+    );
+
+    // Alice's interest survived both attempts.
+    d.producer.handle().send(ProducerCommand::Publish(
+        PublicationSpec::new().attr("symbol", "HAL").attr("price", 3.0).payload(b"live".to_vec()),
+    ));
+    assert_eq!(alice.poll_delivery(WAIT).unwrap().unwrap().payload, b"live");
+
+    d.producer.shutdown().expect("shutdown");
+    let engine = d.router.unwrap().join().expect("join");
+    assert_eq!(engine.engine().index().len(), 1, "subscription still registered");
+}
+
+#[test]
+fn router_errors_bounce_to_the_requester_for_both_request_kinds() {
+    // A router whose enclave was never provisioned refuses every envelope.
+    // Each refusal must come back to the requester that caused it —
+    // register → SubscriptionRejected, unregister → Error — promptly, not
+    // as a silent drop that leaves the client waiting out its timeout.
+    let net = InProcNetwork::new();
+    let router_listener = net.bind("router").expect("bind router");
+    let producer_listener = net.bind("producer").expect("bind producer");
+    let platform = SgxPlatform::for_testing(180);
+    let engine = RouterEngine::in_enclave(&platform, IndexKind::Poset).expect("launch");
+    let _router = Router::spawn(router_listener, engine); // keys never provisioned
+    let mut producer_rng = CryptoRng::from_seed(181);
+    let crypto = ProducerCrypto::generate(512, &mut producer_rng).expect("keys");
+    let producer = Producer::spawn(
+        producer_listener,
+        net.connect("router").expect("producer->router"),
+        crypto.clone(),
+        producer_rng,
+    );
+    let mut alice = ClientNode::connect(
+        ClientId(1),
+        net.connect("producer").expect("conn"),
+        net.connect("router").expect("conn"),
+        CryptoRng::from_seed(182),
+    )
+    .expect("connect");
+    alice.set_producer_key(crypto.public_key().clone());
+    producer.handle().send(ProducerCommand::Admit {
+        client: ClientId(1),
+        public_key: alice.public_key().clone(),
+    });
+    let mut tries = 0;
+    while alice.epochs_held() == 0 && tries < 50 {
+        alice.drain_key_updates(DRAIN).expect("drain");
+        tries += 1;
+    }
+
+    // Register path: the producer issues the id, the router refuses the
+    // envelope, the refusal maps back to alice as a rejection.
+    let started = std::time::Instant::now();
+    assert!(alice.subscribe(&SubscriptionSpec::new().eq("symbol", "HAL"), WAIT).is_err());
+    assert!(started.elapsed() < Duration::from_secs(2), "prompt rejection, not a timeout");
+
+    // Unregister path: the directory still records the issued id, so the
+    // request reaches the router, which refuses it too. The error must
+    // pop *this* request's ack slot, not a registration queue.
+    let started = std::time::Instant::now();
+    assert!(alice.unsubscribe(scbr::ids::SubscriptionId(0), WAIT).is_err());
+    assert!(started.elapsed() < Duration::from_secs(2), "prompt rejection, not a timeout");
+
+    producer.shutdown().expect("shutdown");
 }
 
 #[test]

@@ -28,9 +28,11 @@ pub struct MatchingEngine {
     sk: Option<SymmetricKey>,
     producer_key: Option<RsaPublicKey>,
     /// Raw registration bodies keyed by subscription id, retained for
-    /// sealing snapshots; unregistration purges the matching body so a
-    /// restore never resurrects removed interest.
-    registered: Vec<(SubscriptionId, Vec<u8>)>,
+    /// sealing snapshots alongside their *delivery identity* override
+    /// (`None` = the envelope's embedded edge client; `Some` = a link
+    /// interface assigned by the overlay). Unregistration purges the
+    /// matching body so a restore never resurrects removed interest.
+    registered: Vec<(SubscriptionId, Option<ClientId>, Vec<u8>)>,
 }
 
 impl std::fmt::Debug for MatchingEngine {
@@ -82,20 +84,21 @@ impl MatchingEngine {
     ) -> Result<(), ScbrError> {
         self.mem.charge_message_parse();
         let compiled = spec.compile(&self.schema)?;
-        self.retain_body(id, codec::encode_registration(spec, id, client));
+        self.retain_body(id, None, codec::encode_registration(spec, id, client));
         self.index.insert(id, client, compiled);
         Ok(())
     }
 
-    /// Retains a registration body for snapshots, displacing any previous
-    /// registration under the same id (re-registration replaces, so the
-    /// index never accumulates duplicate rows for one id).
-    fn retain_body(&mut self, id: SubscriptionId, body: Vec<u8>) {
-        if self.registered.iter().any(|(r, _)| *r == id) {
-            self.registered.retain(|(r, _)| *r != id);
+    /// Retains a registration body (and its delivery-identity override)
+    /// for snapshots, displacing any previous registration under the same
+    /// id (re-registration replaces, so the index never accumulates
+    /// duplicate rows for one id).
+    fn retain_body(&mut self, id: SubscriptionId, deliver_to: Option<ClientId>, body: Vec<u8>) {
+        if self.registered.iter().any(|(r, _, _)| *r == id) {
+            self.registered.retain(|(r, _, _)| *r != id);
             self.index.remove(id);
         }
-        self.registered.push((id, body));
+        self.registered.push((id, deliver_to, body));
     }
 
     /// Registers an encrypted, signed registration envelope
@@ -118,9 +121,9 @@ impl MatchingEngine {
     /// without re-deriving it. The compiled subscription is plaintext:
     /// it must not leave the trust boundary.
     ///
-    /// Snapshots keep the envelope's embedded client identity, so a
-    /// restore re-registers with edge semantics (sealed forwarding-table
-    /// recovery is future work).
+    /// Snapshots record the override alongside the body, so a restored
+    /// engine re-registers link interfaces as *interfaces*, not edge
+    /// clients (the overlay's sealed-recovery path depends on this).
     ///
     /// # Errors
     ///
@@ -144,14 +147,14 @@ impl MatchingEngine {
         let body = AesCtr::decrypt_with_nonce(sk, &body_ct)?;
         let (spec, id, client) = codec::decode_registration(&body)?;
         let compiled = spec.compile(&self.schema)?;
-        self.retain_body(id, body);
+        self.retain_body(id, deliver_to, body);
         self.index.insert(id, deliver_to.unwrap_or(client), compiled.clone());
         Ok((id, compiled))
     }
 
     /// Unregisters a subscription (and drops its retained snapshot body).
     pub fn unregister(&mut self, id: SubscriptionId) -> bool {
-        self.registered.retain(|(r, _)| *r != id);
+        self.registered.retain(|(r, _, _)| *r != id);
         self.index.remove(id)
     }
 
@@ -231,21 +234,30 @@ impl MatchingEngine {
         publications.iter().map(|p| self.match_plain(p)).collect()
     }
 
-    /// Serialises the registered subscriptions (raw registration bodies)
-    /// for sealing: the enclave can persist this via
-    /// [`sgx_sim::seal::VersionedSeal`] and re-register after a restart
-    /// without a new remote attestation (the paper's §2 restart flow).
+    /// Serialises the registered subscriptions (raw registration bodies
+    /// plus their delivery identities) for sealing: the enclave can
+    /// persist this via [`sgx_sim::seal::VersionedSeal`] and re-register
+    /// after a restart without a new remote attestation (the paper's §2
+    /// restart flow). A subscription registered under a link-interface
+    /// identity keeps that identity through the round trip — a restored
+    /// broker must not collapse its neighbours' interest into edge
+    /// clients.
     pub fn snapshot(&self) -> Vec<u8> {
         let mut w = codec::Writer::new();
         w.u32(self.registered.len() as u32);
-        for (_, body) in &self.registered {
+        for (_, deliver_to, body) in &self.registered {
+            match deliver_to {
+                Some(client) => w.u8(1).u64(client.0),
+                None => w.u8(0),
+            };
             w.bytes(body);
         }
         w.into_bytes()
     }
 
     /// Restores a snapshot produced by [`MatchingEngine::snapshot`],
-    /// re-registering every subscription.
+    /// re-registering every subscription under its recorded delivery
+    /// identity.
     ///
     /// # Errors
     ///
@@ -255,17 +267,45 @@ impl MatchingEngine {
         let n = r.u32()? as usize;
         let mut restored = 0;
         for _ in 0..n {
+            let deliver_to = match r.u8()? {
+                0 => None,
+                1 => Some(ClientId(r.u64()?)),
+                _ => return Err(ScbrError::Codec { context: "snapshot delivery tag" }),
+            };
             let body = r.bytes()?;
             let (spec, id, client) = codec::decode_registration(&body)?;
             let compiled = spec.compile(&self.schema)?;
-            self.index.insert(id, client, compiled);
-            self.registered.push((id, body));
+            self.index.insert(id, deliver_to.unwrap_or(client), compiled);
+            self.registered.push((id, deliver_to, body));
             restored += 1;
         }
         if !r.is_exhausted() {
             return Err(ScbrError::Codec { context: "snapshot trailing bytes" });
         }
         Ok(restored)
+    }
+
+    /// Recompiles the retained registration body of `id` (if live),
+    /// returning the delivery identity it is indexed under and the
+    /// compiled form. Used by the overlay's sealed-recovery path to
+    /// rebuild in-enclave covering tables after [`MatchingEngine::restore`]
+    /// without re-decrypting envelopes (the retained bodies are already
+    /// plaintext inside the enclave).
+    ///
+    /// # Errors
+    ///
+    /// Malformed retained bodies (impossible for bodies that registered
+    /// successfully) or compilation failures.
+    pub fn compiled_of(
+        &self,
+        id: SubscriptionId,
+    ) -> Result<Option<(ClientId, crate::subscription::CompiledSubscription)>, ScbrError> {
+        let Some((_, deliver_to, body)) = self.registered.iter().find(|(r, _, _)| *r == id) else {
+            return Ok(None);
+        };
+        let (spec, _, client) = codec::decode_registration(body)?;
+        let compiled = spec.compile(&self.schema)?;
+        Ok(Some((deliver_to.unwrap_or(client), compiled)))
     }
 
     /// Matches a plaintext publication header (baseline path), returning
@@ -744,6 +784,60 @@ mod tests {
         assert_eq!(engine2.restore(&snapshot).unwrap(), 1);
         let publication = PublicationSpec::new().attr("x", 1i64);
         assert_eq!(engine2.match_plain(&publication).unwrap(), vec![ClientId(7)]);
+    }
+
+    #[test]
+    fn snapshot_preserves_link_interface_semantics() {
+        // Regression: snapshots used to keep only the envelope's embedded
+        // client identity, so a restored broker re-registered everything
+        // with *edge* semantics — a link interface silently became a
+        // local client and multi-hop forwarding broke after recovery.
+        let mut rng = CryptoRng::from_seed(45);
+        let producer = producer(&mut rng);
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
+        let edge = producer
+            .seal_registration(
+                &SubscriptionSpec::new().eq("s", "E"),
+                SubscriptionId(1),
+                ClientId(7),
+                &mut rng,
+            )
+            .unwrap();
+        let learnt = producer
+            .seal_registration(
+                &SubscriptionSpec::new().eq("s", "L"),
+                SubscriptionId(2),
+                ClientId(8),
+                &mut rng,
+            )
+            .unwrap();
+        let interface = ClientId((1 << 63) | 3);
+        engine.register_envelope(&edge).unwrap();
+        engine.register_envelope_as(&learnt, Some(interface)).unwrap();
+
+        let mem2 = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut restored = MatchingEngine::new(&mem2, IndexKind::Poset);
+        assert_eq!(restored.restore(&engine.snapshot()).unwrap(), 2);
+        // The edge client stays an edge client …
+        assert_eq!(
+            restored.match_plain(&PublicationSpec::new().attr("s", "E")).unwrap(),
+            vec![ClientId(7)]
+        );
+        // … and the link interface stays an interface, not ClientId(8).
+        assert_eq!(
+            restored.match_plain(&PublicationSpec::new().attr("s", "L")).unwrap(),
+            vec![interface]
+        );
+        // `compiled_of` reports the same identity and the compiled form.
+        let (identity, compiled) = restored.compiled_of(SubscriptionId(2)).unwrap().unwrap();
+        assert_eq!(identity, interface);
+        assert_eq!(
+            compiled,
+            SubscriptionSpec::new().eq("s", "L").compile(engine.schema()).unwrap()
+        );
+        assert!(restored.compiled_of(SubscriptionId(99)).unwrap().is_none());
     }
 
     #[test]

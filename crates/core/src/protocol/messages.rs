@@ -171,6 +171,31 @@ pub enum Message {
         /// The forwarded unregistration envelope.
         envelope: Vec<u8>,
     },
+    /// Router → router: a rejoining broker asks a surviving neighbour to
+    /// replay the live registration envelopes it had forwarded on this
+    /// link. The neighbour answers with one [`Message::SubForward`] per
+    /// live forwarded subscription, terminated by a
+    /// [`Message::ReplayDone`].
+    ReplayRequest,
+    /// Router → router: terminates a replay; `count` is the number of
+    /// [`Message::SubForward`]s that preceded it, so the rejoiner can
+    /// cross-check completeness before reconciling its restored state.
+    ReplayDone {
+        /// Envelopes replayed on this link.
+        count: u32,
+    },
+    /// Router → router: withdraw subscription `id` without a signed
+    /// unregistration envelope. Only valid **down** the reverse path: the
+    /// receiver accepts it solely for a subscription it learnt *from this
+    /// link* (link authentication — the attested peer — stands in for the
+    /// producer signature, which the peer may never have seen if the
+    /// removal happened while this broker was crashed). Used during
+    /// rejoin reconciliation to propagate removals that were lost while a
+    /// broker was down.
+    SubDrop {
+        /// The withdrawn subscription.
+        id: SubscriptionId,
+    },
     /// Generic failure notice.
     Error {
         /// What went wrong.
@@ -203,6 +228,9 @@ impl Message {
             Message::LinkFinish { .. } => "link-finish",
             Message::SubForward { .. } => "sub-forward",
             Message::SubRemove { .. } => "sub-remove",
+            Message::ReplayRequest => "replay-request",
+            Message::ReplayDone { .. } => "replay-done",
+            Message::SubDrop { .. } => "sub-drop",
             Message::Error { .. } => "error",
             Message::Shutdown => "shutdown",
         }
@@ -272,6 +300,13 @@ impl Message {
             Message::SubForward { envelope } | Message::SubRemove { envelope } => {
                 w.bytes(envelope);
             }
+            Message::ReplayRequest => {}
+            Message::ReplayDone { count } => {
+                w.u32(*count);
+            }
+            Message::SubDrop { id } => {
+                w.u64(id.0);
+            }
             Message::Error { message } => {
                 w.str(message);
             }
@@ -326,6 +361,9 @@ impl Message {
             "link-finish" => Message::LinkFinish { payload: r.bytes()? },
             "sub-forward" => Message::SubForward { envelope: r.bytes()? },
             "sub-remove" => Message::SubRemove { envelope: r.bytes()? },
+            "replay-request" => Message::ReplayRequest,
+            "replay-done" => Message::ReplayDone { count: r.u32()? },
+            "sub-drop" => Message::SubDrop { id: SubscriptionId(r.u64()?) },
             "error" => Message::Error { message: r.str()? },
             "shutdown" => Message::Shutdown,
             _ => return Err(ScbrError::Codec { context: "message kind" }),
@@ -400,6 +438,9 @@ mod tests {
         round_trip(Message::LinkFinish { payload: vec![9; 80] });
         round_trip(Message::SubForward { envelope: vec![4; 32] });
         round_trip(Message::SubRemove { envelope: vec![5; 32] });
+        round_trip(Message::ReplayRequest);
+        round_trip(Message::ReplayDone { count: 17 });
+        round_trip(Message::SubDrop { id: SubscriptionId(42) });
         round_trip(Message::Error { message: "boom".into() });
         round_trip(Message::Shutdown);
     }

@@ -29,6 +29,18 @@ pub enum NetError {
         /// Offending size in bytes.
         size: usize,
     },
+    /// An *authentic* sealed-link frame arrived from the future: its
+    /// sequence number is ahead of the receive counter, proving the
+    /// frames in between were lost in transit. This is a liveness
+    /// signal, not a forgery — the overlay uses it to detect silently
+    /// dropped traffic (e.g. a crashed peer) and trigger link
+    /// re-establishment.
+    Gap {
+        /// The sequence number the receiver expected next.
+        expected: u64,
+        /// The (authenticated) sequence number the frame carried.
+        got: u64,
+    },
     /// Underlying I/O failure (TCP transport).
     Io(std::io::Error),
 }
@@ -41,6 +53,9 @@ impl fmt::Display for NetError {
             NetError::AddressInUse { name } => write!(f, "endpoint {name:?} already bound"),
             NetError::Malformed { context } => write!(f, "malformed {context}"),
             NetError::FrameTooLarge { size } => write!(f, "frame of {size} bytes exceeds limit"),
+            NetError::Gap { expected, got } => {
+                write!(f, "sequence gap on sealed link: expected frame {expected}, got {got}")
+            }
             NetError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -70,6 +85,8 @@ mod tests {
         assert!(NetError::Disconnected.to_string().contains("disconnected"));
         assert!(NetError::NoSuchEndpoint { name: "r".into() }.to_string().contains("r"));
         assert!(NetError::FrameTooLarge { size: 10 }.to_string().contains("10"));
+        let gap = NetError::Gap { expected: 3, got: 7 }.to_string();
+        assert!(gap.contains('3') && gap.contains('7'));
     }
 
     #[test]

@@ -15,7 +15,15 @@
 //! * replay/reorder protection — a captured frame cannot be replayed nor
 //!   delivered out of order, because the receive counter must match;
 //! * direction binding — a frame sealed A→B never opens as B→A, even
-//!   though both directions share one key.
+//!   though both directions share one key;
+//! * **loss detection** — each frame carries its sequence number in the
+//!   clear (it is authenticated through the associated data, and frame
+//!   *ordering* is visible to the infrastructure anyway). When an
+//!   authentic frame arrives whose sequence is ahead of the receive
+//!   counter, [`SecureLink::open`] reports a typed
+//!   [`NetError::Gap`] instead of a generic failure: proof that the
+//!   intervening frames were lost, which the overlay uses as the
+//!   liveness signal for crashed peers and link re-establishment.
 //!
 //! One [`SecureLink`] value handles **one direction**; an endpoint owns
 //! two (its outbound and inbound halves), constructed with mirrored
@@ -77,17 +85,21 @@ impl SecureLink {
         self.seq
     }
 
-    fn aad(&self) -> Vec<u8> {
+    fn aad_for(&self, seq: u64) -> Vec<u8> {
         let mut aad = self.label.clone();
-        aad.extend_from_slice(&self.seq.to_be_bytes());
+        aad.extend_from_slice(&seq.to_be_bytes());
         aad
     }
 
-    /// Seals one outbound frame, advancing the sequence counter.
+    /// Seals one outbound frame, advancing the sequence counter. The
+    /// sequence number travels in the clear ahead of the ciphertext
+    /// (authenticated via the associated data) so the receiver can
+    /// distinguish a *lost-frame gap* from a forgery.
     pub fn seal(&mut self, plain: &[u8], rng: &mut CryptoRng) -> Vec<u8> {
-        let sealed = self.sealer.seal(plain, &self.aad(), rng);
+        let mut frame = self.seq.to_be_bytes().to_vec();
+        frame.extend_from_slice(&self.sealer.seal(plain, &self.aad_for(self.seq), rng));
         self.seq += 1;
-        sealed
+        frame
     }
 
     /// Opens the next inbound frame. The counter advances only on
@@ -96,12 +108,28 @@ impl SecureLink {
     /// # Errors
     ///
     /// [`NetError::Malformed`] when authentication fails — tampering, a
-    /// replayed or reordered frame, the wrong direction, or the wrong key.
+    /// replayed or reordered frame, the wrong direction, or the wrong
+    /// key. [`NetError::Gap`] when the frame is *authentic* but its
+    /// sequence number is ahead of the receive counter: the frames in
+    /// between were lost, and the link cannot make progress until it is
+    /// re-established (the counter does not advance).
     pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, NetError> {
+        if sealed.len() < 8 {
+            return Err(NetError::Malformed { context: "sealed link frame" });
+        }
+        let (header, body) = sealed.split_at(8);
+        let claimed = u64::from_be_bytes(header.try_into().expect("8 bytes"));
+        if claimed < self.seq {
+            // A frame from the past is a replay regardless of its MAC.
+            return Err(NetError::Malformed { context: "sealed link frame" });
+        }
         let plain = self
             .sealer
-            .open(sealed, &self.aad())
+            .open(body, &self.aad_for(claimed))
             .map_err(|_| NetError::Malformed { context: "sealed link frame" })?;
+        if claimed > self.seq {
+            return Err(NetError::Gap { expected: self.seq, got: claimed });
+        }
         self.seq += 1;
         Ok(plain)
     }
@@ -149,6 +177,45 @@ mod tests {
         // still works.
         assert!(rx.open(&first).is_ok());
         assert!(rx.open(&second).is_ok());
+    }
+
+    #[test]
+    fn lost_frame_surfaces_as_typed_gap() {
+        let (mut tx, mut rx) = pair();
+        let mut rng = CryptoRng::from_seed(7);
+        let _lost = tx.seal(b"frame 0", &mut rng);
+        let _also_lost = tx.seal(b"frame 1", &mut rng);
+        let arrives = tx.seal(b"frame 2", &mut rng);
+        match rx.open(&arrives) {
+            Err(NetError::Gap { expected: 0, got: 2 }) => {}
+            other => panic!("expected Gap {{ expected: 0, got: 2 }}, got {other:?}"),
+        }
+        // A gap does not advance the counter: the link is stuck (the lost
+        // frames will never arrive) until it is re-established.
+        assert_eq!(rx.sequence(), 0);
+    }
+
+    #[test]
+    fn gap_requires_an_authentic_frame() {
+        // A forged "future" frame must read as tampering, not as a gap —
+        // otherwise the infrastructure could fake liveness signals.
+        let (mut tx, mut rx) = pair();
+        let mut rng = CryptoRng::from_seed(8);
+        let _lost = tx.seal(b"frame 0", &mut rng);
+        let mut future = tx.seal(b"frame 1", &mut rng);
+        let n = future.len();
+        future[n - 1] ^= 1;
+        assert!(
+            matches!(rx.open(&future), Err(NetError::Malformed { .. })),
+            "tampered future frame is a forgery, not a gap"
+        );
+        // Relabelling an old frame as a future one fails the same way.
+        let (mut tx2, mut rx2) = pair();
+        let mut relabelled = tx2.seal(b"frame 0", &mut rng);
+        relabelled[..8].copy_from_slice(&5u64.to_be_bytes());
+        assert!(matches!(rx2.open(&relabelled), Err(NetError::Malformed { .. })));
+        // Truncated-to-header frames are malformed outright.
+        assert!(matches!(rx2.open(&[1, 2, 3]), Err(NetError::Malformed { .. })));
     }
 
     #[test]

@@ -1,15 +1,61 @@
-//! One overlay broker: an enclave-hosted matching core on an untrusted
-//! host, joined to its neighbours by attested, sealed links.
+//! One overlay broker: an enclave-hosted matching core on an untrusted,
+//! failure-prone host, modelled as a **sans-IO lifecycle state machine**.
+//!
+//! ## Lifecycle
+//!
+//! A broker is always in exactly one [`Lifecycle`] state:
+//!
+//! ```text
+//!  Cold ──provision──▶ Attesting ──▶ Linking ──▶ Serving ◀─────────┐
+//!                                                   │              │
+//!                                                 Crash         replay
+//!                                                   ▼              │
+//!                                                Crashed ──Restart──▶ Rejoining
+//! ```
+//!
+//! Its entire runtime surface is [`Broker::step`]`(now, Input) ->
+//! Vec<Output>`: inputs are wire frames, local edge traffic, admin
+//! commands ([`Input::Crash`], [`Input::Restart`]) and timer ticks;
+//! outputs are frames-to-links, local deliveries and typed
+//! [`LinkEvent`]s. The broker performs **no IO** — the caller (normally
+//! [`crate::fabric::OverlayFabric`], a thin deterministic scheduler)
+//! shuttles outputs back in as inputs.
+//!
+//! ## Crash and sealed recovery
+//!
+//! [`Input::Crash`] drops *all* volatile state: the enclave, the index,
+//! the live-subscription set, the covering tables, the link keys and
+//! any half-open handshakes. What survives is the host's disk: a
+//! [`sgx_sim::seal::VersionedSeal`]'d **recovery record** the enclave
+//! re-seals after every subscription mutation, containing the engine
+//! snapshot (with per-subscription *delivery identities*, so link
+//! interfaces are restored as interfaces, not edge clients), the live
+//! envelope set with origins, and every per-link
+//! [`ForwardingTable`] (rows + churn counters). The seal is keyed to a
+//! platform monotonic counter: a host replaying a stale record is
+//! detected and the broker **refuses to rejoin**.
+//!
+//! On [`Input::Restart`] the broker relaunches its enclave, unseals and
+//! restores, then — in `Rejoining` — re-runs the attested link
+//! handshake with every neighbour and asks each one to **replay** the
+//! live registration envelopes it had forwarded on the link
+//! ([`scbr::protocol::messages::Message::ReplayRequest`]). Replayed
+//! envelopes re-admit idempotently; subscriptions in the restored
+//! record that the neighbour no longer vouches for were removed during
+//! the outage and are dropped with the same *uncovering* bookkeeping as
+//! a live unsubscription, propagated down the reverse path as
+//! authenticated `sub-drop` frames. Recovery traffic therefore touches
+//! only the broker's incident links — the tree never re-propagates.
 //!
 //! ## Trust split
 //!
 //! The in-enclave state is [`BrokerCore`]: the matching engine (holding
 //! `SK` and the plaintext compiled subscriptions) plus the per-link
-//! covering tables. The untrusted [`Broker`] shell only ever handles
-//! ciphertext — registration envelopes, encrypted headers, sealed link
-//! frames — and the *routing decisions* the enclave intentionally reveals
-//! (which link to forward on, which local client to deliver to), exactly
-//! the §3.3 leak the paper accepts for the single-router case.
+//! covering tables and the live envelope set. The untrusted shell only
+//! ever handles ciphertext — registration envelopes, encrypted headers,
+//! sealed link frames, sealed recovery records — and the *routing
+//! decisions* the enclave intentionally reveals, exactly the §3.3 leak
+//! the paper accepts for the single-router case.
 //!
 //! ## Interfaces
 //!
@@ -23,20 +69,23 @@
 
 use crate::error::OverlayError;
 use crate::forwarding::ForwardingTable;
+use scbr::codec;
 use scbr::engine::MatchingEngine;
-use scbr::ids::{ClientId, KeyEpoch, SubscriptionId};
+use scbr::ids::{ClientId, SubscriptionId};
 use scbr::index::IndexKind;
 use scbr::protocol::keys::{provision_sk_via_attestation, ProducerCrypto};
 use scbr::protocol::messages::{Message, PublishItem};
 use scbr::roles::router::MAX_DRAIN;
 use scbr::ScbrError;
 use scbr_crypto::rng::CryptoRng;
-use scbr_net::SecureLink;
+use scbr_net::{NetError, SecureLink};
 use sgx_sim::attest::{AttestationService, VerifierPolicy};
 use sgx_sim::enclave::EnclaveBuilder;
 use sgx_sim::link::{LinkAccept, LinkFinish, LinkHello, LinkInitiator, LinkKey, LinkResponder};
+use sgx_sim::platform::CounterId;
+use sgx_sim::seal::{SealPolicy, VersionedSeal};
 use sgx_sim::{CacheConfig, CostModel, Enclave, MemorySim, SgxPlatform};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Top bit of a [`ClientId`] marks a link interface rather than an edge
 /// client.
@@ -46,6 +95,127 @@ pub const LINK_INTERFACE_BIT: u64 = 1 << 63;
 /// neighbour `n`.
 pub fn link_interface(neighbor: usize) -> ClientId {
     ClientId(LINK_INTERFACE_BIT | neighbor as u64)
+}
+
+/// The broker lifecycle states (see the module docs for the diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lifecycle {
+    /// Constructed; no keys, no links.
+    Cold,
+    /// Remote attestation / key provisioning in flight.
+    Attesting,
+    /// Provisioned; attested link handshakes in flight.
+    Linking,
+    /// Fully operational: accepting traffic on every input.
+    Serving,
+    /// All volatile state lost; only the host's sealed record survives.
+    Crashed,
+    /// Restarted from the sealed record; re-linking and replaying
+    /// neighbour live sets before serving again.
+    Rejoining,
+}
+
+/// One step input to the broker state machine.
+#[derive(Debug, Clone)]
+pub enum Input {
+    /// A wire frame received from neighbour `from` (sealed on attested
+    /// links, plaintext handshake frames during link establishment).
+    Frame {
+        /// The sending neighbour.
+        from: usize,
+        /// The raw frame bytes.
+        bytes: Vec<u8>,
+    },
+    /// A producer-sealed registration envelope from a local edge client.
+    Subscribe {
+        /// `{s}SK` + producer signature.
+        envelope: Vec<u8>,
+    },
+    /// A producer-sealed unregistration envelope from a local edge
+    /// client.
+    Unsubscribe {
+        /// `{id, client}SK` + producer signature.
+        envelope: Vec<u8>,
+    },
+    /// A publication batch injected at this broker.
+    Publish {
+        /// The batch, in publish order.
+        items: Vec<PublishItem>,
+    },
+    /// Admin: kill the broker, dropping all volatile state.
+    Crash,
+    /// Admin: restart a crashed broker from its sealed recovery record.
+    Restart {
+        /// Neighbours the operator knows are down right now: the rejoin
+        /// skips their handshake and replay (their own later rejoin
+        /// replays from *us* and reconciles both sides). Liveness
+        /// detection is the scheduler's job — the broker itself is
+        /// sans-IO and cannot probe.
+        dead_links: Vec<usize>,
+    },
+    /// A timer tick: drives handshake initiation and replay kick-off.
+    Tick,
+}
+
+/// One step output from the broker state machine.
+#[derive(Debug, Clone)]
+pub enum Output {
+    /// A frame to hand to a neighbour.
+    Frame(LinkFrame),
+    /// A publication delivered to a local edge client.
+    Delivery(LocalDelivery),
+    /// A typed lifecycle / link event for the operator.
+    Event(LinkEvent),
+}
+
+/// Typed events surfaced by [`Broker::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// An authentic frame skipped ahead of the link's receive counter:
+    /// the frames in between were lost. This is the liveness signal the
+    /// rejoin protocol keys off (see [`scbr_net::SecureLink`]).
+    Gap {
+        /// The link the gap was observed on.
+        link: usize,
+        /// The sequence number expected next.
+        expected: u64,
+        /// The (authenticated) sequence number that arrived.
+        got: u64,
+    },
+    /// A sealed channel to `link` is established (or re-established).
+    LinkUp {
+        /// The neighbour.
+        link: usize,
+    },
+    /// A local registration was admitted.
+    Subscribed {
+        /// The subscription id.
+        id: SubscriptionId,
+    },
+    /// A local unregistration was processed.
+    Unsubscribed {
+        /// The subscription id.
+        id: SubscriptionId,
+        /// False for an idempotent double-unsubscribe.
+        removed: bool,
+    },
+    /// The broker dropped all volatile state.
+    Crashed,
+    /// A restart unsealed the recovery record and entered `Rejoining`.
+    RejoinStarted {
+        /// Live subscriptions restored from the sealed record.
+        restored: usize,
+    },
+    /// Every neighbour finished replaying; the broker is serving again.
+    Rejoined {
+        /// Envelopes replayed by neighbours during the rejoin.
+        replayed: usize,
+        /// Restored subscriptions the neighbours no longer vouched for
+        /// (removed during the outage) that were dropped and propagated.
+        dropped_stale: usize,
+        /// Virtual time spent between crash and rejoin completion.
+        downtime: u64,
+    },
 }
 
 /// Where a message entered this broker.
@@ -76,8 +246,8 @@ struct AdmitOutcome {
 /// One live subscription as the broker's enclave tracks it: where it
 /// entered, its compiled (plaintext — never leaves the enclave) form, and
 /// the producer-signed envelope that proves it — kept so an uncovering
-/// promotion can re-forward the subscription upstream with a unit the
-/// next hop authenticates independently.
+/// promotion (or a neighbour replay) can re-forward the subscription
+/// with a unit the next hop authenticates independently.
 struct LiveSub {
     origin: Origin,
     compiled: scbr::CompiledSubscription,
@@ -92,7 +262,7 @@ struct LinkRemoval {
     uncovered: Vec<Vec<u8>>,
 }
 
-/// Outcome of processing one unregistration envelope.
+/// Outcome of processing one unregistration.
 struct RemoveOutcome {
     id: SubscriptionId,
     /// False when the id was unknown here (double-unsubscribe): nothing
@@ -117,13 +287,32 @@ struct BrokerCore {
 }
 
 impl BrokerCore {
+    fn fresh(mem: &MemorySim, kind: IndexKind, flood: bool, neighbors: &[usize]) -> Self {
+        BrokerCore {
+            engine: MatchingEngine::new(mem, kind),
+            upstream: neighbors.iter().map(|&n| (n, ForwardingTable::new())).collect(),
+            live: BTreeMap::new(),
+            flood,
+        }
+    }
+
     /// Registers an envelope and decides which links to propagate it on.
-    fn admit(&mut self, envelope: &[u8], origin: Origin) -> Result<AdmitOutcome, ScbrError> {
+    /// `replay` marks a neighbour-replay re-admission: covering decisions
+    /// for subscriptions that were already live before the crash were
+    /// counted in the sealed ledger, so they must not increment the
+    /// pruned counter a second time.
+    fn admit(
+        &mut self,
+        envelope: &[u8],
+        origin: Origin,
+        replay: bool,
+    ) -> Result<AdmitOutcome, ScbrError> {
         let deliver_to = match origin {
             Origin::Local => None,
             Origin::Link(l) => Some(link_interface(l)),
         };
         let (id, compiled) = self.engine.register_envelope_as(envelope, deliver_to)?;
+        let already_counted = replay && self.live.contains_key(&id);
         let flood = self.flood;
         let mut forward_to = Vec::new();
         for (neighbor, table) in &mut self.upstream {
@@ -131,19 +320,26 @@ impl BrokerCore {
                 continue; // never forward back where it came from
             }
             if table.contains(id) {
-                // Re-registration of an id already forwarded there: the
-                // filter may have changed, so replace the row *and*
-                // re-forward — the next hop replaces its copy the same
-                // way, recursively, and never matches a stale spec. (The
-                // coverage check must not run here: the id's own stale
-                // row could "cover" its replacement.)
+                // Re-registration of an id already forwarded there. If the
+                // filter changed, replace the row *and* re-forward — the
+                // next hop replaces its copy the same way, recursively,
+                // and never matches a stale spec. (The coverage check must
+                // not run here: the id's own stale row could "cover" its
+                // replacement.) If the filter is *unchanged* — the common
+                // case during a neighbour replay — the upstream copy is
+                // already exact and no traffic is due.
+                let unchanged = table.get(id) == Some(&compiled);
                 table.record(id, compiled.clone());
-                forward_to.push(*neighbor);
+                if !unchanged {
+                    forward_to.push(*neighbor);
+                }
             } else if !flood && table.covered(&compiled) {
                 // Flood mode records everything (the table *is* the
                 // forwarded set, and the counters stay comparable across
                 // modes) — it never consults coverage.
-                table.note_pruned();
+                if !already_counted {
+                    table.note_pruned();
+                }
             } else {
                 table.record(id, compiled.clone());
                 forward_to.push(*neighbor);
@@ -153,17 +349,36 @@ impl BrokerCore {
         Ok(AdmitOutcome { id, forward_to })
     }
 
-    /// Processes an unregistration envelope: authenticate + remove from
-    /// the index, then apply Siena's **uncovering rule** per link — any
-    /// still-live subscription the removed one had covered (and therefore
-    /// pruned) must now be promoted into the forwarding table and sent
-    /// upstream, while links that only ever saw the subscription pruned
-    /// stay silent.
+    /// Processes an authenticated unregistration envelope.
     fn remove(&mut self, envelope: &[u8], origin: Origin) -> Result<RemoveOutcome, ScbrError> {
         let (id, _client, existed) = self.engine.unregister_envelope(envelope)?;
         if !existed {
             return Ok(RemoveOutcome { id, removed: false, links: Vec::new() });
         }
+        Ok(self.uncover_after_removal(id, origin))
+    }
+
+    /// Removes `id` without an envelope (the rejoin reconciliation path:
+    /// link authentication of the attested peer stands in for the
+    /// producer signature, which may have been lost with the outage).
+    fn remove_by_id(&mut self, id: SubscriptionId, origin: Origin) -> RemoveOutcome {
+        if !self.engine.unregister(id) {
+            return RemoveOutcome { id, removed: false, links: Vec::new() };
+        }
+        self.uncover_after_removal(id, origin)
+    }
+
+    /// The recorded origin of a live subscription.
+    fn origin_of(&self, id: SubscriptionId) -> Option<Origin> {
+        self.live.get(&id).map(|s| s.origin)
+    }
+
+    /// Applies Siena's **uncovering rule** per link after `id` left the
+    /// index — any still-live subscription the removed one had covered
+    /// (and therefore pruned) must now be promoted into the forwarding
+    /// table and sent upstream, while links that only ever saw the
+    /// subscription pruned stay silent.
+    fn uncover_after_removal(&mut self, id: SubscriptionId, origin: Origin) -> RemoveOutcome {
         self.live.remove(&id);
         let live = &self.live;
         let mut links = Vec::new();
@@ -208,7 +423,7 @@ impl BrokerCore {
             }
             links.push(LinkRemoval { neighbor: *neighbor, uncovered });
         }
-        Ok(RemoveOutcome { id, removed: true, links })
+        RemoveOutcome { id, removed: true, links }
     }
 
     /// Decrypts and matches a chunk of headers, splitting each match set
@@ -232,6 +447,108 @@ impl BrokerCore {
                 Ok(decision)
             })
             .collect()
+    }
+
+    /// The live registration envelopes recorded as forwarded on the link
+    /// to `neighbor`, in table order — what a rejoining peer replays.
+    fn replay_rows(&self, neighbor: usize) -> Vec<Vec<u8>> {
+        let Some((_, table)) = self.upstream.iter().find(|(n, _)| *n == neighbor) else {
+            return Vec::new();
+        };
+        table
+            .row_ids()
+            .iter()
+            .filter_map(|id| self.live.get(id).map(|sub| sub.envelope.clone()))
+            .collect()
+    }
+
+    /// Serialises the full recovery record: engine snapshot (bodies +
+    /// delivery identities), the live envelope set with origins, and
+    /// every per-link covering table (rows + counters). Runs inside the
+    /// enclave; the result is only ever persisted sealed.
+    fn serialize_record(&self) -> Vec<u8> {
+        let mut w = codec::Writer::new();
+        w.bytes(&self.engine.snapshot());
+        w.u32(self.live.len() as u32);
+        for (id, sub) in &self.live {
+            w.u64(id.0);
+            match sub.origin {
+                Origin::Local => {
+                    w.u8(0);
+                }
+                Origin::Link(n) => {
+                    w.u8(1).u64(n as u64);
+                }
+            }
+            w.bytes(&sub.envelope);
+        }
+        w.u32(self.upstream.len() as u32);
+        for (neighbor, table) in &self.upstream {
+            w.u64(*neighbor as u64);
+            let rows = table.row_ids();
+            w.u32(rows.len() as u32);
+            for id in rows {
+                w.u64(id.0);
+            }
+            let (pruned, forwarded_total, removed, uncovered) = table.counters();
+            w.u64(pruned).u64(forwarded_total).u64(removed).u64(uncovered);
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuilds a core from a recovery record (or fresh when the host has
+    /// no record — a disk-loss restart).
+    fn restore(
+        record: Option<&[u8]>,
+        mem: &MemorySim,
+        kind: IndexKind,
+        flood: bool,
+        neighbors: &[usize],
+    ) -> Result<Self, ScbrError> {
+        let mut core = BrokerCore::fresh(mem, kind, flood, neighbors);
+        let Some(bytes) = record else {
+            return Ok(core);
+        };
+        let mut r = codec::Reader::new(bytes);
+        let snapshot = r.bytes()?;
+        core.engine.restore(&snapshot)?;
+        let n_live = r.u32()?;
+        for _ in 0..n_live {
+            let id = SubscriptionId(r.u64()?);
+            let origin = match r.u8()? {
+                0 => Origin::Local,
+                1 => Origin::Link(r.u64()? as usize),
+                _ => return Err(ScbrError::Codec { context: "recovery origin tag" }),
+            };
+            let envelope = r.bytes()?;
+            let Some((_, compiled)) = core.engine.compiled_of(id)? else {
+                return Err(ScbrError::Codec { context: "recovery live set" });
+            };
+            core.live.insert(id, LiveSub { origin, compiled, envelope });
+        }
+        let n_links = r.u32()?;
+        for _ in 0..n_links {
+            let neighbor = r.u64()? as usize;
+            let n_rows = r.u32()?;
+            let mut entries = Vec::with_capacity(n_rows as usize);
+            for _ in 0..n_rows {
+                let id = SubscriptionId(r.u64()?);
+                let Some(sub) = core.live.get(&id) else {
+                    return Err(ScbrError::Codec { context: "recovery table row" });
+                };
+                entries.push((id, sub.compiled.clone()));
+            }
+            let counters = (r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+            let Some(slot) = core.upstream.iter_mut().find(|(n, _)| *n == neighbor) else {
+                return Err(ScbrError::Codec { context: "recovery table neighbour" });
+            };
+            slot.1 = ForwardingTable::rebuild(entries, counters)
+                .ok_or(ScbrError::Codec { context: "recovery table ledger" })?;
+        }
+        if !r.is_exhausted() {
+            return Err(ScbrError::Codec { context: "recovery trailing bytes" });
+        }
+        Ok(core)
     }
 }
 
@@ -270,6 +587,8 @@ enum LinkChannel {
 pub struct BrokerStats {
     /// The broker's router id.
     pub router: usize,
+    /// The broker's lifecycle state.
+    pub state: Lifecycle,
     /// Live subscriptions in the index (local + link interfaces).
     pub subscriptions: usize,
     /// Enclave crossings since the last reset.
@@ -292,15 +611,59 @@ pub struct BrokerStats {
     /// Uncovering promotions (previously-pruned subscriptions forwarded
     /// after a removal exposed them), summed over links (cumulative).
     pub uncovered: u64,
+    /// Sequence-number gaps observed on inbound links (cumulative; the
+    /// liveness signal — each one is a [`LinkEvent::Gap`]).
+    pub gaps: u64,
 }
 
-/// One overlay broker (untrusted shell + enclave-resident core).
+/// Result of opening an inbound frame, lifted out of the borrow on the
+/// link map.
+enum Opened {
+    Wire(Vec<u8>),
+    Gap { expected: u64, got: u64 },
+    Failed(NetError),
+    NoChannel,
+}
+
+/// One overlay broker (untrusted shell + enclave-resident core), driven
+/// exclusively through [`Broker::step`].
 pub struct Broker {
     id: usize,
+    state: Lifecycle,
     platform: Option<SgxPlatform>,
     enclave: Option<Enclave>,
+    /// The measured routing binary, kept for enclave relaunch on restart.
+    code: Vec<u8>,
+    kind: IndexKind,
+    flood: bool,
     core: BrokerCore,
     links: BTreeMap<usize, LinkChannel>,
+    neighbors: Vec<usize>,
+    /// Half-open handshakes we initiated (awaiting link-accept).
+    initiations: BTreeMap<usize, LinkInitiator>,
+    /// Half-open handshakes we responded to (awaiting link-finish).
+    responses: BTreeMap<usize, LinkResponder>,
+    /// Trust anchors for verifying peer quotes during link handshakes.
+    service: Option<AttestationService>,
+    policy: Option<VerifierPolicy>,
+    /// The sealed recovery record, as stored on the untrusted host disk.
+    sealed: Option<Vec<u8>>,
+    /// The platform monotonic counter keying the record's rollback
+    /// protection.
+    counter: Option<CounterId>,
+    /// Rejoin bookkeeping: links still owing a replay, replay requests
+    /// already sent, per-link ids confirmed by the replay so far, and
+    /// neighbours the operator declared dead at restart (skipped until
+    /// they rejoin on their own).
+    pending_replays: BTreeSet<usize>,
+    requested: BTreeSet<usize>,
+    confirmed: BTreeMap<usize, BTreeSet<SubscriptionId>>,
+    dead_links: BTreeSet<usize>,
+    replayed_subs: usize,
+    dropped_stale: usize,
+    crashed_at: u64,
+    now: u64,
+    gaps: u64,
     rng: CryptoRng,
 }
 
@@ -308,6 +671,7 @@ impl std::fmt::Debug for Broker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Broker")
             .field("id", &self.id)
+            .field("state", &self.state)
             .field("attested", &self.enclave.is_some())
             .field("links", &self.links.len())
             .field("subscriptions", &self.core.engine.index().len())
@@ -317,7 +681,8 @@ impl std::fmt::Debug for Broker {
 
 impl Broker {
     /// Launches an attested broker: own platform (its own machine), the
-    /// routing enclave measured from `code`, index in enclave memory.
+    /// routing enclave measured from `code`, index in enclave memory, a
+    /// platform monotonic counter reserved for its recovery record.
     ///
     /// # Errors
     ///
@@ -331,32 +696,70 @@ impl Broker {
     ) -> Result<Self, OverlayError> {
         let platform = SgxPlatform::for_testing(seed);
         let enclave = platform.launch(router_builder(code))?;
-        let engine = MatchingEngine::new(enclave.memory(), kind);
+        let counter = platform.create_counter();
+        let core = BrokerCore::fresh(enclave.memory(), kind, flood, &[]);
         Ok(Broker {
             id,
+            state: Lifecycle::Cold,
             platform: Some(platform),
             enclave: Some(enclave),
-            core: BrokerCore { engine, upstream: Vec::new(), live: BTreeMap::new(), flood },
+            code: code.to_vec(),
+            kind,
+            flood,
+            core,
             links: BTreeMap::new(),
+            neighbors: Vec::new(),
+            initiations: BTreeMap::new(),
+            responses: BTreeMap::new(),
+            service: None,
+            policy: None,
+            sealed: None,
+            counter: Some(counter),
+            pending_replays: BTreeSet::new(),
+            requested: BTreeSet::new(),
+            confirmed: BTreeMap::new(),
+            dead_links: BTreeSet::new(),
+            replayed_subs: 0,
+            dropped_stale: 0,
+            crashed_at: 0,
+            now: 0,
+            gaps: 0,
             rng: CryptoRng::from_seed(seed ^ 0x6c69_6e6b),
         })
     }
 
     /// Builds a plain broker for pre-shared-trust deployments and tests:
-    /// no enclave, free-cost native memory, unsealed links.
+    /// no enclave, free-cost native memory, unsealed links. Crash/rejoin
+    /// still works — the recovery record is stored unsealed (no rollback
+    /// protection without a platform).
     pub fn preshared(id: usize, seed: u64, kind: IndexKind, flood: bool) -> Self {
         let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
         Broker {
             id,
+            state: Lifecycle::Cold,
             platform: None,
             enclave: None,
-            core: BrokerCore {
-                engine: MatchingEngine::new(&mem, kind),
-                upstream: Vec::new(),
-                live: BTreeMap::new(),
-                flood,
-            },
+            code: Vec::new(),
+            kind,
+            flood,
+            core: BrokerCore::fresh(&mem, kind, flood, &[]),
             links: BTreeMap::new(),
+            neighbors: Vec::new(),
+            initiations: BTreeMap::new(),
+            responses: BTreeMap::new(),
+            service: None,
+            policy: None,
+            sealed: None,
+            counter: None,
+            pending_replays: BTreeSet::new(),
+            requested: BTreeSet::new(),
+            confirmed: BTreeMap::new(),
+            dead_links: BTreeSet::new(),
+            replayed_subs: 0,
+            dropped_stale: 0,
+            crashed_at: 0,
+            now: 0,
+            gaps: 0,
             rng: CryptoRng::from_seed(seed ^ 0x6c69_6e6b),
         }
     }
@@ -366,14 +769,35 @@ impl Broker {
         self.id
     }
 
+    /// The broker's lifecycle state.
+    pub fn lifecycle(&self) -> Lifecycle {
+        self.state
+    }
+
     /// The broker's platform (attested brokers only).
     pub fn platform(&self) -> Option<&SgxPlatform> {
         self.platform.as_ref()
     }
 
-    /// The broker's enclave (attested brokers only).
+    /// The broker's enclave (attested brokers only; `None` while
+    /// crashed).
     pub fn enclave(&self) -> Option<&Enclave> {
         self.enclave.as_ref()
+    }
+
+    /// The sealed recovery record currently on the host's disk — exposed
+    /// because the disk is *outside* the trust boundary: tests (and
+    /// adversaries) may read or swap it; the seal, not the accessor,
+    /// provides the protection.
+    pub fn sealed_record(&self) -> Option<&[u8]> {
+        self.sealed.as_deref()
+    }
+
+    /// Overwrites the host-disk recovery record (models a malicious or
+    /// restored-from-backup host). A stale record is caught by the
+    /// monotonic counter at restart.
+    pub fn set_sealed_record(&mut self, record: Vec<u8>) {
+        self.sealed = Some(record);
     }
 
     /// Runs `f` on the enclave-resident core, crossing the call gate when
@@ -387,25 +811,43 @@ impl Broker {
     }
 
     /// Declares the broker's neighbour set, creating one (empty) covering
-    /// table per link. Call once, before any traffic.
+    /// table per link. Call once, before provisioning.
     pub fn set_neighbors(&mut self, neighbors: &[usize]) {
+        self.neighbors = neighbors.to_vec();
         self.core.upstream = neighbors.iter().map(|&n| (n, ForwardingTable::new())).collect();
     }
 
+    /// Installs the trust anchors (attestation service + verifier
+    /// policy) the broker uses to verify peer quotes during link
+    /// handshakes. Host-side configuration: survives crashes.
+    pub fn configure_trust(&mut self, service: AttestationService, policy: VerifierPolicy) {
+        self.service = Some(service);
+        self.policy = Some(policy);
+    }
+
     /// Installs `SK` and the producer key directly (pre-shared trust).
+    /// Moves a cold broker straight to `Serving` (plain links carry no
+    /// handshake).
     pub fn provision_preshared(&mut self, producer: &ProducerCrypto) {
         let sk = producer.sk().clone();
         let pk = producer.public_key().clone();
         self.call(|c| c.engine.provision_keys(sk, pk));
+        if self.state == Lifecycle::Cold {
+            self.state = Lifecycle::Serving;
+        }
     }
 
     /// Provisions `SK` into the broker's enclave via remote attestation
     /// (the producer releases the key only to the expected measurement).
+    /// Moves a cold broker through `Attesting` into `Linking` (or
+    /// straight to `Serving` with no neighbours); a rejoining broker
+    /// stays `Rejoining`.
     ///
     /// # Errors
     ///
-    /// Any attestation, policy or crypto failure; also fails on a
-    /// pre-shared broker (nothing to attest).
+    /// Any attestation, policy or crypto failure — the broker is left in
+    /// `Attesting`; also fails on a pre-shared broker (nothing to
+    /// attest).
     pub fn provision_attested(
         &mut self,
         service: &AttestationService,
@@ -413,6 +855,9 @@ impl Broker {
         producer: &ProducerCrypto,
         producer_rng: &mut CryptoRng,
     ) -> Result<(), OverlayError> {
+        if self.state == Lifecycle::Cold {
+            self.state = Lifecycle::Attesting;
+        }
         let platform = self
             .platform
             .as_ref()
@@ -429,95 +874,19 @@ impl Broker {
             producer_rng,
         )?;
         self.call(|c| c.engine.provision_keys(sk, pk));
+        if self.state == Lifecycle::Attesting {
+            self.state =
+                if self.neighbors.is_empty() { Lifecycle::Serving } else { Lifecycle::Linking };
+        }
         Ok(())
     }
 
-    // ---- link handshake (attested mode) --------------------------------
-
-    fn attested_parts(&mut self) -> Result<(&SgxPlatform, &Enclave, &mut CryptoRng), OverlayError> {
-        match (&self.platform, &self.enclave) {
-            (Some(p), Some(e)) => Ok((p, e, &mut self.rng)),
-            _ => Err(OverlayError::Link { reason: "link handshake requires an attested broker" }),
-        }
+    /// Installs an unsealed link to `neighbor` (pre-shared trust).
+    pub fn install_plain_link(&mut self, neighbor: usize) {
+        self.links.insert(neighbor, LinkChannel::Plain);
     }
 
-    /// Starts a handshake towards a neighbour; returns the wire frame to
-    /// send and the state to keep for [`Broker::link_finish`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates handshake failures; fails on pre-shared brokers.
-    pub fn link_hello(&mut self) -> Result<(Vec<u8>, LinkInitiator), OverlayError> {
-        let (platform, enclave, rng) = self.attested_parts()?;
-        let (hello, state) = sgx_sim::link::initiate(platform, enclave, rng)?;
-        Ok((Message::LinkHello { payload: hello.to_bytes() }.to_wire(), state))
-    }
-
-    /// Responds to a neighbour's hello after verifying its quote against
-    /// `service` and `policy`.
-    ///
-    /// # Errors
-    ///
-    /// Attestation or policy failures refuse the link.
-    pub fn link_accept(
-        &mut self,
-        hello_wire: &[u8],
-        service: &AttestationService,
-        policy: &VerifierPolicy,
-    ) -> Result<(Vec<u8>, LinkResponder), OverlayError> {
-        let Message::LinkHello { payload } = Message::from_wire(hello_wire)? else {
-            return Err(OverlayError::Link { reason: "expected link-hello" });
-        };
-        let hello = LinkHello::from_bytes(&payload)?;
-        let (platform, enclave, rng) = self.attested_parts()?;
-        let (accept, state) =
-            sgx_sim::link::accept(platform, enclave, service, policy, &hello, rng)?;
-        Ok((Message::LinkAccept { payload: accept.to_bytes() }.to_wire(), state))
-    }
-
-    /// Completes the initiator side, verifying the responder's quote and
-    /// deriving the link key.
-    ///
-    /// # Errors
-    ///
-    /// Attestation or policy failures refuse the link.
-    pub fn link_finish(
-        &mut self,
-        state: LinkInitiator,
-        accept_wire: &[u8],
-        service: &AttestationService,
-        policy: &VerifierPolicy,
-    ) -> Result<(Vec<u8>, LinkKey), OverlayError> {
-        let Message::LinkAccept { payload } = Message::from_wire(accept_wire)? else {
-            return Err(OverlayError::Link { reason: "expected link-accept" });
-        };
-        let accept = LinkAccept::from_bytes(&payload)?;
-        let (_platform, enclave, rng) = self.attested_parts()?;
-        let (finish, key) = sgx_sim::link::finish(state, &accept, service, policy, enclave, rng)?;
-        Ok((Message::LinkFinish { payload: finish.to_bytes() }.to_wire(), key))
-    }
-
-    /// Completes the responder side, deriving the same link key.
-    ///
-    /// # Errors
-    ///
-    /// Fails when the wrapped secret does not unwrap.
-    pub fn link_complete(
-        &mut self,
-        state: LinkResponder,
-        finish_wire: &[u8],
-    ) -> Result<LinkKey, OverlayError> {
-        let Message::LinkFinish { payload } = Message::from_wire(finish_wire)? else {
-            return Err(OverlayError::Link { reason: "expected link-finish" });
-        };
-        let finish = LinkFinish::from_bytes(&payload)?;
-        let (_platform, enclave, _rng) = self.attested_parts()?;
-        Ok(sgx_sim::link::complete(state, &finish, enclave)?)
-    }
-
-    /// Installs the sealed channels for the link to `neighbor` (both
-    /// directions derive from the handshake key).
-    pub fn install_sealed_link(&mut self, neighbor: usize, key: &LinkKey) {
+    fn install_sealed_link(&mut self, neighbor: usize, key: &LinkKey) {
         let local = self.id as u64;
         self.links.insert(
             neighbor,
@@ -526,11 +895,6 @@ impl Broker {
                 inbound: SecureLink::inbound(key.as_bytes(), local, neighbor as u64),
             },
         );
-    }
-
-    /// Installs an unsealed link to `neighbor` (pre-shared trust).
-    pub fn install_plain_link(&mut self, neighbor: usize) {
-        self.links.insert(neighbor, LinkChannel::Plain);
     }
 
     fn seal_to(&mut self, neighbor: usize, wire: &[u8]) -> Result<Vec<u8>, OverlayError> {
@@ -542,87 +906,486 @@ impl Broker {
         }
     }
 
-    fn open_from(&mut self, neighbor: usize, frame: &[u8]) -> Result<Vec<u8>, OverlayError> {
-        match self.links.get_mut(&neighbor) {
-            Some(LinkChannel::Sealed { inbound, .. }) => Ok(inbound.open(frame)?),
-            Some(LinkChannel::Plain) => Ok(frame.to_vec()),
-            None => Err(OverlayError::Link { reason: "no link to neighbour" }),
-        }
-    }
+    // ---- the state machine ---------------------------------------------
 
-    // ---- traffic -------------------------------------------------------
-
-    /// Admits a registration envelope and returns the sealed `SubForward`
-    /// frames for the links it propagates on (covering-pruned unless in
-    /// flood mode).
+    /// Advances the state machine by one input at virtual time `now`.
+    /// This is the broker's **entire** runtime surface: frames, local
+    /// traffic, admin commands and timer ticks all enter here, and every
+    /// effect — frames to send, local deliveries, lifecycle events —
+    /// comes back as an [`Output`] for the caller to dispatch.
     ///
     /// # Errors
     ///
-    /// Registration failures (bad signature, undecryptable body, missing
-    /// keys) and sealing failures.
-    pub fn handle_subscription(
-        &mut self,
-        envelope: &[u8],
-        origin: Origin,
-    ) -> Result<(SubscriptionId, Vec<LinkFrame>), OverlayError> {
-        let outcome = self.call(|c| c.admit(envelope, origin))?;
-        let wire = Message::SubForward { envelope: envelope.to_vec() }.to_wire();
-        let mut frames = Vec::with_capacity(outcome.forward_to.len());
-        for neighbor in outcome.forward_to {
-            let bytes = self.seal_to(neighbor, &wire)?;
-            frames.push(LinkFrame { to: neighbor, from: self.id, bytes });
+    /// Inputs invalid for the current [`Lifecycle`] state are
+    /// [`OverlayError::Lifecycle`]; frame authentication, routing and
+    /// sealing failures propagate with their own kinds.
+    pub fn step(&mut self, now: u64, input: Input) -> Result<Vec<Output>, OverlayError> {
+        self.now = now;
+        match input {
+            Input::Crash => self.on_crash(),
+            Input::Restart { dead_links } => self.on_restart(&dead_links),
+            Input::Tick => self.on_tick(),
+            Input::Frame { from, bytes } => self.on_frame(from, &bytes),
+            Input::Subscribe { envelope } => self.on_subscribe(&envelope),
+            Input::Unsubscribe { envelope } => self.on_unsubscribe(&envelope),
+            Input::Publish { items } => self.on_publish(&items),
         }
-        Ok((outcome.id, frames))
     }
 
-    /// Processes an unregistration envelope and returns whether the
-    /// subscription existed here, plus the sealed frames its removal
-    /// requires: on every link the subscription had been **forwarded** on,
-    /// first the `SubForward`s of any newly *uncovered* subscriptions
-    /// (make-before-break — the upstream covering set never dips below the
-    /// live interest), then the `SubRemove` itself, which recurses at the
-    /// next hop. A removal that was covering-pruned on a link sends
-    /// nothing there, and a double-unsubscribe sends nothing anywhere.
-    ///
-    /// # Errors
-    ///
-    /// Authentication/decryption failures of the envelope, and sealing
-    /// failures.
-    pub fn handle_unsubscribe(
-        &mut self,
-        envelope: &[u8],
-        origin: Origin,
-    ) -> Result<(SubscriptionId, bool, Vec<LinkFrame>), OverlayError> {
-        let outcome = self.call(|c| c.remove(envelope, origin))?;
-        let mut frames = Vec::new();
-        if outcome.removed {
-            let remove_wire = Message::SubRemove { envelope: envelope.to_vec() }.to_wire();
-            for link in outcome.links {
-                for env in &link.uncovered {
-                    let wire = Message::SubForward { envelope: env.clone() }.to_wire();
-                    let bytes = self.seal_to(link.neighbor, &wire)?;
-                    frames.push(LinkFrame { to: link.neighbor, from: self.id, bytes });
-                }
-                let bytes = self.seal_to(link.neighbor, &remove_wire)?;
-                frames.push(LinkFrame { to: link.neighbor, from: self.id, bytes });
+    fn require_serving(&self, what: &'static str) -> Result<(), OverlayError> {
+        if self.state != Lifecycle::Serving {
+            return Err(OverlayError::Lifecycle { reason: what });
+        }
+        Ok(())
+    }
+
+    fn require_traffic(&self) -> Result<(), OverlayError> {
+        match self.state {
+            Lifecycle::Serving | Lifecycle::Rejoining => Ok(()),
+            _ => Err(OverlayError::Lifecycle { reason: "subscription frame outside serving" }),
+        }
+    }
+
+    // ---- admin ---------------------------------------------------------
+
+    /// Drops every piece of volatile state. The platform (machine), the
+    /// host disk (sealed record), the measured binary and the trust
+    /// anchors survive; everything else — enclave, keys, index, live
+    /// set, covering tables, link keys, half-open handshakes — is gone.
+    fn on_crash(&mut self) -> Result<Vec<Output>, OverlayError> {
+        if self.state == Lifecycle::Crashed {
+            return Ok(Vec::new()); // idempotent
+        }
+        self.enclave = None;
+        let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
+        self.core = BrokerCore::fresh(&mem, self.kind, self.flood, &self.neighbors);
+        self.links.clear();
+        self.initiations.clear();
+        self.responses.clear();
+        self.pending_replays.clear();
+        self.requested.clear();
+        self.confirmed.clear();
+        self.dead_links.clear();
+        self.crashed_at = self.now;
+        self.state = Lifecycle::Crashed;
+        Ok(vec![Output::Event(LinkEvent::Crashed)])
+    }
+
+    /// Restarts a crashed broker: relaunch the enclave, unseal and
+    /// restore the recovery record, enter `Rejoining`. Re-attestation
+    /// (key provisioning) and link re-establishment follow as separate
+    /// inputs, driven by the scheduler. Neighbours listed in
+    /// `dead_links` are skipped entirely — no handshake, no replay; the
+    /// rows toward them stay recorded, and consistency is restored when
+    /// *they* rejoin and replay from us (their reconciliation
+    /// `sub-drop`s cover removals we both missed).
+    fn on_restart(&mut self, dead_links: &[usize]) -> Result<Vec<Output>, OverlayError> {
+        if self.state != Lifecycle::Crashed {
+            return Err(OverlayError::Lifecycle {
+                reason: "restart of a broker that is not crashed",
+            });
+        }
+        if let Some(platform) = &self.platform {
+            // Relaunch the (same, identically measured) routing enclave.
+            let enclave = platform.launch(router_builder(&self.code))?;
+            let record = match (&self.sealed, self.counter) {
+                (Some(blob), Some(counter)) => Some(enclave.ecall(|ctx| {
+                    VersionedSeal::unseal(ctx, SealPolicy::MrEnclave, platform, counter, blob)
+                })?),
+                _ => None,
+            };
+            let core = BrokerCore::restore(
+                record.as_deref(),
+                enclave.memory(),
+                self.kind,
+                self.flood,
+                &self.neighbors,
+            )?;
+            self.enclave = Some(enclave);
+            self.core = core;
+        } else {
+            let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
+            self.core = BrokerCore::restore(
+                self.sealed.clone().as_deref(),
+                &mem,
+                self.kind,
+                self.flood,
+                &self.neighbors,
+            )?;
+        }
+        let restored = self.core.live.len();
+        self.replayed_subs = 0;
+        self.dropped_stale = 0;
+        self.requested.clear();
+        self.confirmed.clear();
+        self.dead_links =
+            dead_links.iter().copied().filter(|n| self.neighbors.contains(n)).collect();
+        self.pending_replays =
+            self.neighbors.iter().copied().filter(|n| !self.dead_links.contains(n)).collect();
+        let mut outs = vec![Output::Event(LinkEvent::RejoinStarted { restored })];
+        if self.pending_replays.is_empty() {
+            // No (live) neighbours to replay from: recovery is the seal
+            // alone.
+            self.state = Lifecycle::Serving;
+            outs.push(Output::Event(LinkEvent::Rejoined {
+                replayed: 0,
+                dropped_stale: 0,
+                downtime: self.now.saturating_sub(self.crashed_at),
+            }));
+        } else {
+            self.state = Lifecycle::Rejoining;
+        }
+        Ok(outs)
+    }
+
+    /// Timer tick: initiates pending link handshakes (at bring-up the
+    /// lower id initiates each edge; a rejoining broker initiates every
+    /// incident link, since only *it* lost the keys) and kicks off
+    /// replay requests on re-established links.
+    fn on_tick(&mut self) -> Result<Vec<Output>, OverlayError> {
+        let mut outs = Vec::new();
+        if !matches!(self.state, Lifecycle::Linking | Lifecycle::Rejoining) {
+            return Ok(outs);
+        }
+        let rejoining = self.state == Lifecycle::Rejoining;
+        let targets: Vec<usize> = self
+            .neighbors
+            .iter()
+            .copied()
+            .filter(|n| {
+                !self.links.contains_key(n)
+                    && !self.initiations.contains_key(n)
+                    && !self.responses.contains_key(n)
+                    && !self.dead_links.contains(n)
+                    && (rejoining || self.id < *n)
+            })
+            .collect();
+        for neighbor in targets {
+            let (wire, state) = self.initiate_handshake()?;
+            self.initiations.insert(neighbor, state);
+            outs.push(Output::Frame(LinkFrame { to: neighbor, from: self.id, bytes: wire }));
+        }
+        if rejoining {
+            // Plain links (pre-shared trust) need no handshake: request
+            // the replay as soon as the host has reinstalled them.
+            let ready: Vec<usize> = self
+                .pending_replays
+                .iter()
+                .copied()
+                .filter(|n| self.links.contains_key(n) && !self.requested.contains(n))
+                .collect();
+            for neighbor in ready {
+                self.requested.insert(neighbor);
+                let bytes = self.seal_to(neighbor, &Message::ReplayRequest.to_wire())?;
+                outs.push(Output::Frame(LinkFrame { to: neighbor, from: self.id, bytes }));
             }
         }
-        Ok((outcome.id, outcome.removed, frames))
+        Ok(outs)
+    }
+
+    // ---- link handshake ------------------------------------------------
+
+    fn initiate_handshake(&mut self) -> Result<(Vec<u8>, LinkInitiator), OverlayError> {
+        let (Some(platform), Some(enclave)) = (&self.platform, &self.enclave) else {
+            return Err(OverlayError::Link {
+                reason: "link handshake requires an attested broker",
+            });
+        };
+        let (hello, state) = sgx_sim::link::initiate(platform, enclave, &mut self.rng)?;
+        Ok((Message::LinkHello { payload: hello.to_bytes() }.to_wire(), state))
+    }
+
+    /// Responds to a neighbour's hello after verifying its quote against
+    /// the configured trust anchors.
+    fn hs_hello(&mut self, from: usize, payload: &[u8]) -> Result<Vec<Output>, OverlayError> {
+        if !self.neighbors.contains(&from) {
+            return Err(OverlayError::Link { reason: "handshake from a non-neighbour" });
+        }
+        let hello = LinkHello::from_bytes(payload)?;
+        let (Some(platform), Some(enclave)) = (&self.platform, &self.enclave) else {
+            return Err(OverlayError::Link {
+                reason: "link handshake requires an attested broker",
+            });
+        };
+        let (Some(service), Some(policy)) = (&self.service, &self.policy) else {
+            return Err(OverlayError::Link { reason: "link trust anchors not configured" });
+        };
+        let (accept, state) =
+            sgx_sim::link::accept(platform, enclave, service, policy, &hello, &mut self.rng)?;
+        self.responses.insert(from, state);
+        Ok(vec![Output::Frame(LinkFrame {
+            to: from,
+            from: self.id,
+            bytes: Message::LinkAccept { payload: accept.to_bytes() }.to_wire(),
+        })])
+    }
+
+    /// Completes the initiator side: verify the responder's quote,
+    /// derive the link key, install the sealed channels.
+    fn hs_accept(&mut self, from: usize, payload: &[u8]) -> Result<Vec<Output>, OverlayError> {
+        let Some(state) = self.initiations.remove(&from) else {
+            return Err(OverlayError::Link { reason: "unexpected link-accept" });
+        };
+        let accept = LinkAccept::from_bytes(payload)?;
+        let enclave =
+            self.enclave.as_ref().ok_or(OverlayError::Link { reason: "broker has no enclave" })?;
+        let (Some(service), Some(policy)) = (&self.service, &self.policy) else {
+            return Err(OverlayError::Link { reason: "link trust anchors not configured" });
+        };
+        let (finish, key) =
+            sgx_sim::link::finish(state, &accept, service, policy, enclave, &mut self.rng)?;
+        self.install_sealed_link(from, &key);
+        let mut outs = vec![Output::Frame(LinkFrame {
+            to: from,
+            from: self.id,
+            bytes: Message::LinkFinish { payload: finish.to_bytes() }.to_wire(),
+        })];
+        outs.extend(self.post_link_up(from)?);
+        Ok(outs)
+    }
+
+    /// Completes the responder side, deriving the same link key.
+    fn hs_finish(&mut self, from: usize, payload: &[u8]) -> Result<Vec<Output>, OverlayError> {
+        let Some(state) = self.responses.remove(&from) else {
+            return Err(OverlayError::Link { reason: "unexpected link-finish" });
+        };
+        let finish = LinkFinish::from_bytes(payload)?;
+        let enclave =
+            self.enclave.as_ref().ok_or(OverlayError::Link { reason: "broker has no enclave" })?;
+        let key = sgx_sim::link::complete(state, &finish, enclave)?;
+        self.install_sealed_link(from, &key);
+        self.post_link_up(from)
+    }
+
+    /// Bookkeeping after a sealed channel (re-)establishes: transition
+    /// `Linking → Serving` once every neighbour is up, and during a
+    /// rejoin request the replay on the fresh channel.
+    fn post_link_up(&mut self, link: usize) -> Result<Vec<Output>, OverlayError> {
+        let mut outs = vec![Output::Event(LinkEvent::LinkUp { link })];
+        match self.state {
+            Lifecycle::Linking if self.neighbors.iter().all(|n| self.links.contains_key(n)) => {
+                self.state = Lifecycle::Serving;
+            }
+            Lifecycle::Rejoining
+                if self.pending_replays.contains(&link) && self.requested.insert(link) =>
+            {
+                let bytes = self.seal_to(link, &Message::ReplayRequest.to_wire())?;
+                outs.push(Output::Frame(LinkFrame { to: link, from: self.id, bytes }));
+            }
+            _ => {}
+        }
+        Ok(outs)
+    }
+
+    // ---- frames --------------------------------------------------------
+
+    fn on_frame(&mut self, from: usize, bytes: &[u8]) -> Result<Vec<Output>, OverlayError> {
+        if matches!(self.state, Lifecycle::Cold | Lifecycle::Attesting | Lifecycle::Crashed) {
+            return Err(OverlayError::Lifecycle {
+                reason: "frame for a broker that is not linked",
+            });
+        }
+        let opened = match self.links.get_mut(&from) {
+            Some(LinkChannel::Sealed { inbound, .. }) => match inbound.open(bytes) {
+                Ok(wire) => Opened::Wire(wire),
+                Err(NetError::Gap { expected, got }) => Opened::Gap { expected, got },
+                Err(err) => Opened::Failed(err),
+            },
+            Some(LinkChannel::Plain) => Opened::Wire(bytes.to_vec()),
+            None => Opened::NoChannel,
+        };
+        match opened {
+            Opened::Wire(wire) => self.dispatch_wire(from, &wire),
+            Opened::Gap { expected, got } => {
+                self.gaps += 1;
+                Ok(vec![Output::Event(LinkEvent::Gap { link: from, expected, got })])
+            }
+            Opened::Failed(err) => {
+                // Not a frame the sealed channel can open. A *restarted*
+                // peer re-keys its links with plaintext handshake frames;
+                // accept exactly those (each is quote-authenticated —
+                // a forgery cannot complete the handshake, and the old
+                // channel stays installed until the new key proves out).
+                match Message::from_wire(bytes) {
+                    Ok(Message::LinkHello { payload }) => self.hs_hello(from, &payload),
+                    Ok(Message::LinkAccept { payload }) if self.initiations.contains_key(&from) => {
+                        self.hs_accept(from, &payload)
+                    }
+                    Ok(Message::LinkFinish { payload }) if self.responses.contains_key(&from) => {
+                        self.hs_finish(from, &payload)
+                    }
+                    _ => Err(err.into()),
+                }
+            }
+            Opened::NoChannel => {
+                if !self.neighbors.contains(&from) {
+                    return Err(OverlayError::Link { reason: "no link to neighbour" });
+                }
+                match Message::from_wire(bytes) {
+                    Ok(Message::LinkHello { payload }) => self.hs_hello(from, &payload),
+                    Ok(Message::LinkAccept { payload }) => self.hs_accept(from, &payload),
+                    Ok(Message::LinkFinish { payload }) => self.hs_finish(from, &payload),
+                    _ => Err(OverlayError::Link { reason: "no link to neighbour" }),
+                }
+            }
+        }
+    }
+
+    fn dispatch_wire(&mut self, from: usize, wire: &[u8]) -> Result<Vec<Output>, OverlayError> {
+        match Message::from_wire(wire)? {
+            Message::SubForward { envelope } => {
+                self.require_traffic()?;
+                let replaying = self.state == Lifecycle::Rejoining;
+                let outcome = self.call(|c| c.admit(&envelope, Origin::Link(from), replaying))?;
+                if replaying {
+                    self.confirmed.entry(from).or_default().insert(outcome.id);
+                    self.replayed_subs += 1;
+                }
+                let outs = self.forward_frames(&outcome, &envelope)?;
+                // While rejoining, one checkpoint at the end of each
+                // link's replay (reconcile_replay) covers the whole
+                // burst — re-sealing per replayed envelope would make
+                // recovery quadratic in the live set.
+                self.checkpoint_if_serving()?;
+                Ok(outs)
+            }
+            Message::SubRemove { envelope } => {
+                self.require_traffic()?;
+                let outcome = self.call(|c| c.remove(&envelope, Origin::Link(from)))?;
+                if !outcome.removed {
+                    return Ok(Vec::new());
+                }
+                let wire = Message::SubRemove { envelope }.to_wire();
+                let outs = self.removal_frames(outcome.links, &wire)?;
+                self.checkpoint_if_serving()?;
+                Ok(outs)
+            }
+            Message::SubDrop { id } => {
+                self.require_traffic()?;
+                match self.call(|c| c.origin_of(id)) {
+                    None => Ok(Vec::new()), // already gone: idempotent
+                    Some(Origin::Link(l)) if l == from => {
+                        let outcome = self.call(|c| c.remove_by_id(id, Origin::Link(from)));
+                        let wire = Message::SubDrop { id }.to_wire();
+                        let outs = self.removal_frames(outcome.links, &wire)?;
+                        self.checkpoint_if_serving()?;
+                        Ok(outs)
+                    }
+                    Some(_) => Err(OverlayError::Link { reason: "sub-drop from wrong direction" }),
+                }
+            }
+            Message::PublishBatch { items } => {
+                self.require_serving("publication for a broker that is not serving")?;
+                self.route_batch(&items, Origin::Link(from))
+            }
+            Message::Publish { header_ct, epoch, payload_ct } => {
+                self.require_serving("publication for a broker that is not serving")?;
+                let item = PublishItem { header_ct, epoch, payload_ct };
+                self.route_batch(std::slice::from_ref(&item), Origin::Link(from))
+            }
+            Message::ReplayRequest => {
+                self.require_serving("replay requested from a broker that is not serving")?;
+                let envelopes = self.call(|c| c.replay_rows(from));
+                let count = envelopes.len() as u32;
+                let mut outs = Vec::with_capacity(envelopes.len() + 1);
+                for envelope in envelopes {
+                    let wire = Message::SubForward { envelope }.to_wire();
+                    let bytes = self.seal_to(from, &wire)?;
+                    outs.push(Output::Frame(LinkFrame { to: from, from: self.id, bytes }));
+                }
+                let bytes = self.seal_to(from, &Message::ReplayDone { count }.to_wire())?;
+                outs.push(Output::Frame(LinkFrame { to: from, from: self.id, bytes }));
+                Ok(outs)
+            }
+            Message::ReplayDone { count } => self.reconcile_replay(from, count),
+            _ => Err(OverlayError::Link { reason: "unexpected message kind on link" }),
+        }
+    }
+
+    /// Ends the replay from `from`: every restored subscription learnt
+    /// from that link which the neighbour did *not* re-confirm was
+    /// removed during the outage — drop it with full uncovering
+    /// bookkeeping and propagate authenticated `sub-drop`s down the
+    /// reverse path. When the last neighbour finishes, start serving.
+    fn reconcile_replay(&mut self, from: usize, count: u32) -> Result<Vec<Output>, OverlayError> {
+        if self.state != Lifecycle::Rejoining || !self.pending_replays.contains(&from) {
+            return Err(OverlayError::Lifecycle { reason: "unexpected replay-done" });
+        }
+        let confirmed = self.confirmed.remove(&from).unwrap_or_default();
+        if confirmed.len() != count as usize {
+            return Err(OverlayError::Link { reason: "replay count mismatch" });
+        }
+        let stale: Vec<SubscriptionId> = self.call(|c| {
+            c.live
+                .iter()
+                .filter(|(id, sub)| sub.origin == Origin::Link(from) && !confirmed.contains(id))
+                .map(|(id, _)| *id)
+                .collect()
+        });
+        let mut outs = Vec::new();
+        for id in &stale {
+            let outcome = self.call(|c| c.remove_by_id(*id, Origin::Link(from)));
+            let wire = Message::SubDrop { id: *id }.to_wire();
+            outs.extend(self.removal_frames(outcome.links, &wire)?);
+            self.dropped_stale += 1;
+        }
+        // One checkpoint per completed link replay: covers the replayed
+        // admissions (whose per-frame checkpoints are suppressed while
+        // rejoining) and any stale drops.
+        self.checkpoint()?;
+        self.pending_replays.remove(&from);
+        if self.pending_replays.is_empty() {
+            self.state = Lifecycle::Serving;
+            outs.push(Output::Event(LinkEvent::Rejoined {
+                replayed: self.replayed_subs,
+                dropped_stale: self.dropped_stale,
+                downtime: self.now.saturating_sub(self.crashed_at),
+            }));
+        }
+        Ok(outs)
+    }
+
+    // ---- local traffic -------------------------------------------------
+
+    fn on_subscribe(&mut self, envelope: &[u8]) -> Result<Vec<Output>, OverlayError> {
+        self.require_serving("subscription for a broker that is not serving")?;
+        let outcome = self.call(|c| c.admit(envelope, Origin::Local, false))?;
+        let mut outs = self.forward_frames(&outcome, envelope)?;
+        self.checkpoint()?;
+        outs.push(Output::Event(LinkEvent::Subscribed { id: outcome.id }));
+        Ok(outs)
+    }
+
+    fn on_unsubscribe(&mut self, envelope: &[u8]) -> Result<Vec<Output>, OverlayError> {
+        self.require_serving("unsubscription for a broker that is not serving")?;
+        let outcome = self.call(|c| c.remove(envelope, Origin::Local))?;
+        let mut outs = Vec::new();
+        if outcome.removed {
+            let wire = Message::SubRemove { envelope: envelope.to_vec() }.to_wire();
+            outs = self.removal_frames(outcome.links, &wire)?;
+            self.checkpoint()?;
+        }
+        outs.push(Output::Event(LinkEvent::Unsubscribed {
+            id: outcome.id,
+            removed: outcome.removed,
+        }));
+        Ok(outs)
+    }
+
+    fn on_publish(&mut self, items: &[PublishItem]) -> Result<Vec<Output>, OverlayError> {
+        self.require_serving("publication for a broker that is not serving")?;
+        self.route_batch(items, Origin::Local)
     }
 
     /// Routes a batch of publications: decrypt+match the whole batch in
     /// [`MAX_DRAIN`]-bounded single enclave crossings, deliver locally,
     /// and forward each item on every matching link (origin excluded).
-    ///
-    /// # Errors
-    ///
-    /// Fails on the first undecryptable header or sealing failure.
-    pub fn handle_publish(
+    fn route_batch(
         &mut self,
         items: &[PublishItem],
         origin: Origin,
-    ) -> Result<(Vec<LocalDelivery>, Vec<LinkFrame>), OverlayError> {
-        let mut deliveries = Vec::new();
+    ) -> Result<Vec<Output>, OverlayError> {
+        let mut outs = Vec::new();
         // Per-link outgoing batches, in ascending neighbour order.
         let mut outgoing: BTreeMap<usize, Vec<PublishItem>> = BTreeMap::new();
         for chunk in items.chunks(MAX_DRAIN) {
@@ -631,48 +1394,114 @@ impl Broker {
                 .call(|c| c.route(&headers, origin).into_iter().collect::<Result<Vec<_>, _>>())?;
             for (item, decision) in chunk.iter().zip(decisions) {
                 for client in decision.locals {
-                    deliveries.push(LocalDelivery { router: self.id, client, item: item.clone() });
+                    outs.push(Output::Delivery(LocalDelivery {
+                        router: self.id,
+                        client,
+                        item: item.clone(),
+                    }));
                 }
                 for neighbor in decision.links {
                     outgoing.entry(neighbor).or_default().push(item.clone());
                 }
             }
         }
-        let mut frames = Vec::with_capacity(outgoing.len());
         for (neighbor, items) in outgoing {
+            if !self.links.contains_key(&neighbor) {
+                // Matching interest toward a dead (not yet re-keyed)
+                // neighbour: the frame would be dropped on the floor
+                // anyway — lose it here, like the wire would.
+                continue;
+            }
             let wire = Message::PublishBatch { items }.to_wire();
             let bytes = self.seal_to(neighbor, &wire)?;
-            frames.push(LinkFrame { to: neighbor, from: self.id, bytes });
+            outs.push(Output::Frame(LinkFrame { to: neighbor, from: self.id, bytes }));
         }
-        Ok((deliveries, frames))
+        Ok(outs)
     }
 
-    /// Handles one sealed frame from a neighbour: open, parse, dispatch.
-    ///
-    /// # Errors
-    ///
-    /// Authentication failures (tampered/replayed frames), unknown links,
-    /// unexpected message kinds, and the underlying handler errors.
-    pub fn receive(
+    // ---- frame builders ------------------------------------------------
+
+    /// Seals one `SubForward` per link the admission propagates on.
+    /// Links without an established channel (a neighbour declared dead
+    /// at restart, not yet re-keyed) are skipped: the interest is
+    /// recorded in the covering table, and the neighbour's own rejoin
+    /// replay will fetch it.
+    fn forward_frames(
         &mut self,
-        from: usize,
-        frame: &[u8],
-    ) -> Result<(Vec<LocalDelivery>, Vec<LinkFrame>), OverlayError> {
-        let wire = self.open_from(from, frame)?;
-        match Message::from_wire(&wire)? {
-            Message::SubForward { envelope } => self
-                .handle_subscription(&envelope, Origin::Link(from))
-                .map(|(_, frames)| (Vec::new(), frames)),
-            Message::SubRemove { envelope } => self
-                .handle_unsubscribe(&envelope, Origin::Link(from))
-                .map(|(_, _, frames)| (Vec::new(), frames)),
-            Message::PublishBatch { items } => self.handle_publish(&items, Origin::Link(from)),
-            Message::Publish { header_ct, epoch, payload_ct } => {
-                let item = PublishItem { header_ct, epoch, payload_ct };
-                self.handle_publish(std::slice::from_ref(&item), Origin::Link(from))
+        outcome: &AdmitOutcome,
+        envelope: &[u8],
+    ) -> Result<Vec<Output>, OverlayError> {
+        let wire = Message::SubForward { envelope: envelope.to_vec() }.to_wire();
+        let mut outs = Vec::with_capacity(outcome.forward_to.len());
+        for &neighbor in &outcome.forward_to {
+            if !self.links.contains_key(&neighbor) {
+                continue;
             }
-            _ => Err(OverlayError::Link { reason: "unexpected message kind on link" }),
+            let bytes = self.seal_to(neighbor, &wire)?;
+            outs.push(Output::Frame(LinkFrame { to: neighbor, from: self.id, bytes }));
         }
+        Ok(outs)
+    }
+
+    /// Seals a removal's traffic per affected link: first the
+    /// `SubForward`s of newly *uncovered* subscriptions
+    /// (make-before-break — the upstream covering set never dips below
+    /// the live interest), then the removal itself (`terminal`: a
+    /// `SubRemove` or `SubDrop` wire), which recurses at the next hop.
+    fn removal_frames(
+        &mut self,
+        links: Vec<LinkRemoval>,
+        terminal: &[u8],
+    ) -> Result<Vec<Output>, OverlayError> {
+        let mut outs = Vec::new();
+        for link in links {
+            if !self.links.contains_key(&link.neighbor) {
+                // Dead neighbour, no channel yet: its rejoin replay will
+                // see the updated table instead of these frames.
+                continue;
+            }
+            for envelope in &link.uncovered {
+                let wire = Message::SubForward { envelope: envelope.clone() }.to_wire();
+                let bytes = self.seal_to(link.neighbor, &wire)?;
+                outs.push(Output::Frame(LinkFrame { to: link.neighbor, from: self.id, bytes }));
+            }
+            let bytes = self.seal_to(link.neighbor, terminal)?;
+            outs.push(Output::Frame(LinkFrame { to: link.neighbor, from: self.id, bytes }));
+        }
+        Ok(outs)
+    }
+
+    /// [`Broker::checkpoint`], suppressed while rejoining: the replay
+    /// burst is covered by one checkpoint per completed link
+    /// ([`Broker::reconcile_replay`]) instead of one per frame.
+    fn checkpoint_if_serving(&mut self) -> Result<(), OverlayError> {
+        if self.state == Lifecycle::Serving {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Re-seals the recovery record after a subscription-state mutation:
+    /// serialise inside the enclave, seal under the platform key bound
+    /// to a fresh monotonic-counter value (so every older record is
+    /// rollback-detected), and hand the blob to the host disk. Without a
+    /// platform (pre-shared trust) the record is stored unsealed.
+    fn checkpoint(&mut self) -> Result<(), OverlayError> {
+        match (&self.enclave, &self.platform, self.counter) {
+            (Some(enclave), Some(platform), Some(counter)) => {
+                let core = &self.core;
+                let rng = &mut self.rng;
+                let blob = enclave.ecall(|ctx| {
+                    let record = core.serialize_record();
+                    VersionedSeal::seal(ctx, SealPolicy::MrEnclave, platform, counter, &record, rng)
+                })?;
+                self.sealed = Some(blob);
+            }
+            _ => {
+                self.sealed = Some(self.core.serialize_record());
+            }
+        }
+        Ok(())
     }
 
     // ---- inspection ----------------------------------------------------
@@ -696,6 +1525,7 @@ impl Broker {
         }
         BrokerStats {
             router: self.id,
+            state: self.state,
             subscriptions: self.core.engine.index().len(),
             ecalls: mem.ecalls,
             ocalls: mem.ocalls,
@@ -705,10 +1535,13 @@ impl Broker {
             forwarded_total,
             removed,
             uncovered,
+            gaps: self.gaps,
         }
     }
 
     /// Resets the broker's memory counters (between measurement phases).
+    /// Cumulative protocol counters (forwarding ledger, gaps) are not
+    /// reset.
     pub fn reset_counters(&self) {
         self.core.engine.memory().reset_counters();
     }
@@ -720,17 +1553,42 @@ pub fn router_builder(code: &[u8]) -> EnclaveBuilder {
     EnclaveBuilder::new("scbr-overlay-router").add_page(code).isv_prod_id(2)
 }
 
-/// A [`KeyEpoch`] for overlay demo payloads (group-key rotation is
-/// orthogonal to the overlay and handled by the producer role).
-pub const DEMO_EPOCH: KeyEpoch = KeyEpoch(0);
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scbr::ids::KeyEpoch;
     use scbr::{PublicationSpec, SubscriptionSpec};
 
     fn producer(rng: &mut CryptoRng) -> ProducerCrypto {
         ProducerCrypto::generate(512, rng).unwrap()
+    }
+
+    fn frames(outputs: &[Output]) -> Vec<&LinkFrame> {
+        outputs
+            .iter()
+            .filter_map(|o| match o {
+                Output::Frame(f) => Some(f),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn deliveries(outputs: &[Output]) -> Vec<&LocalDelivery> {
+        outputs
+            .iter()
+            .filter_map(|o| match o {
+                Output::Delivery(d) => Some(d),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn item(producer: &ProducerCrypto, spec: &PublicationSpec, rng: &mut CryptoRng) -> PublishItem {
+        PublishItem {
+            header_ct: producer.encrypt_header(spec, rng),
+            epoch: KeyEpoch(0),
+            payload_ct: vec![0xaa],
+        }
     }
 
     #[test]
@@ -741,48 +1599,51 @@ mod tests {
     }
 
     #[test]
-    fn preshared_broker_admits_and_routes() {
+    fn preshared_broker_admits_and_routes_through_step() {
         let mut rng = CryptoRng::from_seed(1);
         let producer = producer(&mut rng);
         let mut broker = Broker::preshared(0, 1, IndexKind::Poset, false);
         broker.set_neighbors(&[1, 2]);
         broker.install_plain_link(1);
         broker.install_plain_link(2);
+        assert_eq!(broker.lifecycle(), Lifecycle::Cold);
         broker.provision_preshared(&producer);
+        assert_eq!(broker.lifecycle(), Lifecycle::Serving);
 
         // A local subscription propagates to both neighbours.
         let spec = SubscriptionSpec::new().gt("price", 10.0);
         let envelope =
             producer.seal_registration(&spec, SubscriptionId(1), ClientId(7), &mut rng).unwrap();
-        let (id, frames) = broker.handle_subscription(&envelope, Origin::Local).unwrap();
-        assert_eq!(id, SubscriptionId(1));
-        assert_eq!(frames.iter().map(|f| f.to).collect::<Vec<_>>(), vec![1, 2]);
+        let outs = broker.step(0, Input::Subscribe { envelope }).unwrap();
+        assert_eq!(frames(&outs).iter().map(|f| f.to).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::Event(LinkEvent::Subscribed { id }) if id.0 == 1)));
 
         // A covered subscription from link 1 is pruned towards 2 but the
         // index still records it (for reverse-path delivery).
         let narrow = SubscriptionSpec::new().gt("price", 50.0);
         let envelope2 =
             producer.seal_registration(&narrow, SubscriptionId(2), ClientId(8), &mut rng).unwrap();
-        let (_, frames2) = broker.handle_subscription(&envelope2, Origin::Link(1)).unwrap();
-        assert!(frames2.is_empty(), "covered subscription is pruned");
+        let wire = Message::SubForward { envelope: envelope2 }.to_wire();
+        let outs = broker.step(1, Input::Frame { from: 1, bytes: wire }).unwrap();
+        assert!(frames(&outs).is_empty(), "covered subscription is pruned");
         assert_eq!(broker.subscriptions(), 2);
         assert_eq!(broker.stats().pruned, 1);
 
-        // Publications split into local delivery + link forwarding; the
-        // origin link is excluded.
+        // Publications from a link split into local delivery + link
+        // forwarding; the origin link is excluded.
         let publication = PublicationSpec::new().attr("price", 60.0);
-        let item = PublishItem {
-            header_ct: producer.encrypt_header(&publication, &mut rng),
-            epoch: DEMO_EPOCH,
-            payload_ct: vec![0xaa],
-        };
-        let (deliveries, frames) =
-            broker.handle_publish(std::slice::from_ref(&item), Origin::Link(2)).unwrap();
-        assert_eq!(deliveries.len(), 1);
-        assert_eq!(deliveries[0].client, ClientId(7));
+        let batch = Message::PublishBatch { items: vec![item(&producer, &publication, &mut rng)] }
+            .to_wire();
+        let outs = broker.step(2, Input::Frame { from: 2, bytes: batch }).unwrap();
+        let delivered = deliveries(&outs);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].client, ClientId(7));
         // price>10 came locally; price>50 came from link 1 → forward to 1.
-        assert_eq!(frames.len(), 1);
-        assert_eq!(frames[0].to, 1);
+        let fwd = frames(&outs);
+        assert_eq!(fwd.len(), 1);
+        assert_eq!(fwd[0].to, 1);
     }
 
     #[test]
@@ -801,8 +1662,8 @@ mod tests {
             let envelope = producer
                 .seal_registration(spec, SubscriptionId(i as u64), ClientId(i as u64), &mut rng)
                 .unwrap();
-            let (_, frames) = broker.handle_subscription(&envelope, Origin::Local).unwrap();
-            assert_eq!(frames.len(), 1, "flood forwards everything");
+            let outs = broker.step(i as u64, Input::Subscribe { envelope }).unwrap();
+            assert_eq!(frames(&outs).len(), 1, "flood forwards everything");
         }
     }
 
@@ -831,18 +1692,20 @@ mod tests {
                 &mut rng,
             )
             .unwrap();
-        let (_, f1) = broker.handle_subscription(&broad, Origin::Local).unwrap();
-        assert_eq!(f1.len(), 1, "broad forwards");
-        let (_, f2) = broker.handle_subscription(&narrow, Origin::Local).unwrap();
-        assert!(f2.is_empty(), "narrow is pruned under broad");
+        let outs = broker.step(0, Input::Subscribe { envelope: broad }).unwrap();
+        assert_eq!(frames(&outs).len(), 1, "broad forwards");
+        let outs = broker.step(1, Input::Subscribe { envelope: narrow }).unwrap();
+        assert!(frames(&outs).is_empty(), "narrow is pruned under broad");
 
         // Removing the broad one uncovers the narrow one: the link sees a
         // SubForward (narrow) *then* a SubRemove (broad).
         let unreg = producer.seal_unregistration(SubscriptionId(1), ClientId(1), &mut rng).unwrap();
-        let (id, removed, frames) = broker.handle_unsubscribe(&unreg, Origin::Local).unwrap();
-        assert_eq!(id, SubscriptionId(1));
-        assert!(removed);
-        let kinds: Vec<String> = frames
+        let outs = broker.step(2, Input::Unsubscribe { envelope: unreg }).unwrap();
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            Output::Event(LinkEvent::Unsubscribed { id, removed: true }) if id.0 == 1
+        )));
+        let kinds: Vec<String> = frames(&outs)
             .iter()
             .map(|f| Message::from_wire(&f.bytes).unwrap().kind().to_owned())
             .collect();
@@ -855,10 +1718,12 @@ mod tests {
     }
 
     #[test]
-    fn re_registration_with_changed_filter_reforwards_upstream() {
+    fn re_registration_reforwards_only_when_the_filter_changed() {
         // Two linked brokers: a (edge) — b. A re-registered id with a
         // *broader* filter must replace the upstream copy, or b keeps
-        // matching the stale narrow spec and drops deliveries.
+        // matching the stale narrow spec and drops deliveries. An
+        // *unchanged* re-registration (the neighbour-replay case) must
+        // stay silent.
         let mut rng = CryptoRng::from_seed(7);
         let producer = producer(&mut rng);
         let mut a = Broker::preshared(0, 7, IndexKind::Poset, false);
@@ -878,10 +1743,14 @@ mod tests {
                 &mut rng,
             )
             .unwrap();
-        let (_, frames) = a.handle_subscription(&narrow, Origin::Local).unwrap();
-        for f in &frames {
-            b.receive(f.from, &f.bytes).unwrap();
+        let outs = a.step(0, Input::Subscribe { envelope: narrow.clone() }).unwrap();
+        for f in frames(&outs) {
+            b.step(0, Input::Frame { from: f.from, bytes: f.bytes.clone() }).unwrap();
         }
+
+        // Same id, same filter: the upstream copy is already exact.
+        let outs = a.step(1, Input::Subscribe { envelope: narrow }).unwrap();
+        assert!(frames(&outs).is_empty(), "unchanged re-registration stays silent");
 
         // Same id, broader filter: must travel again and replace b's copy.
         let broad = producer
@@ -892,27 +1761,34 @@ mod tests {
                 &mut rng,
             )
             .unwrap();
-        let (_, frames) = a.handle_subscription(&broad, Origin::Local).unwrap();
-        assert_eq!(frames.len(), 1, "the replacement is re-forwarded");
-        for f in &frames {
-            b.receive(f.from, &f.bytes).unwrap();
+        let outs = a.step(2, Input::Subscribe { envelope: broad }).unwrap();
+        assert_eq!(frames(&outs).len(), 1, "the replacement is re-forwarded");
+        for f in frames(&outs) {
+            b.step(2, Input::Frame { from: f.from, bytes: f.bytes.clone() }).unwrap();
         }
         assert_eq!(a.subscriptions(), 1, "replaced, not duplicated");
         assert_eq!(b.subscriptions(), 1, "replaced, not duplicated");
 
         // A publication matching only the broad spec, entering at b, must
         // now cross the link and deliver at a.
-        let item = PublishItem {
-            header_ct: producer
-                .encrypt_header(&PublicationSpec::new().attr("price", 5.0), &mut rng),
-            epoch: DEMO_EPOCH,
-            payload_ct: vec![0xbb],
-        };
-        let (_, frames) = b.handle_publish(std::slice::from_ref(&item), Origin::Local).unwrap();
-        assert_eq!(frames.len(), 1, "b forwards under the replaced (broad) spec");
-        let (deliveries, _) = a.receive(1, &frames[0].bytes).unwrap();
-        assert_eq!(deliveries.len(), 1);
-        assert_eq!(deliveries[0].client, ClientId(1));
+        let outs = b
+            .step(
+                3,
+                Input::Publish {
+                    items: vec![item(
+                        &producer,
+                        &PublicationSpec::new().attr("price", 5.0),
+                        &mut rng,
+                    )],
+                },
+            )
+            .unwrap();
+        let fwd = frames(&outs);
+        assert_eq!(fwd.len(), 1, "b forwards under the replaced (broad) spec");
+        let outs = a.step(3, Input::Frame { from: 1, bytes: fwd[0].bytes.clone() }).unwrap();
+        let local = deliveries(&outs);
+        assert_eq!(local.len(), 1);
+        assert_eq!(local[0].client, ClientId(1));
     }
 
     #[test]
@@ -939,27 +1815,28 @@ mod tests {
                 &mut rng,
             )
             .unwrap();
-        broker.handle_subscription(&broad, Origin::Local).unwrap();
-        broker.handle_subscription(&narrow, Origin::Local).unwrap();
+        broker.step(0, Input::Subscribe { envelope: broad }).unwrap();
+        broker.step(1, Input::Subscribe { envelope: narrow }).unwrap();
 
         // The narrow sub was pruned: its removal must not touch the link.
         let unreg = producer.seal_unregistration(SubscriptionId(2), ClientId(2), &mut rng).unwrap();
-        let (_, removed, frames) = broker.handle_unsubscribe(&unreg, Origin::Local).unwrap();
-        assert!(removed);
-        assert!(frames.is_empty(), "a pruned removal generates no network traffic");
+        let outs = broker.step(2, Input::Unsubscribe { envelope: unreg }).unwrap();
+        assert!(frames(&outs).is_empty(), "a pruned removal generates no network traffic");
         assert_eq!(broker.subscriptions(), 1);
 
         // Removing it again: idempotent, no error, still silent.
         let unreg2 =
             producer.seal_unregistration(SubscriptionId(2), ClientId(2), &mut rng).unwrap();
-        let (_, removed2, frames2) = broker.handle_unsubscribe(&unreg2, Origin::Local).unwrap();
-        assert!(!removed2);
-        assert!(frames2.is_empty());
+        let outs = broker.step(3, Input::Unsubscribe { envelope: unreg2 }).unwrap();
+        assert!(frames(&outs).is_empty());
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::Event(LinkEvent::Unsubscribed { removed: false, .. }))));
 
         // A forged unregistration is refused outright.
         let rogue = ProducerCrypto::generate(512, &mut rng).unwrap();
         let forged = rogue.seal_unregistration(SubscriptionId(1), ClientId(1), &mut rng).unwrap();
-        assert!(broker.handle_unsubscribe(&forged, Origin::Local).is_err());
+        assert!(broker.step(4, Input::Unsubscribe { envelope: forged }).is_err());
         assert_eq!(broker.subscriptions(), 1, "forgery removed nothing");
     }
 
@@ -980,27 +1857,110 @@ mod tests {
                 &mut rng,
             )
             .unwrap();
-        broker.handle_subscription(&envelope, Origin::Local).unwrap();
+        broker.step(0, Input::Subscribe { envelope }).unwrap();
         broker.reset_counters();
         let items: Vec<PublishItem> = (0..10)
-            .map(|i| PublishItem {
-                header_ct: producer
-                    .encrypt_header(&PublicationSpec::new().attr("p", 2.0 + i as f64), &mut rng),
-                epoch: DEMO_EPOCH,
-                payload_ct: vec![i as u8],
-            })
+            .map(|i| item(&producer, &PublicationSpec::new().attr("p", 2.0 + i as f64), &mut rng))
             .collect();
-        let (deliveries, frames) = broker.handle_publish(&items, Origin::Local).unwrap();
-        assert_eq!(deliveries.len(), 10);
-        assert!(frames.is_empty());
+        let outs = broker.step(1, Input::Publish { items }).unwrap();
+        assert_eq!(deliveries(&outs).len(), 10);
+        assert!(frames(&outs).is_empty());
         assert_eq!(broker.stats().ecalls, 1, "whole batch in one crossing");
     }
 
     #[test]
-    fn frames_on_unknown_links_are_refused() {
-        let mut broker = Broker::preshared(0, 4, IndexKind::Poset, false);
+    fn lifecycle_gates_inputs() {
+        let mut rng = CryptoRng::from_seed(9);
+        let producer = producer(&mut rng);
+        let mut broker = Broker::preshared(0, 9, IndexKind::Poset, false);
+        let envelope = producer
+            .seal_registration(
+                &SubscriptionSpec::new().gt("p", 1.0),
+                SubscriptionId(1),
+                ClientId(1),
+                &mut rng,
+            )
+            .unwrap();
+        // Cold: no traffic.
         assert!(matches!(
-            broker.receive(9, b"junk"),
+            broker.step(0, Input::Subscribe { envelope: envelope.clone() }),
+            Err(OverlayError::Lifecycle { .. })
+        ));
+        // Restart only applies to a crashed broker.
+        assert!(matches!(
+            broker.step(0, Input::Restart { dead_links: vec![] }),
+            Err(OverlayError::Lifecycle { .. })
+        ));
+        broker.provision_preshared(&producer);
+        broker.step(1, Input::Subscribe { envelope }).unwrap();
+        // Crash is idempotent; crashed brokers refuse traffic.
+        broker.step(2, Input::Crash).unwrap();
+        assert_eq!(broker.lifecycle(), Lifecycle::Crashed);
+        assert!(broker.step(3, Input::Crash).unwrap().is_empty());
+        assert!(matches!(
+            broker.step(4, Input::Publish { items: vec![] }),
+            Err(OverlayError::Lifecycle { .. })
+        ));
+        assert!(matches!(
+            broker.step(5, Input::Frame { from: 1, bytes: vec![1] }),
+            Err(OverlayError::Lifecycle { .. })
+        ));
+        // Ticks are always safe.
+        assert!(broker.step(6, Input::Tick).unwrap().is_empty());
+    }
+
+    #[test]
+    fn crash_drops_volatile_state_and_restart_restores_from_the_record() {
+        // A neighbour-less broker: recovery comes from the (sealed)
+        // record alone, so the restart transitions straight to Serving.
+        let mut rng = CryptoRng::from_seed(10);
+        let producer = producer(&mut rng);
+        let mut broker = Broker::preshared(0, 10, IndexKind::Poset, false);
+        broker.provision_preshared(&producer);
+        for i in 0..3u64 {
+            let envelope = producer
+                .seal_registration(
+                    &SubscriptionSpec::new().gt("p", i as f64),
+                    SubscriptionId(i),
+                    ClientId(i),
+                    &mut rng,
+                )
+                .unwrap();
+            broker.step(i, Input::Subscribe { envelope }).unwrap();
+        }
+        assert_eq!(broker.subscriptions(), 3);
+        broker.step(10, Input::Crash).unwrap();
+        assert_eq!(broker.subscriptions(), 0, "volatile state is gone");
+        let outs = broker.step(20, Input::Restart { dead_links: vec![] }).unwrap();
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::Event(LinkEvent::RejoinStarted { restored: 3 }))));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            Output::Event(LinkEvent::Rejoined { replayed: 0, dropped_stale: 0, downtime: 10 })
+        )));
+        assert_eq!(broker.lifecycle(), Lifecycle::Serving);
+        // Keys are volatile: the host must re-provision before traffic.
+        broker.provision_preshared(&producer);
+        let outs = broker
+            .step(
+                21,
+                Input::Publish {
+                    items: vec![item(&producer, &PublicationSpec::new().attr("p", 2.5), &mut rng)],
+                },
+            )
+            .unwrap();
+        assert_eq!(deliveries(&outs).len(), 3, "restored index matches as before the crash");
+    }
+
+    #[test]
+    fn frames_on_unknown_links_are_refused() {
+        let mut rng = CryptoRng::from_seed(4);
+        let producer = producer(&mut rng);
+        let mut broker = Broker::preshared(0, 4, IndexKind::Poset, false);
+        broker.provision_preshared(&producer);
+        assert!(matches!(
+            broker.step(0, Input::Frame { from: 9, bytes: b"junk".to_vec() }),
             Err(OverlayError::Link { reason: "no link to neighbour" })
         ));
     }

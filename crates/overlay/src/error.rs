@@ -21,6 +21,12 @@ pub enum OverlayError {
         /// What went wrong.
         reason: &'static str,
     },
+    /// An input was fed to a broker whose lifecycle state cannot accept
+    /// it (e.g. traffic for a crashed broker, `Restart` while serving).
+    Lifecycle {
+        /// What went wrong.
+        reason: &'static str,
+    },
     /// A routing-layer failure (registration, matching, codec).
     Routing(ScbrError),
     /// An attestation or enclave failure (includes refused link peers).
@@ -34,6 +40,7 @@ impl fmt::Display for OverlayError {
         match self {
             OverlayError::Topology { reason } => write!(f, "invalid topology: {reason}"),
             OverlayError::Link { reason } => write!(f, "link error: {reason}"),
+            OverlayError::Lifecycle { reason } => write!(f, "lifecycle error: {reason}"),
             OverlayError::Routing(e) => write!(f, "routing error: {e}"),
             OverlayError::Sgx(e) => write!(f, "sgx error: {e}"),
             OverlayError::Net(e) => write!(f, "net error: {e}"),
@@ -79,6 +86,9 @@ mod tests {
         let t = OverlayError::Topology { reason: "cycle" };
         assert!(t.to_string().contains("cycle"));
         assert!(t.source().is_none());
+        let l = OverlayError::Lifecycle { reason: "crashed" };
+        assert!(l.to_string().contains("crashed"));
+        assert!(l.source().is_none());
         let r: OverlayError = ScbrError::MissingKeys { which: "SK" }.into();
         assert!(r.to_string().contains("SK"));
         assert!(r.source().is_some());

@@ -57,6 +57,44 @@ impl ForwardingTable {
         self.entries.iter().any(|(e, _)| *e == id)
     }
 
+    /// The compiled subscription recorded for `id`, if any.
+    pub fn get(&self, id: SubscriptionId) -> Option<&CompiledSubscription> {
+        self.entries.iter().find(|(e, _)| *e == id).map(|(_, sub)| sub)
+    }
+
+    /// The ids currently recorded as forwarded, in table order.
+    pub fn row_ids(&self) -> Vec<SubscriptionId> {
+        self.entries.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// The cumulative churn counters, in the order
+    /// `(pruned, forwarded_total, removed, uncovered)` — what a broker
+    /// seals alongside the rows so the counter ledger survives a restart.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (self.pruned, self.forwarded_total, self.removed, self.uncovered)
+    }
+
+    /// Rebuilds a table from sealed recovery state: the live rows plus
+    /// the counters captured by [`ForwardingTable::counters`]. The record
+    /// may come from an untrusted host (pre-shared mode stores it
+    /// unsealed), so the ledger invariants are *validated*, not assumed:
+    /// `rows == forwarded_total − removed` (without underflow) and
+    /// `uncovered ≤ forwarded_total`. Returns `None` on a corrupt
+    /// ledger.
+    pub fn rebuild(
+        entries: Vec<(SubscriptionId, CompiledSubscription)>,
+        counters: (u64, u64, u64, u64),
+    ) -> Option<Self> {
+        let (pruned, forwarded_total, removed, uncovered) = counters;
+        if forwarded_total.checked_sub(removed)? != entries.len() as u64 {
+            return None;
+        }
+        if uncovered > forwarded_total {
+            return None;
+        }
+        Some(ForwardingTable { entries, pruned, forwarded_total, removed, uncovered })
+    }
+
     /// Records a subscription as forwarded on this link. Idempotent per
     /// [`SubscriptionId`]: re-recording an id replaces its entry instead
     /// of stacking a stale duplicate row, and returns `false` so the
@@ -185,6 +223,34 @@ mod tests {
         assert!(table.remove(SubscriptionId(1)));
         assert_eq!(table.forwarded(), 0);
         assert!(!table.contains(SubscriptionId(1)));
+    }
+
+    #[test]
+    fn rebuild_round_trips_rows_and_counters() {
+        let schema = AttrSchema::new();
+        let a = compiled(SubscriptionSpec::new().gt("price", 0.0), &schema);
+        let b = compiled(SubscriptionSpec::new().gt("price", 5.0), &schema);
+        let mut table = ForwardingTable::new();
+        table.record(SubscriptionId(1), a.clone());
+        table.record(SubscriptionId(2), b.clone());
+        table.note_pruned();
+        table.remove(SubscriptionId(2));
+        table.record_uncovered(SubscriptionId(3), b.clone());
+        let rows: Vec<_> =
+            table.row_ids().iter().map(|id| (*id, table.get(*id).unwrap().clone())).collect();
+        let rebuilt = ForwardingTable::rebuild(rows.clone(), table.counters()).unwrap();
+        assert_eq!(rebuilt.row_ids(), table.row_ids());
+        assert_eq!(rebuilt.counters(), table.counters());
+        assert_eq!(rebuilt.forwarded(), table.forwarded());
+        assert!(rebuilt.covered(&b), "rebuilt rows still drive covering decisions");
+        assert_eq!(rebuilt.get(SubscriptionId(1)), Some(&a));
+        assert_eq!(rebuilt.get(SubscriptionId(9)), None);
+
+        // Corrupt ledgers (a hostile host rewriting an unsealed record)
+        // are rejected, including underflowing counters.
+        assert!(ForwardingTable::rebuild(rows.clone(), (0, 99, 0, 0)).is_none());
+        assert!(ForwardingTable::rebuild(rows.clone(), (0, 1, 5, 0)).is_none(), "underflow");
+        assert!(ForwardingTable::rebuild(rows, (0, 2, 0, 7)).is_none(), "uncovered > total");
     }
 
     #[test]

@@ -19,14 +19,22 @@
 //!   forwarded on, and any still-live subscriptions it had covered are
 //!   re-forwarded ahead of it, so upstream interest never dips below the
 //!   live set.
-//! * [`broker`] — one overlay node: the matching engine (inside the
-//!   enclave) indexes link interfaces alongside edge clients, so each hop
+//! * [`broker`] — one overlay node as a **sans-IO lifecycle state
+//!   machine** (`Cold → Attesting → Linking → Serving → Crashed →
+//!   Rejoining`): its whole surface is [`broker::Broker::step`]`(now,
+//!   Input) -> Vec<Output>`. The matching engine (inside the enclave)
+//!   indexes link interfaces alongside edge clients, so each hop
 //!   decrypts and matches a whole publication batch in **one enclave
 //!   crossing** and learns local deliveries and outgoing links together.
-//! * [`fabric`] — deployment orchestration: build, attest, link, then
-//!   [`fabric::OverlayFabric::subscribe`],
-//!   [`fabric::OverlayFabric::publish`] and
-//!   [`fabric::OverlayFabric::unsubscribe`].
+//!   After every subscription mutation the enclave re-seals a
+//!   rollback-protected recovery record; a crashed broker restarts from
+//!   it and asks its neighbours to replay their live forwarded sets.
+//! * [`fabric`] — a thin deterministic scheduler: build, attest, link,
+//!   then [`fabric::OverlayFabric::subscribe`],
+//!   [`fabric::OverlayFabric::publish`],
+//!   [`fabric::OverlayFabric::unsubscribe`] — and the failure path,
+//!   [`fabric::OverlayFabric::crash`] /
+//!   [`fabric::OverlayFabric::restart`].
 //!
 //! ## Example
 //!
@@ -55,8 +63,8 @@ pub mod fabric;
 pub mod forwarding;
 pub mod topology;
 
-pub use broker::{Broker, BrokerStats, Origin};
+pub use broker::{Broker, BrokerStats, Input, Lifecycle, LinkEvent, Origin, Output};
 pub use error::OverlayError;
-pub use fabric::{Delivery, FabricConfig, OverlayFabric, Propagation, Trust};
+pub use fabric::{Delivery, FabricConfig, OverlayFabric, Propagation, RejoinReport, Trust};
 pub use forwarding::ForwardingTable;
 pub use topology::Topology;

@@ -1,0 +1,310 @@
+//! Failover and sealed recovery: the crash → rejoin path end to end.
+//!
+//! A broker crash loses all volatile state; recovery combines two
+//! sources with different trust stories:
+//!
+//! * the **sealed recovery record** (engine snapshot with delivery
+//!   identities, live envelopes with origins, per-link covering tables),
+//!   rollback-protected by a platform monotonic counter — a stale record
+//!   served by the untrusted host must be *refused*;
+//! * **neighbour replay** of each surviving link's live forwarded set,
+//!   which reconciles everything that changed while the broker was down:
+//!   new subscriptions re-admit, removed ones are dropped with full
+//!   uncovering bookkeeping and propagated down the reverse path.
+//!
+//! These tests pin the acceptance properties: recovery traffic touches
+//! only the crashed broker's incident links, restored link interfaces
+//! stay interfaces (not edge clients), rollback is refused, sequence
+//! gaps surface as typed liveness events, and post-rejoin delivery is
+//! exact.
+
+use scbr::ids::{ClientId, KeyEpoch};
+use scbr::{PublicationSpec, SubscriptionSpec};
+use scbr_overlay::fabric::{FabricConfig, OverlayFabric};
+use scbr_overlay::{Delivery, Lifecycle, LinkEvent, OverlayError, Topology};
+use sgx_sim::SgxError;
+
+/// Recovery traffic stays on the crashed broker's incident links: with
+/// no churn during the outage, a rejoin exchanges handshake + replay
+/// frames with the neighbours and *nothing* beyond them — the tree does
+/// not re-propagate.
+#[test]
+fn rejoin_touches_only_incident_links() {
+    let mut fabric =
+        OverlayFabric::build(Topology::line(4), FabricConfig::attested(50)).expect("build");
+    // Interest everywhere: a broad sub at each end populates every
+    // forwarding table.
+    fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+    fabric.subscribe(3, ClientId(2), &SubscriptionSpec::new().lt("volume", 100.0)).unwrap();
+
+    fabric.crash(1).unwrap();
+    let before = fabric.edge_frames().clone();
+    let report = fabric.restart(1).unwrap();
+    let after = fabric.edge_frames().clone();
+
+    // Frames moved only on (0↔1) and (1↔2).
+    let incident = [(0, 1), (1, 0), (1, 2), (2, 1)];
+    for (edge, count) in &after {
+        let delta = count - before.get(edge).copied().unwrap_or(0);
+        if incident.contains(edge) {
+            continue;
+        }
+        assert_eq!(delta, 0, "non-incident edge {edge:?} carried {delta} recovery frames");
+    }
+    let incident_delta: u64 = incident
+        .iter()
+        .map(|e| after.get(e).copied().unwrap_or(0) - before.get(e).copied().unwrap_or(0))
+        .sum();
+    assert_eq!(report.recovery_frames, incident_delta, "report matches the per-edge ledger");
+    assert!(report.recovery_frames > 0, "handshakes + replay happened");
+    // The two broad subscriptions were restored from the seal (both are
+    // link-interface copies at router 1); the neighbours re-confirmed
+    // the rows they had forwarded to router 1.
+    assert_eq!(report.restored, 2, "one link-interface copy per direction");
+    assert_eq!(report.replayed, 2, "one replayed envelope per neighbour");
+    assert_eq!(report.dropped_stale, 0);
+
+    // Delivery is exact after the rejoin.
+    let deliveries = fabric
+        .publish(2, &[PublicationSpec::new().attr("price", 5.0).attr("volume", 50.0)])
+        .unwrap();
+    assert_eq!(
+        deliveries,
+        vec![
+            Delivery { router: 0, client: ClientId(1), publication: 0 },
+            Delivery { router: 3, client: ClientId(2), publication: 0 },
+        ]
+    );
+}
+
+/// A restored broker re-registers link interfaces as *interfaces*: the
+/// subscriber behind it gets its deliveries at its own edge broker, and
+/// the restored middle broker never "delivers" them locally.
+#[test]
+fn restored_link_interfaces_stay_interfaces() {
+    let mut fabric =
+        OverlayFabric::build(Topology::line(3), FabricConfig::attested(51)).expect("build");
+    fabric.subscribe(0, ClientId(7), &SubscriptionSpec::new().eq("symbol", "HAL")).unwrap();
+    fabric.crash(1).unwrap();
+    fabric.restart(1).unwrap();
+    // Publish behind the restored broker: the match at router 1 must
+    // route on the link interface toward router 0 — an edge-semantics
+    // regression would deliver to a phantom local client at router 1.
+    let deliveries = fabric.publish(2, &[PublicationSpec::new().attr("symbol", "HAL")]).unwrap();
+    assert_eq!(deliveries, vec![Delivery { router: 0, client: ClientId(7), publication: 0 }]);
+}
+
+/// A host serving a stale-but-authentic sealed record is caught by the
+/// monotonic counter: the broker refuses to rejoin and stays crashed;
+/// the genuine latest record still restores.
+#[test]
+fn stale_sealed_record_is_refused() {
+    let mut fabric =
+        OverlayFabric::build(Topology::line(2), FabricConfig::attested(52)).expect("build");
+    fabric.subscribe(1, ClientId(1), &SubscriptionSpec::new().gt("price", 1.0)).unwrap();
+    let stale = fabric.sealed_record(1).expect("checkpoint after first subscribe");
+    fabric.subscribe(1, ClientId(2), &SubscriptionSpec::new().gt("price", 2.0)).unwrap();
+    let latest = fabric.sealed_record(1).expect("checkpoint after second subscribe");
+
+    fabric.crash(1).unwrap();
+    fabric.set_sealed_record(1, stale);
+    let result = fabric.restart(1);
+    assert!(
+        matches!(result, Err(OverlayError::Sgx(SgxError::UnsealFailed { .. }))),
+        "stale record must be refused, got {result:?}"
+    );
+    assert_eq!(fabric.lifecycle(1), Lifecycle::Crashed, "refused broker stays crashed");
+
+    // The genuine latest record restores both subscriptions.
+    fabric.set_sealed_record(1, latest);
+    let report = fabric.restart(1).unwrap();
+    assert_eq!(report.restored, 2);
+    assert_eq!(fabric.lifecycle(1), Lifecycle::Serving);
+    let deliveries = fabric.publish(0, &[PublicationSpec::new().attr("price", 3.0)]).unwrap();
+    assert_eq!(deliveries.len(), 2);
+}
+
+/// A subscription removed while a broker was down is reconciled at
+/// rejoin: the neighbour's replay no longer vouches for it, so the
+/// rejoiner drops it and propagates authenticated `sub-drop`s down the
+/// reverse path — the whole fabric drains back to zero state.
+#[test]
+fn removals_during_outage_reconcile_via_replay() {
+    let mut fabric =
+        OverlayFabric::build(Topology::line(3), FabricConfig::preshared(53)).expect("build");
+    let broad =
+        fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+    assert_eq!(fabric.total_index_entries(), 3, "one copy per broker");
+
+    fabric.crash(1).unwrap();
+    // The removal happens while router 1 is down: the sub-remove frame
+    // toward it is dropped, and routers 1 (sealed state) and 2 (live
+    // state) still hold the subscription.
+    assert!(fabric.unsubscribe(broad).unwrap());
+    assert!(fabric.dropped_frames() > 0);
+
+    let report = fabric.restart(1).unwrap();
+    assert_eq!(report.restored, 1, "the stale subscription came back from the seal");
+    assert_eq!(report.dropped_stale, 1, "replay reconciliation dropped it again");
+    assert_eq!(fabric.total_index_entries(), 0, "the drop propagated to router 2");
+    assert_eq!(fabric.total_forwarded(), 0, "no leaked forwarding rows anywhere");
+    assert!(fabric.publish(2, &[PublicationSpec::new().attr("price", 9.0)]).unwrap().is_empty());
+}
+
+/// A subscription added while a broker was down reaches it (and its
+/// subtree) through the neighbour replay, with normal covering
+/// bookkeeping.
+#[test]
+fn additions_during_outage_arrive_via_replay() {
+    let mut fabric =
+        OverlayFabric::build(Topology::line(3), FabricConfig::preshared(54)).expect("build");
+    fabric.crash(1).unwrap();
+    fabric.subscribe(0, ClientId(5), &SubscriptionSpec::new().eq("symbol", "INTC")).unwrap();
+    // The forward toward the crashed broker was dropped; router 2 knows
+    // nothing either.
+    assert_eq!(fabric.total_index_entries(), 1);
+
+    let report = fabric.restart(1).unwrap();
+    assert_eq!(report.replayed, 1, "router 0 replayed the new envelope");
+    assert_eq!(fabric.total_index_entries(), 3, "routers 1 and 2 now hold interface copies");
+    let deliveries = fabric.publish(2, &[PublicationSpec::new().attr("symbol", "INTC")]).unwrap();
+    assert_eq!(deliveries, vec![Delivery { router: 0, client: ClientId(5), publication: 0 }]);
+}
+
+/// A frame lost on a sealed link surfaces as a typed `Gap` event (the
+/// liveness signal) and is counted in the broker stats; re-keying the
+/// link through a crash/rejoin heals it.
+#[test]
+fn lost_frames_surface_as_gap_events_and_rekey_heals() {
+    let mut fabric =
+        OverlayFabric::build(Topology::line(2), FabricConfig::attested(55)).expect("build");
+    fabric.subscribe(1, ClientId(3), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+    fabric.take_events();
+
+    // First publication: the frame 0→1 is lost in transit.
+    fabric.drop_next_frame(0, 1);
+    let lost = fabric.publish(0, &[PublicationSpec::new().attr("price", 1.0)]).unwrap();
+    assert!(lost.is_empty(), "the only interested subscriber is behind the lost frame");
+    assert_eq!(fabric.total_gaps(), 0, "a dropped frame alone is silent");
+
+    // Second publication: its frame arrives with a sequence one ahead —
+    // authentic proof of the loss. Publish succeeds; the event fires.
+    let after = fabric.publish(0, &[PublicationSpec::new().attr("price", 2.0)]).unwrap();
+    assert!(after.is_empty(), "the gapped link cannot deliver");
+    assert_eq!(fabric.total_gaps(), 1);
+    let events = fabric.take_events();
+    assert!(
+        events.iter().any(|(router, e)| *router == 1
+            && matches!(e, LinkEvent::Gap { link: 0, expected: 0, got: 1 })),
+        "typed gap event with the exact sequence window, got {events:?}"
+    );
+
+    // The link is dead until re-keyed: crash/rejoin resets both ends.
+    fabric.crash(1).unwrap();
+    let report = fabric.restart(1).unwrap();
+    assert_eq!(report.restored, 1);
+    let healed = fabric.publish(0, &[PublicationSpec::new().attr("price", 3.0)]).unwrap();
+    assert_eq!(healed, vec![Delivery { router: 1, client: ClientId(3), publication: 0 }]);
+}
+
+/// The operator can advance the key epoch across a crash: publications
+/// after the rejoin carry the new epoch (the restart does not resurrect
+/// the old one).
+#[test]
+fn epoch_advances_across_a_restart() {
+    let mut fabric = OverlayFabric::build(
+        Topology::line(2),
+        FabricConfig { epoch: KeyEpoch(1), ..FabricConfig::preshared(56) },
+    )
+    .expect("build");
+    fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("x", 0.0)).unwrap();
+    fabric.crash(1).unwrap();
+    fabric.set_epoch(KeyEpoch(2));
+    fabric.restart(1).unwrap();
+    assert_eq!(fabric.epoch(), KeyEpoch(2));
+    let deliveries = fabric.publish(1, &[PublicationSpec::new().attr("x", 1.0)]).unwrap();
+    assert_eq!(deliveries.len(), 1);
+}
+
+/// Crashing and restarting the same broker repeatedly keeps recovering
+/// exactly, and the counter ledger — including the pruned counter, which
+/// a replay must not double-count — survives every generation.
+#[test]
+fn repeated_crash_rejoin_cycles_stay_consistent() {
+    let mut fabric =
+        OverlayFabric::build(Topology::star(4), FabricConfig::preshared(57)).expect("build");
+    fabric.subscribe(1, ClientId(1), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+    // Covered by client 1's interest on the hub's links toward 3: the
+    // hub prunes it exactly once, and rejoins must not count it again.
+    fabric.subscribe(2, ClientId(2), &SubscriptionSpec::new().gt("price", 10.0)).unwrap();
+    fabric.subscribe(3, ClientId(3), &SubscriptionSpec::new().eq("symbol", "HAL")).unwrap();
+    let entries = fabric.total_index_entries();
+    let rows = fabric.total_forwarded();
+    let pruned = fabric.broker_stats()[0].pruned;
+    assert!(pruned > 0, "the covering pair prunes at the hub");
+    for round in 0..3 {
+        fabric.crash(0).unwrap();
+        fabric.restart(0).unwrap();
+        assert_eq!(fabric.total_index_entries(), entries, "round {round}: entries recovered");
+        assert_eq!(fabric.total_forwarded(), rows, "round {round}: rows recovered");
+        assert_eq!(
+            fabric.broker_stats()[0].pruned,
+            pruned,
+            "round {round}: replay must not double-count pruning"
+        );
+        for stats in fabric.broker_stats() {
+            assert_eq!(
+                stats.forwarded,
+                stats.forwarded_total - stats.removed,
+                "round {round}: ledger holds at router {}",
+                stats.router
+            );
+        }
+        let deliveries = fabric
+            .publish(0, &[PublicationSpec::new().attr("price", 20.0).attr("symbol", "HAL")])
+            .unwrap();
+        assert_eq!(deliveries.len(), 3, "round {round}: delivery exact after rejoin");
+    }
+}
+
+/// Two *adjacent* crashed brokers rejoin sequentially: the first restart
+/// skips the still-dead neighbour (no replay possible), serves again,
+/// and the second restart's replay reconciles both sides — including a
+/// removal that happened while both were down.
+#[test]
+fn adjacent_crashes_rejoin_sequentially() {
+    let mut fabric =
+        OverlayFabric::build(Topology::line(3), FabricConfig::preshared(58)).expect("build");
+    let doomed =
+        fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+    let keep =
+        fabric.subscribe(2, ClientId(2), &SubscriptionSpec::new().eq("symbol", "HAL")).unwrap();
+
+    fabric.crash(1).unwrap();
+    fabric.crash(2).unwrap();
+    // Removed while both 1 and 2 are down: only router 0 hears.
+    assert!(fabric.unsubscribe(doomed).unwrap());
+
+    // Restart 1 first: its neighbour 2 is still dead, so the rejoin
+    // replays from 0 alone and completes. 0 no longer vouches for the
+    // doomed subscription, so 1 drops its restored copy; the sub-drop
+    // toward 2 is lost (2 is down) — 2 reconciles on its own rejoin.
+    let report = fabric.restart(1).unwrap();
+    assert_eq!(fabric.lifecycle(1), Lifecycle::Serving);
+    assert_eq!(report.dropped_stale, 1, "stale sub dropped via router 0's replay");
+
+    // Restart 2: full replay from the now-serving 1.
+    let report = fabric.restart(2).unwrap();
+    assert_eq!(fabric.lifecycle(2), Lifecycle::Serving);
+    assert_eq!(report.dropped_stale, 1, "router 2's restored copy reconciled too");
+
+    // Everything converged: only `keep` is live anywhere.
+    assert_eq!(fabric.total_index_entries(), 3, "one copy of `keep` per broker");
+    let deliveries = fabric
+        .publish(0, &[PublicationSpec::new().attr("symbol", "HAL").attr("price", 5.0)])
+        .unwrap();
+    assert_eq!(deliveries, vec![Delivery { router: 2, client: ClientId(2), publication: 0 }]);
+    assert!(fabric.unsubscribe(keep).unwrap());
+    assert_eq!(fabric.total_index_entries(), 0, "drained clean after the double failure");
+    assert_eq!(fabric.total_forwarded(), 0);
+}

@@ -277,6 +277,131 @@ proptest! {
         }
     }
 
+    /// Crash/rejoin arm: random crash points interleaved with sub/unsub
+    /// churn stay delivery-equivalent to the flat oracle. A broker may
+    /// crash at any point; while it is down, churn continues at the
+    /// surviving brokers (frames toward the crashed one are dropped on
+    /// the floor). After the rejoin — sealed restore + neighbour replay +
+    /// stale-subscription reconciliation — the overlay must again
+    /// deliver exactly what the flat oracle delivers, and at the end a
+    /// fully drained fabric holds zero state.
+    #[test]
+    fn crash_rejoin_interleavings_stay_oracle_equivalent(
+        parents in proptest::collection::vec(0usize..6, 1..5),
+        subs in proptest::collection::vec(sub_strategy(), 1..8),
+        script in proptest::collection::vec((0u8..4, 0usize..16), 0..20),
+        pubs in proptest::collection::vec(pub_strategy(), 1..3),
+        publish_router in 0usize..64,
+        seed in 0u64..1_000,
+    ) {
+        let topology = build_tree(&parents);
+        let routers = topology.routers();
+        let publications: Vec<PublicationSpec> = pubs.iter().map(build_pub).collect();
+
+        let mut fabric = OverlayFabric::build_with_producer(
+            topology.clone(),
+            FabricConfig { index: IndexKind::Poset, ..FabricConfig::preshared(seed) },
+            shared_producer(),
+        ).expect("fabric");
+        let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
+        let mut oracle = MatchingEngine::new(&mem, IndexKind::Naive);
+
+        // id → (index into `subs`, actual edge router), for
+        // oracle-expectation building; placement may dodge a crashed
+        // router, so it is recorded per subscription.
+        let mut live: Vec<(SubscriptionId, usize, usize)> = Vec::new();
+        let mut next_sub = 0usize;
+        let mut crashed: Option<usize> = None;
+
+        let probe = |fabric: &mut OverlayFabric,
+                         oracle: &MatchingEngine,
+                         live: &[(SubscriptionId, usize, usize)],
+                         step_no: usize|
+         -> Result<(), TestCaseError> {
+            let at = publish_router % routers;
+            let got = fabric.publish(at, &publications).expect("probe publish");
+            let mut expected: Vec<Delivery> = Vec::new();
+            for (p, publication) in publications.iter().enumerate() {
+                for client in oracle.match_plain(publication).expect("oracle match") {
+                    let &(_, _, placed) = live
+                        .iter()
+                        .find(|(_, idx, _)| *idx == client.0 as usize)
+                        .expect("delivered client is live");
+                    expected.push(Delivery { router: placed, client, publication: p });
+                }
+            }
+            expected.sort_unstable();
+            prop_assert_eq!(
+                got, expected,
+                "overlay disagrees with the flat oracle after step {}", step_no
+            );
+            assert_counters(fabric, "crash-rejoin")?;
+            Ok(())
+        };
+
+        for (step_no, &(op, pick)) in script.iter().enumerate() {
+            match op {
+                // Subscribe the next generated subscription at its edge
+                // router, dodging a crashed broker.
+                0 if next_sub < subs.len() => {
+                    let raw = &subs[next_sub];
+                    let mut at = raw.router % routers;
+                    if Some(at) == crashed {
+                        at = (at + 1) % routers;
+                    }
+                    let client = ClientId(next_sub as u64);
+                    let spec = build_sub(raw);
+                    let id = fabric.subscribe(at, client, &spec).expect("subscribe");
+                    oracle.register_plain(id, client, &spec).expect("oracle register");
+                    live.push((id, next_sub, at));
+                    next_sub += 1;
+                }
+                // Unsubscribe a live subscription homed at a live broker.
+                1 if !live.is_empty() => {
+                    let start = pick % live.len();
+                    let Some(offset) = (0..live.len())
+                        .find(|o| Some(live[(start + o) % live.len()].2) != crashed)
+                    else { continue };
+                    let (id, _, _) = live.remove((start + offset) % live.len());
+                    prop_assert!(fabric.unsubscribe(id).expect("unsubscribe"));
+                    prop_assert!(oracle.unregister(id), "oracle had the subscription");
+                }
+                // Crash a broker (one at a time).
+                2 if crashed.is_none() => {
+                    let victim = pick % routers;
+                    fabric.crash(victim).expect("crash");
+                    crashed = Some(victim);
+                }
+                // Restart and rejoin.
+                3 => {
+                    if let Some(victim) = crashed.take() {
+                        fabric.restart(victim).expect("restart");
+                    }
+                }
+                _ => {}
+            }
+            // Probe equivalence whenever the whole fabric is serving.
+            if crashed.is_none() {
+                probe(&mut fabric, &oracle, &live, step_no)?;
+            }
+        }
+
+        // Heal, drain, and check for leaks.
+        if let Some(victim) = crashed.take() {
+            fabric.restart(victim).expect("final restart");
+        }
+        probe(&mut fabric, &oracle, &live, usize::MAX)?;
+        for (id, _, _) in live.drain(..) {
+            prop_assert!(fabric.unsubscribe(id).expect("drain unsubscribe"));
+            prop_assert!(oracle.unregister(id));
+        }
+        prop_assert_eq!(fabric.total_index_entries(), 0, "leaked index entries");
+        prop_assert_eq!(fabric.total_forwarded(), 0, "leaked forwarding-table rows");
+        for stats in fabric.broker_stats() {
+            prop_assert_eq!(stats.subscriptions, 0, "router {} index not empty", stats.router);
+        }
+    }
+
     /// The final-drain guarantee holds for every index kind, not just the
     /// poset (removal goes through `SubscriptionIndex::remove`, whose
     /// implementations differ structurally).

@@ -1,5 +1,6 @@
 //! The multi-hop overlay, demonstrated: a tree of attested routing
-//! enclaves on five untrusted hosts.
+//! enclaves on five untrusted hosts — including a mid-run broker crash
+//! and sealed-recovery rejoin.
 //!
 //! ```text
 //!        r0 ── r1 ── r3 ── r4        (r2 hangs off r1)
@@ -15,6 +16,11 @@
 //! 3. **Publish** — a batch injected at one edge crosses the tree in one
 //!    enclave crossing per hop and is delivered exactly to the matching
 //!    edge subscribers.
+//! 4. **Crash + rejoin** — a broker loses all volatile state, restarts
+//!    from its rollback-protected sealed record, re-attests, re-keys its
+//!    links and asks the surviving neighbours to replay their live sets;
+//!    delivery is exact again, with recovery traffic only on its own
+//!    links.
 //!
 //! ```text
 //! cargo run --example overlay_fabric
@@ -23,10 +29,8 @@
 use scbr::ids::ClientId;
 use scbr::index::IndexKind;
 use scbr::{PublicationSpec, SubscriptionSpec};
-use scbr_overlay::broker::Broker;
-use scbr_overlay::fabric::{
-    establish_link, router_measurement, FabricConfig, OverlayFabric, ROUTER_ENCLAVE_CODE,
-};
+use scbr_overlay::broker::{Broker, Input, Output};
+use scbr_overlay::fabric::{router_measurement, FabricConfig, OverlayFabric, ROUTER_ENCLAVE_CODE};
 use scbr_overlay::Topology;
 use sgx_sim::attest::{AttestationService, VerifierPolicy};
 
@@ -38,15 +42,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("all brokers attested; every link sealed under a mutual-quote key\n");
 
     // A tampered router build cannot join: its quote carries the wrong
-    // measurement, so an honest broker refuses at the handshake.
+    // measurement, so an honest broker refuses the handshake hello.
+    let mut rng = scbr_crypto::rng::CryptoRng::from_seed(900);
+    let producer = scbr::protocol::keys::ProducerCrypto::generate(512, &mut rng)?;
     let mut honest = Broker::attested(10, 900, IndexKind::Poset, ROUTER_ENCLAVE_CODE, false)?;
     let mut rogue = Broker::attested(11, 901, IndexKind::Poset, b"router + backdoor", false)?;
     let mut service = AttestationService::new();
     service.trust_platform(honest.platform().expect("attested").attestation_public_key().clone());
     service.trust_platform(rogue.platform().expect("attested").attestation_public_key().clone());
     let policy = VerifierPolicy::require_mr_enclave(router_measurement());
-    match establish_link(&mut rogue, &mut honest, &service, &policy) {
-        Ok(()) => println!("rogue broker: UNEXPECTEDLY linked!"),
+    let lax =
+        VerifierPolicy { mr_enclave: None, mr_signer: None, min_isv_svn: 0, allow_debug: true };
+    honest.set_neighbors(&[11]);
+    rogue.set_neighbors(&[10]);
+    honest.configure_trust(service.clone(), policy.clone());
+    rogue.configure_trust(service.clone(), lax.clone());
+    honest.provision_attested(&service, &policy, &producer, &mut rng)?;
+    rogue.provision_attested(&service, &lax, &producer, &mut rng)?;
+    let hello = honest
+        .step(0, Input::Tick)?
+        .into_iter()
+        .find_map(|o| match o {
+            Output::Frame(f) => Some(f),
+            _ => None,
+        })
+        .expect("honest broker initiates toward the higher id");
+    let accept = rogue
+        .step(1, Input::Frame { from: 10, bytes: hello.bytes })?
+        .into_iter()
+        .find_map(|o| match o {
+            Output::Frame(f) => Some(f),
+            _ => None,
+        })
+        .expect("rogue responder answers");
+    match honest.step(2, Input::Frame { from: 11, bytes: accept.bytes }) {
+        Ok(_) => println!("rogue broker: UNEXPECTEDLY linked!"),
         Err(e) => println!("rogue broker refused a link ✓  ({e})\n"),
     }
 
@@ -97,5 +127,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("\ntotal: {} ecalls across 5 brokers for a 3-message batch", fabric.total_ecalls());
+
+    // --- 4. Crash + sealed-recovery rejoin. -----------------------------
+    println!("\ncrashing r1 (the hub): all volatile state gone …");
+    fabric.crash(1)?;
+    // Life goes on around the hole — this removal's frame toward r1 is
+    // dropped, and the rejoin reconciles it later.
+    let lost = fabric.publish(4, &[PublicationSpec::new().attr("symbol", "HAL")])?;
+    println!(
+        "  publish during the outage: {} deliveries (r0/r2 side unreachable), {} frames dropped",
+        lost.len(),
+        fabric.dropped_frames()
+    );
+    let report = fabric.restart(1)?;
+    println!(
+        "r1 rejoined: {} subs restored from the sealed record, {} envelopes replayed by \
+         neighbours, {} stale dropped, {} recovery frames (incident links only)",
+        report.restored, report.replayed, report.dropped_stale, report.recovery_frames
+    );
+    let healed = fabric.publish(4, &batch)?;
+    println!("post-rejoin delivery: {} deliveries (exact again)", healed.len());
     Ok(())
 }

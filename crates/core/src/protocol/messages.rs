@@ -196,6 +196,13 @@ pub enum Message {
         /// The withdrawn subscription.
         id: SubscriptionId,
     },
+    /// Router → router: a liveness beacon. Carries no payload — on a
+    /// sealed link the frame is AEAD-sealed and sequence-numbered like
+    /// any data frame, so receiving one (or observing its sequence
+    /// number skip ahead) is an authenticated signal that the peer is
+    /// alive (or that frames were lost). Brokers emit one per link per
+    /// heartbeat interval from their timer tick.
+    Heartbeat,
     /// Generic failure notice.
     Error {
         /// What went wrong.
@@ -231,6 +238,7 @@ impl Message {
             Message::ReplayRequest => "replay-request",
             Message::ReplayDone { .. } => "replay-done",
             Message::SubDrop { .. } => "sub-drop",
+            Message::Heartbeat => "heartbeat",
             Message::Error { .. } => "error",
             Message::Shutdown => "shutdown",
         }
@@ -307,6 +315,7 @@ impl Message {
             Message::SubDrop { id } => {
                 w.u64(id.0);
             }
+            Message::Heartbeat => {}
             Message::Error { message } => {
                 w.str(message);
             }
@@ -364,6 +373,7 @@ impl Message {
             "replay-request" => Message::ReplayRequest,
             "replay-done" => Message::ReplayDone { count: r.u32()? },
             "sub-drop" => Message::SubDrop { id: SubscriptionId(r.u64()?) },
+            "heartbeat" => Message::Heartbeat,
             "error" => Message::Error { message: r.str()? },
             "shutdown" => Message::Shutdown,
             _ => return Err(ScbrError::Codec { context: "message kind" }),
@@ -441,6 +451,7 @@ mod tests {
         round_trip(Message::ReplayRequest);
         round_trip(Message::ReplayDone { count: 17 });
         round_trip(Message::SubDrop { id: SubscriptionId(42) });
+        round_trip(Message::Heartbeat);
         round_trip(Message::Error { message: "boom".into() });
         round_trip(Message::Shutdown);
     }

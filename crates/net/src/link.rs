@@ -51,6 +51,11 @@ pub struct SecureLink {
     sealer: SealedBox,
     label: Vec<u8>,
     seq: u64,
+    /// First sequence gap observed on this (inbound) half, if any:
+    /// `(expected, got)` at the moment the gap surfaced. Sticky — a
+    /// gapped link cannot make progress, so the record stands until the
+    /// link is re-keyed (a fresh [`SecureLink`]).
+    gap: Option<(u64, u64)>,
 }
 
 /// Associated data for frame `seq` on the link from `from` to `to`.
@@ -68,6 +73,7 @@ impl SecureLink {
             sealer: SealedBox::new(&SymmetricKey::from_bytes(key)),
             label: direction_label(local, peer),
             seq: 0,
+            gap: None,
         }
     }
 
@@ -77,12 +83,22 @@ impl SecureLink {
             sealer: SealedBox::new(&SymmetricKey::from_bytes(key)),
             label: direction_label(peer, local),
             seq: 0,
+            gap: None,
         }
     }
 
     /// Frames sealed (outbound half) or expected (inbound half) so far.
     pub fn sequence(&self) -> u64 {
         self.seq
+    }
+
+    /// The first sequence gap this inbound half observed, as
+    /// `(expected, got)`. A gapped link is wedged — the lost frames will
+    /// never arrive and the counter cannot advance — so the record is
+    /// sticky until the link is re-keyed. This is the per-channel wedge
+    /// predicate the overlay's suspicion timers key off.
+    pub fn gap_observed(&self) -> Option<(u64, u64)> {
+        self.gap
     }
 
     fn aad_for(&self, seq: u64) -> Vec<u8> {
@@ -128,6 +144,9 @@ impl SecureLink {
             .open(body, &self.aad_for(claimed))
             .map_err(|_| NetError::Malformed { context: "sealed link frame" })?;
         if claimed > self.seq {
+            if self.gap.is_none() {
+                self.gap = Some((self.seq, claimed));
+            }
             return Err(NetError::Gap { expected: self.seq, got: claimed });
         }
         self.seq += 1;
@@ -193,6 +212,28 @@ mod tests {
         // A gap does not advance the counter: the link is stuck (the lost
         // frames will never arrive) until it is re-established.
         assert_eq!(rx.sequence(), 0);
+        // The wedge is recorded stickily, pinned to the *first* gap.
+        assert_eq!(rx.gap_observed(), Some((0, 2)));
+        let later = tx.seal(b"frame 3", &mut rng);
+        assert!(matches!(rx.open(&later), Err(NetError::Gap { expected: 0, got: 3 })));
+        assert_eq!(rx.gap_observed(), Some((0, 2)), "first gap record is sticky");
+    }
+
+    #[test]
+    fn healthy_link_records_no_gap() {
+        let (mut tx, mut rx) = pair();
+        let mut rng = CryptoRng::from_seed(9);
+        for _ in 0..3 {
+            let sealed = tx.seal(b"ok", &mut rng);
+            rx.open(&sealed).unwrap();
+        }
+        assert_eq!(rx.gap_observed(), None);
+        // A forged frame is a Malformed error, never a gap record.
+        let mut forged = tx.seal(b"x", &mut rng);
+        let n = forged.len();
+        forged[n - 1] ^= 1;
+        assert!(rx.open(&forged).is_err());
+        assert_eq!(rx.gap_observed(), None);
     }
 
     #[test]

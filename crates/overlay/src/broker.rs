@@ -97,6 +97,60 @@ pub fn link_interface(neighbor: usize) -> ClientId {
     ClientId(LINK_INTERFACE_BIT | neighbor as u64)
 }
 
+/// Timer-driven liveness configuration, in tick units. Host-side
+/// configuration: survives crashes, like the trust anchors.
+///
+/// With heartbeats enabled, a `Serving` broker emits one
+/// [`Message::Heartbeat`] per established link every `interval` ticks
+/// (sealed and sequence-numbered like any data frame), and raises
+/// [`LinkEvent::Suspect`] against a link that has carried no authentic
+/// frame for `suspect_after` ticks — or whose sequence gap has stood
+/// unhealed for `gap_grace` ticks. With `None` (the default) the broker
+/// keeps the legacy behaviour: no steady-state timer work at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Ticks between heartbeats on each established link.
+    pub interval: u64,
+    /// Ticks of silence (no authentic inbound frame) before a link is
+    /// declared [`SuspectReason::Silence`]. Must comfortably exceed
+    /// `interval` (plus any expected delivery delay) or a slow-but-alive
+    /// peer will be falsely accused.
+    pub suspect_after: u64,
+    /// Ticks an observed sequence gap may stand before the link is
+    /// declared [`SuspectReason::Gap`] and proactively re-keyed.
+    pub gap_grace: u64,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig { interval: 2, suspect_after: 8, gap_grace: 4 }
+    }
+}
+
+impl HeartbeatConfig {
+    /// An aggressive profile for tests and benches: heartbeat every
+    /// tick, suspect after four silent ticks, re-key a wedged link after
+    /// two.
+    pub fn fast() -> Self {
+        HeartbeatConfig { interval: 1, suspect_after: 4, gap_grace: 2 }
+    }
+}
+
+/// Why a link was declared [`LinkEvent::Suspect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuspectReason {
+    /// No authentic frame for at least `suspect_after` ticks: the peer
+    /// (or the whole path to it) may be dead. This is the signal the
+    /// fabric aggregates into quorum and answers with an automatic
+    /// crash-observed → restart.
+    Silence,
+    /// A sequence gap has stood unhealed for at least `gap_grace` ticks:
+    /// the peer is provably alive (gap frames authenticate) but the
+    /// channel is wedged on lost frames. Healed at link level — re-key
+    /// and replay — never counted toward node-death quorum.
+    Gap,
+}
+
 /// The broker lifecycle states (see the module docs for the diagram).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Lifecycle {
@@ -153,7 +207,10 @@ pub enum Input {
         /// sans-IO and cannot probe.
         dead_links: Vec<usize>,
     },
-    /// A timer tick: drives handshake initiation and replay kick-off.
+    /// A timer tick: drives handshake initiation and replay kick-off
+    /// while linking or rejoining, and — with heartbeats configured —
+    /// steady-state liveness work while serving (heartbeat emission,
+    /// dead-link probing, suspicion timeouts).
     Tick,
 }
 
@@ -215,6 +272,34 @@ pub enum LinkEvent {
         dropped_stale: usize,
         /// Virtual time spent between crash and rejoin completion.
         downtime: u64,
+    },
+    /// A liveness timer expired on a link: no authentic frame for
+    /// `suspect_after` ticks, or a sequence gap unhealed past
+    /// `gap_grace`. Emitted once per suspicion episode; the fabric
+    /// aggregates silence suspicions into quorum.
+    Suspect {
+        /// The suspected link.
+        link: usize,
+        /// Why the timer expired.
+        reason: SuspectReason,
+    },
+    /// A previously suspected link proved alive again (an authentic
+    /// frame arrived, or the link re-keyed). Retracts the accusation.
+    Cleared {
+        /// The link whose suspicion was retracted.
+        link: usize,
+    },
+    /// A serving broker finished a *late* replay over a link it had
+    /// wrongly believed dead (stale restart view) or had to re-key after
+    /// a gap: both sides are reconciled without a restart.
+    Healed {
+        /// The healed link.
+        link: usize,
+        /// Envelopes the neighbour replayed during the heal.
+        replayed: usize,
+        /// Restored subscriptions the neighbour no longer vouched for,
+        /// dropped and propagated.
+        dropped_stale: usize,
     },
 }
 
@@ -574,7 +659,11 @@ pub struct LocalDelivery {
     pub item: PublishItem,
 }
 
-/// The two halves of one established link at one endpoint.
+/// The two halves of one established link at one endpoint. `Sealed` is
+/// the production (and by far the common) variant, so its size is the
+/// collection's working size either way — boxing it would just add a
+/// pointer chase to every frame.
+#[allow(clippy::large_enum_variant)]
 enum LinkChannel {
     /// Sealed under an attested link key.
     Sealed { outbound: SecureLink, inbound: SecureLink },
@@ -614,6 +703,9 @@ pub struct BrokerStats {
     /// Sequence-number gaps observed on inbound links (cumulative; the
     /// liveness signal — each one is a [`LinkEvent::Gap`]).
     pub gaps: u64,
+    /// Heartbeat frames emitted (cumulative; zero with heartbeats
+    /// disabled).
+    pub heartbeats: u64,
 }
 
 /// Result of opening an inbound frame, lifted out of the borrow on the
@@ -664,6 +756,37 @@ pub struct Broker {
     crashed_at: u64,
     now: u64,
     gaps: u64,
+    /// Liveness timers (host configuration; `None` disables all
+    /// steady-state tick work).
+    heartbeats: Option<HeartbeatConfig>,
+    /// Ticks processed over the broker's lifetime (the liveness clock).
+    ticks: u64,
+    /// Per link, the tick of the last *authentic* inbound frame
+    /// (including gap frames — a gap proves the peer alive).
+    last_rx: BTreeMap<usize, u64>,
+    /// Per link, the tick of the last heartbeat we emitted.
+    last_hb: BTreeMap<usize, u64>,
+    /// Per link, the tick a sequence gap was first observed (cleared on
+    /// re-key — the gapped channel can never advance on its own).
+    gap_since: BTreeMap<usize, u64>,
+    /// Links currently under suspicion (one `Suspect` per episode).
+    suspects: BTreeSet<usize>,
+    /// Links needing a pull-replay once their channel re-keys (set by
+    /// the gap-heal path).
+    resync: BTreeSet<usize>,
+    /// Replay requests received while not yet serving (a neighbour
+    /// rejoining concurrently with us); served on our own transition to
+    /// `Serving`.
+    parked_replays: BTreeSet<usize>,
+    /// Per link, the tick of our last handshake initiation (probe
+    /// retry pacing).
+    initiated_at: BTreeMap<usize, u64>,
+    /// Per link, the tick of our last replay request (pull-retry
+    /// pacing: a request toward a neighbour that was dead when we sent
+    /// it is re-sent once its age exceeds the suspicion window).
+    requested_at: BTreeMap<usize, u64>,
+    /// Heartbeat frames emitted (cumulative).
+    heartbeats_sent: u64,
     rng: CryptoRng,
 }
 
@@ -724,6 +847,17 @@ impl Broker {
             crashed_at: 0,
             now: 0,
             gaps: 0,
+            heartbeats: None,
+            ticks: 0,
+            last_rx: BTreeMap::new(),
+            last_hb: BTreeMap::new(),
+            gap_since: BTreeMap::new(),
+            suspects: BTreeSet::new(),
+            resync: BTreeSet::new(),
+            parked_replays: BTreeSet::new(),
+            initiated_at: BTreeMap::new(),
+            requested_at: BTreeMap::new(),
+            heartbeats_sent: 0,
             rng: CryptoRng::from_seed(seed ^ 0x6c69_6e6b),
         })
     }
@@ -760,6 +894,17 @@ impl Broker {
             crashed_at: 0,
             now: 0,
             gaps: 0,
+            heartbeats: None,
+            ticks: 0,
+            last_rx: BTreeMap::new(),
+            last_hb: BTreeMap::new(),
+            gap_since: BTreeMap::new(),
+            suspects: BTreeSet::new(),
+            resync: BTreeSet::new(),
+            parked_replays: BTreeSet::new(),
+            initiated_at: BTreeMap::new(),
+            requested_at: BTreeMap::new(),
+            heartbeats_sent: 0,
             rng: CryptoRng::from_seed(seed ^ 0x6c69_6e6b),
         }
     }
@@ -881,9 +1026,22 @@ impl Broker {
         Ok(())
     }
 
+    /// Configures (or disables, with `None`) the liveness timers. Host
+    /// configuration: survives crashes. Takes effect on the next tick.
+    pub fn set_heartbeats(&mut self, config: Option<HeartbeatConfig>) {
+        self.heartbeats = config;
+    }
+
+    /// The configured liveness timers, if any.
+    pub fn heartbeat_config(&self) -> Option<HeartbeatConfig> {
+        self.heartbeats
+    }
+
     /// Installs an unsealed link to `neighbor` (pre-shared trust).
     pub fn install_plain_link(&mut self, neighbor: usize) {
         self.links.insert(neighbor, LinkChannel::Plain);
+        self.last_rx.insert(neighbor, self.ticks);
+        self.gap_since.remove(&neighbor);
     }
 
     fn install_sealed_link(&mut self, neighbor: usize, key: &LinkKey) {
@@ -895,6 +1053,11 @@ impl Broker {
                 inbound: SecureLink::inbound(key.as_bytes(), local, neighbor as u64),
             },
         );
+        // A fresh key resets the liveness view of the link: the silence
+        // clock restarts and any wedge died with the old channel.
+        self.last_rx.insert(neighbor, self.ticks);
+        self.gap_since.remove(&neighbor);
+        self.initiated_at.remove(&neighbor);
     }
 
     fn seal_to(&mut self, neighbor: usize, wire: &[u8]) -> Result<Vec<u8>, OverlayError> {
@@ -966,6 +1129,14 @@ impl Broker {
         self.requested.clear();
         self.confirmed.clear();
         self.dead_links.clear();
+        self.last_rx.clear();
+        self.last_hb.clear();
+        self.gap_since.clear();
+        self.suspects.clear();
+        self.resync.clear();
+        self.parked_replays.clear();
+        self.initiated_at.clear();
+        self.requested_at.clear();
         self.crashed_at = self.now;
         self.state = Lifecycle::Crashed;
         Ok(vec![Output::Event(LinkEvent::Crashed)])
@@ -1017,6 +1188,7 @@ impl Broker {
         self.replayed_subs = 0;
         self.dropped_stale = 0;
         self.requested.clear();
+        self.requested_at.clear();
         self.confirmed.clear();
         self.dead_links =
             dead_links.iter().copied().filter(|n| self.neighbors.contains(n)).collect();
@@ -1038,16 +1210,31 @@ impl Broker {
         Ok(outs)
     }
 
-    /// Timer tick: initiates pending link handshakes (at bring-up the
-    /// lower id initiates each edge; a rejoining broker initiates every
-    /// incident link, since only *it* lost the keys) and kicks off
-    /// replay requests on re-established links.
+    /// Timer tick, dispatched per lifecycle state. While linking or
+    /// rejoining it drives handshake initiation and replay kick-off;
+    /// while serving (with heartbeats configured) it runs the
+    /// steady-state liveness work — heartbeat emission, dead-link
+    /// probing and suspicion timeouts. Cold, attesting and crashed
+    /// brokers have no timer work.
     fn on_tick(&mut self) -> Result<Vec<Output>, OverlayError> {
-        let mut outs = Vec::new();
-        if !matches!(self.state, Lifecycle::Linking | Lifecycle::Rejoining) {
-            return Ok(outs);
+        self.ticks += 1;
+        match self.state {
+            Lifecycle::Cold | Lifecycle::Attesting | Lifecycle::Crashed => Ok(Vec::new()),
+            Lifecycle::Linking => self.tick_handshakes(false),
+            Lifecycle::Rejoining => {
+                let mut outs = self.tick_handshakes(true)?;
+                outs.extend(self.tick_replay_kickoff()?);
+                Ok(outs)
+            }
+            Lifecycle::Serving => self.tick_serving(),
         }
-        let rejoining = self.state == Lifecycle::Rejoining;
+    }
+
+    /// Initiates pending link handshakes: at bring-up the lower id
+    /// initiates each edge; a rejoining broker initiates every incident
+    /// link, since only *it* lost the keys.
+    fn tick_handshakes(&mut self, rejoining: bool) -> Result<Vec<Output>, OverlayError> {
+        let mut outs = Vec::new();
         let targets: Vec<usize> = self
             .neighbors
             .iter()
@@ -1063,24 +1250,154 @@ impl Broker {
         for neighbor in targets {
             let (wire, state) = self.initiate_handshake()?;
             self.initiations.insert(neighbor, state);
+            self.initiated_at.insert(neighbor, self.ticks);
             outs.push(Output::Frame(LinkFrame { to: neighbor, from: self.id, bytes: wire }));
         }
-        if rejoining {
-            // Plain links (pre-shared trust) need no handshake: request
-            // the replay as soon as the host has reinstalled them.
-            let ready: Vec<usize> = self
-                .pending_replays
-                .iter()
-                .copied()
-                .filter(|n| self.links.contains_key(n) && !self.requested.contains(n))
-                .collect();
-            for neighbor in ready {
-                self.requested.insert(neighbor);
-                let bytes = self.seal_to(neighbor, &Message::ReplayRequest.to_wire())?;
-                outs.push(Output::Frame(LinkFrame { to: neighbor, from: self.id, bytes }));
+        Ok(outs)
+    }
+
+    /// Plain links (pre-shared trust) need no handshake: a rejoining
+    /// broker requests the replay as soon as the host has reinstalled
+    /// them.
+    fn tick_replay_kickoff(&mut self) -> Result<Vec<Output>, OverlayError> {
+        let mut outs = Vec::new();
+        let ready: Vec<usize> = self
+            .pending_replays
+            .iter()
+            .copied()
+            .filter(|n| self.links.contains_key(n) && !self.requested.contains(n))
+            .collect();
+        for neighbor in ready {
+            self.requested.insert(neighbor);
+            self.requested_at.insert(neighbor, self.ticks);
+            let bytes = self.seal_to(neighbor, &Message::ReplayRequest.to_wire())?;
+            outs.push(Output::Frame(LinkFrame { to: neighbor, from: self.id, bytes }));
+        }
+        Ok(outs)
+    }
+
+    /// Steady-state liveness work (with heartbeats disabled, a serving
+    /// tick is still accepted but does nothing — the legacy behaviour).
+    /// Per neighbour:
+    ///
+    /// * an established, trusted link gets a heartbeat every `interval`
+    ///   ticks;
+    /// * a believed-dead neighbour whose plain link the host reinstalled
+    ///   is healed immediately (pull-replay — the stale-liveness-view
+    ///   fix);
+    /// * an unkeyed link is probed with a fresh handshake (attested
+    ///   brokers; retried every `suspect_after` ticks);
+    /// * a link wedged on a sequence gap past `gap_grace` is declared
+    ///   [`SuspectReason::Gap`] and proactively re-keyed + resynced;
+    /// * a link silent past `suspect_after` is declared
+    ///   [`SuspectReason::Silence`] — the fabric aggregates these into
+    ///   quorum and auto-restarts the peer.
+    fn tick_serving(&mut self) -> Result<Vec<Output>, OverlayError> {
+        let Some(config) = self.heartbeats else {
+            return Ok(Vec::new());
+        };
+        let mut outs = Vec::new();
+        let hb_wire = Message::Heartbeat.to_wire();
+        for n in self.neighbors.clone() {
+            // Every neighbour is on the liveness clock from its first
+            // serving tick — silence toward a neighbour we have never
+            // heard from (because it is dead) must accrue too.
+            let seen = *self.last_rx.entry(n).or_insert(self.ticks);
+            let keyed = self.links.contains_key(&n);
+            if keyed && self.dead_links.contains(&n) {
+                // Stale liveness view: the host reinstalled a plain link
+                // to a neighbour we believed dead — it is reachable, so
+                // reconcile what we missed while ignoring it.
+                outs.extend(self.heal_dead_link(n)?);
+                continue;
+            }
+            if keyed {
+                let due = self.last_hb.get(&n).is_none_or(|&t| self.ticks - t >= config.interval);
+                if due {
+                    self.last_hb.insert(n, self.ticks);
+                    self.heartbeats_sent += 1;
+                    let bytes = self.seal_to(n, &hb_wire)?;
+                    outs.push(Output::Frame(LinkFrame { to: n, from: self.id, bytes }));
+                }
+                if self.pending_replays.contains(&n) {
+                    // An unanswered pull: the neighbour was dead (or
+                    // still rejoining) when we asked. Re-send once the
+                    // request outlives the suspicion window, so a heal
+                    // attempted against a corpse completes when the
+                    // corpse is itself fenced and restarted.
+                    let stale = self
+                        .requested_at
+                        .get(&n)
+                        .is_none_or(|&t| self.ticks - t >= config.suspect_after);
+                    if stale {
+                        self.requested.insert(n);
+                        self.requested_at.insert(n, self.ticks);
+                        let bytes = self.seal_to(n, &Message::ReplayRequest.to_wire())?;
+                        outs.push(Output::Frame(LinkFrame { to: n, from: self.id, bytes }));
+                    }
+                }
+            } else if self.platform.is_some() && !self.responses.contains_key(&n) {
+                // No channel (the neighbour was dead at our restart, or
+                // its key died with it): probe with a fresh handshake.
+                // An unanswered probe is retried once its age exceeds
+                // the suspicion window.
+                let stale = self
+                    .initiated_at
+                    .get(&n)
+                    .is_none_or(|&t| self.ticks - t >= config.suspect_after);
+                if stale {
+                    let (wire, state) = self.initiate_handshake()?;
+                    self.initiations.insert(n, state);
+                    self.initiated_at.insert(n, self.ticks);
+                    outs.push(Output::Frame(LinkFrame { to: n, from: self.id, bytes: wire }));
+                }
+            }
+            if self.suspects.contains(&n) {
+                continue; // one Suspect per episode
+            }
+            if let Some(&since) = self.gap_since.get(&n) {
+                if self.ticks - since >= config.gap_grace {
+                    self.suspects.insert(n);
+                    outs.push(Output::Event(LinkEvent::Suspect {
+                        link: n,
+                        reason: SuspectReason::Gap,
+                    }));
+                    // The peer is provably alive — gap frames
+                    // authenticate — only the channel is wedged on lost
+                    // frames. Heal at link level: re-key, then pull a
+                    // replay on the fresh channel to recover whatever
+                    // subscription traffic the gap swallowed.
+                    if self.platform.is_some() && !self.initiations.contains_key(&n) {
+                        self.resync.insert(n);
+                        let (wire, state) = self.initiate_handshake()?;
+                        self.initiations.insert(n, state);
+                        self.initiated_at.insert(n, self.ticks);
+                        outs.push(Output::Frame(LinkFrame { to: n, from: self.id, bytes: wire }));
+                    }
+                    continue;
+                }
+            }
+            if self.ticks.saturating_sub(seen) >= config.suspect_after {
+                self.suspects.insert(n);
+                outs.push(Output::Event(LinkEvent::Suspect {
+                    link: n,
+                    reason: SuspectReason::Silence,
+                }));
             }
         }
         Ok(outs)
+    }
+
+    /// A believed-dead neighbour turned out reachable: forget the dead
+    /// mark and pull a replay over the link to pick up every interest
+    /// change we missed while skipping it.
+    fn heal_dead_link(&mut self, neighbor: usize) -> Result<Vec<Output>, OverlayError> {
+        self.dead_links.remove(&neighbor);
+        self.pending_replays.insert(neighbor);
+        self.requested.insert(neighbor);
+        self.requested_at.insert(neighbor, self.ticks);
+        let bytes = self.seal_to(neighbor, &Message::ReplayRequest.to_wire())?;
+        Ok(vec![Output::Frame(LinkFrame { to: neighbor, from: self.id, bytes })])
     }
 
     // ---- link handshake ------------------------------------------------
@@ -1158,10 +1475,15 @@ impl Broker {
     }
 
     /// Bookkeeping after a sealed channel (re-)establishes: transition
-    /// `Linking → Serving` once every neighbour is up, and during a
-    /// rejoin request the replay on the fresh channel.
+    /// `Linking → Serving` once every neighbour is up, during a rejoin
+    /// request the replay on the fresh channel, and while serving heal a
+    /// believed-dead or gap-wedged link by pulling a replay over the new
+    /// key. A fresh channel also retracts any standing suspicion.
     fn post_link_up(&mut self, link: usize) -> Result<Vec<Output>, OverlayError> {
         let mut outs = vec![Output::Event(LinkEvent::LinkUp { link })];
+        if self.suspects.remove(&link) {
+            outs.push(Output::Event(LinkEvent::Cleared { link }));
+        }
         match self.state {
             Lifecycle::Linking if self.neighbors.iter().all(|n| self.links.contains_key(n)) => {
                 self.state = Lifecycle::Serving;
@@ -1169,8 +1491,15 @@ impl Broker {
             Lifecycle::Rejoining
                 if self.pending_replays.contains(&link) && self.requested.insert(link) =>
             {
+                self.requested_at.insert(link, self.ticks);
                 let bytes = self.seal_to(link, &Message::ReplayRequest.to_wire())?;
                 outs.push(Output::Frame(LinkFrame { to: link, from: self.id, bytes }));
+            }
+            Lifecycle::Serving
+                if self.dead_links.contains(&link) || self.resync.contains(&link) =>
+            {
+                self.resync.remove(&link);
+                outs.extend(self.heal_dead_link(link)?);
             }
             _ => {}
         }
@@ -1195,9 +1524,26 @@ impl Broker {
             None => Opened::NoChannel,
         };
         match opened {
-            Opened::Wire(wire) => self.dispatch_wire(from, &wire),
+            Opened::Wire(wire) => {
+                // An authentic frame is proof of life: refresh the
+                // liveness clock and retract any standing suspicion.
+                self.last_rx.insert(from, self.ticks);
+                let cleared = self.suspects.remove(&from);
+                let mut outs = self.dispatch_wire(from, &wire)?;
+                if cleared {
+                    outs.insert(0, Output::Event(LinkEvent::Cleared { link: from }));
+                }
+                Ok(outs)
+            }
             Opened::Gap { expected, got } => {
                 self.gaps += 1;
+                // A gap frame authenticates, so the *peer* is alive —
+                // but the channel is wedged. Start (or keep) the
+                // gap-grace clock; `tick_serving` escalates it to a
+                // `Suspect { reason: Gap }` re-key if it outlives the
+                // grace window.
+                self.last_rx.insert(from, self.ticks);
+                self.gap_since.entry(from).or_insert(self.ticks);
                 Ok(vec![Output::Event(LinkEvent::Gap { link: from, expected, got })])
             }
             Opened::Failed(err) => {
@@ -1225,6 +1571,16 @@ impl Broker {
                     Ok(Message::LinkHello { payload }) => self.hs_hello(from, &payload),
                     Ok(Message::LinkAccept { payload }) => self.hs_accept(from, &payload),
                     Ok(Message::LinkFinish { payload }) => self.hs_finish(from, &payload),
+                    _ if self.dead_links.contains(&from) || self.state == Lifecycle::Rejoining => {
+                        // Sealed traffic under a key we no longer hold:
+                        // either our liveness view is stale (the sender
+                        // is alive and still using its pre-restart key
+                        // toward us) or we are mid-rejoin and the sender
+                        // has not re-keyed with us yet. Swallow the
+                        // undecipherable frame — the probe/rejoin
+                        // handshake heals the link.
+                        Ok(Vec::new())
+                    }
                     _ => Err(OverlayError::Link { reason: "no link to neighbour" }),
                 }
             }
@@ -1235,18 +1591,24 @@ impl Broker {
         match Message::from_wire(wire)? {
             Message::SubForward { envelope } => {
                 self.require_traffic()?;
-                let replaying = self.state == Lifecycle::Rejoining;
+                // A link with an outstanding replay request is in replay
+                // mode whatever our own lifecycle state: a rejoining
+                // broker replays from every neighbour, a serving broker
+                // replays over a single healed link.
+                let replaying = self.pending_replays.contains(&from);
                 let outcome = self.call(|c| c.admit(&envelope, Origin::Link(from), replaying))?;
                 if replaying {
                     self.confirmed.entry(from).or_default().insert(outcome.id);
                     self.replayed_subs += 1;
                 }
                 let outs = self.forward_frames(&outcome, &envelope)?;
-                // While rejoining, one checkpoint at the end of each
+                // While replaying, one checkpoint at the end of the
                 // link's replay (reconcile_replay) covers the whole
                 // burst — re-sealing per replayed envelope would make
                 // recovery quadratic in the live set.
-                self.checkpoint_if_serving()?;
+                if !replaying {
+                    self.checkpoint_if_serving()?;
+                }
                 Ok(outs)
             }
             Message::SubRemove { envelope } => {
@@ -1284,31 +1646,68 @@ impl Broker {
                 self.route_batch(std::slice::from_ref(&item), Origin::Link(from))
             }
             Message::ReplayRequest => {
-                self.require_serving("replay requested from a broker that is not serving")?;
-                let envelopes = self.call(|c| c.replay_rows(from));
-                let count = envelopes.len() as u32;
-                let mut outs = Vec::with_capacity(envelopes.len() + 1);
-                for envelope in envelopes {
-                    let wire = Message::SubForward { envelope }.to_wire();
-                    let bytes = self.seal_to(from, &wire)?;
-                    outs.push(Output::Frame(LinkFrame { to: from, from: self.id, bytes }));
+                if self.state != Lifecycle::Serving {
+                    // A neighbour that rejoined concurrently with us is
+                    // asking for a replay we cannot serve yet. Park the
+                    // request — it drains the moment we reach Serving —
+                    // so two adjacent brokers crashed in the same window
+                    // both recover instead of wedging on each other.
+                    self.parked_replays.insert(from);
+                    return Ok(Vec::new());
                 }
-                let bytes = self.seal_to(from, &Message::ReplayDone { count }.to_wire())?;
-                outs.push(Output::Frame(LinkFrame { to: from, from: self.id, bytes }));
-                Ok(outs)
+                self.serve_replay(from)
             }
             Message::ReplayDone { count } => self.reconcile_replay(from, count),
+            Message::Heartbeat => {
+                // Pure liveness beacon: opening it already refreshed
+                // `last_rx`; there is nothing to route.
+                Ok(Vec::new())
+            }
             _ => Err(OverlayError::Link { reason: "unexpected message kind on link" }),
         }
+    }
+
+    /// Serves a replay towards `from`: re-send every subscription the
+    /// neighbour should hold from us, closed with a count-carrying
+    /// `ReplayDone` marker.
+    fn serve_replay(&mut self, from: usize) -> Result<Vec<Output>, OverlayError> {
+        let envelopes = self.call(|c| c.replay_rows(from));
+        let count = envelopes.len() as u32;
+        let mut outs = Vec::with_capacity(envelopes.len() + 1);
+        for envelope in envelopes {
+            let wire = Message::SubForward { envelope }.to_wire();
+            let bytes = self.seal_to(from, &wire)?;
+            outs.push(Output::Frame(LinkFrame { to: from, from: self.id, bytes }));
+        }
+        let bytes = self.seal_to(from, &Message::ReplayDone { count }.to_wire())?;
+        outs.push(Output::Frame(LinkFrame { to: from, from: self.id, bytes }));
+        Ok(outs)
+    }
+
+    /// Serves every replay request that arrived while we were not yet
+    /// serving. Called on the Rejoining → Serving transition.
+    fn drain_parked(&mut self) -> Result<Vec<Output>, OverlayError> {
+        let parked = std::mem::take(&mut self.parked_replays);
+        let mut outs = Vec::new();
+        for neighbor in parked {
+            if self.links.contains_key(&neighbor) {
+                outs.extend(self.serve_replay(neighbor)?);
+            }
+        }
+        Ok(outs)
     }
 
     /// Ends the replay from `from`: every restored subscription learnt
     /// from that link which the neighbour did *not* re-confirm was
     /// removed during the outage — drop it with full uncovering
     /// bookkeeping and propagate authenticated `sub-drop`s down the
-    /// reverse path. When the last neighbour finishes, start serving.
+    /// reverse path. When a rejoining broker's last neighbour finishes,
+    /// start serving; a serving broker finishing a single healed link's
+    /// replay reports `Healed` instead.
     fn reconcile_replay(&mut self, from: usize, count: u32) -> Result<Vec<Output>, OverlayError> {
-        if self.state != Lifecycle::Rejoining || !self.pending_replays.contains(&from) {
+        let healing = self.state == Lifecycle::Serving;
+        if !(self.state == Lifecycle::Rejoining || healing) || !self.pending_replays.contains(&from)
+        {
             return Err(OverlayError::Lifecycle { reason: "unexpected replay-done" });
         }
         let confirmed = self.confirmed.remove(&from).unwrap_or_default();
@@ -1322,6 +1721,7 @@ impl Broker {
                 .map(|(id, _)| *id)
                 .collect()
         });
+        let replayed_here = confirmed.len();
         let mut outs = Vec::new();
         for id in &stale {
             let outcome = self.call(|c| c.remove_by_id(*id, Origin::Link(from)));
@@ -1331,16 +1731,28 @@ impl Broker {
         }
         // One checkpoint per completed link replay: covers the replayed
         // admissions (whose per-frame checkpoints are suppressed while
-        // rejoining) and any stale drops.
+        // replaying) and any stale drops.
         self.checkpoint()?;
         self.pending_replays.remove(&from);
-        if self.pending_replays.is_empty() {
+        self.requested.remove(&from);
+        self.requested_at.remove(&from);
+        if healing {
+            outs.push(Output::Event(LinkEvent::Healed {
+                link: from,
+                replayed: replayed_here,
+                dropped_stale: stale.len(),
+            }));
+        } else if self.pending_replays.is_empty() {
             self.state = Lifecycle::Serving;
             outs.push(Output::Event(LinkEvent::Rejoined {
                 replayed: self.replayed_subs,
                 dropped_stale: self.dropped_stale,
                 downtime: self.now.saturating_sub(self.crashed_at),
             }));
+            // Neighbours that rejoined concurrently with us asked for
+            // their replays while we could not serve them: drain the
+            // parked requests now that we can.
+            outs.extend(self.drain_parked()?);
         }
         Ok(outs)
     }
@@ -1536,7 +1948,18 @@ impl Broker {
             removed,
             uncovered,
             gaps: self.gaps,
+            heartbeats: self.heartbeats_sent,
         }
+    }
+
+    /// True when the broker is fully caught up: serving, with no replay
+    /// in flight, no believed-dead links, and no unhealed gap. The
+    /// fabric's detection loop runs until every broker settles.
+    pub fn settled(&self) -> bool {
+        self.state == Lifecycle::Serving
+            && self.pending_replays.is_empty()
+            && self.dead_links.is_empty()
+            && self.gap_since.is_empty()
     }
 
     /// Resets the broker's memory counters (between measurement phases).
@@ -1715,6 +2138,52 @@ mod tests {
         assert_eq!(stats.removed, 1);
         assert_eq!(stats.forwarded, stats.forwarded_total - stats.removed);
         assert_eq!(broker.subscriptions(), 1, "only the narrow subscription remains");
+    }
+
+    #[test]
+    fn serving_tick_dispatches_liveness_work() {
+        // Regression: `Input::Tick` used to early-return unless the
+        // broker was Linking or Rejoining, so a Serving broker could
+        // never run steady-state timer work.
+        let mut rng = CryptoRng::from_seed(11);
+        let producer = producer(&mut rng);
+        let mut broker = Broker::preshared(0, 11, IndexKind::Poset, false);
+        broker.set_neighbors(&[1]);
+        broker.install_plain_link(1);
+        broker.provision_preshared(&producer);
+        assert_eq!(broker.lifecycle(), Lifecycle::Serving);
+
+        // Without heartbeats configured, a serving tick stays a no-op
+        // (the legacy behaviour).
+        assert!(broker.step(0, Input::Tick).unwrap().is_empty());
+
+        broker.set_heartbeats(Some(HeartbeatConfig::fast()));
+        let outs = broker.step(1, Input::Tick).unwrap();
+        let hb = frames(&outs);
+        assert_eq!(hb.len(), 1, "one heartbeat on the established link");
+        assert_eq!(hb[0].to, 1);
+        assert!(matches!(Message::from_wire(&hb[0].bytes).unwrap(), Message::Heartbeat));
+        assert_eq!(broker.stats().heartbeats, 1);
+
+        // The neighbour stays silent: after `suspect_after` silent ticks
+        // the link is declared suspect, exactly once per episode.
+        let mut suspects = Vec::new();
+        for now in 2..10u64 {
+            let outs = broker.step(now, Input::Tick).unwrap();
+            suspects.extend(outs.iter().filter_map(|o| match o {
+                Output::Event(LinkEvent::Suspect { link, reason }) => Some((*link, *reason)),
+                _ => None,
+            }));
+        }
+        assert_eq!(suspects, vec![(1, SuspectReason::Silence)], "one accusation per episode");
+
+        // An authentic inbound frame retracts the accusation.
+        let outs =
+            broker.step(10, Input::Frame { from: 1, bytes: Message::Heartbeat.to_wire() }).unwrap();
+        assert!(
+            outs.iter().any(|o| matches!(o, Output::Event(LinkEvent::Cleared { link: 1 }))),
+            "proof of life clears the suspect, got {outs:?}"
+        );
     }
 
     #[test]

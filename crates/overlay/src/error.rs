@@ -27,6 +27,13 @@ pub enum OverlayError {
         /// What went wrong.
         reason: &'static str,
     },
+    /// The timer-driven detection loop could not settle the fabric
+    /// within its round budget (a rejoin wedged, or losses outpaced
+    /// recovery).
+    Detection {
+        /// What went wrong.
+        reason: &'static str,
+    },
     /// A routing-layer failure (registration, matching, codec).
     Routing(ScbrError),
     /// An attestation or enclave failure (includes refused link peers).
@@ -41,6 +48,7 @@ impl fmt::Display for OverlayError {
             OverlayError::Topology { reason } => write!(f, "invalid topology: {reason}"),
             OverlayError::Link { reason } => write!(f, "link error: {reason}"),
             OverlayError::Lifecycle { reason } => write!(f, "lifecycle error: {reason}"),
+            OverlayError::Detection { reason } => write!(f, "detection error: {reason}"),
             OverlayError::Routing(e) => write!(f, "routing error: {e}"),
             OverlayError::Sgx(e) => write!(f, "sgx error: {e}"),
             OverlayError::Net(e) => write!(f, "net error: {e}"),

@@ -22,9 +22,19 @@
 //!    re-keying, neighbour replay, stale-subscription reconciliation.
 //!    The per-edge frame counters expose exactly which links carried
 //!    recovery traffic.
+//! 4. **Detection** — with [`HeartbeatConfig`] enabled (see
+//!    [`FabricConfig::with_heartbeats`]), [`OverlayFabric::tick_round`]
+//!    drives every broker's liveness timers and aggregates their
+//!    [`LinkEvent::Suspect`] accusations: once a majority of a broker's
+//!    *live* neighbours accuse it of silence, the fabric fences it
+//!    (`Crash` observed) and starts its rejoin automatically — no
+//!    operator call. [`OverlayFabric::run_detection`] loops rounds until
+//!    every broker has settled, recovering any number of concurrently
+//!    crashed brokers, adjacent ones included.
 
 use crate::broker::{
-    Broker, BrokerStats, Input, Lifecycle, LinkEvent, LinkFrame, LocalDelivery, Output,
+    Broker, BrokerStats, HeartbeatConfig, Input, Lifecycle, LinkEvent, LinkFrame, LocalDelivery,
+    Output, SuspectReason,
 };
 use crate::error::OverlayError;
 use crate::topology::Topology;
@@ -84,6 +94,10 @@ pub struct FabricConfig {
     /// tests advance it across a crash to pin that recovery does not
     /// resurrect an old epoch.
     pub epoch: KeyEpoch,
+    /// Liveness timers installed on every broker. `None` (the default)
+    /// keeps the legacy behaviour: no heartbeats, no suspicion,
+    /// operator-driven restarts only.
+    pub heartbeats: Option<HeartbeatConfig>,
 }
 
 impl FabricConfig {
@@ -96,12 +110,20 @@ impl FabricConfig {
             propagation: Propagation::CoveringPruned,
             trust: Trust::Attested,
             epoch: KeyEpoch(0),
+            heartbeats: None,
         }
     }
 
     /// Fast functional-test configuration (no attestation, no sealing).
     pub fn preshared(seed: u64) -> Self {
         FabricConfig { trust: Trust::PreShared, ..FabricConfig::attested(seed) }
+    }
+
+    /// Enables timer-driven failure detection on every broker.
+    #[must_use]
+    pub fn with_heartbeats(mut self, heartbeats: HeartbeatConfig) -> Self {
+        self.heartbeats = Some(heartbeats);
+        self
     }
 }
 
@@ -132,6 +154,18 @@ pub struct RejoinReport {
     pub recovery_frames: u64,
 }
 
+/// One automatic fence-and-restart performed by the detection loop: the
+/// fabric observed quorum suspicion against `router` during detection
+/// round `round` and started its rejoin with no operator call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoRejoin {
+    /// The broker that was fenced and restarted.
+    pub router: usize,
+    /// The detection round (see [`OverlayFabric::tick_round`]) in which
+    /// quorum was reached.
+    pub round: u64,
+}
+
 /// A running overlay of attested brokers.
 pub struct OverlayFabric {
     topology: Topology,
@@ -154,11 +188,25 @@ pub struct OverlayFabric {
     edge_frames: BTreeMap<(usize, usize), u64>,
     /// Frames dropped (crashed destination or injected loss), cumulative.
     dropped_frames: u64,
+    /// Frames dropped per directed edge, cumulative (the loss-injection
+    /// ledger: sums to `dropped_frames`).
+    edge_drops: BTreeMap<(usize, usize), u64>,
     /// One-shot frame-loss injection per directed edge (test hook for
     /// the sequence-gap liveness signal).
     drop_plan: BTreeSet<(usize, usize)>,
     /// Typed events surfaced by brokers, in dispatch order.
     events: Vec<(usize, LinkEvent)>,
+    /// Standing silence accusations: suspect → the neighbours currently
+    /// accusing it. Fed by `Suspect { reason: Silence }` events, drained
+    /// by `Cleared` events and by accuser crashes; `Gap` suspicions heal
+    /// at link level and never enter.
+    suspicions: BTreeMap<usize, BTreeSet<usize>>,
+    /// Detection rounds run so far ([`OverlayFabric::tick_round`]).
+    rounds: u64,
+    /// Per-broker tick stride: a broker with stride `s` receives a timer
+    /// tick only every `s`-th detection round (models a slow-but-alive
+    /// host whose heartbeats are delayed, not lost). Default 1.
+    strides: BTreeMap<usize, u64>,
 }
 
 impl std::fmt::Debug for OverlayFabric {
@@ -240,6 +288,11 @@ impl OverlayFabric {
                 service_policy = Some((service, policy));
             }
         }
+        if let Some(heartbeats) = config.heartbeats {
+            for broker in &mut brokers {
+                broker.set_heartbeats(Some(heartbeats));
+            }
+        }
         let mut fabric = OverlayFabric {
             topology,
             brokers,
@@ -254,8 +307,12 @@ impl OverlayFabric {
             clock: 0,
             edge_frames: BTreeMap::new(),
             dropped_frames: 0,
+            edge_drops: BTreeMap::new(),
             drop_plan: BTreeSet::new(),
             events: Vec::new(),
+            suspicions: BTreeMap::new(),
+            rounds: 0,
+            strides: BTreeMap::new(),
         };
         if config.trust == Trust::Attested {
             // One tick round: every edge's lower endpoint initiates; the
@@ -347,30 +404,65 @@ impl OverlayFabric {
                       router: usize,
                       queue: &mut VecDeque<LinkFrame>,
                       deliveries: &mut Vec<LocalDelivery>,
-                      events: &mut Vec<(usize, LinkEvent)>| {
+                      events: &mut Vec<(usize, LinkEvent)>,
+                      suspicions: &mut BTreeMap<usize, BTreeSet<usize>>| {
             for out in outs {
                 match out {
                     Output::Frame(frame) => queue.push_back(frame),
                     Output::Delivery(delivery) => deliveries.push(delivery),
-                    Output::Event(event) => events.push((router, event)),
+                    Output::Event(event) => {
+                        // Mirror the liveness accusations into the
+                        // fabric's aggregate view. Only silence counts
+                        // toward node death; a gap accuses the channel,
+                        // not the peer (which provably sent the frame).
+                        match &event {
+                            LinkEvent::Suspect { link, reason: SuspectReason::Silence } => {
+                                suspicions.entry(*link).or_default().insert(router);
+                            }
+                            LinkEvent::Cleared { link } => {
+                                if let Some(accusers) = suspicions.get_mut(link) {
+                                    accusers.remove(&router);
+                                    if accusers.is_empty() {
+                                        suspicions.remove(link);
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                        events.push((router, event));
+                    }
                 }
             }
         };
-        absorb(outputs, origin, &mut queue, &mut deliveries, &mut self.events);
+        absorb(
+            outputs,
+            origin,
+            &mut queue,
+            &mut deliveries,
+            &mut self.events,
+            &mut self.suspicions,
+        );
         while let Some(frame) = queue.pop_front() {
-            *self.edge_frames.entry((frame.from, frame.to)).or_default() += 1;
-            if self.brokers[frame.to].lifecycle() == Lifecycle::Crashed {
+            let edge = (frame.from, frame.to);
+            *self.edge_frames.entry(edge).or_default() += 1;
+            let doomed = self.brokers[frame.to].lifecycle() == Lifecycle::Crashed
+                || self.drop_plan.remove(&edge);
+            if doomed {
                 self.dropped_frames += 1;
-                continue;
-            }
-            if self.drop_plan.remove(&(frame.from, frame.to)) {
-                self.dropped_frames += 1;
+                *self.edge_drops.entry(edge).or_default() += 1;
                 continue;
             }
             let now = self.tick();
             let outs = self.brokers[frame.to]
                 .step(now, Input::Frame { from: frame.from, bytes: frame.bytes })?;
-            absorb(outs, frame.to, &mut queue, &mut deliveries, &mut self.events);
+            absorb(
+                outs,
+                frame.to,
+                &mut queue,
+                &mut deliveries,
+                &mut self.events,
+                &mut self.suspicions,
+            );
         }
         Ok(deliveries)
     }
@@ -477,6 +569,11 @@ impl OverlayFabric {
     pub fn crash(&mut self, at: usize) -> Result<(), OverlayError> {
         self.check_router(at)?;
         self.dispatch(at, Input::Crash)?;
+        // A dead broker's standing accusations die with its state.
+        self.suspicions.retain(|_, accusers| {
+            accusers.remove(&at);
+            !accusers.is_empty()
+        });
         Ok(())
     }
 
@@ -493,12 +590,13 @@ impl OverlayFabric {
     /// handshake or replay failure.
     pub fn restart(&mut self, at: usize) -> Result<RejoinReport, OverlayError> {
         self.check_router(at)?;
-        let frames_before: u64 = self.edge_frames.values().sum();
-        let events_before = self.events.len();
         // The scheduler is the liveness oracle: neighbours that are not
-        // serving cannot answer a replay, so the rejoiner skips them —
-        // their own later rejoin replays from `at` and reconciles both
-        // sides (adjacent crashes restart sequentially, in any order).
+        // serving cannot answer a replay right now, so the rejoiner skips
+        // them — their own rejoin replays from `at` and reconciles both
+        // sides, and (with heartbeats) `at` heals the skipped link the
+        // moment it is re-keyed. Adjacent concurrent crashes recover in
+        // any order: a replay request toward a still-rejoining neighbour
+        // parks there and drains when that neighbour starts serving.
         let dead_links: Vec<usize> = self
             .topology
             .neighbors(at)
@@ -506,34 +604,34 @@ impl OverlayFabric {
             .copied()
             .filter(|&n| self.brokers[n].lifecycle() != Lifecycle::Serving)
             .collect();
-        self.dispatch(at, Input::Restart { dead_links: dead_links.clone() })?;
-        match self.trust {
-            Trust::PreShared => {
-                // Plain links are stateless: reinstall them everywhere
-                // (frames toward a still-crashed neighbour drop at the
-                // scheduler); `dead_links` only governs replay skipping.
-                let neighbors = self.topology.neighbors(at).to_vec();
-                for neighbor in neighbors {
-                    self.brokers[at].install_plain_link(neighbor);
-                    self.brokers[neighbor].install_plain_link(at);
-                }
-                let producer = self.producer.clone();
-                self.brokers[at].provision_preshared(&producer);
-            }
-            Trust::Attested => {
-                let (Some(service), Some(policy)) = (self.service.clone(), self.policy.clone())
-                else {
-                    return Err(OverlayError::Link { reason: "fabric lost its trust anchors" });
-                };
-                let producer = self.producer.clone();
-                self.brokers[at].provision_attested(&service, &policy, &producer, &mut self.rng)?;
-            }
-        }
+        self.restart_with_liveness_view(at, &dead_links)
+    }
+
+    /// [`OverlayFabric::restart`] with an explicit (possibly wrong)
+    /// liveness view instead of the scheduler-oracle one: `dead_links`
+    /// is what the operator *believes* is down. Neighbours named there
+    /// are skipped at rejoin — a stale entry naming a live neighbour
+    /// leaves that link un-rekeyed until the heartbeat timers heal it
+    /// (probe handshake + pull replay), which is exactly what the
+    /// stale-view regression tests pin.
+    ///
+    /// # Errors
+    ///
+    /// As [`OverlayFabric::restart`].
+    pub fn restart_with_liveness_view(
+        &mut self,
+        at: usize,
+        dead_links: &[usize],
+    ) -> Result<RejoinReport, OverlayError> {
+        self.check_router(at)?;
+        let frames_before: u64 = self.edge_frames.values().sum();
+        let events_before = self.events.len();
+        self.begin_restart(at, dead_links)?;
         // One tick initiates every incident handshake (attested) or
         // replay request (pre-shared); the pump completes the rejoin
-        // synchronously. A second tick catches nothing in practice but
-        // keeps the loop honest if a link needed two rounds.
-        for _ in 0..2 {
+        // synchronously. The extra iterations cover multi-round heal
+        // chains (e.g. a neighbour pulling its own replay back).
+        for _ in 0..4 {
             if self.brokers[at].lifecycle() == Lifecycle::Serving {
                 break;
             }
@@ -568,6 +666,164 @@ impl OverlayFabric {
         }
         let recovery_frames = self.edge_frames.values().sum::<u64>() - frames_before;
         Ok(RejoinReport { restored, replayed, dropped_stale, recovery_frames })
+    }
+
+    /// Dispatches the `Restart` input and restores host-side state
+    /// (plain links, provisioning) *without* driving the rejoin to
+    /// completion — subsequent timer ticks carry it forward. Splitting
+    /// this off is what lets the detection loop hold several adjacent
+    /// brokers mid-rejoin at once.
+    fn begin_restart(&mut self, at: usize, dead_links: &[usize]) -> Result<(), OverlayError> {
+        self.dispatch(at, Input::Restart { dead_links: dead_links.to_vec() })?;
+        match self.trust {
+            Trust::PreShared => {
+                // Plain links are stateless: reinstall them everywhere
+                // (frames toward a still-crashed neighbour drop at the
+                // scheduler); `dead_links` only governs replay skipping.
+                let neighbors = self.topology.neighbors(at).to_vec();
+                for neighbor in neighbors {
+                    self.brokers[at].install_plain_link(neighbor);
+                    self.brokers[neighbor].install_plain_link(at);
+                }
+                let producer = self.producer.clone();
+                self.brokers[at].provision_preshared(&producer);
+            }
+            Trust::Attested => {
+                let (Some(service), Some(policy)) = (self.service.clone(), self.policy.clone())
+                else {
+                    return Err(OverlayError::Link { reason: "fabric lost its trust anchors" });
+                };
+                let producer = self.producer.clone();
+                self.brokers[at].provision_attested(&service, &policy, &producer, &mut self.rng)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- timer-driven failure detection --------------------------------
+
+    /// Runs one detection round: every broker (respecting its tick
+    /// stride) receives a timer tick — driving heartbeats, suspicion
+    /// timeouts, probes and replay kick-offs — and the fabric then
+    /// converts quorum suspicion into automatic fence-and-restart. A
+    /// broker is fenced once a **majority of its currently-serving
+    /// neighbours** accuse it of silence; the fence (`Crash` observed)
+    /// is idempotent for a genuinely dead broker, and the restart is
+    /// incremental — an adjacent broker may be fenced in the same round,
+    /// and both rejoins proceed concurrently across subsequent rounds
+    /// (replay requests toward a still-rejoining neighbour park there
+    /// and drain when it starts serving).
+    ///
+    /// Returns the fence-and-restarts performed this round.
+    ///
+    /// # Errors
+    ///
+    /// Tick, pump or restart failures.
+    pub fn tick_round(&mut self) -> Result<Vec<AutoRejoin>, OverlayError> {
+        self.rounds += 1;
+        for id in 0..self.brokers.len() {
+            if self.brokers[id].lifecycle() == Lifecycle::Crashed {
+                continue;
+            }
+            let stride = self.strides.get(&id).copied().unwrap_or(1).max(1);
+            if !self.rounds.is_multiple_of(stride) {
+                continue;
+            }
+            let now = self.tick();
+            let outs = self.brokers[id].step(now, Input::Tick)?;
+            self.pump(id, outs)?;
+        }
+        let mut rejoins = Vec::new();
+        let candidates: Vec<usize> = self.suspicions.keys().copied().collect();
+        for suspect in candidates {
+            if self.brokers[suspect].lifecycle() == Lifecycle::Rejoining {
+                continue; // restart already in flight
+            }
+            let serving_accusers = self
+                .suspicions
+                .get(&suspect)
+                .map_or(0, |a| a.iter().filter(|&&n| self.is_serving(n)).count());
+            let live_neighbors =
+                self.topology.neighbors(suspect).iter().filter(|&&n| self.is_serving(n)).count();
+            // Majority of the *live* neighbourhood: a single partitioned
+            // edge cannot fence a well-connected broker, but a broker
+            // whose only live neighbour accuses it is fenced — that is
+            // what unwedges cascades of adjacent crashes.
+            let quorum = live_neighbors / 2 + 1;
+            if live_neighbors == 0 || serving_accusers < quorum {
+                continue;
+            }
+            // Fence: observe the crash (idempotent if the broker really
+            // is dead) so the restart starts from a clean slate, then
+            // begin the rejoin. Dead-link view for the rejoiner: only
+            // neighbours that are *crashed right now* are skipped — a
+            // rejoining neighbour will serve the parked replay later.
+            self.crash(suspect)?;
+            let dead_links: Vec<usize> = self
+                .topology
+                .neighbors(suspect)
+                .iter()
+                .copied()
+                .filter(|&n| self.brokers[n].lifecycle() == Lifecycle::Crashed)
+                .collect();
+            self.begin_restart(suspect, &dead_links)?;
+            self.suspicions.remove(&suspect);
+            rejoins.push(AutoRejoin { router: suspect, round: self.rounds });
+        }
+        Ok(rejoins)
+    }
+
+    /// Runs detection rounds until every broker has settled (serving,
+    /// no replay in flight, no believed-dead link, no unhealed gap) and
+    /// no suspicion stands, returning every automatic fence-and-restart
+    /// performed. This is the zero-operator recovery path: crash any set
+    /// of brokers — adjacent ones included — silently, call this, and
+    /// the fabric detects and repairs the damage on its own.
+    ///
+    /// # Errors
+    ///
+    /// [`OverlayError::Detection`] when the fabric has not settled
+    /// within `max_rounds` rounds; tick/pump/restart failures propagate.
+    pub fn run_detection(&mut self, max_rounds: u64) -> Result<Vec<AutoRejoin>, OverlayError> {
+        let mut rejoins = Vec::new();
+        for _ in 0..max_rounds {
+            if self.settled() {
+                return Ok(rejoins);
+            }
+            rejoins.extend(self.tick_round()?);
+        }
+        if self.settled() {
+            return Ok(rejoins);
+        }
+        Err(OverlayError::Detection { reason: "fabric did not settle within the round budget" })
+    }
+
+    /// True when every broker is settled (serving with no recovery work
+    /// outstanding) and no silence accusation stands.
+    pub fn settled(&self) -> bool {
+        self.brokers.iter().all(Broker::settled) && self.suspicions.is_empty()
+    }
+
+    /// Sets broker `at`'s tick stride: it receives a timer tick only
+    /// every `stride`-th detection round (models a slow-but-alive host —
+    /// its heartbeats are delayed, not lost; with `stride · interval`
+    /// below `suspect_after` its neighbours never accuse it).
+    pub fn set_tick_stride(&mut self, at: usize, stride: u64) {
+        self.strides.insert(at, stride.max(1));
+    }
+
+    /// Standing silence accusations: suspect → accusing neighbours.
+    pub fn suspicions(&self) -> &BTreeMap<usize, BTreeSet<usize>> {
+        &self.suspicions
+    }
+
+    /// Detection rounds run so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    fn is_serving(&self, at: usize) -> bool {
+        self.brokers[at].lifecycle() == Lifecycle::Serving
     }
 
     /// The sealed recovery record on router `at`'s host disk (the disk
@@ -606,6 +862,13 @@ impl OverlayFabric {
     /// Cumulative frame counts per directed edge.
     pub fn edge_frames(&self) -> &BTreeMap<(usize, usize), u64> {
         &self.edge_frames
+    }
+
+    /// Cumulative dropped-frame counts per directed edge (crashed
+    /// destinations + injected losses; sums to
+    /// [`OverlayFabric::dropped_frames`]).
+    pub fn edge_drops(&self) -> &BTreeMap<(usize, usize), u64> {
+        &self.edge_drops
     }
 
     /// Drains the typed events surfaced by brokers since the last call.
@@ -662,6 +925,11 @@ impl OverlayFabric {
     /// Total sequence-number gaps observed across brokers (cumulative).
     pub fn total_gaps(&self) -> u64 {
         self.brokers.iter().map(|b| b.stats().gaps).sum()
+    }
+
+    /// Total heartbeat frames emitted across brokers (cumulative).
+    pub fn total_heartbeats(&self) -> u64 {
+        self.brokers.iter().map(|b| b.stats().heartbeats).sum()
     }
 
     /// Total index entries across brokers (edge + link-interface copies).

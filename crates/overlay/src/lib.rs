@@ -34,7 +34,12 @@
 //!   [`fabric::OverlayFabric::publish`],
 //!   [`fabric::OverlayFabric::unsubscribe`] — and the failure path,
 //!   [`fabric::OverlayFabric::crash`] /
-//!   [`fabric::OverlayFabric::restart`].
+//!   [`fabric::OverlayFabric::restart`]. With heartbeats enabled
+//!   ([`broker::HeartbeatConfig`]), the fabric is also the liveness
+//!   oracle: [`fabric::OverlayFabric::run_detection`] aggregates
+//!   per-link silence suspicion into quorum and fences + restarts
+//!   crashed brokers automatically — adjacent concurrent crashes
+//!   included — with no operator call.
 //!
 //! ## Example
 //!
@@ -63,8 +68,13 @@ pub mod fabric;
 pub mod forwarding;
 pub mod topology;
 
-pub use broker::{Broker, BrokerStats, Input, Lifecycle, LinkEvent, Origin, Output};
+pub use broker::{
+    Broker, BrokerStats, HeartbeatConfig, Input, Lifecycle, LinkEvent, Origin, Output,
+    SuspectReason,
+};
 pub use error::OverlayError;
-pub use fabric::{Delivery, FabricConfig, OverlayFabric, Propagation, RejoinReport, Trust};
+pub use fabric::{
+    AutoRejoin, Delivery, FabricConfig, OverlayFabric, Propagation, RejoinReport, Trust,
+};
 pub use forwarding::ForwardingTable;
 pub use topology::Topology;

@@ -21,7 +21,9 @@
 use scbr::ids::{ClientId, KeyEpoch};
 use scbr::{PublicationSpec, SubscriptionSpec};
 use scbr_overlay::fabric::{FabricConfig, OverlayFabric};
-use scbr_overlay::{Delivery, Lifecycle, LinkEvent, OverlayError, Topology};
+use scbr_overlay::{
+    Delivery, HeartbeatConfig, Lifecycle, LinkEvent, OverlayError, SuspectReason, Topology,
+};
 use sgx_sim::SgxError;
 
 /// Recovery traffic stays on the crashed broker's incident links: with
@@ -307,4 +309,302 @@ fn adjacent_crashes_rejoin_sequentially() {
     assert!(fabric.unsubscribe(keep).unwrap());
     assert_eq!(fabric.total_index_entries(), 0, "drained clean after the double failure");
     assert_eq!(fabric.total_forwarded(), 0);
+}
+
+// ---- timer-driven failure detection ------------------------------------
+
+/// Regression for the swallowed-tick bug: a `Serving` broker's timer
+/// tick used to early-return before any steady-state work could run.
+/// With heartbeats configured, one detection round makes every serving
+/// broker emit heartbeat frames on its established links.
+#[test]
+fn serving_brokers_do_tick_work() {
+    let mut fabric = OverlayFabric::build(
+        Topology::line(3),
+        FabricConfig::preshared(60).with_heartbeats(HeartbeatConfig::fast()),
+    )
+    .expect("build");
+    assert_eq!(fabric.total_heartbeats(), 0);
+    fabric.tick_round().unwrap();
+    // Each broker heartbeats every established link: 2·(edge count).
+    assert_eq!(fabric.total_heartbeats(), 4, "one heartbeat per directed edge per round");
+    fabric.tick_round().unwrap();
+    assert_eq!(fabric.total_heartbeats(), 8);
+    // Heartbeats are pure liveness: no deliveries, no index movement,
+    // no suspicion among healthy brokers.
+    assert!(fabric.suspicions().is_empty());
+    assert!(fabric.settled());
+}
+
+/// The zero-operator recovery path: a broker crashes silently, and the
+/// detection loop alone — heartbeat silence, quorum suspicion, fence,
+/// rejoin — returns it to `Serving`. No `restart` call anywhere.
+#[test]
+fn silent_crash_is_detected_and_rejoined_automatically() {
+    let mut fabric = OverlayFabric::build(
+        Topology::line(3),
+        FabricConfig::preshared(61).with_heartbeats(HeartbeatConfig::fast()),
+    )
+    .expect("build");
+    fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+    fabric.subscribe(2, ClientId(2), &SubscriptionSpec::new().eq("symbol", "HAL")).unwrap();
+
+    fabric.crash(1).unwrap();
+    let rejoins = fabric.run_detection(32).expect("fabric settles");
+    assert_eq!(rejoins.len(), 1, "exactly one automatic fence-and-restart");
+    assert_eq!(rejoins[0].router, 1);
+    assert!(rejoins[0].round >= HeartbeatConfig::fast().suspect_after, "suspicion needs silence");
+    assert_eq!(fabric.lifecycle(1), Lifecycle::Serving);
+    assert!(fabric.settled());
+
+    // The drop ledger is assertable per edge and sums to the total.
+    let ledger: u64 = fabric.edge_drops().values().sum();
+    assert_eq!(ledger, fabric.dropped_frames());
+    assert!(
+        fabric.edge_drops().keys().all(|&(_, to)| to == 1),
+        "only frames toward the crashed broker were lost: {:?}",
+        fabric.edge_drops()
+    );
+
+    // Delivery is exact again, both directions through the healed hop.
+    let deliveries = fabric
+        .publish(1, &[PublicationSpec::new().attr("price", 5.0).attr("symbol", "HAL")])
+        .unwrap();
+    assert_eq!(
+        deliveries,
+        vec![
+            Delivery { router: 0, client: ClientId(1), publication: 0 },
+            Delivery { router: 2, client: ClientId(2), publication: 0 },
+        ]
+    );
+}
+
+/// Two *adjacent* brokers crash in the same window and both recover
+/// with zero operator calls: the detection loop fences each on its live
+/// side's accusation, the replay request toward the still-rejoining
+/// neighbour parks until that neighbour serves, then drains. A removal
+/// during the double outage reconciles through the chained replays.
+#[test]
+fn adjacent_concurrent_crashes_both_recover_automatically() {
+    let mut fabric = OverlayFabric::build(
+        Topology::line(5),
+        FabricConfig::preshared(62).with_heartbeats(HeartbeatConfig::fast()),
+    )
+    .expect("build");
+    let doomed =
+        fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+    fabric.subscribe(4, ClientId(2), &SubscriptionSpec::new().eq("symbol", "HAL")).unwrap();
+
+    // Both middle brokers die in the same window, and interest churns
+    // while they are down: only router 0 hears the removal.
+    fabric.crash(1).unwrap();
+    fabric.crash(2).unwrap();
+    assert!(fabric.unsubscribe(doomed).unwrap());
+
+    let frames_before = fabric.edge_frames().clone();
+    fabric.take_events();
+    let rejoins = fabric.run_detection(64).expect("both rejoins settle");
+    let victims: Vec<usize> = rejoins.iter().map(|r| r.router).collect();
+    assert_eq!(victims, vec![1, 2], "each crashed broker fenced exactly once, no false positives");
+    for id in 0..5 {
+        assert_eq!(fabric.lifecycle(id), Lifecycle::Serving, "router {id} serving");
+    }
+    assert!(fabric.settled());
+    let events = fabric.take_events();
+    for router in [1, 2] {
+        assert!(
+            events.iter().any(|(r, e)| *r == router && matches!(e, LinkEvent::Rejoined { .. })),
+            "router {router} completed a full rejoin"
+        );
+    }
+
+    // Frame ledger: replay traffic stayed on the crashed brokers'
+    // incident edges. The far edge (3↔4) carried exactly its heartbeat
+    // load (one frame per direction per round) plus the single
+    // reconciliation `sub-drop` for the mid-outage removal, which
+    // legitimately travels the stale subscription's reverse path.
+    let after = fabric.edge_frames().clone();
+    let delta = |edge: (usize, usize)| {
+        after.get(&edge).copied().unwrap_or(0) - frames_before.get(&edge).copied().unwrap_or(0)
+    };
+    let rounds_delta = fabric.rounds();
+    assert_eq!(delta((4, 3)), rounds_delta, "4→3 carried heartbeats only");
+    assert_eq!(delta((3, 4)), rounds_delta + 1, "3→4: heartbeats + one reconciliation sub-drop");
+
+    // The mid-outage removal reconciled everywhere: only `HAL` interest
+    // survives (edge copy at 4 plus one interface copy per other hop).
+    assert_eq!(fabric.total_index_entries(), 5, "stale interest fully reconciled");
+    let deliveries = fabric
+        .publish(0, &[PublicationSpec::new().attr("price", 9.0).attr("symbol", "HAL")])
+        .unwrap();
+    assert_eq!(deliveries, vec![Delivery { router: 4, client: ClientId(2), publication: 0 }]);
+}
+
+/// The hardest concurrent shape: a leaf and its *only* neighbour die in
+/// the same window. The leaf has no live neighbour left to accuse it,
+/// so it is only reachable through a chain — the middle broker is
+/// fenced first on the far side's accusation, rejoins, then itself
+/// accrues silence toward the dead leaf and accuses it. The middle
+/// broker's first pull toward the leaf lands on a corpse; the
+/// timer-paced retry completes the heal once the leaf is back.
+#[test]
+fn leaf_and_its_only_neighbour_both_recover_automatically() {
+    let mut fabric = OverlayFabric::build(
+        Topology::line(3),
+        FabricConfig::preshared(63).with_heartbeats(HeartbeatConfig::fast()),
+    )
+    .expect("build");
+    fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+    fabric.subscribe(2, ClientId(2), &SubscriptionSpec::new().eq("symbol", "HAL")).unwrap();
+
+    fabric.crash(0).unwrap();
+    fabric.crash(1).unwrap();
+
+    fabric.take_events();
+    let rejoins = fabric.run_detection(64).expect("cascaded detection settles");
+    let victims: Vec<usize> = rejoins.iter().map(|r| r.router).collect();
+    assert_eq!(victims, vec![1, 0], "the chain unwedges inward: middle first, then the leaf");
+    for id in 0..3 {
+        assert_eq!(fabric.lifecycle(id), Lifecycle::Serving, "router {id} serving");
+    }
+    assert!(fabric.settled());
+    let events = fabric.take_events();
+    for router in [0, 1] {
+        assert!(
+            events.iter().any(|(r, e)| *r == router && matches!(e, LinkEvent::Rejoined { .. })),
+            "router {router} completed a full rejoin"
+        );
+    }
+    // The middle broker's heal of the believed-dead leaf link completed
+    // through the retried pull.
+    assert!(
+        events.iter().any(|(r, e)| *r == 1 && matches!(e, LinkEvent::Healed { link: 0, .. })),
+        "router 1 healed the leaf link after its first request died with the corpse"
+    );
+
+    // The leaf's edge subscription survived the double outage end to end.
+    let deliveries = fabric
+        .publish(2, &[PublicationSpec::new().attr("price", 3.0).attr("symbol", "HAL")])
+        .unwrap();
+    assert_eq!(
+        deliveries,
+        vec![
+            Delivery { router: 0, client: ClientId(1), publication: 0 },
+            Delivery { router: 2, client: ClientId(2), publication: 0 },
+        ]
+    );
+}
+
+/// Regression for the stale-liveness-view wedge: a `Restart` naming a
+/// neighbour that is actually alive used to leave that link un-rekeyed
+/// forever (skipped at rejoin, never retried). With heartbeats, the
+/// serving broker probes the missing link, re-keys it, pulls a replay
+/// and reports `Healed` — without fencing the falsely-accused neighbour.
+#[test]
+fn stale_liveness_view_heals_by_probe_and_replay() {
+    let mut fabric = OverlayFabric::build(
+        Topology::line(3),
+        FabricConfig::attested(63).with_heartbeats(HeartbeatConfig::fast()),
+    )
+    .expect("build");
+    fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+    fabric.subscribe(2, ClientId(2), &SubscriptionSpec::new().eq("symbol", "HAL")).unwrap();
+
+    fabric.crash(1).unwrap();
+    // The operator's liveness view is stale: router 2 is alive, but the
+    // restart names it dead. The rejoin replays from router 0 alone and
+    // completes — with the 1↔2 link missing.
+    fabric.restart_with_liveness_view(1, &[2]).expect("rejoin from the live side completes");
+    assert_eq!(fabric.lifecycle(1), Lifecycle::Serving);
+    assert!(!fabric.settled(), "the skipped link is still believed dead");
+
+    fabric.take_events();
+    let rejoins = fabric.run_detection(32).expect("heal settles");
+    assert!(rejoins.is_empty(), "healing a stale view must not fence anyone");
+    let events = fabric.take_events();
+    assert!(
+        events.iter().any(|(r, e)| *r == 1 && matches!(e, LinkEvent::Healed { link: 2, .. })),
+        "router 1 healed the falsely-dead link via probe + replay, got {events:?}"
+    );
+    assert!(fabric.settled());
+
+    // Interest on both sides of the healed link matches again.
+    let deliveries = fabric
+        .publish(1, &[PublicationSpec::new().attr("price", 2.0).attr("symbol", "HAL")])
+        .unwrap();
+    assert_eq!(
+        deliveries,
+        vec![
+            Delivery { router: 0, client: ClientId(1), publication: 0 },
+            Delivery { router: 2, client: ClientId(2), publication: 0 },
+        ]
+    );
+}
+
+/// False-positive suppression: a slow-but-alive broker — its host ticks
+/// (and therefore its heartbeats) delayed by a stride, not lost — is
+/// never declared suspect as long as its delay stays inside the
+/// suspicion window.
+#[test]
+fn slow_but_alive_broker_is_never_suspected() {
+    let mut fabric = OverlayFabric::build(
+        Topology::line(3),
+        FabricConfig::preshared(64).with_heartbeats(HeartbeatConfig::fast()),
+    )
+    .expect("build");
+    // Heartbeats arrive every 3rd round; suspicion needs 4 silent ticks.
+    fabric.set_tick_stride(1, 3);
+    fabric.take_events();
+    for _ in 0..24 {
+        let rejoins = fabric.tick_round().unwrap();
+        assert!(rejoins.is_empty(), "nothing must ever be fenced");
+    }
+    let events = fabric.take_events();
+    assert!(
+        !events.iter().any(|(_, e)| matches!(e, LinkEvent::Suspect { .. })),
+        "a delayed-but-alive broker must never be suspected, got {events:?}"
+    );
+    for id in 0..3 {
+        assert_eq!(fabric.lifecycle(id), Lifecycle::Serving);
+    }
+}
+
+/// A wedged sealed link (unhealed sequence gap) is escalated by the
+/// timers: after `gap_grace` ticks the receiver declares
+/// `Suspect { reason: Gap }`, re-keys the link on its own, pulls a
+/// replay over the fresh channel and reports `Healed` — all without any
+/// crash, restart, or node-death quorum (the peer provably lives).
+#[test]
+fn wedged_gap_link_rekeys_and_heals_itself() {
+    let mut fabric = OverlayFabric::build(
+        Topology::line(2),
+        FabricConfig::attested(65).with_heartbeats(HeartbeatConfig::fast()),
+    )
+    .expect("build");
+    fabric.subscribe(1, ClientId(3), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+
+    // Lose one frame 0→1, then let the next one surface the gap.
+    fabric.drop_next_frame(0, 1);
+    assert!(fabric.publish(0, &[PublicationSpec::new().attr("price", 1.0)]).unwrap().is_empty());
+    assert!(fabric.publish(0, &[PublicationSpec::new().attr("price", 2.0)]).unwrap().is_empty());
+    assert_eq!(fabric.total_gaps(), 1, "the gap surfaced");
+
+    fabric.take_events();
+    let rejoins = fabric.run_detection(32).expect("link-level heal settles");
+    assert!(rejoins.is_empty(), "a gap heals at link level; it must never fence the peer");
+    let events = fabric.take_events();
+    assert!(
+        events.iter().any(|(r, e)| *r == 1
+            && matches!(e, LinkEvent::Suspect { link: 0, reason: SuspectReason::Gap })),
+        "the grace timer escalated the standing gap, got {events:?}"
+    );
+    assert!(
+        events.iter().any(|(r, e)| *r == 1 && matches!(e, LinkEvent::Healed { link: 0, .. })),
+        "the wedged link was re-keyed and replayed, got {events:?}"
+    );
+    assert!(fabric.settled());
+
+    // The re-keyed link carries publications again.
+    let deliveries = fabric.publish(0, &[PublicationSpec::new().attr("price", 3.0)]).unwrap();
+    assert_eq!(deliveries, vec![Delivery { router: 1, client: ClientId(3), publication: 0 }]);
 }

@@ -27,7 +27,7 @@ use scbr::publication::PublicationSpec;
 use scbr::subscription::SubscriptionSpec;
 use scbr_crypto::rng::CryptoRng;
 use scbr_overlay::fabric::{FabricConfig, OverlayFabric, Propagation};
-use scbr_overlay::{Delivery, Topology};
+use scbr_overlay::{Delivery, HeartbeatConfig, Topology};
 use sgx_sim::{CacheConfig, CostModel, MemorySim};
 
 const SYMBOLS: [&str; 3] = ["HAL", "IBM", "AMD"];
@@ -399,6 +399,194 @@ proptest! {
         prop_assert_eq!(fabric.total_forwarded(), 0, "leaked forwarding-table rows");
         for stats in fabric.broker_stats() {
             prop_assert_eq!(stats.subscriptions, 0, "router {} index not empty", stats.router);
+        }
+    }
+
+    /// Timer-driven recovery arm: random churn, silent crashes (singles
+    /// and adjacent pairs), random per-broker tick strides (slow hosts)
+    /// and random one-shot heartbeat losses. Nothing ever calls
+    /// `restart` — every crash is recovered exclusively by the
+    /// detection loop — and after every step the pruned fabric, the
+    /// flooded fabric and the flat oracle must agree on every delivery.
+    /// Delays and losses alone must never fence anyone, and every
+    /// automatic fence must name a genuinely crashed broker.
+    #[test]
+    fn timer_driven_recovery_stays_oracle_equivalent(
+        parents in proptest::collection::vec(0usize..6, 2..5),
+        strides in proptest::collection::vec(1u64..4, 5),
+        subs in proptest::collection::vec(sub_strategy(), 1..7),
+        script in proptest::collection::vec((0u8..5, 0usize..32), 0..12),
+        pubs in proptest::collection::vec(pub_strategy(), 1..3),
+        (publish_router, seed) in (0usize..64, 0u64..1_000),
+    ) {
+        let topology = build_tree(&parents);
+        let routers = topology.routers();
+        let edges: Vec<(usize, usize)> =
+            parents.iter().enumerate().map(|(i, p)| (p % (i + 1), i + 1)).collect();
+        let publications: Vec<PublicationSpec> = pubs.iter().map(build_pub).collect();
+        let publish_at = publish_router % routers;
+
+        let producer = shared_producer();
+        let heartbeats = HeartbeatConfig::fast();
+        let mut pruned = OverlayFabric::build_with_producer(
+            topology.clone(),
+            FabricConfig { index: IndexKind::Poset, ..FabricConfig::preshared(seed) }
+                .with_heartbeats(heartbeats),
+            producer.clone(),
+        ).expect("pruned fabric");
+        let mut flooded = OverlayFabric::build_with_producer(
+            topology.clone(),
+            FabricConfig {
+                index: IndexKind::Poset,
+                propagation: Propagation::Flood,
+                ..FabricConfig::preshared(seed)
+            }.with_heartbeats(heartbeats),
+            producer.clone(),
+        ).expect("flooded fabric");
+        // Delays: a stride-s broker only sees a timer tick every s-th
+        // round. All strides stay under `suspect_after` so a slow host
+        // is never silent long enough to be suspected.
+        for (r, &s) in strides.iter().take(routers).enumerate() {
+            pruned.set_tick_stride(r, s);
+            flooded.set_tick_stride(r, s);
+        }
+        let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
+        let mut oracle = MatchingEngine::new(&mem, IndexKind::Naive);
+
+        // id → index into `subs` (placement is always the natural edge
+        // router — churn only happens on a fully serving fabric).
+        let mut live: Vec<(SubscriptionId, usize)> = Vec::new();
+        let mut next_sub = 0usize;
+
+        for (step_no, &(op, pick)) in script.iter().enumerate() {
+            match op {
+                // Subscribe the next generated subscription.
+                0 if next_sub < subs.len() => {
+                    let raw = &subs[next_sub];
+                    let at = raw.router % routers;
+                    let spec = build_sub(raw);
+                    let client = ClientId(next_sub as u64);
+                    let id = pruned.subscribe(at, client, &spec).expect("pruned subscribe");
+                    let id2 = flooded.subscribe(at, client, &spec).expect("flooded subscribe");
+                    prop_assert_eq!(id, id2, "both fabrics allocate ids in lockstep");
+                    oracle.register_plain(id, client, &spec).expect("oracle register");
+                    live.push((id, next_sub));
+                    next_sub += 1;
+                }
+                // Unsubscribe a random live subscription.
+                1 if !live.is_empty() => {
+                    let (id, _) = live.remove(pick % live.len());
+                    prop_assert!(pruned.unsubscribe(id).expect("pruned unsubscribe"));
+                    prop_assert!(flooded.unsubscribe(id).expect("flooded unsubscribe"));
+                    prop_assert!(oracle.unregister(id), "oracle had the subscription");
+                }
+                // Silent crash — a single broker (op 2) or an adjacent
+                // pair (op 3) — with mid-outage churn, recovered only by
+                // the detection loop.
+                2 | 3 => {
+                    let victim = pick % routers;
+                    let mut crashed = vec![victim];
+                    if op == 3 && routers > 2 {
+                        let nbrs = topology.neighbors(victim);
+                        crashed.push(nbrs[pick % nbrs.len()]);
+                    }
+                    for &v in &crashed {
+                        pruned.crash(v).expect("crash pruned");
+                        flooded.crash(v).expect("crash flooded");
+                    }
+                    // Mid-outage churn: remove one subscription homed at
+                    // a surviving broker, if any — its removal frames
+                    // toward the dead region are dropped and must be
+                    // reconciled by the automatic rejoins.
+                    if let Some(i) = (0..live.len())
+                        .find(|&i| !crashed.contains(&(subs[live[i].1].router % routers)))
+                    {
+                        let (id, _) = live.remove(i);
+                        prop_assert!(pruned.unsubscribe(id).expect("pruned unsubscribe"));
+                        prop_assert!(flooded.unsubscribe(id).expect("flooded unsubscribe"));
+                        prop_assert!(oracle.unregister(id), "oracle had the subscription");
+                    }
+                    crashed.sort_unstable();
+                    crashed.dedup();
+                    for fabric in [&mut pruned, &mut flooded] {
+                        let rejoins = fabric.run_detection(128).expect("detection settles");
+                        let mut victims: Vec<usize> =
+                            rejoins.iter().map(|r| r.router).collect();
+                        victims.sort_unstable();
+                        prop_assert_eq!(
+                            &victims, &crashed,
+                            "every fence names a real crash and every crash is fenced \
+                             (step {})", step_no
+                        );
+                    }
+                }
+                // One-shot heartbeat loss on a random edge direction
+                // whose sender ticks every round (a slower sender plus a
+                // loss could legitimately look dead).
+                4 => {
+                    let (a, b) = edges[pick % edges.len()];
+                    let (from, to) =
+                        if (pick / edges.len()).is_multiple_of(2) { (a, b) } else { (b, a) };
+                    if strides.get(from).copied().unwrap_or(1) == 1 {
+                        pruned.drop_next_frame(from, to);
+                        flooded.drop_next_frame(from, to);
+                    }
+                    for fabric in [&mut pruned, &mut flooded] {
+                        for _ in 0..3 {
+                            let rejoins = fabric.tick_round().expect("tick round");
+                            prop_assert!(
+                                rejoins.is_empty(),
+                                "a lost heartbeat must never fence an alive broker \
+                                 (step {})", step_no
+                            );
+                        }
+                        prop_assert!(
+                            fabric.settled(),
+                            "loss absorbed with no recovery work outstanding (step {})",
+                            step_no
+                        );
+                    }
+                }
+                _ => {}
+            }
+
+            // Probe: pruned ≡ flooded ≡ flat oracle after every step.
+            let got_pruned = pruned.publish(publish_at, &publications).expect("pruned publish");
+            let got_flooded =
+                flooded.publish(publish_at, &publications).expect("flooded publish");
+            prop_assert_eq!(
+                &got_pruned, &got_flooded,
+                "pruned and flooded disagree after step {}", step_no
+            );
+            let mut expected: Vec<Delivery> = Vec::new();
+            for (p, publication) in publications.iter().enumerate() {
+                for client in oracle.match_plain(publication).expect("oracle match") {
+                    let raw = &subs[client.0 as usize];
+                    expected.push(Delivery {
+                        router: raw.router % routers,
+                        client,
+                        publication: p,
+                    });
+                }
+            }
+            expected.sort_unstable();
+            prop_assert_eq!(
+                got_pruned, expected,
+                "overlay disagrees with the flat oracle after step {}", step_no
+            );
+            assert_counters(&pruned, "pruned")?;
+            assert_counters(&flooded, "flooded")?;
+        }
+
+        // Drain everything: recovery left no leaked rows behind.
+        for (id, _) in live.drain(..) {
+            prop_assert!(pruned.unsubscribe(id).expect("drain pruned"));
+            prop_assert!(flooded.unsubscribe(id).expect("drain flooded"));
+            prop_assert!(oracle.unregister(id));
+        }
+        for fabric in [&pruned, &flooded] {
+            prop_assert_eq!(fabric.total_index_entries(), 0, "leaked index entries");
+            prop_assert_eq!(fabric.total_forwarded(), 0, "leaked forwarding-table rows");
         }
     }
 

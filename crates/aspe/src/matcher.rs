@@ -23,6 +23,7 @@ use scbr::value::Value;
 use scbr_crypto::rng::CryptoRng;
 use sgx_sim::MemorySim;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bloom-filter geometry carried by every publication (bits, hashes).
 /// Sized so that realistic headers (≤ ~50 equality items) keep the false
@@ -243,6 +244,33 @@ struct StoredSub {
     alive: bool,
 }
 
+/// Counters proving the Bloom gate's effect on the matching hot path:
+/// every live subscription is `checked` against the publication's Bloom
+/// filter, gate failures are `skipped` before any matrix work, and only
+/// survivors contribute to `forms_evaluated` (one O(d²) quadratic form
+/// each). A healthy selective workload shows `skipped / checked` close
+/// to 1 and `forms_evaluated` far below `checked × forms-per-sub`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BloomGateStats {
+    /// Subscriptions that entered the Bloom gate.
+    pub checked: u64,
+    /// Subscriptions the gate rejected before form evaluation.
+    pub skipped: u64,
+    /// Quadratic forms actually evaluated (gate survivors only).
+    pub forms_evaluated: u64,
+}
+
+impl BloomGateStats {
+    /// Fraction of gate entrants rejected before any O(d²) work.
+    pub fn skip_rate(&self) -> f64 {
+        if self.checked == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / self.checked as f64
+        }
+    }
+}
+
 /// The untrusted matcher: stores encrypted subscriptions and matches
 /// encrypted publications, charging its work to a virtual clock.
 pub struct AspeMatcher {
@@ -251,6 +279,9 @@ pub struct AspeMatcher {
     by_id: HashMap<SubscriptionId, usize>,
     dim: usize,
     live: usize,
+    bloom_checked: AtomicU64,
+    bloom_skipped: AtomicU64,
+    forms_evaluated: AtomicU64,
 }
 
 impl std::fmt::Debug for AspeMatcher {
@@ -265,7 +296,16 @@ impl std::fmt::Debug for AspeMatcher {
 impl AspeMatcher {
     /// Creates an empty matcher charging costs to `mem`.
     pub fn new(mem: &MemorySim) -> Self {
-        AspeMatcher { mem: mem.clone(), subs: Vec::new(), by_id: HashMap::new(), dim: 0, live: 0 }
+        AspeMatcher {
+            mem: mem.clone(),
+            subs: Vec::new(),
+            by_id: HashMap::new(),
+            dim: 0,
+            live: 0,
+            bloom_checked: AtomicU64::new(0),
+            bloom_skipped: AtomicU64::new(0),
+            forms_evaluated: AtomicU64::new(0),
+        }
     }
 
     /// Stores an encrypted subscription.
@@ -308,16 +348,37 @@ impl AspeMatcher {
     }
 
     /// Matches an encrypted publication, returning sorted, deduplicated
-    /// clients. Every live subscription is prefiltered against the Bloom
-    /// filter; candidates are fully evaluated (one `D²` quadratic form per
-    /// range predicate).
+    /// clients. Allocating convenience wrapper around
+    /// [`AspeMatcher::match_publication_into`].
     pub fn match_publication(&self, publication: &EncryptedPublication) -> Vec<ClientId> {
         let mut out = Vec::new();
+        self.match_publication_into(publication, &mut out);
+        out
+    }
+
+    /// Matches an encrypted publication into a caller-owned buffer
+    /// (cleared first, then filled with sorted, deduplicated clients).
+    ///
+    /// The Bloom filter is a **mandatory gate**: every live subscription
+    /// passes through it first, and the O(d²) quadratic forms only run on
+    /// gate survivors. [`AspeMatcher::bloom_stats`] exposes counters
+    /// proving the skip rate. With a warmed buffer the call performs no
+    /// heap allocation.
+    pub fn match_publication_into(
+        &self,
+        publication: &EncryptedPublication,
+        out: &mut Vec<ClientId>,
+    ) {
+        out.clear();
+        let point_norm2: f64 = publication.point.iter().map(|v| v * v).sum();
         for stored in &self.subs {
             if !stored.alive {
                 continue;
             }
-            // Prefilter: touch the subscription header + eq positions.
+            // Bloom gate: touch the subscription header + eq positions and
+            // probe the publication's filter. Nothing below this block runs
+            // unless every equality constraint survives.
+            self.bloom_checked.fetch_add(1, Ordering::Relaxed);
             let eq_bytes =
                 48 + stored.sub.eq_positions.iter().map(|p| p.len() as u64 * 4).sum::<u64>();
             self.mem.touch_read(stored.addr, eq_bytes.min(stored.bytes));
@@ -331,6 +392,7 @@ impl AspeMatcher {
                 }
             }
             if !candidate {
+                self.bloom_skipped.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             // Full evaluation: one quadratic form per range predicate.
@@ -338,9 +400,9 @@ impl AspeMatcher {
             // matrix transform they accumulate rounding error, so accept
             // within a tolerance scaled by the operand magnitudes
             // (inclusive-endpoint semantics).
-            let point_norm2: f64 = publication.point.iter().map(|v| v * v).sum();
             let mut matched = true;
             for form in &stored.sub.forms {
+                self.forms_evaluated.fetch_add(1, Ordering::Relaxed);
                 let d = form.rows() as u64;
                 self.mem.touch_read(stored.addr, (d * d * 8).min(stored.bytes));
                 self.mem.charge_flops(d * d + d);
@@ -359,7 +421,23 @@ impl AspeMatcher {
         }
         out.sort_unstable_by_key(|c| c.0);
         out.dedup();
-        out
+    }
+
+    /// Bloom-gate counters accumulated since creation (or the last
+    /// [`AspeMatcher::reset_bloom_stats`]).
+    pub fn bloom_stats(&self) -> BloomGateStats {
+        BloomGateStats {
+            checked: self.bloom_checked.load(Ordering::Relaxed),
+            skipped: self.bloom_skipped.load(Ordering::Relaxed),
+            forms_evaluated: self.forms_evaluated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the Bloom-gate counters (between measurement phases).
+    pub fn reset_bloom_stats(&self) {
+        self.bloom_checked.store(0, Ordering::Relaxed);
+        self.bloom_skipped.store(0, Ordering::Relaxed);
+        self.forms_evaluated.store(0, Ordering::Relaxed);
     }
 
     /// The memory simulator charged by this matcher.
@@ -438,6 +516,44 @@ mod tests {
         let enc_ibm = auth.encrypt_publication(&ibm, &mut rng).unwrap();
         assert_eq!(matcher.match_publication(&enc_hal), vec![ClientId(1)]);
         assert!(matcher.match_publication(&enc_ibm).is_empty());
+    }
+
+    #[test]
+    fn bloom_gate_skips_form_evaluation_and_counts_it() {
+        let mut rng = CryptoRng::from_seed(9);
+        let auth = authority(&mut rng);
+        let mem = free_mem();
+        let mut matcher = AspeMatcher::new(&mem);
+        for i in 0..8u64 {
+            let sub = SubscriptionSpec::new().eq("symbol", "HAL").ge("price", i as f64);
+            matcher.insert(
+                SubscriptionId(i),
+                ClientId(i),
+                auth.encrypt_subscription(&sub, &mut rng).unwrap(),
+            );
+        }
+        let ibm =
+            PublicationSpec::new().attr("symbol", "IBM").attr("price", 99.0).attr("volume", 1i64);
+        let enc_ibm = auth.encrypt_publication(&ibm, &mut rng).unwrap();
+        let mut out = Vec::new();
+        matcher.match_publication_into(&enc_ibm, &mut out);
+        assert!(out.is_empty());
+        let after_miss = matcher.bloom_stats();
+        assert_eq!(after_miss.checked, 8);
+        assert_eq!(after_miss.skipped, 8, "gate rejects every wrong-symbol sub");
+        assert_eq!(after_miss.forms_evaluated, 0, "no O(d²) work behind a failed gate");
+        assert!((after_miss.skip_rate() - 1.0).abs() < f64::EPSILON);
+
+        matcher.reset_bloom_stats();
+        let hal =
+            PublicationSpec::new().attr("symbol", "HAL").attr("price", 99.0).attr("volume", 1i64);
+        let enc_hal = auth.encrypt_publication(&hal, &mut rng).unwrap();
+        matcher.match_publication_into(&enc_hal, &mut out);
+        assert_eq!(out.len(), 8, "buffer reuse: previous results fully replaced");
+        let after_hit = matcher.bloom_stats();
+        assert_eq!(after_hit.checked, 8);
+        assert_eq!(after_hit.skipped, 0);
+        assert_eq!(after_hit.forms_evaluated, 8, "one range form per surviving sub");
     }
 
     #[test]

@@ -83,6 +83,59 @@ proptest! {
         }
     }
 
+    /// Bloom-gate soundness: the mandatory pre-filter may only ever skip
+    /// subscriptions that genuinely do not match — every plaintext match
+    /// survives the gate, and the counters tile exactly (every checked
+    /// subscription is either skipped or form-evaluated).
+    #[test]
+    fn bloom_gate_never_drops_a_true_match(s in scenario()) {
+        let mut rng = CryptoRng::from_seed(13);
+        let authority = AspeAuthority::new(&["price"], &["symbol"], &mut rng);
+        let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
+        let mut matcher = AspeMatcher::new(&mem);
+        let schema = AttrSchema::new();
+
+        let mut plain_subs = Vec::new();
+        for (i, (sym, lo, width)) in s.subs.iter().enumerate() {
+            let mut spec = SubscriptionSpec::new().between("price", *lo, lo + width);
+            if let Some(sym) = sym {
+                spec = spec.eq("symbol", SYMBOLS[*sym]);
+            }
+            let enc = authority.encrypt_subscription(&spec, &mut rng).unwrap();
+            matcher.insert(SubscriptionId(i as u64), ClientId(i as u64), enc);
+            plain_subs.push(spec.compile(&schema).unwrap());
+        }
+
+        matcher.reset_bloom_stats();
+        let mut pubs_run = 0u64;
+        for (sym, price) in &s.pubs {
+            let publication = PublicationSpec::new()
+                .attr("symbol", SYMBOLS[*sym])
+                .attr("price", *price);
+            let enc = authority.encrypt_publication(&publication, &mut rng).unwrap();
+            let got: std::collections::HashSet<u64> =
+                matcher.match_publication(&enc).into_iter().map(|c| c.0).collect();
+            pubs_run += 1;
+            let header = publication.compile_header(&schema).unwrap();
+            for (i, sub) in plain_subs.iter().enumerate() {
+                if sub.matches(&header) {
+                    prop_assert!(
+                        got.contains(&(i as u64)),
+                        "gate dropped true match: sub {i} on {} {}", SYMBOLS[*sym], price
+                    );
+                }
+            }
+        }
+        let stats = matcher.bloom_stats();
+        prop_assert_eq!(stats.checked, pubs_run * plain_subs.len() as u64);
+        // Every gate survivor evaluates between one (short-circuit on a
+        // failing form) and two (the `between` pair) quadratic forms;
+        // skipped subscriptions evaluate none.
+        let survivors = stats.checked - stats.skipped;
+        prop_assert!(stats.forms_evaluated >= survivors, "{stats:?}");
+        prop_assert!(stats.forms_evaluated <= 2 * survivors, "{stats:?}");
+    }
+
     /// Point encryption never leaks the raw value in any coordinate.
     #[test]
     fn ciphertext_conceals_values(price in 1.0f64..1e6) {

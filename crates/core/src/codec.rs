@@ -134,16 +134,26 @@ impl<'a> Reader<'a> {
         Ok(f64::from_be_bytes(self.take(8, "f64")?.try_into().expect("8 bytes")))
     }
 
-    /// Reads a length-prefixed byte blob.
-    pub fn bytes(&mut self) -> Result<Vec<u8>, ScbrError> {
+    /// Reads a length-prefixed byte blob, borrowing from the input.
+    pub fn bytes_ref(&mut self) -> Result<&'a [u8], ScbrError> {
         let len = self.u32()? as usize;
-        Ok(self.take(len, "bytes body")?.to_vec())
+        self.take(len, "bytes body")
     }
 
-    /// Reads a length-prefixed UTF-8 string.
+    /// Reads a length-prefixed UTF-8 string, borrowing from the input.
+    pub fn str_ref(&mut self) -> Result<&'a str, ScbrError> {
+        std::str::from_utf8(self.bytes_ref()?)
+            .map_err(|_| ScbrError::Codec { context: "utf-8 string" })
+    }
+
+    /// Reads a length-prefixed byte blob into an owned `Vec`.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, ScbrError> {
+        Ok(self.bytes_ref()?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string into an owned `String`.
     pub fn str(&mut self) -> Result<String, ScbrError> {
-        let raw = self.bytes()?;
-        String::from_utf8(raw).map_err(|_| ScbrError::Codec { context: "utf-8 string" })
+        Ok(self.str_ref()?.to_owned())
     }
 }
 
@@ -264,6 +274,68 @@ pub fn decode_header(bytes: &[u8]) -> Result<PublicationSpec, ScbrError> {
         return Err(ScbrError::Codec { context: "header trailing bytes" });
     }
     Ok(spec)
+}
+
+/// Decodes a wire header straight into a reusable [`CompiledHeader`]:
+/// attribute names are interned against `schema` without building `String`s
+/// and string values are FNV-hashed in place, so steady-state decoding of
+/// headers whose attributes the schema has already seen performs no heap
+/// allocation (beyond the entry buffer's one-time growth).
+///
+/// Semantically equivalent to [`decode_header`] followed by
+/// [`PublicationSpec::compile_header`]: NaN values, duplicate attributes,
+/// malformed bytes and trailing bytes are all rejected, and entries come
+/// out sorted by attribute id. On error `header` is left empty.
+///
+/// # Errors
+///
+/// [`ScbrError::Codec`] on malformed input;
+/// [`ScbrError::InvalidPublication`] on NaN or duplicate attributes.
+pub fn decode_header_into(
+    bytes: &[u8],
+    schema: &crate::attr::AttrSchema,
+    header: &mut crate::publication::CompiledHeader,
+) -> Result<(), ScbrError> {
+    let result = decode_header_entries(bytes, schema, header.entries_mut());
+    if result.is_err() {
+        header.entries_mut().clear();
+    }
+    result
+}
+
+fn decode_header_entries(
+    bytes: &[u8],
+    schema: &crate::attr::AttrSchema,
+    entries: &mut Vec<(crate::attr::AttrId, crate::value::Scalar)>,
+) -> Result<(), ScbrError> {
+    use crate::value::{fnv1a, Scalar};
+    entries.clear();
+    let mut r = Reader::new(bytes);
+    let n = r.u16()? as usize;
+    for _ in 0..n {
+        let id = schema.intern(r.str_ref()?);
+        let scalar = match r.u8()? {
+            TAG_INT => Scalar::Int(r.i64()?),
+            TAG_FLOAT => {
+                let f = r.f64()?;
+                if f.is_nan() {
+                    return Err(ScbrError::InvalidPublication { reason: "nan attribute value" });
+                }
+                Scalar::Float(f)
+            }
+            TAG_STR => Scalar::Str(fnv1a(r.str_ref()?.as_bytes())),
+            _ => return Err(ScbrError::Codec { context: "value tag" }),
+        };
+        if entries.iter().any(|(a, _)| *a == id) {
+            return Err(ScbrError::InvalidPublication { reason: "duplicate attribute" });
+        }
+        entries.push((id, scalar));
+    }
+    if !r.is_exhausted() {
+        return Err(ScbrError::Codec { context: "header trailing bytes" });
+    }
+    entries.sort_unstable_by_key(|(a, _)| *a);
+    Ok(())
 }
 
 /// Encodes the registration body a producer signs and forwards to routers:
@@ -435,6 +507,40 @@ mod tests {
         let decoded = decode_header(&encode_header(&spec)).unwrap();
         assert_eq!(decoded.header(), spec.header());
         assert!(decoded.payload_bytes().is_empty(), "payload travels separately");
+    }
+
+    #[test]
+    fn decode_header_into_matches_compile_path() {
+        let schema = crate::attr::AttrSchema::new();
+        let spec = PublicationSpec::new()
+            .attr("symbol", "INTC")
+            .attr("open", 35.2)
+            .attr("volume", 1_000_000i64);
+        let bytes = encode_header(&spec);
+        let via_compile = decode_header(&bytes).unwrap().compile_header(&schema).unwrap();
+        let mut reused = crate::publication::CompiledHeader::empty();
+        decode_header_into(&bytes, &schema, &mut reused).unwrap();
+        assert_eq!(reused, via_compile);
+        // Reuse: a second decode fully replaces the first header's entries.
+        let bytes2 = encode_header(&PublicationSpec::new().attr("open", 1i64));
+        decode_header_into(&bytes2, &schema, &mut reused).unwrap();
+        assert_eq!(reused.len(), 1);
+    }
+
+    #[test]
+    fn decode_header_into_rejects_bad_input_and_clears() {
+        let schema = crate::attr::AttrSchema::new();
+        let mut header = crate::publication::CompiledHeader::empty();
+        let nan = encode_header(&PublicationSpec::new().attr("x", f64::NAN));
+        assert!(decode_header_into(&nan, &schema, &mut header).is_err());
+        assert!(header.is_empty());
+        let dup = encode_header(&PublicationSpec::new().attr("x", 1i64).attr("x", 2i64));
+        assert!(decode_header_into(&dup, &schema, &mut header).is_err());
+        assert!(header.is_empty());
+        let mut trailing = encode_header(&PublicationSpec::new().attr("x", 1i64));
+        trailing.push(0);
+        assert!(decode_header_into(&trailing, &schema, &mut header).is_err());
+        assert!(header.is_empty());
     }
 
     #[test]

@@ -12,13 +12,87 @@ use crate::attr::AttrSchema;
 use crate::codec;
 use crate::error::ScbrError;
 use crate::ids::{ClientId, SubscriptionId};
-use crate::index::{new_index, IndexKind, SubscriptionIndex};
-use crate::publication::PublicationSpec;
+use crate::index::{new_index, IndexKind, MatchScratch, SubscriptionIndex};
+use crate::publication::{CompiledHeader, PublicationSpec};
 use crate::subscription::SubscriptionSpec;
+use parking_lot::Mutex;
 use scbr_crypto::ctr::{AesCtr, SymmetricKey};
 use scbr_crypto::rsa::RsaPublicKey;
 use sgx_sim::enclave::EnclaveBuilder;
 use sgx_sim::{Enclave, MemStats, MemorySim, SgxPlatform};
+use std::collections::HashMap;
+
+/// Per-engine reusable buffers for the hot matching path. All match entry
+/// points are `&self`, so the scratch sits behind a mutex; matching is
+/// serialised per engine anyway (the enclave model admits one ecall at a
+/// time) and an uncontended `parking_lot` lock never allocates.
+#[derive(Debug, Default)]
+struct EngineScratch {
+    /// Index traversal state (DFS stack, counting epochs).
+    index: MatchScratch,
+    /// Decrypted header plaintext, reused across publications.
+    plain: Vec<u8>,
+    /// Compiled header, decoded in place without `String`/`Value` churn.
+    header: CompiledHeader,
+    /// CTR cipher with the session key's schedule already expanded, keyed
+    /// by the `SymmetricKey` it was built from so re-provisioning cannot
+    /// serve a stale schedule. `AesCtr::new` allocates per call; at one
+    /// key for millions of headers that is pure hot-path churn.
+    cipher: Option<(SymmetricKey, AesCtr)>,
+}
+
+/// Flat result of a batch match: one shared client buffer plus per-header
+/// spans, so a steady-state batch produces **zero** per-publication heap
+/// allocation (no `Vec<Vec<ClientId>>` churn). Reuse one instance across
+/// batches via [`MatchingEngine::match_encrypted_batch_into`].
+#[derive(Debug, Default)]
+pub struct BatchMatches {
+    clients: Vec<ClientId>,
+    spans: Vec<Result<(u32, u32), ScbrError>>,
+}
+
+impl BatchMatches {
+    /// An empty result buffer; capacity grows on first use and is reused.
+    pub fn new() -> Self {
+        BatchMatches::default()
+    }
+
+    /// Drops all results, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        self.clients.clear();
+        self.spans.clear();
+    }
+
+    /// Number of headers in the last batch.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no batch has been recorded (or the batch was empty).
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The outcome for header `i`: its sorted, deduplicated client span,
+    /// or the error that sank it.
+    pub fn get(&self, i: usize) -> Result<&[ClientId], &ScbrError> {
+        match &self.spans[i] {
+            Ok((start, end)) => Ok(&self.clients[*start as usize..*end as usize]),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Iterates the per-header outcomes in batch order.
+    pub fn iter(&self) -> impl Iterator<Item = Result<&[ClientId], &ScbrError>> {
+        (0..self.spans.len()).map(|i| self.get(i))
+    }
+
+    /// Total clients matched across the batch (duplicates across headers
+    /// counted separately).
+    pub fn total_clients(&self) -> usize {
+        self.clients.len()
+    }
+}
 
 /// The trusted matching core (runs inside the enclave when placed there).
 pub struct MatchingEngine {
@@ -33,6 +107,11 @@ pub struct MatchingEngine {
     /// interface assigned by the overlay). Unregistration purges the
     /// matching body so a restore never resurrects removed interest.
     registered: Vec<(SubscriptionId, Option<ClientId>, Vec<u8>)>,
+    /// Position of each live id in `registered` — keeps registration
+    /// churn O(1) instead of a linear scan per (un)register at 1M subs.
+    registered_pos: HashMap<SubscriptionId, usize>,
+    /// Reusable hot-path buffers (see [`EngineScratch`]).
+    scratch: Mutex<EngineScratch>,
 }
 
 impl std::fmt::Debug for MatchingEngine {
@@ -55,6 +134,8 @@ impl MatchingEngine {
             sk: None,
             producer_key: None,
             registered: Vec::new(),
+            registered_pos: HashMap::new(),
+            scratch: Mutex::new(EngineScratch::default()),
         }
     }
 
@@ -94,11 +175,15 @@ impl MatchingEngine {
     /// id (re-registration replaces, so the index never accumulates
     /// duplicate rows for one id).
     fn retain_body(&mut self, id: SubscriptionId, deliver_to: Option<ClientId>, body: Vec<u8>) {
-        if self.registered.iter().any(|(r, _, _)| *r == id) {
-            self.registered.retain(|(r, _, _)| *r != id);
+        if let Some(&pos) = self.registered_pos.get(&id) {
+            // Re-registration: displace the old index row and overwrite the
+            // retained body in place.
             self.index.remove(id);
+            self.registered[pos] = (id, deliver_to, body);
+        } else {
+            self.registered_pos.insert(id, self.registered.len());
+            self.registered.push((id, deliver_to, body));
         }
-        self.registered.push((id, deliver_to, body));
     }
 
     /// Registers an encrypted, signed registration envelope
@@ -154,7 +239,12 @@ impl MatchingEngine {
 
     /// Unregisters a subscription (and drops its retained snapshot body).
     pub fn unregister(&mut self, id: SubscriptionId) -> bool {
-        self.registered.retain(|(r, _, _)| *r != id);
+        if let Some(pos) = self.registered_pos.remove(&id) {
+            self.registered.swap_remove(pos);
+            if let Some((moved, _, _)) = self.registered.get(pos) {
+                self.registered_pos.insert(*moved, pos);
+            }
+        }
         self.index.remove(id)
     }
 
@@ -276,6 +366,7 @@ impl MatchingEngine {
             let (spec, id, client) = codec::decode_registration(&body)?;
             let compiled = spec.compile(&self.schema)?;
             self.index.insert(id, deliver_to.unwrap_or(client), compiled);
+            self.registered_pos.insert(id, self.registered.len());
             self.registered.push((id, deliver_to, body));
             restored += 1;
         }
@@ -300,7 +391,9 @@ impl MatchingEngine {
         &self,
         id: SubscriptionId,
     ) -> Result<Option<(ClientId, crate::subscription::CompiledSubscription)>, ScbrError> {
-        let Some((_, deliver_to, body)) = self.registered.iter().find(|(r, _, _)| *r == id) else {
+        let Some((_, deliver_to, body)) =
+            self.registered_pos.get(&id).map(|&pos| &self.registered[pos])
+        else {
             return Ok(None);
         };
         let (spec, _, client) = codec::decode_registration(body)?;
@@ -318,10 +411,48 @@ impl MatchingEngine {
         self.mem.charge_message_parse();
         let header = publication.compile_header(&self.schema)?;
         let mut out = Vec::new();
-        self.index.match_header(&header, &mut out);
+        let mut scratch = self.scratch.lock();
+        self.index.match_into(&header, &mut scratch.index, &mut out);
+        drop(scratch);
         out.sort_unstable_by_key(|c| c.0);
         out.dedup();
         Ok(out)
+    }
+
+    /// Decrypt-decode-match one header, appending its sorted, deduplicated
+    /// clients to `out` — the shared allocation-free core of every
+    /// encrypted match path. Errors occur strictly before anything is
+    /// appended.
+    fn match_decrypt_append(
+        &self,
+        header_ct: &[u8],
+        scratch: &mut EngineScratch,
+        out: &mut Vec<ClientId>,
+    ) -> Result<(), ScbrError> {
+        let sk = self.sk.as_ref().ok_or(ScbrError::MissingKeys { which: "SK" })?;
+        self.mem.charge_crypto_op(header_ct.len() as u64);
+        let EngineScratch { plain, cipher, .. } = scratch;
+        if !matches!(cipher, Some((key, _)) if key == sk) {
+            *cipher = Some((sk.clone(), AesCtr::new(sk, [0u8; scbr_crypto::ctr::NONCE_LEN])));
+        }
+        let (_, ctr) = cipher.as_mut().expect("just populated");
+        ctr.decrypt_into(header_ct, plain)?;
+        self.mem.charge_message_parse();
+        codec::decode_header_into(&scratch.plain, &self.schema, &mut scratch.header)?;
+        let start = out.len();
+        self.index.match_into(&scratch.header, &mut scratch.index, out);
+        out[start..].sort_unstable_by_key(|c| c.0);
+        // Dedup within the freshly appended span (Vec::dedup would also
+        // touch earlier spans).
+        let mut keep = start;
+        for i in start..out.len() {
+            if keep == start || out[keep - 1] != out[i] {
+                out[keep] = out[i];
+                keep += 1;
+            }
+        }
+        out.truncate(keep);
+        Ok(())
     }
 
     /// Decrypts `{header}SK` and matches it (the paper's step 5).
@@ -330,11 +461,46 @@ impl MatchingEngine {
     ///
     /// Decryption or decoding failures, or missing keys.
     pub fn match_encrypted(&self, header_ct: &[u8]) -> Result<Vec<ClientId>, ScbrError> {
-        let sk = self.sk.as_ref().ok_or(ScbrError::MissingKeys { which: "SK" })?;
-        self.mem.charge_crypto_op(header_ct.len() as u64);
-        let plain = AesCtr::decrypt_with_nonce(sk, header_ct)?;
-        let spec = codec::decode_header(&plain)?;
-        self.match_plain(&spec)
+        let mut out = Vec::new();
+        self.match_encrypted_into(header_ct, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`MatchingEngine::match_encrypted`], but clears and fills a
+    /// caller-owned buffer: a warmed-up caller reusing one buffer sees no
+    /// heap allocation per publication.
+    ///
+    /// # Errors
+    ///
+    /// Decryption or decoding failures, or missing keys; `out` is left
+    /// empty on error.
+    pub fn match_encrypted_into(
+        &self,
+        header_ct: &[u8],
+        out: &mut Vec<ClientId>,
+    ) -> Result<(), ScbrError> {
+        out.clear();
+        let mut scratch = self.scratch.lock();
+        self.match_decrypt_append(header_ct, &mut scratch, out)
+    }
+
+    /// Matches a batch of encrypted headers into a reusable flat
+    /// [`BatchMatches`] — the zero-allocation spine of
+    /// [`RouterEngine::match_batch_into`]. Each header's outcome is
+    /// independent (a poisoned header records its error and the batch
+    /// continues), and in steady state — buffers at their high-water mark,
+    /// schema warm — the call performs no heap allocation at all.
+    pub fn match_encrypted_batch_into(&self, headers: &[Vec<u8>], out: &mut BatchMatches) {
+        out.clear();
+        let mut guard = self.scratch.lock();
+        let scratch = &mut *guard;
+        for ct in headers {
+            let start = out.clients.len() as u32;
+            let span = self
+                .match_decrypt_append(ct, scratch, &mut out.clients)
+                .map(|()| (start, out.clients.len() as u32));
+            out.spans.push(span);
+        }
     }
 
     /// The engine's interning schema.
@@ -436,6 +602,14 @@ impl RouterEngine {
         headers: &[Vec<u8>],
     ) -> Vec<Result<Vec<ClientId>, ScbrError>> {
         self.call(|e| e.match_encrypted_batch_each(headers))
+    }
+
+    /// Matches a batch in a single enclave crossing into a reusable flat
+    /// result buffer: one ecall, per-header fault isolation, and zero
+    /// steady-state heap allocation (see
+    /// [`MatchingEngine::match_encrypted_batch_into`]).
+    pub fn match_batch_into(&mut self, headers: &[Vec<u8>], out: &mut BatchMatches) {
+        self.call(|e| e.match_encrypted_batch_into(headers, out))
     }
 
     /// Read-only access without crossing the gate (setup/inspection).
@@ -870,6 +1044,50 @@ mod tests {
         let mut bad = headers.clone();
         bad[2].truncate(3);
         assert!(engine.match_encrypted_batch(&bad).is_err());
+    }
+
+    #[test]
+    fn match_batch_into_agrees_with_vec_batch_and_isolates_errors() {
+        let mut rng = CryptoRng::from_seed(26);
+        let producer = producer(&mut rng);
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
+        for i in 0..10u64 {
+            engine
+                .register_plain(
+                    SubscriptionId(i),
+                    ClientId(i),
+                    &SubscriptionSpec::new().gt("p", i as f64),
+                )
+                .unwrap();
+        }
+        let headers: Vec<Vec<u8>> = (0..6)
+            .map(|i| {
+                let publication = PublicationSpec::new().attr("p", 2.5 + i as f64);
+                producer.encrypt_header(&publication, &mut rng)
+            })
+            .collect();
+        let mut out = BatchMatches::new();
+        engine.match_encrypted_batch_into(&headers, &mut out);
+        assert_eq!(out.len(), headers.len());
+        assert!(!out.is_empty());
+        for (i, ct) in headers.iter().enumerate() {
+            assert_eq!(out.get(i).unwrap(), engine.match_encrypted(ct).unwrap().as_slice());
+        }
+        assert_eq!(out.total_clients(), out.iter().map(|r| r.unwrap().len()).sum::<usize>());
+
+        // A poisoned header records its error without sinking batch-mates,
+        // and the reused buffer fully forgets the previous batch.
+        let mut mixed = headers.clone();
+        mixed[2].truncate(3);
+        engine.match_encrypted_batch_into(&mixed, &mut out);
+        assert!(out.get(2).is_err());
+        for (i, ct) in headers.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(out.get(i).unwrap(), engine.match_encrypted(ct).unwrap().as_slice());
+            }
+        }
     }
 
     #[test]

@@ -11,13 +11,12 @@
 //! attribute-local processing, which wins when publications carry few of
 //! the constrained attributes and loses on deep containment workloads.
 
-use super::{IndexKind, SubscriptionIndex, CONSTRAINT_BYTES, NODE_HEADER_BYTES};
+use super::{IndexKind, MatchScratch, SubscriptionIndex, CONSTRAINT_BYTES, NODE_HEADER_BYTES};
 use crate::attr::AttrId;
 use crate::ids::{ClientId, SubscriptionId};
 use crate::predicate::ConstraintSet;
 use crate::publication::CompiledHeader;
 use crate::subscription::CompiledSubscription;
-use parking_lot::Mutex;
 use sgx_sim::{MemorySim, SimArena};
 use std::collections::HashMap;
 
@@ -40,13 +39,6 @@ struct Posting {
     sub: u32,
 }
 
-#[derive(Debug, Default)]
-struct Scratch {
-    /// Per-subscription epoch-stamped satisfaction counters.
-    counts: Vec<(u64, u16)>,
-    epoch: u64,
-}
-
 /// Counting-based index with per-attribute posting lists.
 #[derive(Debug)]
 pub struct CountingIndex {
@@ -58,7 +50,6 @@ pub struct CountingIndex {
     unconstrained: Vec<u32>,
     by_id: HashMap<SubscriptionId, u32>,
     live: usize,
-    scratch: Mutex<Scratch>,
 }
 
 impl CountingIndex {
@@ -72,7 +63,6 @@ impl CountingIndex {
             unconstrained: Vec::new(),
             by_id: HashMap::new(),
             live: 0,
-            scratch: Mutex::new(Scratch::default()),
         }
     }
 }
@@ -90,7 +80,6 @@ impl SubscriptionIndex for CountingIndex {
         }
         self.by_id.insert(id, entry_idx);
         self.live += 1;
-        self.scratch.lock().counts.push((0, 0));
     }
 
     fn remove(&mut self, id: SubscriptionId) -> bool {
@@ -107,8 +96,15 @@ impl SubscriptionIndex for CountingIndex {
         }
     }
 
-    fn match_header(&self, header: &CompiledHeader, out: &mut Vec<ClientId>) {
-        let mut scratch = self.scratch.lock();
+    fn match_into(
+        &self,
+        header: &CompiledHeader,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<ClientId>,
+    ) {
+        // The caller-owned scratch carries the epoch-stamped satisfaction
+        // counters; resizing only happens while the index is still growing,
+        // so steady-state matching allocates nothing.
         scratch.epoch += 1;
         let epoch = scratch.epoch;
         if scratch.counts.len() < self.entries.len() {

@@ -1,0 +1,661 @@
+//! Pre-arena containment poset, frozen as the "old" baseline.
+//!
+//! This is the PR-6-era [`poset`](super::poset) implementation kept
+//! verbatim: per-node `Vec<u32>` child lists (pointer-chasing and a heap
+//! allocation per structural edit), `sub.clone()` on detach/adopt, a fresh
+//! root-list clone per match, and a full root-list walk for every
+//! publication. It exists so `BENCH_million.json` can record `index_kind`
+//! old vs arena on identical workloads, and so the equivalence proptests
+//! can pin the arena rewrite against the original semantics.
+//!
+//! Subscriptions are organised in a forest ordered by the *covering*
+//! relation: a node's subscription covers every subscription in its
+//! subtree. Two properties follow:
+//!
+//! 1. **Pruned matching.** If a publication fails a node's constraints it
+//!    cannot match anything below it (child matches ⇒ parent matches, by
+//!    covering), so the whole subtree is skipped. Workloads whose
+//!    subscriptions form deep chains (many equality predicates on few hot
+//!    values — `e100a1`, `e100a1zz100` in Table 1) match fastest; workloads
+//!    with many attributes form wide, shallow forests and degrade towards a
+//!    linear scan (`e80a4`, `extsub4`), exactly the spread Figure 6 shows.
+//! 2. **Shared nodes.** Equal subscriptions (after canonicalisation) share
+//!    one node, shrinking the enclave-resident footprint — valuable when
+//!    memory beyond the EPC costs 1000× (Figure 8).
+//!
+//! The forest is stored in a [`SimArena`] with the paper's ~432-byte node
+//! footprint, so probes surface as cache misses and EPC faults in the
+//! simulator.
+
+use super::{
+    IndexKind, MatchScratch, SubscriptionIndex, CONSTRAINT_BYTES, NODE_HEADER_BYTES, NODE_STRIDE,
+};
+use crate::attr::AttrId;
+use crate::ids::{ClientId, SubscriptionId};
+use crate::predicate::ConstraintSet;
+use crate::publication::CompiledHeader;
+use crate::subscription::CompiledSubscription;
+use sgx_sim::{MemorySim, SimArena};
+use std::collections::HashMap;
+
+/// Root-level insertion accelerator.
+///
+/// A root can only cover an incoming subscription if the root's *first*
+/// (minimum-id) constrained attribute is also constrained by the incoming
+/// one, with a compatible constraint kind. Bucketing roots by that first
+/// constraint (and, for string equalities, by hash) lets insertion consult
+/// only compatible buckets instead of scanning every root — essential for
+/// the paper's 500 000-subscription registration experiment (Figure 8).
+///
+/// **Matching is unaffected**: it still walks the full root list, as the
+/// paper's engine does; the directory only accelerates housekeeping.
+/// Upper bound on candidate nodes examined per sibling list during
+/// insertion. A missed cover or adoption only flattens the forest (extra
+/// roots), never breaks the parent-covers-child invariant; the cap keeps
+/// per-registration work — and therefore the *memory touches the simulator
+/// charges per registration* — bounded, matching the modest per-insert
+/// footprint the paper's Figure 8 implies.
+const SCAN_CAP: usize = 16;
+
+#[derive(Debug, Default)]
+struct RootDirectory {
+    /// Roots with no constraints (match everything).
+    top: Vec<u32>,
+    by_attr: HashMap<AttrId, AttrBucket>,
+}
+
+#[derive(Debug, Default)]
+struct AttrBucket {
+    /// Roots whose first constraint is a string equality, by hash.
+    eq: HashMap<u64, Vec<u32>>,
+    /// Roots whose first constraint is a numeric range.
+    ranges: Vec<u32>,
+}
+
+impl RootDirectory {
+    fn key_of(sub: &CompiledSubscription) -> Option<(AttrId, Option<u64>)> {
+        sub.constraints().first().map(|(attr, set)| match set {
+            ConstraintSet::StrEq(h) => (*attr, Some(*h)),
+            ConstraintSet::Range { .. } => (*attr, None),
+        })
+    }
+
+    fn add(&mut self, idx: u32, sub: &CompiledSubscription) {
+        match Self::key_of(sub) {
+            None => self.top.push(idx),
+            Some((attr, Some(h))) => {
+                self.by_attr.entry(attr).or_default().eq.entry(h).or_default().push(idx)
+            }
+            Some((attr, None)) => self.by_attr.entry(attr).or_default().ranges.push(idx),
+        }
+    }
+
+    fn remove(&mut self, idx: u32, sub: &CompiledSubscription) {
+        match Self::key_of(sub) {
+            None => self.top.retain(|&r| r != idx),
+            Some((attr, Some(h))) => {
+                if let Some(bucket) = self.by_attr.get_mut(&attr) {
+                    if let Some(list) = bucket.eq.get_mut(&h) {
+                        list.retain(|&r| r != idx);
+                    }
+                }
+            }
+            Some((attr, None)) => {
+                if let Some(bucket) = self.by_attr.get_mut(&attr) {
+                    bucket.ranges.retain(|&r| r != idx);
+                }
+            }
+        }
+    }
+
+    /// Root indices that could possibly *cover* `sub`: a covering root's
+    /// first attribute is one of `sub`'s, with a compatible kind. Each
+    /// list contributes at most [`SCAN_CAP`] entries, sampled across the
+    /// list with a subscription-dependent offset (see [`capped`]).
+    fn cover_candidates(&self, sub: &CompiledSubscription, salt: u64) -> Vec<u32> {
+        let mut out: Vec<u32> = capped(&self.top, salt);
+        for (attr, set) in sub.constraints() {
+            if let Some(bucket) = self.by_attr.get(attr) {
+                match set {
+                    ConstraintSet::StrEq(h) => {
+                        if let Some(list) = bucket.eq.get(h) {
+                            out.extend(capped(list, salt));
+                        }
+                    }
+                    ConstraintSet::Range { .. } => out.extend(capped(&bucket.ranges, salt)),
+                }
+            }
+        }
+        out
+    }
+
+    /// Root indices `sub` might *adopt* (heuristic: only roots sharing
+    /// `sub`'s first attribute — missing an adoption keeps the forest
+    /// flatter but never breaks the parent-covers-child invariant).
+    fn adoption_candidates(&self, sub: &CompiledSubscription, salt: u64) -> Vec<u32> {
+        match Self::key_of(sub) {
+            None => {
+                // An empty subscription covers everything rooted anywhere.
+                let mut all = capped(&self.top, salt);
+                for bucket in self.by_attr.values() {
+                    for list in bucket.eq.values() {
+                        all.extend(capped(list, salt));
+                    }
+                    all.extend(capped(&bucket.ranges, salt));
+                }
+                all
+            }
+            Some((attr, key)) => match self.by_attr.get(&attr) {
+                None => Vec::new(),
+                Some(bucket) => match key {
+                    Some(h) => bucket.eq.get(&h).map(|l| capped(l, salt)).unwrap_or_default(),
+                    None => capped(&bucket.ranges, salt),
+                },
+            },
+        }
+    }
+}
+
+/// At most [`SCAN_CAP`] entries sampled *across* a candidate list (every
+/// ⌈len/CAP⌉-th element). Sampling the whole list — rather than only its
+/// most recent tail — mirrors a real poset insertion, whose sibling checks
+/// land on nodes allocated throughout the index's lifetime. That access
+/// pattern is what drives the paper's Figure 8: once the index outgrows
+/// the EPC, insertion touches evicted pages and pays for swaps.
+fn capped(list: &[u32], salt: u64) -> Vec<u32> {
+    if list.len() <= SCAN_CAP {
+        return list.to_vec();
+    }
+    let stride = list.len().div_ceil(SCAN_CAP);
+    let offset = (salt as usize) % stride;
+    list.iter().skip(offset).step_by(stride).copied().collect()
+}
+
+/// Relation between a resident node's subscription and an incoming one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Relation {
+    Equal,
+    NodeCoversNew,
+    NewCoversNode,
+    Unrelated,
+}
+
+#[derive(Debug)]
+struct Node {
+    sub: CompiledSubscription,
+    subscribers: Vec<(SubscriptionId, ClientId)>,
+    children: Vec<u32>,
+    parent: Option<u32>,
+    /// Detached nodes stay in the arena (append-only store) but leave the
+    /// forest.
+    detached: bool,
+}
+
+/// The containment forest.
+#[derive(Debug)]
+pub struct LegacyPosetIndex {
+    mem: MemorySim,
+    nodes: SimArena<Node>,
+    roots: Vec<u32>,
+    directory: RootDirectory,
+    by_id: HashMap<SubscriptionId, u32>,
+    live: usize,
+}
+
+impl LegacyPosetIndex {
+    /// Creates an empty index storing nodes in `mem`.
+    pub fn new(mem: &MemorySim) -> Self {
+        LegacyPosetIndex {
+            mem: mem.clone(),
+            nodes: SimArena::with_stride(mem, NODE_STRIDE),
+            roots: Vec::new(),
+            directory: RootDirectory::default(),
+            by_id: HashMap::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of root nodes (width of the forest).
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Maximum depth of the forest (1 for a single layer; 0 when empty).
+    pub fn depth(&self) -> usize {
+        fn depth_of(index: &LegacyPosetIndex, node: u32) -> usize {
+            1 + index
+                .nodes
+                .peek(node)
+                .children
+                .iter()
+                .map(|&c| depth_of(index, c))
+                .max()
+                .unwrap_or(0)
+        }
+        self.roots.iter().map(|&r| depth_of(self, r)).max().unwrap_or(0)
+    }
+
+    /// Reads a node charging traffic proportional to its constraint count.
+    fn visit(&self, idx: u32) -> &Node {
+        let n_constraints = self.nodes.peek(idx).sub.len() as u64;
+        let bytes = NODE_HEADER_BYTES + n_constraints * CONSTRAINT_BYTES;
+        self.mem.charge_predicate_evals(n_constraints.max(1));
+        self.nodes.read_partial(idx, bytes)
+    }
+
+    /// Compares the incoming subscription with a node's, charging the two
+    /// covering checks.
+    fn relate(&self, idx: u32, sub: &CompiledSubscription) -> Relation {
+        let node = self.visit(idx);
+        let node_covers = node.sub.covers(sub);
+        let new_covers = sub.covers(&node.sub);
+        match (node_covers, new_covers) {
+            (true, true) => Relation::Equal,
+            (true, false) => Relation::NodeCoversNew,
+            (false, true) => Relation::NewCoversNode,
+            (false, false) => Relation::Unrelated,
+        }
+    }
+
+    /// Detaches `idx` from the forest, splicing its children to `parent`.
+    fn detach(&mut self, idx: u32) {
+        let (parent, children) = {
+            let node = self.nodes.peek(idx);
+            (node.parent, node.children.clone())
+        };
+        // Re-parent children.
+        for &c in &children {
+            self.nodes.write(c).parent = parent;
+        }
+        match parent {
+            Some(p) => {
+                let pn = self.nodes.write(p);
+                pn.children.retain(|&c| c != idx);
+                pn.children.extend_from_slice(&children);
+            }
+            None => {
+                self.roots.retain(|&r| r != idx);
+                let detached_sub = self.nodes.peek(idx).sub.clone();
+                self.directory.remove(idx, &detached_sub);
+                self.roots.extend_from_slice(&children);
+                for &c in &children {
+                    let child_sub = self.nodes.peek(c).sub.clone();
+                    self.directory.add(c, &child_sub);
+                }
+            }
+        }
+        let node = self.nodes.write(idx);
+        node.children.clear();
+        node.parent = None;
+        node.detached = true;
+    }
+}
+
+impl SubscriptionIndex for LegacyPosetIndex {
+    fn insert(&mut self, id: SubscriptionId, client: ClientId, sub: CompiledSubscription) {
+        // Descend to the deepest node covering `sub`. At the root level
+        // only compatible directory buckets are consulted; below, children
+        // lists are scanned directly.
+        let salt = sub.fingerprint();
+        let mut parent: Option<u32> = None;
+        loop {
+            let siblings: Vec<u32> = match parent {
+                Some(p) => capped(&self.nodes.peek(p).children, salt),
+                None => self.directory.cover_candidates(&sub, salt),
+            };
+            // Find a sibling that equals or covers the new subscription.
+            let mut next: Option<u32> = None;
+            let mut equal: Option<u32> = None;
+            for &s in siblings.iter() {
+                match self.relate(s, &sub) {
+                    Relation::Equal => {
+                        equal = Some(s);
+                        break;
+                    }
+                    Relation::NodeCoversNew => {
+                        next = Some(s);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(e) = equal {
+                self.nodes.write(e).subscribers.push((id, client));
+                self.by_id.insert(id, e);
+                self.live += 1;
+                return;
+            }
+            match next {
+                Some(n) => parent = Some(n),
+                None => break,
+            }
+        }
+
+        // Place a new node under `parent`, adopting any siblings it covers.
+        let candidates: Vec<u32> = match parent {
+            Some(p) => capped(&self.nodes.peek(p).children, salt),
+            None => self.directory.adoption_candidates(&sub, salt),
+        };
+        let mut adopted = Vec::new();
+        for s in candidates {
+            if self.relate(s, &sub) == Relation::NewCoversNode {
+                adopted.push(s);
+            }
+        }
+        let new_idx = self.nodes.push(Node {
+            sub: sub.clone(),
+            subscribers: vec![(id, client)],
+            children: adopted.clone(),
+            parent,
+            detached: false,
+        });
+        for &a in &adopted {
+            self.nodes.write(a).parent = Some(new_idx);
+        }
+        match parent {
+            Some(p) => {
+                let pn = self.nodes.write(p);
+                pn.children.retain(|c| !adopted.contains(c));
+                pn.children.push(new_idx);
+            }
+            None => {
+                for &a in &adopted {
+                    self.roots.retain(|r| *r != a);
+                    let adopted_sub = self.nodes.peek(a).sub.clone();
+                    self.directory.remove(a, &adopted_sub);
+                }
+                self.roots.push(new_idx);
+                self.directory.add(new_idx, &sub);
+            }
+        }
+        self.by_id.insert(id, new_idx);
+        self.live += 1;
+    }
+
+    fn remove(&mut self, id: SubscriptionId) -> bool {
+        let Some(idx) = self.by_id.remove(&id) else {
+            return false;
+        };
+        {
+            let node = self.nodes.write(idx);
+            node.subscribers.retain(|(sid, _)| *sid != id);
+        }
+        let now_empty = self.nodes.peek(idx).subscribers.is_empty();
+        if now_empty {
+            self.detach(idx);
+        }
+        self.live -= 1;
+        true
+    }
+
+    fn match_into(
+        &self,
+        header: &CompiledHeader,
+        _scratch: &mut MatchScratch,
+        out: &mut Vec<ClientId>,
+    ) {
+        // Deliberately unchanged from the pre-arena engine: allocates a
+        // fresh stack per call and walks every root.
+        let mut stack: Vec<u32> = self.roots.clone();
+        while let Some(idx) = stack.pop() {
+            let node = self.visit(idx);
+            if node.sub.matches(header) {
+                out.extend(node.subscribers.iter().map(|(_, c)| *c));
+                stack.extend_from_slice(&node.children);
+            }
+            // A failed node prunes its whole subtree: every descendant is
+            // covered by it, so none can match.
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn logical_bytes(&self) -> u64 {
+        self.nodes.len() as u64 * NODE_STRIDE
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::PosetLegacy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+    use crate::attr::AttrSchema;
+    use crate::subscription::SubscriptionSpec;
+
+    #[test]
+    fn conformance() {
+        conformance_scenario(|mem| Box::new(LegacyPosetIndex::new(mem)));
+    }
+
+    #[test]
+    fn containment_chain_forms_single_root() {
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut index = LegacyPosetIndex::new(&mem);
+        // price > 0 ⊒ price > 10 ⊒ price > 20 ⊒ price > 30
+        for (i, bound) in [0.0, 10.0, 20.0, 30.0].iter().enumerate() {
+            index.insert(
+                SubscriptionId(i as u64),
+                ClientId(i as u64),
+                sub(&schema, SubscriptionSpec::new().gt("price", *bound)),
+            );
+        }
+        assert_eq!(index.root_count(), 1, "chain shares one root");
+        assert_eq!(index.depth(), 4);
+    }
+
+    #[test]
+    fn reverse_insertion_order_still_nests() {
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut index = LegacyPosetIndex::new(&mem);
+        // Most specific first: the general one must adopt it on arrival.
+        for (i, bound) in [30.0, 20.0, 10.0, 0.0].iter().enumerate() {
+            index.insert(
+                SubscriptionId(i as u64),
+                ClientId(i as u64),
+                sub(&schema, SubscriptionSpec::new().gt("price", *bound)),
+            );
+        }
+        assert_eq!(index.root_count(), 1);
+        assert_eq!(index.depth(), 4);
+        let h = header(&schema, &[("price", 25.0.into())]);
+        assert_eq!(matches(&index, &h), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_subscriptions_share_a_node() {
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut index = LegacyPosetIndex::new(&mem);
+        for i in 0..5u64 {
+            index.insert(
+                SubscriptionId(i),
+                ClientId(i),
+                sub(&schema, SubscriptionSpec::new().eq("symbol", "HAL")),
+            );
+        }
+        assert_eq!(index.len(), 5);
+        assert_eq!(index.node_count(), 1, "five equal subs, one node");
+        let h = header(&schema, &[("symbol", "HAL".into())]);
+        assert_eq!(matches(&index, &h), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn canonically_equal_specs_share_a_node() {
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut index = LegacyPosetIndex::new(&mem);
+        // Written differently, canonicalises identically.
+        index.insert(
+            SubscriptionId(0),
+            ClientId(0),
+            sub(&schema, SubscriptionSpec::new().ge("p", 1.0).le("p", 2.0)),
+        );
+        index.insert(
+            SubscriptionId(1),
+            ClientId(1),
+            sub(&schema, SubscriptionSpec::new().between("p", 1.0, 2.0)),
+        );
+        assert_eq!(index.node_count(), 1);
+    }
+
+    #[test]
+    fn pruning_skips_subtrees() {
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut index = LegacyPosetIndex::new(&mem);
+        index.insert(
+            SubscriptionId(0),
+            ClientId(0),
+            sub(&schema, SubscriptionSpec::new().eq("symbol", "HAL")),
+        );
+        for i in 1..=10u64 {
+            index.insert(
+                SubscriptionId(i),
+                ClientId(i),
+                sub(&schema, SubscriptionSpec::new().eq("symbol", "HAL").gt("price", i as f64)),
+            );
+        }
+        // A non-HAL publication must only evaluate the root.
+        mem.reset_counters();
+        let h = header(&schema, &[("symbol", "IBM".into()), ("price", 100.0.into())]);
+        let mut out = Vec::new();
+        index.match_header(&h, &mut out);
+        assert!(out.is_empty());
+        // Only the root was visited: one partial node read. Compare against
+        // a header that matches everything (visits all 11 nodes).
+        let pruned_reads = mem.stats().reads;
+        mem.reset_counters();
+        let h2 = header(&schema, &[("symbol", "HAL".into()), ("price", 100.0.into())]);
+        index.match_header(&h2, &mut out);
+        let full_reads = mem.stats().reads;
+        assert!(full_reads >= 5 * pruned_reads, "pruned {pruned_reads} vs full {full_reads}");
+    }
+
+    #[test]
+    fn removal_of_inner_node_reparents_children() {
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut index = LegacyPosetIndex::new(&mem);
+        index.insert(
+            SubscriptionId(0),
+            ClientId(0),
+            sub(&schema, SubscriptionSpec::new().gt("p", 0.0)),
+        );
+        index.insert(
+            SubscriptionId(1),
+            ClientId(1),
+            sub(&schema, SubscriptionSpec::new().gt("p", 10.0)),
+        );
+        index.insert(
+            SubscriptionId(2),
+            ClientId(2),
+            sub(&schema, SubscriptionSpec::new().gt("p", 20.0)),
+        );
+        assert!(index.remove(SubscriptionId(1)));
+        // Chain 0 -> 2 must still match correctly.
+        let h = header(&schema, &[("p", 25.0.into())]);
+        assert_eq!(matches(&index, &h), vec![0, 2]);
+        assert_eq!(index.depth(), 2);
+    }
+
+    #[test]
+    fn removal_of_root_promotes_children_to_roots() {
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut index = LegacyPosetIndex::new(&mem);
+        index.insert(
+            SubscriptionId(0),
+            ClientId(0),
+            sub(&schema, SubscriptionSpec::new().gt("p", 0.0)),
+        );
+        index.insert(
+            SubscriptionId(1),
+            ClientId(1),
+            sub(&schema, SubscriptionSpec::new().gt("p", 10.0)),
+        );
+        assert!(index.remove(SubscriptionId(0)));
+        assert_eq!(index.root_count(), 1);
+        let h = header(&schema, &[("p", 15.0.into())]);
+        assert_eq!(matches(&index, &h), vec![1]);
+    }
+
+    #[test]
+    fn shared_node_removal_keeps_other_subscriber() {
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut index = LegacyPosetIndex::new(&mem);
+        let spec = || SubscriptionSpec::new().eq("s", "X");
+        index.insert(SubscriptionId(0), ClientId(0), sub(&schema, spec()));
+        index.insert(SubscriptionId(1), ClientId(1), sub(&schema, spec()));
+        assert!(index.remove(SubscriptionId(0)));
+        let h = header(&schema, &[("s", "X".into())]);
+        assert_eq!(matches(&index, &h), vec![1]);
+        assert_eq!(index.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_subscriptions_become_roots() {
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut index = LegacyPosetIndex::new(&mem);
+        for i in 0..10u64 {
+            index.insert(
+                SubscriptionId(i),
+                ClientId(i),
+                sub(&schema, SubscriptionSpec::new().eq("symbol", format!("S{i}").as_str())),
+            );
+        }
+        assert_eq!(index.root_count(), 10, "distinct equalities don't nest");
+        assert_eq!(index.depth(), 1);
+    }
+
+    #[test]
+    fn agrees_with_naive_on_random_workload() {
+        use crate::index::naive::NaiveIndex;
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut poset = LegacyPosetIndex::new(&mem);
+        let mut naive = NaiveIndex::new(&mem);
+        let mut rng = scbr_crypto::CryptoRng::from_seed(99);
+        let symbols = ["A", "B", "C"];
+        for i in 0..300u64 {
+            let mut spec = SubscriptionSpec::new();
+            if rng.chance(0.8) {
+                spec = spec.eq("symbol", symbols[rng.below(3) as usize]);
+            }
+            if rng.chance(0.7) {
+                let lo = rng.below(50) as f64;
+                spec = spec.ge("price", lo).le("price", lo + rng.below(30) as f64);
+            }
+            if rng.chance(0.3) {
+                spec = spec.gt("volume", rng.below(1000) as i64);
+            }
+            let compiled = sub(&schema, spec);
+            poset.insert(SubscriptionId(i), ClientId(i), compiled.clone());
+            naive.insert(SubscriptionId(i), ClientId(i), compiled);
+        }
+        for t in 0..100 {
+            let h = header(
+                &schema,
+                &[
+                    ("symbol", symbols[(t % 3) as usize].into()),
+                    ("price", (((t * 7) % 80) as f64).into()),
+                    ("volume", (((t * 13) % 1200) as i64).into()),
+                ],
+            );
+            assert_eq!(matches(&poset, &h), matches(&naive, &h), "trial {t}");
+        }
+    }
+}

@@ -1,11 +1,15 @@
 //! Subscription indexes: the data structures the routing engine matches
 //! against.
 //!
-//! Three implementations with one interface:
+//! Four implementations with one interface:
 //!
 //! * [`poset::PosetIndex`] — the paper's containment-based
-//!   index (à la Siena): subscriptions form a forest ordered by covering,
-//!   and matching prunes entire subtrees whose root fails.
+//!   index (à la Siena) rebuilt on an arena layout: subscriptions form a
+//!   forest ordered by covering, matching prunes entire subtrees whose
+//!   root fails, and the root directory seeds each match with only the
+//!   buckets compatible with the publication's attributes.
+//! * [`legacy::LegacyPosetIndex`] — the pre-arena poset kept verbatim as
+//!   the "old" baseline for the `BENCH_million.json` before/after rows.
 //! * [`naive::NaiveIndex`] — a linear scan, the correctness
 //!   oracle and worst-case baseline.
 //! * [`counting::CountingIndex`] — a classic
@@ -16,8 +20,14 @@
 //! is charged to the owning [`sgx_sim::MemorySim`] — that is what lets the
 //! benchmarks observe cache-miss knees and EPC paging exactly where the
 //! paper does.
+//!
+//! The hot path is [`SubscriptionIndex::match_into`]: it threads a
+//! caller-owned [`MatchScratch`] through the traversal so steady-state
+//! matching performs no heap allocation. [`SubscriptionIndex::match_header`]
+//! is a convenience wrapper that conjures a scratch per call.
 
 pub mod counting;
+pub mod legacy;
 pub mod naive;
 pub mod poset;
 
@@ -26,8 +36,40 @@ use crate::publication::CompiledHeader;
 use crate::subscription::CompiledSubscription;
 
 pub use counting::CountingIndex;
+pub use legacy::LegacyPosetIndex;
 pub use naive::NaiveIndex;
 pub use poset::PosetIndex;
+
+/// Reusable per-engine traversal state threaded through
+/// [`SubscriptionIndex::match_into`].
+///
+/// Holds the poset DFS stack and the counting index's epoch-stamped
+/// satisfaction counters (its dedup "bitmap"): after a short warm-up the
+/// buffers reach their high-water mark and matching allocates nothing.
+/// One scratch may be shared across index kinds; each implementation
+/// resizes only the parts it uses.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    /// DFS work list (poset traversal).
+    pub(crate) stack: Vec<u32>,
+    /// `(epoch, satisfied)` per arena entry (counting index). A stale
+    /// epoch reads as zero, so clearing between matches is O(1).
+    pub(crate) counts: Vec<(u64, u16)>,
+    /// Current stamp for `counts` validity.
+    pub(crate) epoch: u64,
+}
+
+impl MatchScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capacity currently retained by the scratch, in entries.
+    pub fn retained(&self) -> usize {
+        self.stack.capacity() + self.counts.capacity()
+    }
+}
 
 /// Logical bytes charged for a node header (ids, counts, links).
 pub(crate) const NODE_HEADER_BYTES: u64 = 48;
@@ -42,8 +84,10 @@ pub(crate) const NODE_STRIDE: u64 =
 /// Which index implementation to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IndexKind {
-    /// Containment poset (the paper's engine).
+    /// Containment poset (the paper's engine), arena-backed.
     Poset,
+    /// Pre-arena containment poset, kept as the before/after baseline.
+    PosetLegacy,
     /// Linear scan baseline.
     Naive,
     /// Counting algorithm with per-attribute postings.
@@ -60,8 +104,22 @@ pub trait SubscriptionIndex: Send {
 
     /// Appends the clients whose subscriptions match `header` to `out`
     /// (duplicates possible when one client registered several matching
-    /// subscriptions; callers dedup).
-    fn match_header(&self, header: &CompiledHeader, out: &mut Vec<ClientId>);
+    /// subscriptions; callers dedup), reusing `scratch` for all traversal
+    /// state. Steady-state calls must not allocate.
+    fn match_into(
+        &self,
+        header: &CompiledHeader,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<ClientId>,
+    );
+
+    /// Convenience wrapper around [`Self::match_into`] with a throwaway
+    /// scratch (an unused `Vec` does not allocate, so this is only costly
+    /// once the traversal actually grows the buffers).
+    fn match_header(&self, header: &CompiledHeader, out: &mut Vec<ClientId>) {
+        let mut scratch = MatchScratch::new();
+        self.match_into(header, &mut scratch, out);
+    }
 
     /// Number of live subscriptions.
     fn len(&self) -> usize;
@@ -86,6 +144,7 @@ pub trait SubscriptionIndex: Send {
 pub fn new_index(kind: IndexKind, mem: &sgx_sim::MemorySim) -> Box<dyn SubscriptionIndex> {
     match kind {
         IndexKind::Poset => Box::new(PosetIndex::new(mem)),
+        IndexKind::PosetLegacy => Box::new(LegacyPosetIndex::new(mem)),
         IndexKind::Naive => Box::new(NaiveIndex::new(mem)),
         IndexKind::Counting => Box::new(CountingIndex::new(mem)),
     }

@@ -4,7 +4,9 @@
 //! Used as the correctness oracle for the smarter indexes and as the
 //! unoptimised baseline in the ablation benchmarks.
 
-use super::{IndexKind, SubscriptionIndex, CONSTRAINT_BYTES, NODE_HEADER_BYTES, NODE_STRIDE};
+use super::{
+    IndexKind, MatchScratch, SubscriptionIndex, CONSTRAINT_BYTES, NODE_HEADER_BYTES, NODE_STRIDE,
+};
 use crate::ids::{ClientId, SubscriptionId};
 use crate::publication::CompiledHeader;
 use crate::subscription::CompiledSubscription;
@@ -60,7 +62,14 @@ impl SubscriptionIndex for NaiveIndex {
         }
     }
 
-    fn match_header(&self, header: &CompiledHeader, out: &mut Vec<ClientId>) {
+    fn match_into(
+        &self,
+        header: &CompiledHeader,
+        _scratch: &mut MatchScratch,
+        out: &mut Vec<ClientId>,
+    ) {
+        // The linear scan needs no traversal state; it is allocation-free
+        // by construction.
         for idx in 0..self.entries.len() as u32 {
             // Touch the header plus as many constraints as this entry holds.
             let peek = self.entries.peek(idx);

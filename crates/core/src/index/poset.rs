@@ -1,4 +1,5 @@
-//! Containment-based subscription index (the paper's engine).
+//! Containment-based subscription index (the paper's engine), rebuilt on a
+//! cache-conscious arena layout for the million-subscriber hot path.
 //!
 //! Subscriptions are organised in a forest ordered by the *covering*
 //! relation: a node's subscription covers every subscription in its
@@ -15,30 +16,48 @@
 //!    one node, shrinking the enclave-resident footprint — valuable when
 //!    memory beyond the EPC costs 1000× (Figure 8).
 //!
-//! The forest is stored in a [`SimArena`] with the paper's ~432-byte node
-//! footprint, so probes surface as cache misses and EPC faults in the
-//! simulator.
+//! Compared to [`super::legacy::LegacyPosetIndex`] (the pre-arena engine)
+//! three things changed:
+//!
+//! * **Struct-of-arrays links.** Child/sibling/parent relations live in
+//!   flat `Vec<u32>` arrays indexed by node id (`u32::MAX` = none) instead
+//!   of a per-node `Vec<u32>` child list. Splicing a node in or out of the
+//!   forest is O(1) pointer surgery with no heap allocation and no
+//!   `children.clone()`.
+//! * **Copyable directory keys.** Each node caches the directory bucket it
+//!   roots under ([`DirKey`], derived from its first constraint), so root
+//!   promotion/demotion never needs a `sub.clone()`; bucket membership is
+//!   maintained with position-indexed `swap_remove`, O(1) per root flip.
+//! * **Directory-seeded matching.** A root can only match a publication
+//!   that carries its first (minimum-id) constrained attribute with a
+//!   compatible kind, so matching seeds its DFS stack from the compatible
+//!   buckets only — `top` roots plus, per publication attribute, the exact
+//!   string-equality bucket and the numeric-range list. At one million
+//!   mostly-unrelated subscriptions this replaces the full root-list walk
+//!   with a handful of bucket probes, and the traversal stack itself comes
+//!   from the caller's [`MatchScratch`], so steady-state matching performs
+//!   zero heap allocation.
+//!
+//! Node payloads still live in a [`SimArena`] with the paper's ~432-byte
+//! stride, so probes surface as cache misses and EPC faults in the
+//! simulator. Detached slots are recycled through a free list, keeping the
+//! arena footprint proportional to *live* nodes under churn.
 
-use super::{IndexKind, SubscriptionIndex, CONSTRAINT_BYTES, NODE_HEADER_BYTES, NODE_STRIDE};
+use super::{
+    IndexKind, MatchScratch, SubscriptionIndex, CONSTRAINT_BYTES, NODE_HEADER_BYTES, NODE_STRIDE,
+};
 use crate::attr::AttrId;
 use crate::ids::{ClientId, SubscriptionId};
 use crate::predicate::ConstraintSet;
 use crate::publication::CompiledHeader;
 use crate::subscription::CompiledSubscription;
+use crate::value::Scalar;
 use sgx_sim::{MemorySim, SimArena};
 use std::collections::HashMap;
 
-/// Root-level insertion accelerator.
-///
-/// A root can only cover an incoming subscription if the root's *first*
-/// (minimum-id) constrained attribute is also constrained by the incoming
-/// one, with a compatible constraint kind. Bucketing roots by that first
-/// constraint (and, for string equalities, by hash) lets insertion consult
-/// only compatible buckets instead of scanning every root — essential for
-/// the paper's 500 000-subscription registration experiment (Figure 8).
-///
-/// **Matching is unaffected**: it still walks the full root list, as the
-/// paper's engine does; the directory only accelerates housekeeping.
+/// Sentinel for "no node" in the link arrays.
+const NONE: u32 = u32::MAX;
+
 /// Upper bound on candidate nodes examined per sibling list during
 /// insertion. A missed cover or adoption only flattens the forest (extra
 /// roots), never breaks the parent-covers-child invariant; the cap keeps
@@ -47,6 +66,38 @@ use std::collections::HashMap;
 /// footprint the paper's Figure 8 implies.
 const SCAN_CAP: usize = 16;
 
+/// Which root-directory bucket a node belongs to, derived from its first
+/// (minimum-attribute-id) constraint. Copyable, so root bookkeeping never
+/// clones the subscription itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DirKey {
+    /// No constraints: matches everything, always a candidate.
+    Top,
+    /// First constraint is a string equality on `(attr, hash)`.
+    Eq(AttrId, u64),
+    /// First constraint is a numeric range on `attr`.
+    Range(AttrId),
+}
+
+impl DirKey {
+    fn of(sub: &CompiledSubscription) -> Self {
+        match sub.constraints().first() {
+            None => DirKey::Top,
+            Some((attr, ConstraintSet::StrEq(h))) => DirKey::Eq(*attr, *h),
+            Some((attr, ConstraintSet::Range { .. })) => DirKey::Range(*attr),
+        }
+    }
+}
+
+/// Root directory: buckets every root by its [`DirKey`].
+///
+/// Insertion consults only compatible buckets instead of scanning every
+/// root, and — new with the arena layout — matching seeds its DFS stack
+/// from the same buckets, making candidate work sub-linear in the root
+/// count. Soundness rests on [`ConstraintSet::matches`] kind-strictness: a
+/// string equality only matches `Scalar::Str` of the same hash, and a
+/// range never matches a string, so a root bucketed elsewhere cannot match
+/// the publication and skipping it is safe.
 #[derive(Debug, Default)]
 struct RootDirectory {
     /// Roots with no constraints (match everything).
@@ -63,102 +114,98 @@ struct AttrBucket {
 }
 
 impl RootDirectory {
-    fn key_of(sub: &CompiledSubscription) -> Option<(AttrId, Option<u64>)> {
-        sub.constraints().first().map(|(attr, set)| match set {
-            ConstraintSet::StrEq(h) => (*attr, Some(*h)),
-            ConstraintSet::Range { .. } => (*attr, None),
-        })
-    }
-
-    fn add(&mut self, idx: u32, sub: &CompiledSubscription) {
-        match Self::key_of(sub) {
-            None => self.top.push(idx),
-            Some((attr, Some(h))) => {
-                self.by_attr.entry(attr).or_default().eq.entry(h).or_default().push(idx)
-            }
-            Some((attr, None)) => self.by_attr.entry(attr).or_default().ranges.push(idx),
-        }
-    }
-
-    fn remove(&mut self, idx: u32, sub: &CompiledSubscription) {
-        match Self::key_of(sub) {
-            None => self.top.retain(|&r| r != idx),
-            Some((attr, Some(h))) => {
-                if let Some(bucket) = self.by_attr.get_mut(&attr) {
-                    if let Some(list) = bucket.eq.get_mut(&h) {
-                        list.retain(|&r| r != idx);
-                    }
-                }
-            }
-            Some((attr, None)) => {
-                if let Some(bucket) = self.by_attr.get_mut(&attr) {
-                    bucket.ranges.retain(|&r| r != idx);
-                }
-            }
+    /// The bucket list a key lives in, created on demand.
+    fn list_mut(&mut self, key: DirKey) -> &mut Vec<u32> {
+        match key {
+            DirKey::Top => &mut self.top,
+            DirKey::Eq(attr, h) => self.by_attr.entry(attr).or_default().eq.entry(h).or_default(),
+            DirKey::Range(attr) => &mut self.by_attr.entry(attr).or_default().ranges,
         }
     }
 
     /// Root indices that could possibly *cover* `sub`: a covering root's
     /// first attribute is one of `sub`'s, with a compatible kind. Each
     /// list contributes at most [`SCAN_CAP`] entries, sampled across the
-    /// list with a subscription-dependent offset (see [`capped`]).
-    fn cover_candidates(&self, sub: &CompiledSubscription, salt: u64) -> Vec<u32> {
-        let mut out: Vec<u32> = capped(&self.top, salt);
+    /// list with a subscription-dependent offset (see [`capped_into`]).
+    fn cover_candidates_into(&self, sub: &CompiledSubscription, salt: u64, out: &mut Vec<u32>) {
+        capped_into(&self.top, salt, out);
         for (attr, set) in sub.constraints() {
             if let Some(bucket) = self.by_attr.get(attr) {
                 match set {
                     ConstraintSet::StrEq(h) => {
                         if let Some(list) = bucket.eq.get(h) {
-                            out.extend(capped(list, salt));
+                            capped_into(list, salt, out);
                         }
                     }
-                    ConstraintSet::Range { .. } => out.extend(capped(&bucket.ranges, salt)),
+                    ConstraintSet::Range { .. } => capped_into(&bucket.ranges, salt, out),
                 }
             }
         }
-        out
     }
 
     /// Root indices `sub` might *adopt* (heuristic: only roots sharing
     /// `sub`'s first attribute — missing an adoption keeps the forest
     /// flatter but never breaks the parent-covers-child invariant).
-    fn adoption_candidates(&self, sub: &CompiledSubscription, salt: u64) -> Vec<u32> {
-        match Self::key_of(sub) {
-            None => {
+    fn adoption_candidates_into(&self, key: DirKey, salt: u64, out: &mut Vec<u32>) {
+        match key {
+            DirKey::Top => {
                 // An empty subscription covers everything rooted anywhere.
-                let mut all = capped(&self.top, salt);
+                capped_into(&self.top, salt, out);
                 for bucket in self.by_attr.values() {
                     for list in bucket.eq.values() {
-                        all.extend(capped(list, salt));
+                        capped_into(list, salt, out);
                     }
-                    all.extend(capped(&bucket.ranges, salt));
+                    capped_into(&bucket.ranges, salt, out);
                 }
-                all
             }
-            Some((attr, key)) => match self.by_attr.get(&attr) {
-                None => Vec::new(),
-                Some(bucket) => match key {
-                    Some(h) => bucket.eq.get(&h).map(|l| capped(l, salt)).unwrap_or_default(),
-                    None => capped(&bucket.ranges, salt),
-                },
-            },
+            DirKey::Eq(attr, h) => {
+                if let Some(list) = self.by_attr.get(&attr).and_then(|b| b.eq.get(&h)) {
+                    capped_into(list, salt, out);
+                }
+            }
+            DirKey::Range(attr) => {
+                if let Some(bucket) = self.by_attr.get(&attr) {
+                    capped_into(&bucket.ranges, salt, out);
+                }
+            }
+        }
+    }
+
+    /// Seeds a match with every root that could possibly accept `header`:
+    /// the unconstrained `top` roots plus, for each publication attribute,
+    /// the exact string-equality bucket (when the value is a string) and
+    /// the numeric-range list. Complete because a matching root's first
+    /// constrained attribute must appear in the header with a compatible
+    /// kind, and each root lives in exactly one bucket (no duplicates).
+    fn seed_match(&self, header: &CompiledHeader, out: &mut Vec<u32>) {
+        out.extend_from_slice(&self.top);
+        for (attr, scalar) in header.entries() {
+            if let Some(bucket) = self.by_attr.get(attr) {
+                if let Scalar::Str(h) = scalar {
+                    if let Some(list) = bucket.eq.get(h) {
+                        out.extend_from_slice(list);
+                    }
+                }
+                out.extend_from_slice(&bucket.ranges);
+            }
         }
     }
 }
 
-/// At most [`SCAN_CAP`] entries sampled *across* a candidate list (every
-/// ⌈len/CAP⌉-th element). Sampling the whole list — rather than only its
-/// most recent tail — mirrors a real poset insertion, whose sibling checks
-/// land on nodes allocated throughout the index's lifetime. That access
-/// pattern is what drives the paper's Figure 8: once the index outgrows
-/// the EPC, insertion touches evicted pages and pays for swaps.
-fn capped(list: &[u32], salt: u64) -> Vec<u32> {
+/// Appends at most [`SCAN_CAP`] entries sampled *across* a candidate list
+/// (every ⌈len/CAP⌉-th element) to `out`. Sampling the whole list — rather
+/// than only its most recent tail — mirrors a real poset insertion, whose
+/// sibling checks land on nodes allocated throughout the index's lifetime.
+/// That access pattern is what drives the paper's Figure 8: once the index
+/// outgrows the EPC, insertion touches evicted pages and pays for swaps.
+fn capped_into(list: &[u32], salt: u64, out: &mut Vec<u32>) {
     if list.len() <= SCAN_CAP {
-        return list.to_vec();
+        out.extend_from_slice(list);
+        return;
     }
     let stride = list.len().div_ceil(SCAN_CAP);
     let offset = (salt as usize) % stride;
-    list.iter().skip(offset).step_by(stride).copied().collect()
+    out.extend(list.iter().skip(offset).step_by(stride).copied());
 }
 
 /// Relation between a resident node's subscription and an incoming one.
@@ -170,26 +217,42 @@ enum Relation {
     Unrelated,
 }
 
+/// Arena payload: the parts of a node with per-subscription size. The
+/// structural links live in the index's struct-of-arrays columns.
 #[derive(Debug)]
-struct Node {
+struct NodeBody {
     sub: CompiledSubscription,
     subscribers: Vec<(SubscriptionId, ClientId)>,
-    children: Vec<u32>,
-    parent: Option<u32>,
-    /// Detached nodes stay in the arena (append-only store) but leave the
-    /// forest.
-    detached: bool,
 }
 
-/// The containment forest.
+/// The containment forest, arena-backed.
 #[derive(Debug)]
 pub struct PosetIndex {
     mem: MemorySim,
-    nodes: SimArena<Node>,
-    roots: Vec<u32>,
+    nodes: SimArena<NodeBody>,
+    // Struct-of-arrays link columns, index-parallel with `nodes`.
+    // `NONE` (u32::MAX) means absent. Children form an intrusive doubly
+    // linked list through first_child/next_sibling/prev_sibling so splices
+    // are O(1) and allocation-free.
+    first_child: Vec<u32>,
+    next_sibling: Vec<u32>,
+    prev_sibling: Vec<u32>,
+    parent: Vec<u32>,
+    /// Directory bucket this node roots under (valid whenever it exists;
+    /// recomputed on slot reuse).
+    dir_key: Vec<DirKey>,
+    /// Position inside its directory bucket list while a root, else NONE.
+    dir_pos: Vec<u32>,
     directory: RootDirectory,
     by_id: HashMap<SubscriptionId, u32>,
+    /// Detached slots available for reuse (keeps footprint ∝ live nodes
+    /// under churn — the arena itself is append-only).
+    free: Vec<u32>,
+    n_roots: usize,
     live: usize,
+    // Reusable insertion/removal buffers (candidate probes, adoptions).
+    cand_buf: Vec<u32>,
+    adopt_buf: Vec<u32>,
 }
 
 impl PosetIndex {
@@ -198,35 +261,62 @@ impl PosetIndex {
         PosetIndex {
             mem: mem.clone(),
             nodes: SimArena::with_stride(mem, NODE_STRIDE),
-            roots: Vec::new(),
+            first_child: Vec::new(),
+            next_sibling: Vec::new(),
+            prev_sibling: Vec::new(),
+            parent: Vec::new(),
+            dir_key: Vec::new(),
+            dir_pos: Vec::new(),
             directory: RootDirectory::default(),
             by_id: HashMap::new(),
+            free: Vec::new(),
+            n_roots: 0,
             live: 0,
+            cand_buf: Vec::new(),
+            adopt_buf: Vec::new(),
         }
     }
 
     /// Number of root nodes (width of the forest).
     pub fn root_count(&self) -> usize {
-        self.roots.len()
+        self.n_roots
     }
 
     /// Maximum depth of the forest (1 for a single layer; 0 when empty).
     pub fn depth(&self) -> usize {
         fn depth_of(index: &PosetIndex, node: u32) -> usize {
-            1 + index
-                .nodes
-                .peek(node)
-                .children
-                .iter()
-                .map(|&c| depth_of(index, c))
-                .max()
-                .unwrap_or(0)
+            let mut deepest = 0;
+            let mut c = index.first_child[node as usize];
+            while c != NONE {
+                deepest = deepest.max(depth_of(index, c));
+                c = index.next_sibling[c as usize];
+            }
+            1 + deepest
         }
-        self.roots.iter().map(|&r| depth_of(self, r)).max().unwrap_or(0)
+        let mut max = 0;
+        self.each_root(|r| max = max.max(depth_of(self, r)));
+        max
+    }
+
+    /// Calls `f` on every root (all directory buckets).
+    fn each_root(&self, mut f: impl FnMut(u32)) {
+        for &r in &self.directory.top {
+            f(r);
+        }
+        for bucket in self.directory.by_attr.values() {
+            for list in bucket.eq.values() {
+                for &r in list {
+                    f(r);
+                }
+            }
+            for &r in &bucket.ranges {
+                f(r);
+            }
+        }
     }
 
     /// Reads a node charging traffic proportional to its constraint count.
-    fn visit(&self, idx: u32) -> &Node {
+    fn visit(&self, idx: u32) -> &NodeBody {
         let n_constraints = self.nodes.peek(idx).sub.len() as u64;
         let bytes = NODE_HEADER_BYTES + n_constraints * CONSTRAINT_BYTES;
         self.mem.charge_predicate_evals(n_constraints.max(1));
@@ -247,37 +337,156 @@ impl PosetIndex {
         }
     }
 
-    /// Detaches `idx` from the forest, splicing its children to `parent`.
-    fn detach(&mut self, idx: u32) {
-        let (parent, children) = {
-            let node = self.nodes.peek(idx);
-            (node.parent, node.children.clone())
+    /// Registers `idx` as a root in its directory bucket. O(1).
+    fn root_add(&mut self, idx: u32) {
+        let key = self.dir_key[idx as usize];
+        let list = self.directory.list_mut(key);
+        self.dir_pos[idx as usize] = list.len() as u32;
+        list.push(idx);
+        self.parent[idx as usize] = NONE;
+        self.n_roots += 1;
+    }
+
+    /// Removes root `idx` from its directory bucket via position-indexed
+    /// swap_remove. O(1), no subscription clone.
+    fn root_remove(&mut self, idx: u32) {
+        let key = self.dir_key[idx as usize];
+        let pos = self.dir_pos[idx as usize] as usize;
+        let list = self.directory.list_mut(key);
+        list.swap_remove(pos);
+        let moved = list.get(pos).copied();
+        if let Some(m) = moved {
+            self.dir_pos[m as usize] = pos as u32;
+        }
+        self.dir_pos[idx as usize] = NONE;
+        self.n_roots -= 1;
+    }
+
+    /// Prepends `c` to `p`'s child list. O(1) pointer surgery.
+    fn link_child(&mut self, p: u32, c: u32) {
+        let head = self.first_child[p as usize];
+        self.next_sibling[c as usize] = head;
+        self.prev_sibling[c as usize] = NONE;
+        if head != NONE {
+            self.prev_sibling[head as usize] = c;
+        }
+        self.first_child[p as usize] = c;
+        self.parent[c as usize] = p;
+    }
+
+    /// Unlinks `c` from its parent's child list. O(1).
+    fn unlink_child(&mut self, c: u32) {
+        let p = self.parent[c as usize];
+        let prev = self.prev_sibling[c as usize];
+        let next = self.next_sibling[c as usize];
+        if prev != NONE {
+            self.next_sibling[prev as usize] = next;
+        } else if p != NONE {
+            self.first_child[p as usize] = next;
+        }
+        if next != NONE {
+            self.prev_sibling[next as usize] = prev;
+        }
+        self.next_sibling[c as usize] = NONE;
+        self.prev_sibling[c as usize] = NONE;
+        self.parent[c as usize] = NONE;
+    }
+
+    /// Appends a capped sample of `p`'s children to `out` without
+    /// materialising the list.
+    fn children_capped_into(&self, p: u32, salt: u64, out: &mut Vec<u32>) {
+        let mut n = 0usize;
+        let mut c = self.first_child[p as usize];
+        while c != NONE {
+            n += 1;
+            c = self.next_sibling[c as usize];
+        }
+        if n == 0 {
+            return;
+        }
+        let (stride, offset) = if n <= SCAN_CAP {
+            (1, 0)
+        } else {
+            let stride = n.div_ceil(SCAN_CAP);
+            (stride, (salt as usize) % stride)
         };
-        // Re-parent children.
-        for &c in &children {
-            self.nodes.write(c).parent = parent;
-        }
-        match parent {
-            Some(p) => {
-                let pn = self.nodes.write(p);
-                pn.children.retain(|&c| c != idx);
-                pn.children.extend_from_slice(&children);
+        let mut i = 0usize;
+        let mut c = self.first_child[p as usize];
+        while c != NONE {
+            if i >= offset && (i - offset).is_multiple_of(stride) {
+                out.push(c);
             }
-            None => {
-                self.roots.retain(|&r| r != idx);
-                let detached_sub = self.nodes.peek(idx).sub.clone();
-                self.directory.remove(idx, &detached_sub);
-                self.roots.extend_from_slice(&children);
-                for &c in &children {
-                    let child_sub = self.nodes.peek(c).sub.clone();
-                    self.directory.add(c, &child_sub);
-                }
+            i += 1;
+            c = self.next_sibling[c as usize];
+        }
+    }
+
+    /// Allocates a node slot, recycling a detached one when available.
+    fn alloc_node(
+        &mut self,
+        sub: CompiledSubscription,
+        subscriber: (SubscriptionId, ClientId),
+        key: DirKey,
+    ) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let body = self.nodes.write(idx);
+            body.sub = sub;
+            body.subscribers.clear();
+            body.subscribers.push(subscriber);
+            let i = idx as usize;
+            self.first_child[i] = NONE;
+            self.next_sibling[i] = NONE;
+            self.prev_sibling[i] = NONE;
+            self.parent[i] = NONE;
+            self.dir_key[i] = key;
+            self.dir_pos[i] = NONE;
+            idx
+        } else {
+            let idx = self.nodes.push(NodeBody { sub, subscribers: vec![subscriber] });
+            self.first_child.push(NONE);
+            self.next_sibling.push(NONE);
+            self.prev_sibling.push(NONE);
+            self.parent.push(NONE);
+            self.dir_key.push(key);
+            self.dir_pos.push(NONE);
+            idx
+        }
+    }
+
+    /// Detaches `idx` from the forest, splicing its children to its parent
+    /// (or promoting them to roots), and returns the slot to the free list.
+    fn detach(&mut self, idx: u32) {
+        let p = self.parent[idx as usize];
+        let mut kids = std::mem::take(&mut self.cand_buf);
+        kids.clear();
+        let mut c = self.first_child[idx as usize];
+        while c != NONE {
+            kids.push(c);
+            c = self.next_sibling[c as usize];
+        }
+        if p != NONE {
+            self.unlink_child(idx);
+            for &k in &kids {
+                self.link_child(p, k);
+            }
+        } else {
+            self.root_remove(idx);
+            for &k in &kids {
+                let ki = k as usize;
+                self.next_sibling[ki] = NONE;
+                self.prev_sibling[ki] = NONE;
+                self.parent[ki] = NONE;
+                self.root_add(k);
             }
         }
-        let node = self.nodes.write(idx);
-        node.children.clear();
-        node.parent = None;
-        node.detached = true;
+        let i = idx as usize;
+        self.first_child[i] = NONE;
+        self.next_sibling[i] = NONE;
+        self.prev_sibling[i] = NONE;
+        self.parent[i] = NONE;
+        self.nodes.write(idx).subscribers.clear();
+        self.free.push(idx);
+        self.cand_buf = kids;
     }
 }
 
@@ -285,81 +494,79 @@ impl SubscriptionIndex for PosetIndex {
     fn insert(&mut self, id: SubscriptionId, client: ClientId, sub: CompiledSubscription) {
         // Descend to the deepest node covering `sub`. At the root level
         // only compatible directory buckets are consulted; below, children
-        // lists are scanned directly.
+        // lists are sampled directly.
         let salt = sub.fingerprint();
-        let mut parent: Option<u32> = None;
+        let mut cands = std::mem::take(&mut self.cand_buf);
+        let mut parent: u32 = NONE;
+        let mut equal: u32 = NONE;
         loop {
-            let siblings: Vec<u32> = match parent {
-                Some(p) => capped(&self.nodes.peek(p).children, salt),
-                None => self.directory.cover_candidates(&sub, salt),
-            };
+            cands.clear();
+            if parent == NONE {
+                self.directory.cover_candidates_into(&sub, salt, &mut cands);
+            } else {
+                self.children_capped_into(parent, salt, &mut cands);
+            }
             // Find a sibling that equals or covers the new subscription.
-            let mut next: Option<u32> = None;
-            let mut equal: Option<u32> = None;
-            for &s in siblings.iter() {
+            let mut next: u32 = NONE;
+            for &s in &cands {
                 match self.relate(s, &sub) {
                     Relation::Equal => {
-                        equal = Some(s);
+                        equal = s;
                         break;
                     }
                     Relation::NodeCoversNew => {
-                        next = Some(s);
+                        next = s;
                         break;
                     }
                     _ => {}
                 }
             }
-            if let Some(e) = equal {
-                self.nodes.write(e).subscribers.push((id, client));
-                self.by_id.insert(id, e);
-                self.live += 1;
-                return;
+            if equal != NONE || next == NONE {
+                break;
             }
-            match next {
-                Some(n) => parent = Some(n),
-                None => break,
-            }
+            parent = next;
+        }
+        if equal != NONE {
+            self.nodes.write(equal).subscribers.push((id, client));
+            self.by_id.insert(id, equal);
+            self.live += 1;
+            self.cand_buf = cands;
+            return;
         }
 
         // Place a new node under `parent`, adopting any siblings it covers.
-        let candidates: Vec<u32> = match parent {
-            Some(p) => capped(&self.nodes.peek(p).children, salt),
-            None => self.directory.adoption_candidates(&sub, salt),
-        };
-        let mut adopted = Vec::new();
-        for s in candidates {
+        let key = DirKey::of(&sub);
+        cands.clear();
+        if parent == NONE {
+            self.directory.adoption_candidates_into(key, salt, &mut cands);
+        } else {
+            self.children_capped_into(parent, salt, &mut cands);
+        }
+        let mut adopted = std::mem::take(&mut self.adopt_buf);
+        adopted.clear();
+        for &s in &cands {
             if self.relate(s, &sub) == Relation::NewCoversNode {
                 adopted.push(s);
             }
         }
-        let new_idx = self.nodes.push(Node {
-            sub: sub.clone(),
-            subscribers: vec![(id, client)],
-            children: adopted.clone(),
-            parent,
-            detached: false,
-        });
+        let new_idx = self.alloc_node(sub, (id, client), key);
         for &a in &adopted {
-            self.nodes.write(a).parent = Some(new_idx);
+            if parent == NONE {
+                self.root_remove(a);
+            } else {
+                self.unlink_child(a);
+            }
+            self.link_child(new_idx, a);
         }
-        match parent {
-            Some(p) => {
-                let pn = self.nodes.write(p);
-                pn.children.retain(|c| !adopted.contains(c));
-                pn.children.push(new_idx);
-            }
-            None => {
-                for &a in &adopted {
-                    self.roots.retain(|r| *r != a);
-                    let adopted_sub = self.nodes.peek(a).sub.clone();
-                    self.directory.remove(a, &adopted_sub);
-                }
-                self.roots.push(new_idx);
-                self.directory.add(new_idx, &sub);
-            }
+        if parent == NONE {
+            self.root_add(new_idx);
+        } else {
+            self.link_child(parent, new_idx);
         }
         self.by_id.insert(id, new_idx);
         self.live += 1;
+        self.cand_buf = cands;
+        self.adopt_buf = adopted;
     }
 
     fn remove(&mut self, id: SubscriptionId) -> bool {
@@ -370,21 +577,30 @@ impl SubscriptionIndex for PosetIndex {
             let node = self.nodes.write(idx);
             node.subscribers.retain(|(sid, _)| *sid != id);
         }
-        let now_empty = self.nodes.peek(idx).subscribers.is_empty();
-        if now_empty {
+        if self.nodes.peek(idx).subscribers.is_empty() {
             self.detach(idx);
         }
         self.live -= 1;
         true
     }
 
-    fn match_header(&self, header: &CompiledHeader, out: &mut Vec<ClientId>) {
-        let mut stack: Vec<u32> = self.roots.clone();
-        while let Some(idx) = stack.pop() {
+    fn match_into(
+        &self,
+        header: &CompiledHeader,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<ClientId>,
+    ) {
+        scratch.stack.clear();
+        self.directory.seed_match(header, &mut scratch.stack);
+        while let Some(idx) = scratch.stack.pop() {
             let node = self.visit(idx);
             if node.sub.matches(header) {
                 out.extend(node.subscribers.iter().map(|(_, c)| *c));
-                stack.extend_from_slice(&node.children);
+                let mut c = self.first_child[idx as usize];
+                while c != NONE {
+                    scratch.stack.push(c);
+                    c = self.next_sibling[c as usize];
+                }
             }
             // A failed node prunes its whole subtree: every descendant is
             // covered by it, so none can match.
@@ -396,7 +612,7 @@ impl SubscriptionIndex for PosetIndex {
     }
 
     fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.free.len()
     }
 
     fn logical_bytes(&self) -> u64 {
@@ -510,20 +726,21 @@ mod tests {
                 sub(&schema, SubscriptionSpec::new().eq("symbol", "HAL").gt("price", i as f64)),
             );
         }
-        // A non-HAL publication must only evaluate the root.
+        // A non-HAL publication never leaves the directory: the HAL bucket
+        // is skipped entirely, so no node is read at all.
         mem.reset_counters();
         let h = header(&schema, &[("symbol", "IBM".into()), ("price", 100.0.into())]);
         let mut out = Vec::new();
         index.match_header(&h, &mut out);
         assert!(out.is_empty());
-        // Only the root was visited: one partial node read. Compare against
-        // a header that matches everything (visits all 11 nodes).
         let pruned_reads = mem.stats().reads;
+        assert_eq!(pruned_reads, 0, "directory seeding skips the whole forest");
+        // A HAL publication walks the full 11-node subtree.
         mem.reset_counters();
         let h2 = header(&schema, &[("symbol", "HAL".into()), ("price", 100.0.into())]);
         index.match_header(&h2, &mut out);
         let full_reads = mem.stats().reads;
-        assert!(full_reads >= 5 * pruned_reads, "pruned {pruned_reads} vs full {full_reads}");
+        assert!(full_reads >= 11, "full walk visits all nodes, saw {full_reads}");
     }
 
     #[test]
@@ -602,6 +819,89 @@ mod tests {
         }
         assert_eq!(index.root_count(), 10, "distinct equalities don't nest");
         assert_eq!(index.depth(), 1);
+    }
+
+    #[test]
+    fn churn_recycles_arena_slots() {
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut index = PosetIndex::new(&mem);
+        // Heavy churn over distinct topics: every removal detaches a node
+        // and the free list must recycle its slot, keeping the append-only
+        // arena's footprint proportional to the live set.
+        for round in 0..100u64 {
+            index.insert(
+                SubscriptionId(round),
+                ClientId(round),
+                sub(&schema, SubscriptionSpec::new().eq("topic", format!("t{round}").as_str())),
+            );
+            if round >= 4 {
+                assert!(index.remove(SubscriptionId(round - 4)));
+            }
+        }
+        assert_eq!(index.len(), 4);
+        assert_eq!(index.node_count(), 4);
+        assert!(
+            index.logical_bytes() <= 16 * NODE_STRIDE,
+            "arena grew past recycling: {} bytes",
+            index.logical_bytes()
+        );
+        let h = header(&schema, &[("topic", "t97".into())]);
+        assert_eq!(matches(&index, &h), vec![97]);
+    }
+
+    #[test]
+    fn directory_seeding_visits_only_compatible_buckets() {
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut index = PosetIndex::new(&mem);
+        // 200 distinct topic equalities plus one numeric-range root.
+        for i in 0..200u64 {
+            index.insert(
+                SubscriptionId(i),
+                ClientId(i),
+                sub(&schema, SubscriptionSpec::new().eq("topic", format!("t{i}").as_str())),
+            );
+        }
+        index.insert(
+            SubscriptionId(1000),
+            ClientId(1000),
+            sub(&schema, SubscriptionSpec::new().gt("priority", 5i64)),
+        );
+        mem.reset_counters();
+        let h = header(&schema, &[("topic", "t7".into()), ("priority", 9i64.into())]);
+        assert_eq!(matches(&index, &h), vec![7, 1000]);
+        // Two compatible roots seeded (t7's bucket + the priority range
+        // list); each 72-byte visit touches two cache lines. The other 199
+        // topic roots are never read — a full walk would cost ~400 reads.
+        assert!(mem.stats().reads <= 6, "seeded match read {} lines", mem.stats().reads);
+    }
+
+    #[test]
+    fn match_into_reuses_scratch_capacity() {
+        let mem = free_mem();
+        let schema = AttrSchema::new();
+        let mut index = PosetIndex::new(&mem);
+        for i in 0..50u64 {
+            index.insert(
+                SubscriptionId(i),
+                ClientId(i),
+                sub(&schema, SubscriptionSpec::new().gt("p", (50 - i as i64) as f64)),
+            );
+        }
+        let h = header(&schema, &[("p", 100.0.into())]);
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        index.match_into(&h, &mut scratch, &mut out);
+        assert_eq!(out.len(), 50);
+        let retained = scratch.retained();
+        assert!(retained > 0);
+        for _ in 0..10 {
+            out.clear();
+            index.match_into(&h, &mut scratch, &mut out);
+            assert_eq!(out.len(), 50);
+        }
+        assert_eq!(scratch.retained(), retained, "scratch capacity is stable");
     }
 
     #[test]

@@ -80,12 +80,23 @@ impl PublicationSpec {
 }
 
 /// A compiled header: `(attribute, scalar)` pairs sorted by attribute id.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CompiledHeader {
     entries: Vec<(AttrId, Scalar)>,
 }
 
 impl CompiledHeader {
+    /// An empty header. Pair with [`crate::codec::decode_header_into`] to
+    /// reuse one header's buffer across decodes on the hot path.
+    pub fn empty() -> Self {
+        CompiledHeader::default()
+    }
+
+    /// Mutable access to the entry buffer for the in-place decode path.
+    pub(crate) fn entries_mut(&mut self) -> &mut Vec<(AttrId, Scalar)> {
+        &mut self.entries
+    }
+
     /// The sorted entries.
     pub fn entries(&self) -> &[(AttrId, Scalar)] {
         &self.entries

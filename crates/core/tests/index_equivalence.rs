@@ -1,0 +1,200 @@
+//! Property: every index implementation computes the **same match sets**
+//! under arbitrary interleavings of inserts, removals, and matches.
+//!
+//! The arena poset (this PR) must be behaviourally indistinguishable from
+//! the frozen pre-arena poset (`IndexKind::PosetLegacy`), the counting
+//! index, and the naive scan — only cost may differ. These properties
+//! replay one random op stream against all four kinds simultaneously and
+//! compare outputs after every step, so structural divergence (a dropped
+//! edge during detach, a stale directory bucket, a missed root promotion)
+//! surfaces as a minimal counterexample.
+
+use proptest::prelude::*;
+use scbr::attr::AttrSchema;
+use scbr::ids::{ClientId, SubscriptionId};
+use scbr::index::{new_index, IndexKind, MatchScratch, SubscriptionIndex};
+use scbr::publication::PublicationSpec;
+use scbr::subscription::SubscriptionSpec;
+use sgx_sim::{CacheConfig, CostModel, MemorySim};
+
+const KINDS: [IndexKind; 4] =
+    [IndexKind::Poset, IndexKind::PosetLegacy, IndexKind::Counting, IndexKind::Naive];
+
+const TOPICS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// A generated subscription: optional topic equality plus numeric bounds
+/// over a small attribute pool, so covering chains and shared nodes are
+/// common rather than rare.
+#[derive(Debug, Clone)]
+struct RawSub {
+    topic: Option<usize>,
+    bounds: Vec<(u8, u8, i8)>,
+}
+
+/// One step of the interleaving.
+#[derive(Debug, Clone)]
+enum RawOp {
+    /// Insert the next subscription from the generated pool.
+    Insert,
+    /// Remove the i-th live subscription (modulo live count).
+    Remove(usize),
+    /// Match a header and compare all kinds.
+    Match { topic: usize, values: Vec<i8> },
+}
+
+fn sub_strategy() -> impl Strategy<Value = RawSub> {
+    (
+        proptest::option::of(0usize..TOPICS.len()),
+        proptest::collection::vec((0u8..3, 0u8..4, -20i8..20), 0..3),
+    )
+        .prop_map(|(topic, bounds)| RawSub { topic, bounds })
+}
+
+fn op_strategy() -> impl Strategy<Value = RawOp> {
+    (0u8..8, 0usize..64, 0usize..TOPICS.len(), proptest::collection::vec(-25i8..25, 3)).prop_map(
+        |(roll, pick, topic, values)| match roll {
+            0..=3 => RawOp::Insert,
+            4..=5 => RawOp::Remove(pick),
+            _ => RawOp::Match { topic, values },
+        },
+    )
+}
+
+fn build_sub(raw: &RawSub) -> SubscriptionSpec {
+    let mut spec = SubscriptionSpec::new();
+    if let Some(t) = raw.topic {
+        spec = spec.eq("topic", TOPICS[t]);
+    }
+    let mut used = std::collections::HashSet::new();
+    for (attr, op, bound) in &raw.bounds {
+        if !used.insert(*attr) {
+            continue; // one predicate per attribute avoids contradictions
+        }
+        let name = ["x", "y", "z"][*attr as usize];
+        let b = *bound as i64;
+        spec = match op {
+            0 => spec.lt(name, b),
+            1 => spec.le(name, b),
+            2 => spec.gt(name, b),
+            _ => spec.ge(name, b),
+        };
+    }
+    spec
+}
+
+fn matches_of(
+    index: &dyn SubscriptionIndex,
+    header: &scbr::publication::CompiledHeader,
+    scratch: &mut MatchScratch,
+) -> Vec<u64> {
+    let mut out = Vec::new();
+    index.match_into(header, scratch, &mut out);
+    let mut ids: Vec<u64> = out.into_iter().map(|c| c.0).collect();
+    // Indexes report raw hits; ordering and multiplicity across shared
+    // nodes is the engine's job, so compare as sorted sets.
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All four kinds agree after every step of a random interleaving.
+    #[test]
+    fn all_index_kinds_agree_under_churn(
+        pool in proptest::collection::vec(sub_strategy(), 1..24),
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let schema = AttrSchema::new();
+        let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
+        let mut indexes: Vec<Box<dyn SubscriptionIndex>> =
+            KINDS.iter().map(|k| new_index(*k, &mem)).collect();
+        let mut scratches: Vec<MatchScratch> = KINDS.iter().map(|_| MatchScratch::default()).collect();
+
+        let mut next_id = 0u64;
+        let mut next_sub = 0usize;
+        let mut live: Vec<SubscriptionId> = Vec::new();
+        for op in &ops {
+            match op {
+                RawOp::Insert => {
+                    let raw = &pool[next_sub % pool.len()];
+                    next_sub += 1;
+                    let compiled = build_sub(raw).compile(&schema).expect("generated subs compile");
+                    let id = SubscriptionId(next_id);
+                    next_id += 1;
+                    live.push(id);
+                    for index in &mut indexes {
+                        index.insert(id, ClientId(id.0), compiled.clone());
+                    }
+                }
+                RawOp::Remove(pick) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live.swap_remove(pick % live.len());
+                    for (index, kind) in indexes.iter_mut().zip(&KINDS) {
+                        prop_assert!(index.remove(id), "{kind:?} lost subscription {id:?}");
+                    }
+                }
+                RawOp::Match { topic, values } => {
+                    let header = PublicationSpec::new()
+                        .attr("topic", TOPICS[*topic])
+                        .attr("x", values[0] as i64)
+                        .attr("y", values[1] as i64)
+                        .attr("z", values[2] as i64)
+                        .compile_header(&schema)
+                        .expect("header compiles");
+                    let reference = matches_of(indexes[0].as_ref(), &header, &mut scratches[0]);
+                    for i in 1..indexes.len() {
+                        let got = matches_of(indexes[i].as_ref(), &header, &mut scratches[i]);
+                        prop_assert_eq!(
+                            &reference, &got,
+                            "{:?} disagrees with {:?} after {} inserts",
+                            KINDS[i], KINDS[0], next_id
+                        );
+                    }
+                }
+            }
+            for (index, kind) in indexes.iter().zip(&KINDS) {
+                prop_assert_eq!(index.len(), live.len(), "{:?} live-count drift", kind);
+            }
+        }
+    }
+
+    /// Draining every subscription leaves every kind empty and matching
+    /// nothing (no leaked arena slots or directory buckets).
+    #[test]
+    fn full_drain_leaves_all_kinds_empty(
+        pool in proptest::collection::vec(sub_strategy(), 1..16),
+        topic in 0usize..TOPICS.len(),
+    ) {
+        let schema = AttrSchema::new();
+        let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
+        let mut indexes: Vec<Box<dyn SubscriptionIndex>> =
+            KINDS.iter().map(|k| new_index(*k, &mem)).collect();
+        for (i, raw) in pool.iter().enumerate() {
+            let compiled = build_sub(raw).compile(&schema).expect("compiles");
+            for index in &mut indexes {
+                index.insert(SubscriptionId(i as u64), ClientId(i as u64), compiled.clone());
+            }
+        }
+        for i in 0..pool.len() {
+            for index in &mut indexes {
+                prop_assert!(index.remove(SubscriptionId(i as u64)));
+            }
+        }
+        let header = PublicationSpec::new()
+            .attr("topic", TOPICS[topic])
+            .attr("x", 0i64)
+            .compile_header(&schema)
+            .expect("compiles");
+        for (index, kind) in indexes.iter().zip(&KINDS) {
+            prop_assert_eq!(index.len(), 0, "{:?} not empty", kind);
+            let mut scratch = MatchScratch::default();
+            let mut out = Vec::new();
+            index.match_into(&header, &mut scratch, &mut out);
+            prop_assert!(out.is_empty(), "{:?} matched after drain", kind);
+        }
+    }
+}

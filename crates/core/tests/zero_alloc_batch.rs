@@ -1,0 +1,107 @@
+//! Steady-state `match_encrypted_batch_into` performs **zero heap
+//! allocations** — measured, not asserted by inspection.
+//!
+//! This binary installs a counting global allocator and drives warmed
+//! batches through the flat pipeline: decrypt into a reused plaintext
+//! buffer, decode into a reused `CompiledHeader`, match through the
+//! per-engine `MatchScratch`, append into a reused `BatchMatches`. After
+//! the warm-up batch has sized every buffer, repeated batches must not
+//! touch the allocator at all. (Isolated in its own test binary so other
+//! tests' allocations cannot interfere with the counters.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use scbr::engine::{BatchMatches, MatchingEngine};
+use scbr::ids::{ClientId, SubscriptionId};
+use scbr::index::IndexKind;
+use scbr::publication::PublicationSpec;
+use scbr::subscription::SubscriptionSpec;
+use scbr_crypto::ctr::{AesCtr, SymmetricKey};
+use scbr_crypto::rng::CryptoRng;
+use scbr_crypto::rsa::RsaPublicKey;
+use sgx_sim::{CacheConfig, CostModel, MemorySim};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the counter updates are
+// lock-free atomics, so the allocator never recurses or blocks.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warmed_batch_matching_never_allocates() {
+    let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
+    let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+    let sk = SymmetricKey::from_bytes([0x5c; 16]);
+    let pk = RsaPublicKey::from_parts(
+        scbr_crypto::BigUint::from_u64(3233),
+        scbr_crypto::BigUint::from_u64(17),
+    );
+    engine.provision_keys(sk.clone(), pk);
+
+    // A containment-heavy database: per topic, nested priority floors
+    // share poset chains; distinct topics spread the root directory.
+    for i in 0..400u64 {
+        let spec = SubscriptionSpec::new()
+            .eq("topic", format!("t{}", i % 20).as_str())
+            .ge("priority", (i % 5) as i64);
+        engine.register_plain(SubscriptionId(i), ClientId(i % 64), &spec).expect("register");
+    }
+
+    let mut rng = CryptoRng::from_seed(11);
+    let headers: Vec<Vec<u8>> = (0..32)
+        .map(|i| {
+            let publication = PublicationSpec::new()
+                .attr("topic", format!("t{}", i % 20).as_str())
+                .attr("priority", (i % 5) as i64)
+                .attr("sender", i as i64);
+            AesCtr::encrypt_with_nonce(&sk, &mut rng, &scbr::codec::encode_header(&publication))
+        })
+        .collect();
+
+    let mut out = BatchMatches::new();
+    // Warm up: the first batches size the decrypt buffer, the decoded
+    // header, the match scratch, and the output spans; the schema has
+    // interned every attribute name.
+    for _ in 0..3 {
+        engine.match_encrypted_batch_into(&headers, &mut out);
+    }
+    assert!(out.total_clients() > 0, "workload must actually match");
+    let expected: usize = out.total_clients();
+
+    let before = allocations();
+    for _ in 0..10 {
+        engine.match_encrypted_batch_into(&headers, &mut out);
+    }
+    let after = allocations();
+    assert_eq!(out.total_clients(), expected, "steady-state results stay identical");
+    assert_eq!(after - before, 0, "steady-state match_encrypted_batch_into must not allocate");
+}

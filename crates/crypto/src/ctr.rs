@@ -106,6 +106,38 @@ impl AesCtr {
         self.ks_used = BLOCK_LEN;
     }
 
+    /// Restarts the stream at block 0 under a new nonce, reusing the
+    /// expanded key schedule — [`AesCtr::new`] pays the AES key expansion
+    /// (and its heap allocations) on every call, which dominates when
+    /// decrypting many short headers under one session key.
+    pub fn reset_nonce(&mut self, nonce: [u8; NONCE_LEN]) {
+        self.nonce = nonce;
+        self.counter = 0;
+        self.ks_used = BLOCK_LEN;
+    }
+
+    /// Like [`AesCtr::decrypt_with_nonce_into`], but reuses `self`'s key
+    /// schedule: the message's nonce replaces the cipher's stream position
+    /// via [`AesCtr::reset_nonce`]. Allocation-free once `out` has
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] if `message` is shorter than
+    /// a nonce; `out` is left cleared in that case.
+    pub fn decrypt_into(&mut self, message: &[u8], out: &mut Vec<u8>) -> Result<(), CryptoError> {
+        out.clear();
+        if message.len() < NONCE_LEN {
+            return Err(CryptoError::InvalidLength { context: "ctr message" });
+        }
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(&message[..NONCE_LEN]);
+        self.reset_nonce(nonce);
+        out.extend_from_slice(&message[NONCE_LEN..]);
+        self.apply(out);
+        Ok(())
+    }
+
     fn refill(&mut self) {
         let mut block = [0u8; BLOCK_LEN];
         block[..NONCE_LEN].copy_from_slice(&self.nonce);
@@ -150,14 +182,33 @@ impl AesCtr {
     /// Returns [`CryptoError::InvalidLength`] if `message` is shorter than a
     /// nonce.
     pub fn decrypt_with_nonce(key: &SymmetricKey, message: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let mut out = Vec::new();
+        AesCtr::decrypt_with_nonce_into(key, message, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`AesCtr::decrypt_with_nonce`], but writes the plaintext into
+    /// `out` (cleared first) so a caller on a hot path can reuse one buffer
+    /// across messages instead of allocating per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] if `message` is shorter than a
+    /// nonce; `out` is left cleared in that case.
+    pub fn decrypt_with_nonce_into(
+        key: &SymmetricKey,
+        message: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
+        out.clear();
         if message.len() < NONCE_LEN {
             return Err(CryptoError::InvalidLength { context: "ctr message" });
         }
         let mut nonce = [0u8; NONCE_LEN];
         nonce.copy_from_slice(&message[..NONCE_LEN]);
-        let mut out = message[NONCE_LEN..].to_vec();
-        AesCtr::new(key, nonce).apply(&mut out);
-        Ok(out)
+        out.extend_from_slice(&message[NONCE_LEN..]);
+        AesCtr::new(key, nonce).apply(out);
+        Ok(())
     }
 }
 
@@ -232,6 +283,39 @@ mod tests {
     fn decrypt_rejects_truncated() {
         let key = SymmetricKey::from_bytes([7u8; 16]);
         assert!(AesCtr::decrypt_with_nonce(&key, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn decrypt_into_reuses_buffer() {
+        let key = SymmetricKey::from_bytes([7u8; 16]);
+        let mut rng = CryptoRng::from_seed(9);
+        let mut out = Vec::new();
+        for msg in [&b"first message"[..], b"a longer second message", b"x"] {
+            let wire = AesCtr::encrypt_with_nonce(&key, &mut rng, msg);
+            AesCtr::decrypt_with_nonce_into(&key, &wire, &mut out).unwrap();
+            assert_eq!(out, msg);
+        }
+        // Errors clear the buffer rather than leaving stale plaintext.
+        assert!(AesCtr::decrypt_with_nonce_into(&key, &[1, 2], &mut out).is_err());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn decrypt_into_reuses_key_schedule() {
+        let key = SymmetricKey::from_bytes([7u8; 16]);
+        let mut rng = CryptoRng::from_seed(9);
+        let mut cipher = AesCtr::new(&key, [0; NONCE_LEN]);
+        let mut out = Vec::new();
+        // One cipher decrypts many independently-nonced messages, and
+        // agrees with the schedule-per-call path.
+        for msg in [&b"first message"[..], b"a longer second message", b"x", b""] {
+            let wire = AesCtr::encrypt_with_nonce(&key, &mut rng, msg);
+            cipher.decrypt_into(&wire, &mut out).unwrap();
+            assert_eq!(out, msg);
+            assert_eq!(out, AesCtr::decrypt_with_nonce(&key, &wire).unwrap());
+        }
+        assert!(cipher.decrypt_into(&[1, 2], &mut out).is_err());
+        assert!(out.is_empty());
     }
 
     #[test]

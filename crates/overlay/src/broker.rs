@@ -369,6 +369,9 @@ struct BrokerCore {
     /// Flood mode: forward every subscription on every link (the
     /// equivalence oracle for tests; covering-pruned is the real mode).
     flood: bool,
+    /// Reusable match buffer for the per-hop routing path: one `Vec` per
+    /// broker instead of one per publication per hop.
+    route_buf: std::sync::Mutex<Vec<ClientId>>,
 }
 
 impl BrokerCore {
@@ -378,6 +381,7 @@ impl BrokerCore {
             upstream: neighbors.iter().map(|&n| (n, ForwardingTable::new())).collect(),
             live: BTreeMap::new(),
             flood,
+            route_buf: std::sync::Mutex::new(Vec::new()),
         }
     }
 
@@ -514,14 +518,18 @@ impl BrokerCore {
     /// Decrypts and matches a chunk of headers, splitting each match set
     /// into local deliveries and outgoing links.
     fn route(&self, headers: &[&[u8]], origin: Origin) -> Vec<Result<RouteDecision, ScbrError>> {
+        // One match buffer per broker, reused across every header of every
+        // hop (the engine's own decrypt/decode/traversal scratch is reused
+        // inside `match_encrypted_into`).
+        let mut matched = self.route_buf.lock().expect("route buffer poisoned");
         headers
             .iter()
             .map(|ct| {
-                let matched = self.engine.match_encrypted(ct)?;
+                self.engine.match_encrypted_into(ct, &mut matched)?;
                 let mut decision = RouteDecision::default();
-                for client in matched {
+                for client in matched.iter() {
                     if client.0 & LINK_INTERFACE_BIT == 0 {
-                        decision.locals.push(client);
+                        decision.locals.push(*client);
                     } else {
                         let neighbor = (client.0 & !LINK_INTERFACE_BIT) as usize;
                         if origin != Origin::Link(neighbor) {

@@ -21,14 +21,46 @@
 //! The table lives inside the broker's enclave: entries are plaintext
 //! compiled subscriptions and must never cross the trust boundary.
 
+use scbr::attr::AttrId;
 use scbr::ids::SubscriptionId;
+use scbr::predicate::ConstraintSet;
 use scbr::CompiledSubscription;
+use std::collections::HashMap;
+
+/// Covering-candidate bucket of one forwarded row, derived from its first
+/// (minimum-id) constraint — the same seeding rule as the poset index's
+/// root directory. A row can only cover subscriptions that constrain the
+/// row's first attribute at least as tightly, so `covered()` probes only
+/// the buckets compatible with the queried subscription instead of
+/// scanning the whole table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CoverKey {
+    /// Unconstrained row: covers everything.
+    Top,
+    /// First constraint is a string equality with this hash; only rows
+    /// with the identical equality can cover (string sets never nest).
+    Eq(AttrId, u64),
+    /// First constraint is a range over this attribute.
+    Range(AttrId),
+}
+
+fn cover_key(sub: &CompiledSubscription) -> CoverKey {
+    match sub.constraints().first() {
+        None => CoverKey::Top,
+        Some((attr, ConstraintSet::StrEq(h))) => CoverKey::Eq(*attr, *h),
+        Some((attr, ConstraintSet::Range { .. })) => CoverKey::Range(*attr),
+    }
+}
 
 /// The subscriptions a broker has forwarded on one link, plus churn
 /// counters.
 #[derive(Debug, Default)]
 pub struct ForwardingTable {
     entries: Vec<(SubscriptionId, CompiledSubscription)>,
+    /// Position of each live id in `entries` — O(1) lookups and removals.
+    pos: HashMap<SubscriptionId, usize>,
+    /// Covering candidates bucketed by [`CoverKey`].
+    buckets: HashMap<CoverKey, Vec<SubscriptionId>>,
     /// Covering-pruned (withheld) subscriptions, cumulative.
     pruned: u64,
     /// Subscriptions ever recorded as forwarded, cumulative.
@@ -47,19 +79,47 @@ impl ForwardingTable {
         ForwardingTable::default()
     }
 
+    fn any_covers(&self, ids: &[SubscriptionId], sub: &CompiledSubscription) -> bool {
+        ids.iter().any(|id| {
+            let &p = self.pos.get(id).expect("bucketed id is live");
+            self.entries[p].1.covers(sub)
+        })
+    }
+
     /// Is `sub` covered by a subscription already forwarded on this link?
+    ///
+    /// Sub-linear: only the [`CoverKey`] buckets compatible with `sub`'s
+    /// own constraints are probed (unconstrained rows, the identical
+    /// string equality per attribute, and ranges over `sub`'s attributes);
+    /// every other row provably cannot cover `sub`.
     pub fn covered(&self, sub: &CompiledSubscription) -> bool {
-        self.entries.iter().any(|(_, fwd)| fwd.covers(sub))
+        if let Some(ids) = self.buckets.get(&CoverKey::Top) {
+            if self.any_covers(ids, sub) {
+                return true;
+            }
+        }
+        for (attr, cs) in sub.constraints() {
+            let key = match cs {
+                ConstraintSet::StrEq(h) => CoverKey::Eq(*attr, *h),
+                ConstraintSet::Range { .. } => CoverKey::Range(*attr),
+            };
+            if let Some(ids) = self.buckets.get(&key) {
+                if self.any_covers(ids, sub) {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Is `id` currently recorded as forwarded on this link?
     pub fn contains(&self, id: SubscriptionId) -> bool {
-        self.entries.iter().any(|(e, _)| *e == id)
+        self.pos.contains_key(&id)
     }
 
     /// The compiled subscription recorded for `id`, if any.
     pub fn get(&self, id: SubscriptionId) -> Option<&CompiledSubscription> {
-        self.entries.iter().find(|(e, _)| *e == id).map(|(_, sub)| sub)
+        self.pos.get(&id).map(|&p| &self.entries[p].1)
     }
 
     /// The ids currently recorded as forwarded, in table order.
@@ -92,7 +152,21 @@ impl ForwardingTable {
         if uncovered > forwarded_total {
             return None;
         }
-        Some(ForwardingTable { entries, pruned, forwarded_total, removed, uncovered })
+        let mut pos = HashMap::with_capacity(entries.len());
+        let mut buckets: HashMap<CoverKey, Vec<SubscriptionId>> = HashMap::new();
+        for (p, (id, sub)) in entries.iter().enumerate() {
+            pos.insert(*id, p);
+            buckets.entry(cover_key(sub)).or_default().push(*id);
+        }
+        Some(ForwardingTable { entries, pos, buckets, pruned, forwarded_total, removed, uncovered })
+    }
+
+    fn bucket_remove(&mut self, key: CoverKey, id: SubscriptionId) {
+        if let Some(ids) = self.buckets.get_mut(&key) {
+            if let Some(i) = ids.iter().position(|e| *e == id) {
+                ids.swap_remove(i);
+            }
+        }
     }
 
     /// Records a subscription as forwarded on this link. Idempotent per
@@ -100,10 +174,18 @@ impl ForwardingTable {
     /// of stacking a stale duplicate row, and returns `false` so the
     /// caller knows no new forward is due.
     pub fn record(&mut self, id: SubscriptionId, sub: CompiledSubscription) -> bool {
-        if let Some(entry) = self.entries.iter_mut().find(|(e, _)| *e == id) {
-            entry.1 = sub;
+        if let Some(&p) = self.pos.get(&id) {
+            let old_key = cover_key(&self.entries[p].1);
+            let new_key = cover_key(&sub);
+            if old_key != new_key {
+                self.bucket_remove(old_key, id);
+                self.buckets.entry(new_key).or_default().push(id);
+            }
+            self.entries[p].1 = sub;
             return false;
         }
+        self.pos.insert(id, self.entries.len());
+        self.buckets.entry(cover_key(&sub)).or_default().push(id);
         self.entries.push((id, sub));
         self.forwarded_total += 1;
         true
@@ -123,13 +205,16 @@ impl ForwardingTable {
     /// pruned subscription was never in the table, so removing it is a
     /// no-op and — crucially — generates no upstream traffic).
     pub fn remove(&mut self, id: SubscriptionId) -> bool {
-        let before = self.entries.len();
-        self.entries.retain(|(e, _)| *e != id);
-        let removed = self.entries.len() < before;
-        if removed {
-            self.removed += 1;
+        let Some(p) = self.pos.remove(&id) else {
+            return false;
+        };
+        let (_, sub) = self.entries.swap_remove(p);
+        if let Some((moved, _)) = self.entries.get(p) {
+            self.pos.insert(*moved, p);
         }
-        removed
+        self.bucket_remove(cover_key(&sub), id);
+        self.removed += 1;
+        true
     }
 
     /// Counts one covering-pruned (not forwarded) subscription.
@@ -251,6 +336,44 @@ mod tests {
         assert!(ForwardingTable::rebuild(rows.clone(), (0, 99, 0, 0)).is_none());
         assert!(ForwardingTable::rebuild(rows.clone(), (0, 1, 5, 0)).is_none(), "underflow");
         assert!(ForwardingTable::rebuild(rows, (0, 2, 0, 7)).is_none(), "uncovered > total");
+    }
+
+    #[test]
+    fn bucketed_covering_agrees_with_a_full_scan() {
+        // The bucketed `covered()` must answer exactly like the old
+        // linear scan on a mixed population of topic-equality rows, range
+        // rows and a re-recorded row whose bucket key changed.
+        let schema = AttrSchema::new();
+        let mut table = ForwardingTable::new();
+        let mut rows: Vec<CompiledSubscription> = Vec::new();
+        for i in 0..20u64 {
+            let spec = if i % 2 == 0 {
+                SubscriptionSpec::new().eq("topic", format!("t{i}").as_str())
+            } else {
+                SubscriptionSpec::new().ge("priority", i as f64)
+            };
+            let sub = compiled(spec, &schema);
+            table.record(SubscriptionId(i), sub.clone());
+            rows.push(sub);
+        }
+        // Move one id from a topic bucket to a range bucket.
+        let moved = compiled(SubscriptionSpec::new().ge("priority", 0.0), &schema);
+        table.record(SubscriptionId(0), moved.clone());
+        rows[0] = moved;
+
+        let queries = [
+            SubscriptionSpec::new().eq("topic", "t2").gt("priority", 5.0),
+            SubscriptionSpec::new().eq("topic", "t999"),
+            SubscriptionSpec::new().ge("priority", 30.0),
+            SubscriptionSpec::new().lt("priority", 2.0),
+            SubscriptionSpec::new().eq("other", "x"),
+            SubscriptionSpec::new(),
+        ];
+        for q in queries {
+            let q = compiled(q, &schema);
+            let naive = rows.iter().any(|fwd| fwd.covers(&q));
+            assert_eq!(table.covered(&q), naive, "bucketed covering diverged");
+        }
     }
 
     #[test]

@@ -43,10 +43,12 @@
 #![warn(missing_docs)]
 
 pub mod market;
+pub mod pushfeed;
 pub mod recipes;
 pub mod stats;
 pub mod zipf;
 
 pub use market::{MarketConfig, Quote, StockMarket};
+pub use pushfeed::{ChurnOp, PushFeed, PushFeedConfig};
 pub use recipes::{Workload, WorkloadName};
 pub use zipf::Zipf;

@@ -33,6 +33,7 @@ use scbr_bench::json::{emit, JsonObj};
 use scbr_bench::{banner, Scale};
 use scbr_crypto::ctr::AesCtr;
 use scbr_crypto::rng::CryptoRng;
+use scbr_telemetry::MetricsRegistry;
 use scbr_workloads::{PushFeed, PushFeedConfig};
 use sgx_sim::SgxPlatform;
 
@@ -203,29 +204,39 @@ fn main() {
             .iter()
             .map(|p| authority.encrypt_publication(p, &mut rng).expect("schema complete"))
             .collect();
-        matcher.reset_bloom_stats();
+        // The measurement window goes through the metrics registry: the
+        // gate's uniform `snapshot()` export is absorbed before and after
+        // the run, and `Snapshot::delta` isolates this phase — no manual
+        // counter reset needed.
+        let mut registry = MetricsRegistry::new();
+        registry.absorb("gate", &matcher.bloom_stats().snapshot());
+        let before = registry.snapshot();
         let mut matched = 0usize;
         for e in &encrypted {
             matched += matcher.match_publication(e).len();
         }
-        let stats = matcher.bloom_stats();
+        let mut registry = MetricsRegistry::new();
+        registry.absorb("gate", &matcher.bloom_stats().snapshot());
+        let delta = registry.snapshot().delta(&before);
+        let checked = delta.get("gate.bloom_checked").unwrap_or(0);
+        let skipped = delta.get("gate.bloom_skipped").unwrap_or(0);
+        let forms = delta.get("gate.forms_evaluated").unwrap_or(0);
+        let skip_rate = if checked == 0 { 0.0 } else { skipped as f64 / checked as f64 };
         println!(
             "\nbloom gate over {aspe_subs} ASPE subs × {aspe_pubs} pubs: \
-             checked={} skipped={} forms={} skip-rate={:.1}% matched={matched}",
-            stats.checked,
-            stats.skipped,
-            stats.forms_evaluated,
-            stats.skip_rate() * 100.0
+             checked={checked} skipped={skipped} forms={forms} \
+             skip-rate={:.1}% matched={matched}",
+            skip_rate * 100.0
         );
         rows.push(
             JsonObj::new()
                 .str("segment", "bloom_gate")
                 .int("subscriptions", aspe_subs as u64)
                 .int("publications", aspe_pubs as u64)
-                .int("bloom_checked", stats.checked)
-                .int("bloom_skipped", stats.skipped)
-                .int("forms_evaluated", stats.forms_evaluated)
-                .num("bloom_skip_rate", stats.skip_rate())
+                .int("bloom_checked", checked)
+                .int("bloom_skipped", skipped)
+                .int("forms_evaluated", forms)
+                .num("bloom_skip_rate", skip_rate)
                 .int("matched", matched as u64),
         );
     }

@@ -12,14 +12,23 @@
 //! The emitted document is:
 //!
 //! ```json
-//! {"artefact": "fig6", "scale": "smoke", "rows": [{...}, ...]}
+//! {"artefact": "fig6", "schema_version": 1, "scale": "smoke", "rows": [{...}, ...]}
 //! ```
+//!
+//! `schema_version` ([`SCHEMA_VERSION`]) is bumped whenever the document
+//! envelope or a bench's row shape changes incompatibly, so downstream
+//! trajectory tooling can refuse files it does not understand; CI greps
+//! every emitted file for the field.
 //!
 //! No serde: rows are built with the tiny [`JsonObj`] builder, which
 //! renders valid JSON for the flat numeric/string records benches produce.
 
 use std::io::Write as _;
 use std::path::PathBuf;
+
+/// Version of the `BENCH_*.json` document envelope. Bump on incompatible
+/// changes to the envelope or row shapes.
+pub const SCHEMA_VERSION: u32 = 1;
 
 /// A flat JSON object under construction (insertion order preserved).
 #[derive(Debug, Clone, Default)]
@@ -91,6 +100,19 @@ pub fn output_dir() -> Option<PathBuf> {
     }
 }
 
+/// Renders the full `BENCH_*.json` document (the envelope carries the
+/// artefact name, [`SCHEMA_VERSION`] and the run scale).
+fn render_document(artefact: &str, scale: &str, rows: &[JsonObj]) -> String {
+    let rendered: Vec<String> = rows.iter().map(|r| format!("  {}", r.render())).collect();
+    format!(
+        "{{\"artefact\": \"{}\", \"schema_version\": {SCHEMA_VERSION}, \"scale\": \"{}\", \
+         \"rows\": [\n{}\n]}}\n",
+        escape(artefact),
+        escape(scale),
+        rendered.join(",\n")
+    )
+}
+
 /// Writes `BENCH_<artefact>.json` if `SCBR_JSON` enables emission.
 /// Returns the written path, `None` when disabled. Failures to write are
 /// reported on stderr but never fail the bench run.
@@ -101,13 +123,7 @@ pub fn emit(artefact: &str, scale: &str, rows: &[JsonObj]) -> Option<PathBuf> {
         return None;
     }
     let path = dir.join(format!("BENCH_{artefact}.json"));
-    let rendered: Vec<String> = rows.iter().map(|r| format!("  {}", r.render())).collect();
-    let doc = format!(
-        "{{\"artefact\": \"{}\", \"scale\": \"{}\", \"rows\": [\n{}\n]}}\n",
-        escape(artefact),
-        escape(scale),
-        rendered.join(",\n")
-    );
+    let doc = render_document(artefact, scale, rows);
     let result = std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes()));
     match result {
         Ok(()) => {
@@ -142,6 +158,14 @@ mod tests {
     fn escape_handles_controls() {
         assert_eq!(escape("a\nb\t\"c\\"), "a\\nb\\t\\\"c\\\\");
         assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn document_carries_schema_version() {
+        let doc = render_document("fig6", "smoke", &[JsonObj::new().int("x", 1)]);
+        assert!(doc.contains("\"schema_version\": 1"));
+        assert!(doc.starts_with("{\"artefact\": \"fig6\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 
     #[test]

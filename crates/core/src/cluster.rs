@@ -41,13 +41,18 @@
 //! carry its share of the EPC budget. [`PartitionedRouter::slice_stats`]
 //! and [`PartitionedRouter::occupancy_skew`] expose the imbalance
 //! (subscriptions, index bytes, EPC swaps per slice) so an operator — or a
-//! future auto-rebalancer — can detect it. The correct remedy in this
-//! architecture is *re-registration*: pick the fullest slice, unregister a
-//! batch of its subscriptions and replay their stored registration
-//! envelopes on the emptiest slice (the envelopes are producer-signed, so
-//! the move needs no client involvement). That machinery is deliberately
-//! not wired in yet; today the module guarantees detection, not
-//! correction.
+//! future auto-rebalancer — can detect it. Through the telemetry
+//! registry these surface as the `slice.<n>.subscriptions`,
+//! `slice.<n>.index_bytes` and `slice.<n>.epc_swaps` metrics (one
+//! [`SliceStats::snapshot`] absorbed per slice) — watch the spread of
+//! `slice.*.subscriptions` (the skew ratio) and `slice.*.epc_swaps` (a
+//! hot slice thrashing the EPC while its siblings idle) to decide when
+//! to intervene. The correct remedy in this architecture is
+//! *re-registration*: pick the fullest slice, unregister a batch of its
+//! subscriptions and replay their stored registration envelopes on the
+//! emptiest slice (the envelopes are producer-signed, so the move needs
+//! no client involvement). That machinery is deliberately not wired in
+//! yet; today the module guarantees detection, not correction.
 
 use crate::engine::RouterEngine;
 use crate::error::ScbrError;
@@ -117,6 +122,22 @@ pub struct SliceStats {
     /// Lifetime enclave crossings (not reset by
     /// [`PartitionedRouter::reset_counters`]).
     pub lifetime_ecalls: u64,
+}
+
+impl SliceStats {
+    /// Uniform counter export for the telemetry registry (absorbed under
+    /// a `slice.<n>` prefix; the memory counters most relevant to the
+    /// rebalancing decision are folded in alongside the occupancy).
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("subscriptions", self.subscriptions as u64),
+            ("nodes", self.nodes as u64),
+            ("index_bytes", self.index_bytes),
+            ("ecalls", self.mem.ecalls),
+            ("epc_swaps", self.mem.epc_swaps),
+            ("lifetime_ecalls", self.lifetime_ecalls),
+        ]
+    }
 }
 
 /// A router made of `n` enclave-hosted matcher slices, each on its own

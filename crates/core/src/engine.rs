@@ -18,6 +18,7 @@ use crate::subscription::SubscriptionSpec;
 use parking_lot::Mutex;
 use scbr_crypto::ctr::{AesCtr, SymmetricKey};
 use scbr_crypto::rsa::RsaPublicKey;
+use scbr_telemetry::{Stage, StageHistograms, StageSummary};
 use sgx_sim::enclave::EnclaveBuilder;
 use sgx_sim::{Enclave, MemStats, MemorySim, SgxPlatform};
 use std::collections::HashMap;
@@ -39,6 +40,10 @@ struct EngineScratch {
     /// serve a stale schedule. `AesCtr::new` allocates per call; at one
     /// key for millions of headers that is pure hot-path churn.
     cipher: Option<(SymmetricKey, AesCtr)>,
+    /// Per-stage latency histograms (decrypt, index match) — fixed-size
+    /// arrays with epoch-stamped clears, so recording a sample in the hot
+    /// path never allocates. Populated only when telemetry is enabled.
+    stages: StageHistograms,
 }
 
 /// Flat result of a batch match: one shared client buffer plus per-header
@@ -112,6 +117,11 @@ pub struct MatchingEngine {
     registered_pos: HashMap<SubscriptionId, usize>,
     /// Reusable hot-path buffers (see [`EngineScratch`]).
     scratch: Mutex<EngineScratch>,
+    /// When true, the hot path records per-stage latencies into the
+    /// scratch-resident histograms. Timing reads the virtual clock
+    /// (which charges nothing), so enabling telemetry cannot change
+    /// matching results, costs, or allocation behaviour.
+    telemetry: bool,
 }
 
 impl std::fmt::Debug for MatchingEngine {
@@ -136,7 +146,37 @@ impl MatchingEngine {
             registered: Vec::new(),
             registered_pos: HashMap::new(),
             scratch: Mutex::new(EngineScratch::default()),
+            telemetry: false,
         }
+    }
+
+    /// Enables or disables per-stage latency instrumentation. Off by
+    /// default; switching it on must never change matching behaviour
+    /// (the `instrumented ≡ uninstrumented` proptest holds it to that).
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
+    }
+
+    /// True when per-stage latency instrumentation is recording.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry
+    }
+
+    /// Copies out the per-stage latency histograms (decrypt, index
+    /// match). All-inline arrays: cheap, lock-held only for the memcpy.
+    pub fn stage_histograms(&self) -> StageHistograms {
+        self.scratch.lock().stages.clone()
+    }
+
+    /// Summaries of every stage that recorded at least one sample.
+    pub fn stage_summaries(&self) -> Vec<StageSummary> {
+        self.scratch.lock().stages.summaries()
+    }
+
+    /// Forgets all recorded stage latencies in O(stages), without
+    /// touching buffer capacity (between measurement phases).
+    pub fn clear_stage_histograms(&self) {
+        self.scratch.lock().stages.clear();
     }
 
     /// Installs the symmetric key `SK` and the producer's signature key
@@ -430,6 +470,11 @@ impl MatchingEngine {
         out: &mut Vec<ClientId>,
     ) -> Result<(), ScbrError> {
         let sk = self.sk.as_ref().ok_or(ScbrError::MissingKeys { which: "SK" })?;
+        // Stage timings read the virtual clock without charging it, so
+        // the instrumented path is behaviourally identical to the
+        // uninstrumented one (and recording into the fixed-array
+        // histograms allocates nothing).
+        let t_start = if self.telemetry { self.mem.elapsed_ns() } else { 0.0 };
         self.mem.charge_crypto_op(header_ct.len() as u64);
         let EngineScratch { plain, cipher, .. } = scratch;
         if !matches!(cipher, Some((key, _)) if key == sk) {
@@ -437,6 +482,7 @@ impl MatchingEngine {
         }
         let (_, ctr) = cipher.as_mut().expect("just populated");
         ctr.decrypt_into(header_ct, plain)?;
+        let t_decrypted = if self.telemetry { self.mem.elapsed_ns() } else { 0.0 };
         self.mem.charge_message_parse();
         codec::decode_header_into(&scratch.plain, &self.schema, &mut scratch.header)?;
         let start = out.len();
@@ -452,6 +498,11 @@ impl MatchingEngine {
             }
         }
         out.truncate(keep);
+        if self.telemetry {
+            let t_matched = self.mem.elapsed_ns();
+            scratch.stages.record(Stage::Decrypt, (t_decrypted - t_start).max(0.0) as u64);
+            scratch.stages.record(Stage::IndexMatch, (t_matched - t_decrypted).max(0.0) as u64);
+        }
         Ok(())
     }
 
@@ -631,6 +682,18 @@ impl RouterEngine {
     pub fn reset_counters(&self) {
         self.engine.memory().reset_counters()
     }
+
+    /// Enables or disables the inner engine's per-stage latency
+    /// instrumentation (no enclave crossing: a configuration flip, not
+    /// trusted work).
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.engine.set_telemetry(on);
+    }
+
+    /// Per-stage latency summaries recorded by the inner engine.
+    pub fn stage_summaries(&self) -> Vec<StageSummary> {
+        self.engine.stage_summaries()
+    }
 }
 
 #[cfg(test)]
@@ -658,6 +721,38 @@ mod tests {
         let not_matching = PublicationSpec::new().attr("symbol", "HAL").attr("price", 51.0);
         assert_eq!(engine.match_plain(&matching).unwrap(), vec![ClientId(10)]);
         assert!(engine.match_plain(&not_matching).unwrap().is_empty());
+    }
+
+    #[test]
+    fn telemetry_records_stages_without_changing_results_or_cost() {
+        let mut rng = CryptoRng::from_seed(77);
+        let producer = producer(&mut rng);
+        let spec = SubscriptionSpec::new().eq("symbol", "HAL");
+        let envelope =
+            producer.seal_registration(&spec, SubscriptionId(1), ClientId(2), &mut rng).unwrap();
+        let publication = PublicationSpec::new().attr("symbol", "HAL").attr("price", 3.0);
+        let header_ct = producer.encrypt_header(&publication, &mut rng);
+
+        let run = |telemetry: bool| {
+            // A real cost model so the virtual clock actually advances.
+            let mem =
+                MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::default());
+            let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+            engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
+            engine.set_telemetry(telemetry);
+            engine.register_envelope(&envelope).unwrap();
+            let clients = engine.match_encrypted(&header_ct).unwrap();
+            (clients, mem.elapsed_ns(), engine.stage_summaries())
+        };
+
+        let (plain_clients, plain_ns, plain_stages) = run(false);
+        let (instr_clients, instr_ns, instr_stages) = run(true);
+        assert_eq!(plain_clients, instr_clients, "telemetry must not change matches");
+        assert_eq!(plain_ns, instr_ns, "reading the clock must not charge it");
+        assert!(plain_stages.is_empty(), "disabled telemetry records nothing");
+        let stages: Vec<_> = instr_stages.iter().map(|s| s.stage).collect();
+        assert_eq!(stages, vec![Stage::Decrypt, Stage::IndexMatch]);
+        assert!(instr_stages.iter().all(|s| s.count == 1 && s.p50_ns > 0));
     }
 
     #[test]

@@ -56,10 +56,10 @@ fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
-#[test]
-fn warmed_batch_matching_never_allocates() {
+fn drive_warmed_batches(telemetry: bool) {
     let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
     let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+    engine.set_telemetry(telemetry);
     let sk = SymmetricKey::from_bytes([0x5c; 16]);
     let pk = RsaPublicKey::from_parts(
         scbr_crypto::BigUint::from_u64(3233),
@@ -104,4 +104,17 @@ fn warmed_batch_matching_never_allocates() {
     let after = allocations();
     assert_eq!(out.total_clients(), expected, "steady-state results stay identical");
     assert_eq!(after - before, 0, "steady-state match_encrypted_batch_into must not allocate");
+}
+
+#[test]
+fn warmed_batch_matching_never_allocates() {
+    drive_warmed_batches(false);
+}
+
+/// The telemetry histograms are fixed arrays with epoch-stamped clears,
+/// so the *instrumented* steady-state batch path must be just as
+/// allocation-free as the bare one.
+#[test]
+fn warmed_instrumented_batch_matching_never_allocates() {
+    drive_warmed_batches(true);
 }

@@ -28,6 +28,14 @@
 //! One [`SecureLink`] value handles **one direction**; an endpoint owns
 //! two (its outbound and inbound halves), constructed with mirrored
 //! endpoint identifiers.
+//!
+//! Alongside the sequence number, every frame carries an 8-byte **meta
+//! word** in the clear — routing metadata such as a telemetry trace id.
+//! Like the sequence number it is authenticated through the associated
+//! data (it cannot be altered undetected) but deliberately not
+//! encrypted: it describes the *frame*, not the content, and reveals
+//! nothing beyond the linkability that frame observation (sizes,
+//! direction, timing, sequence) already provides.
 
 use crate::error::NetError;
 use scbr_crypto::rng::CryptoRng;
@@ -56,6 +64,8 @@ pub struct SecureLink {
     /// gapped link cannot make progress, so the record stands until the
     /// link is re-keyed (a fresh [`SecureLink`]).
     gap: Option<(u64, u64)>,
+    /// Meta word of the last successfully opened frame (inbound half).
+    last_meta: u64,
 }
 
 /// Associated data for frame `seq` on the link from `from` to `to`.
@@ -74,6 +84,7 @@ impl SecureLink {
             label: direction_label(local, peer),
             seq: 0,
             gap: None,
+            last_meta: 0,
         }
     }
 
@@ -84,6 +95,7 @@ impl SecureLink {
             label: direction_label(peer, local),
             seq: 0,
             gap: None,
+            last_meta: 0,
         }
     }
 
@@ -101,19 +113,33 @@ impl SecureLink {
         self.gap
     }
 
-    fn aad_for(&self, seq: u64) -> Vec<u8> {
+    /// Meta word of the most recently opened frame on this inbound half
+    /// (0 until a frame opens, and for frames sealed without metadata).
+    pub fn last_meta(&self) -> u64 {
+        self.last_meta
+    }
+
+    fn aad_for(&self, seq: u64, meta: u64) -> Vec<u8> {
         let mut aad = self.label.clone();
         aad.extend_from_slice(&seq.to_be_bytes());
+        aad.extend_from_slice(&meta.to_be_bytes());
         aad
     }
 
-    /// Seals one outbound frame, advancing the sequence counter. The
-    /// sequence number travels in the clear ahead of the ciphertext
-    /// (authenticated via the associated data) so the receiver can
-    /// distinguish a *lost-frame gap* from a forgery.
+    /// Seals one outbound frame with a zero meta word, advancing the
+    /// sequence counter. The sequence number travels in the clear ahead
+    /// of the ciphertext (authenticated via the associated data) so the
+    /// receiver can distinguish a *lost-frame gap* from a forgery.
     pub fn seal(&mut self, plain: &[u8], rng: &mut CryptoRng) -> Vec<u8> {
+        self.seal_meta(plain, 0, rng)
+    }
+
+    /// Seals one outbound frame carrying `meta` in the clear (bound into
+    /// the associated data, so tampering is detected on open).
+    pub fn seal_meta(&mut self, plain: &[u8], meta: u64, rng: &mut CryptoRng) -> Vec<u8> {
         let mut frame = self.seq.to_be_bytes().to_vec();
-        frame.extend_from_slice(&self.sealer.seal(plain, &self.aad_for(self.seq), rng));
+        frame.extend_from_slice(&meta.to_be_bytes());
+        frame.extend_from_slice(&self.sealer.seal(plain, &self.aad_for(self.seq, meta), rng));
         self.seq += 1;
         frame
     }
@@ -130,18 +156,19 @@ impl SecureLink {
     /// between were lost, and the link cannot make progress until it is
     /// re-established (the counter does not advance).
     pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, NetError> {
-        if sealed.len() < 8 {
+        if sealed.len() < 16 {
             return Err(NetError::Malformed { context: "sealed link frame" });
         }
-        let (header, body) = sealed.split_at(8);
-        let claimed = u64::from_be_bytes(header.try_into().expect("8 bytes"));
+        let (header, body) = sealed.split_at(16);
+        let claimed = u64::from_be_bytes(header[..8].try_into().expect("8 bytes"));
+        let meta = u64::from_be_bytes(header[8..].try_into().expect("8 bytes"));
         if claimed < self.seq {
             // A frame from the past is a replay regardless of its MAC.
             return Err(NetError::Malformed { context: "sealed link frame" });
         }
         let plain = self
             .sealer
-            .open(body, &self.aad_for(claimed))
+            .open(body, &self.aad_for(claimed, meta))
             .map_err(|_| NetError::Malformed { context: "sealed link frame" })?;
         if claimed > self.seq {
             if self.gap.is_none() {
@@ -150,6 +177,7 @@ impl SecureLink {
             return Err(NetError::Gap { expected: self.seq, got: claimed });
         }
         self.seq += 1;
+        self.last_meta = meta;
         Ok(plain)
     }
 }
@@ -286,5 +314,34 @@ mod tests {
         let mut rng = CryptoRng::from_seed(6);
         let sealed = tx.seal(b"hello", &mut rng);
         assert!(rx.open(&sealed).is_err());
+    }
+
+    #[test]
+    fn meta_word_rides_in_clear_and_round_trips() {
+        let (mut tx, mut rx) = pair();
+        let mut rng = CryptoRng::from_seed(10);
+        let sealed = tx.seal_meta(b"traced batch", 0xDEAD_BEEF, &mut rng);
+        // Visible to the infrastructure without the key…
+        assert_eq!(u64::from_be_bytes(sealed[8..16].try_into().unwrap()), 0xDEAD_BEEF);
+        // …and surfaced to the receiver after authentication.
+        assert_eq!(rx.open(&sealed).unwrap(), b"traced batch");
+        assert_eq!(rx.last_meta(), 0xDEAD_BEEF);
+        // Plain `seal` carries meta 0 and resets the receiver's view.
+        let plain = tx.seal(b"untraced", &mut rng);
+        rx.open(&plain).unwrap();
+        assert_eq!(rx.last_meta(), 0);
+    }
+
+    #[test]
+    fn tampered_meta_word_is_detected() {
+        let (mut tx, mut rx) = pair();
+        let mut rng = CryptoRng::from_seed(11);
+        let mut sealed = tx.seal_meta(b"payload", 7, &mut rng);
+        sealed[15] ^= 1; // flip a bit of the in-clear meta word
+        assert!(
+            matches!(rx.open(&sealed), Err(NetError::Malformed { .. })),
+            "meta is authenticated through the AAD"
+        );
+        assert_eq!(rx.last_meta(), 0, "failed open must not surface forged meta");
     }
 }

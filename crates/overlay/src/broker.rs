@@ -79,12 +79,15 @@ use scbr::roles::router::MAX_DRAIN;
 use scbr::ScbrError;
 use scbr_crypto::rng::CryptoRng;
 use scbr_net::{NetError, SecureLink};
+use scbr_telemetry::{
+    count_bucket, FlightRecorder, HopRecord, Stage, StageHistograms, StageSummary, TraceId,
+};
 use sgx_sim::attest::{AttestationService, VerifierPolicy};
 use sgx_sim::enclave::EnclaveBuilder;
 use sgx_sim::link::{LinkAccept, LinkFinish, LinkHello, LinkInitiator, LinkKey, LinkResponder};
 use sgx_sim::platform::CounterId;
 use sgx_sim::seal::{SealPolicy, VersionedSeal};
-use sgx_sim::{CacheConfig, CostModel, Enclave, MemorySim, SgxPlatform};
+use sgx_sim::{CacheConfig, CostModel, Enclave, MemStats, MemorySim, SgxPlatform};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Top bit of a [`ClientId`] marks a link interface rather than an edge
@@ -195,6 +198,11 @@ pub enum Input {
     Publish {
         /// The batch, in publish order.
         items: Vec<PublishItem>,
+        /// Cross-hop trace id assigned at the producer
+        /// ([`TraceId::NONE`] when telemetry is off). Carried in clear
+        /// as link-frame metadata — routing metadata, not content (see
+        /// [`scbr_telemetry::trace`]).
+        trace: TraceId,
     },
     /// Admin: kill the broker, dropping all volatile state.
     Crash,
@@ -303,6 +311,65 @@ pub enum LinkEvent {
     },
 }
 
+impl LinkEvent {
+    /// Stable, machine-readable kind label — the key telemetry
+    /// aggregates event counts under (`events.gap`, `events.suspect`,
+    /// …). Part of the observability surface: new variants may add
+    /// labels, but existing ones must not change.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LinkEvent::Gap { .. } => "gap",
+            LinkEvent::LinkUp { .. } => "link-up",
+            LinkEvent::Subscribed { .. } => "subscribed",
+            LinkEvent::Unsubscribed { .. } => "unsubscribed",
+            LinkEvent::Crashed => "crashed",
+            LinkEvent::RejoinStarted { .. } => "rejoin-started",
+            LinkEvent::Rejoined { .. } => "rejoined",
+            LinkEvent::Suspect { .. } => "suspect",
+            LinkEvent::Cleared { .. } => "cleared",
+            LinkEvent::Healed { .. } => "healed",
+        }
+    }
+}
+
+impl std::fmt::Display for LinkEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkEvent::Gap { link, expected, got } => {
+                write!(f, "gap on link {link}: expected seq {expected}, got {got}")
+            }
+            LinkEvent::LinkUp { link } => write!(f, "link {link} up"),
+            LinkEvent::Subscribed { id } => write!(f, "subscribed id {}", id.0),
+            LinkEvent::Unsubscribed { id, removed } => {
+                write!(f, "unsubscribed id {} (removed: {removed})", id.0)
+            }
+            LinkEvent::Crashed => write!(f, "crashed"),
+            LinkEvent::RejoinStarted { restored } => {
+                write!(f, "rejoin started ({restored} subscriptions restored)")
+            }
+            LinkEvent::Rejoined { replayed, dropped_stale, downtime } => write!(
+                f,
+                "rejoined ({replayed} replayed, {dropped_stale} stale dropped, \
+                 downtime {downtime})"
+            ),
+            LinkEvent::Suspect { link, reason } => write!(f, "link {link} suspect ({reason})"),
+            LinkEvent::Cleared { link } => write!(f, "link {link} cleared"),
+            LinkEvent::Healed { link, replayed, dropped_stale } => {
+                write!(f, "link {link} healed ({replayed} replayed, {dropped_stale} stale dropped)")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SuspectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SuspectReason::Silence => "silence",
+            SuspectReason::Gap => "gap",
+        })
+    }
+}
+
 /// Where a message entered this broker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Origin {
@@ -372,6 +439,15 @@ struct BrokerCore {
     /// Reusable match buffer for the per-hop routing path: one `Vec` per
     /// broker instead of one per publication per hop.
     route_buf: std::sync::Mutex<Vec<ClientId>>,
+    /// In-enclave flight recorder for cross-hop publication tracing.
+    /// Volatile by design: hop records die with a crash (never sealed
+    /// into the recovery record) and leave the enclave only through the
+    /// explicit, costed drain ocall ([`Broker::drain_trace`]).
+    recorder: FlightRecorder,
+    /// Broker-level stage histograms (seal, per-hop crossing); the
+    /// engine's own scratch holds the decrypt/index-match ones. Fixed
+    /// arrays with epoch-stamped clears — recording never allocates.
+    stages: StageHistograms,
 }
 
 impl BrokerCore {
@@ -382,6 +458,8 @@ impl BrokerCore {
             live: BTreeMap::new(),
             flood,
             route_buf: std::sync::Mutex::new(Vec::new()),
+            recorder: FlightRecorder::default(),
+            stages: StageHistograms::new(),
         }
     }
 
@@ -716,10 +794,30 @@ pub struct BrokerStats {
     pub heartbeats: u64,
 }
 
+impl BrokerStats {
+    /// Uniform counter snapshot for the metrics registry (stable label
+    /// set; `elapsed_ns` is excluded as non-integral — read it from the
+    /// struct directly).
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("subscriptions", self.subscriptions as u64),
+            ("ecalls", self.ecalls),
+            ("ocalls", self.ocalls),
+            ("forwarded", self.forwarded),
+            ("pruned", self.pruned),
+            ("forwarded_total", self.forwarded_total),
+            ("removed", self.removed),
+            ("uncovered", self.uncovered),
+            ("gaps", self.gaps),
+            ("heartbeats", self.heartbeats),
+        ]
+    }
+}
+
 /// Result of opening an inbound frame, lifted out of the borrow on the
 /// link map.
 enum Opened {
-    Wire(Vec<u8>),
+    Wire { wire: Vec<u8>, meta: u64 },
     Gap { expected: u64, got: u64 },
     Failed(NetError),
     NoChannel,
@@ -795,6 +893,11 @@ pub struct Broker {
     requested_at: BTreeMap<usize, u64>,
     /// Heartbeat frames emitted (cumulative).
     heartbeats_sent: u64,
+    /// Stage-latency and hop-trace instrumentation. Host configuration
+    /// (like the trust anchors): survives crashes, re-applied to the
+    /// rebuilt core on restart. Off by default — the uninstrumented hot
+    /// path stays byte-for-byte identical.
+    telemetry: bool,
     rng: CryptoRng,
 }
 
@@ -866,6 +969,7 @@ impl Broker {
             initiated_at: BTreeMap::new(),
             requested_at: BTreeMap::new(),
             heartbeats_sent: 0,
+            telemetry: false,
             rng: CryptoRng::from_seed(seed ^ 0x6c69_6e6b),
         })
     }
@@ -913,6 +1017,7 @@ impl Broker {
             initiated_at: BTreeMap::new(),
             requested_at: BTreeMap::new(),
             heartbeats_sent: 0,
+            telemetry: false,
             rng: CryptoRng::from_seed(seed ^ 0x6c69_6e6b),
         }
     }
@@ -961,6 +1066,13 @@ impl Broker {
             Some(enclave) => enclave.ecall(|_ctx| f(core)),
             None => f(core),
         }
+    }
+
+    /// Current virtual-clock reading of the broker's memory simulator.
+    /// A pure f64 read — charges nothing, so instrumented and
+    /// uninstrumented runs observe identical cost models.
+    fn mem_elapsed_ns(&self) -> f64 {
+        self.core.engine.memory().elapsed_ns()
     }
 
     /// Declares the broker's neighbour set, creating one (empty) covering
@@ -1069,9 +1181,23 @@ impl Broker {
     }
 
     fn seal_to(&mut self, neighbor: usize, wire: &[u8]) -> Result<Vec<u8>, OverlayError> {
+        self.seal_to_meta(neighbor, wire, 0)
+    }
+
+    /// [`Broker::seal_to`] with a clear-text metadata word (the trace id
+    /// of a publication batch). The word is bound into the sealed
+    /// frame's AAD, so tampering is detected on open; plain links have
+    /// no frame header to carry it, so there it is dropped — cross-hop
+    /// traces need sealed links.
+    fn seal_to_meta(
+        &mut self,
+        neighbor: usize,
+        wire: &[u8],
+        meta: u64,
+    ) -> Result<Vec<u8>, OverlayError> {
         let rng = &mut self.rng;
         match self.links.get_mut(&neighbor) {
-            Some(LinkChannel::Sealed { outbound, .. }) => Ok(outbound.seal(wire, rng)),
+            Some(LinkChannel::Sealed { outbound, .. }) => Ok(outbound.seal_meta(wire, meta, rng)),
             Some(LinkChannel::Plain) => Ok(wire.to_vec()),
             None => Err(OverlayError::Link { reason: "no link to neighbour" }),
         }
@@ -1099,7 +1225,7 @@ impl Broker {
             Input::Frame { from, bytes } => self.on_frame(from, &bytes),
             Input::Subscribe { envelope } => self.on_subscribe(&envelope),
             Input::Unsubscribe { envelope } => self.on_unsubscribe(&envelope),
-            Input::Publish { items } => self.on_publish(&items),
+            Input::Publish { items, trace } => self.on_publish(&items, trace),
         }
     }
 
@@ -1130,6 +1256,10 @@ impl Broker {
         self.enclave = None;
         let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
         self.core = BrokerCore::fresh(&mem, self.kind, self.flood, &self.neighbors);
+        // Telemetry is host configuration: the flag survives the crash,
+        // but the flight recorder and stage histograms (volatile, never
+        // sealed) restart empty with the rebuilt core.
+        self.core.engine.set_telemetry(self.telemetry);
         self.links.clear();
         self.initiations.clear();
         self.responses.clear();
@@ -1192,6 +1322,7 @@ impl Broker {
                 &self.neighbors,
             )?;
         }
+        self.core.engine.set_telemetry(self.telemetry);
         let restored = self.core.live.len();
         self.replayed_subs = 0;
         self.dropped_stale = 0;
@@ -1524,20 +1655,23 @@ impl Broker {
         }
         let opened = match self.links.get_mut(&from) {
             Some(LinkChannel::Sealed { inbound, .. }) => match inbound.open(bytes) {
-                Ok(wire) => Opened::Wire(wire),
+                // The metadata word (a publication's trace id) rides in
+                // clear but is AAD-bound, so a successful open vouches
+                // for it.
+                Ok(wire) => Opened::Wire { wire, meta: inbound.last_meta() },
                 Err(NetError::Gap { expected, got }) => Opened::Gap { expected, got },
                 Err(err) => Opened::Failed(err),
             },
-            Some(LinkChannel::Plain) => Opened::Wire(bytes.to_vec()),
+            Some(LinkChannel::Plain) => Opened::Wire { wire: bytes.to_vec(), meta: 0 },
             None => Opened::NoChannel,
         };
         match opened {
-            Opened::Wire(wire) => {
+            Opened::Wire { wire, meta } => {
                 // An authentic frame is proof of life: refresh the
                 // liveness clock and retract any standing suspicion.
                 self.last_rx.insert(from, self.ticks);
                 let cleared = self.suspects.remove(&from);
-                let mut outs = self.dispatch_wire(from, &wire)?;
+                let mut outs = self.dispatch_wire(from, &wire, meta)?;
                 if cleared {
                     outs.insert(0, Output::Event(LinkEvent::Cleared { link: from }));
                 }
@@ -1595,7 +1729,12 @@ impl Broker {
         }
     }
 
-    fn dispatch_wire(&mut self, from: usize, wire: &[u8]) -> Result<Vec<Output>, OverlayError> {
+    fn dispatch_wire(
+        &mut self,
+        from: usize,
+        wire: &[u8],
+        meta: u64,
+    ) -> Result<Vec<Output>, OverlayError> {
         match Message::from_wire(wire)? {
             Message::SubForward { envelope } => {
                 self.require_traffic()?;
@@ -1646,12 +1785,12 @@ impl Broker {
             }
             Message::PublishBatch { items } => {
                 self.require_serving("publication for a broker that is not serving")?;
-                self.route_batch(&items, Origin::Link(from))
+                self.route_batch(&items, Origin::Link(from), TraceId(meta))
             }
             Message::Publish { header_ct, epoch, payload_ct } => {
                 self.require_serving("publication for a broker that is not serving")?;
                 let item = PublishItem { header_ct, epoch, payload_ct };
-                self.route_batch(std::slice::from_ref(&item), Origin::Link(from))
+                self.route_batch(std::slice::from_ref(&item), Origin::Link(from), TraceId(meta))
             }
             Message::ReplayRequest => {
                 if self.state != Lifecycle::Serving {
@@ -1792,19 +1931,35 @@ impl Broker {
         Ok(outs)
     }
 
-    fn on_publish(&mut self, items: &[PublishItem]) -> Result<Vec<Output>, OverlayError> {
+    fn on_publish(
+        &mut self,
+        items: &[PublishItem],
+        trace: TraceId,
+    ) -> Result<Vec<Output>, OverlayError> {
         self.require_serving("publication for a broker that is not serving")?;
-        self.route_batch(items, Origin::Local)
+        self.route_batch(items, Origin::Local, trace)
     }
 
     /// Routes a batch of publications: decrypt+match the whole batch in
     /// [`MAX_DRAIN`]-bounded single enclave crossings, deliver locally,
     /// and forward each item on every matching link (origin excluded).
+    ///
+    /// With telemetry enabled the batch is timed through three waypoints
+    /// (arrival, matched, forwarded) and committed as one
+    /// [`HopRecord`] + two stage samples in a *single extra* enclave
+    /// crossing at the end — the timestamps are read before that
+    /// crossing, so the recording cost never pollutes the measurements,
+    /// and with telemetry off the crossing count is exactly the
+    /// uninstrumented one.
     fn route_batch(
         &mut self,
         items: &[PublishItem],
         origin: Origin,
+        trace: TraceId,
     ) -> Result<Vec<Output>, OverlayError> {
+        let timing = self.telemetry;
+        let t_arrival = if timing { self.mem_elapsed_ns() } else { 0.0 };
+        let mut matched_here = 0usize;
         let mut outs = Vec::new();
         // Per-link outgoing batches, in ascending neighbour order.
         let mut outgoing: BTreeMap<usize, Vec<PublishItem>> = BTreeMap::new();
@@ -1813,6 +1968,7 @@ impl Broker {
             let decisions = self
                 .call(|c| c.route(&headers, origin).into_iter().collect::<Result<Vec<_>, _>>())?;
             for (item, decision) in chunk.iter().zip(decisions) {
+                matched_here += decision.locals.len();
                 for client in decision.locals {
                     outs.push(Output::Delivery(LocalDelivery {
                         router: self.id,
@@ -1825,6 +1981,7 @@ impl Broker {
                 }
             }
         }
+        let t_matched = if timing { self.mem_elapsed_ns() } else { 0.0 };
         for (neighbor, items) in outgoing {
             if !self.links.contains_key(&neighbor) {
                 // Matching interest toward a dead (not yet re-keyed)
@@ -1833,8 +1990,31 @@ impl Broker {
                 continue;
             }
             let wire = Message::PublishBatch { items }.to_wire();
-            let bytes = self.seal_to(neighbor, &wire)?;
+            let bytes = self.seal_to_meta(neighbor, &wire, trace.0)?;
             outs.push(Output::Frame(LinkFrame { to: neighbor, from: self.id, bytes }));
+        }
+        if timing {
+            let t_forwarded = self.mem_elapsed_ns();
+            let record = HopRecord {
+                trace,
+                broker: self.id as u64,
+                tick: self.now,
+                arrival_ns: t_arrival.max(0.0) as u64,
+                match_ns: t_matched.max(0.0) as u64,
+                forward_ns: t_forwarded.max(0.0) as u64,
+                // Only the log₂ bucket crosses the boundary: the exact
+                // matched count would leak subscription selectivity.
+                matched_bucket: count_bucket(matched_here),
+            };
+            let seal_ns = (t_forwarded - t_matched).max(0.0) as u64;
+            let hop_ns = (t_forwarded - t_arrival).max(0.0) as u64;
+            self.call(|c| {
+                c.stages.record(Stage::Seal, seal_ns);
+                c.stages.record(Stage::HopCrossing, hop_ns);
+                if record.trace.is_some() {
+                    c.recorder.push(record);
+                }
+            });
         }
         Ok(outs)
     }
@@ -1958,6 +2138,65 @@ impl Broker {
             gaps: self.gaps,
             heartbeats: self.heartbeats_sent,
         }
+    }
+
+    // ---- telemetry -----------------------------------------------------
+
+    /// Enables or disables hot-path telemetry (host configuration,
+    /// survives crashes). On: per-stage latency histograms, hop records
+    /// for traced publications, and one extra enclave crossing per
+    /// routed batch to commit them. Off (the default): the hot path is
+    /// byte-for-byte the uninstrumented one.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
+        self.core.engine.set_telemetry(on);
+    }
+
+    /// Whether hot-path telemetry is enabled.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry
+    }
+
+    /// Per-stage latency summaries: the engine's in-enclave stages
+    /// (decrypt, index match, ASPE gate) followed by the broker shell's
+    /// (seal, hop crossing). Empty with telemetry off.
+    pub fn stage_summaries(&self) -> Vec<StageSummary> {
+        let mut out = self.core.engine.stage_summaries();
+        out.extend(self.core.stages.summaries());
+        out
+    }
+
+    /// Drains the in-enclave flight recorder through an explicit,
+    /// costed ocall (the records leave the enclave exactly once, and
+    /// the exit is charged like any other). Plain brokers drain
+    /// directly. Returns the hop records in arrival order.
+    pub fn drain_trace(&mut self) -> Vec<HopRecord> {
+        let core = &mut self.core;
+        match &self.enclave {
+            Some(enclave) => enclave.ecall(|ctx| {
+                let records = core.recorder.drain();
+                ctx.ocall(move || records)
+            }),
+            None => core.recorder.drain(),
+        }
+    }
+
+    /// Hop records the bounded flight recorder overwrote before they
+    /// were drained (cumulative).
+    pub fn trace_drops(&self) -> u64 {
+        self.core.recorder.dropped()
+    }
+
+    /// The broker's memory-simulator counters (paging, cache, enclave
+    /// transitions).
+    pub fn mem_stats(&self) -> MemStats {
+        self.core.engine.memory().stats()
+    }
+
+    /// Per-link forwarding-table counter snapshots, keyed by neighbour
+    /// id, for the metrics registry.
+    pub fn link_snapshots(&self) -> Vec<(usize, Vec<(&'static str, u64)>)> {
+        self.core.upstream.iter().map(|(n, table)| (*n, table.snapshot())).collect()
     }
 
     /// True when the broker is fully caught up: serving, with no replay
@@ -2257,6 +2496,7 @@ mod tests {
                         &PublicationSpec::new().attr("price", 5.0),
                         &mut rng,
                     )],
+                    trace: TraceId::NONE,
                 },
             )
             .unwrap();
@@ -2339,7 +2579,7 @@ mod tests {
         let items: Vec<PublishItem> = (0..10)
             .map(|i| item(&producer, &PublicationSpec::new().attr("p", 2.0 + i as f64), &mut rng))
             .collect();
-        let outs = broker.step(1, Input::Publish { items }).unwrap();
+        let outs = broker.step(1, Input::Publish { items, trace: TraceId::NONE }).unwrap();
         assert_eq!(deliveries(&outs).len(), 10);
         assert!(frames(&outs).is_empty());
         assert_eq!(broker.stats().ecalls, 1, "whole batch in one crossing");
@@ -2375,7 +2615,7 @@ mod tests {
         assert_eq!(broker.lifecycle(), Lifecycle::Crashed);
         assert!(broker.step(3, Input::Crash).unwrap().is_empty());
         assert!(matches!(
-            broker.step(4, Input::Publish { items: vec![] }),
+            broker.step(4, Input::Publish { items: vec![], trace: TraceId::NONE }),
             Err(OverlayError::Lifecycle { .. })
         ));
         assert!(matches!(
@@ -2424,6 +2664,7 @@ mod tests {
                 21,
                 Input::Publish {
                     items: vec![item(&producer, &PublicationSpec::new().attr("p", 2.5), &mut rng)],
+                    trace: TraceId::NONE,
                 },
             )
             .unwrap();

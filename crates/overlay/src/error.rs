@@ -42,6 +42,24 @@ pub enum OverlayError {
     Net(NetError),
 }
 
+impl OverlayError {
+    /// Stable, machine-readable kind label — the key telemetry and the
+    /// fabric's drop ledger aggregate error counts under. These strings
+    /// are part of the observability surface: new variants may add
+    /// labels, but existing ones must not change.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OverlayError::Topology { .. } => "topology",
+            OverlayError::Link { .. } => "link",
+            OverlayError::Lifecycle { .. } => "lifecycle",
+            OverlayError::Detection { .. } => "detection",
+            OverlayError::Routing(_) => "routing",
+            OverlayError::Sgx(_) => "sgx",
+            OverlayError::Net(_) => "net",
+        }
+    }
+}
+
 impl fmt::Display for OverlayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -88,6 +106,16 @@ impl From<NetError> for OverlayError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(OverlayError::Topology { reason: "x" }.label(), "topology");
+        assert_eq!(OverlayError::Link { reason: "x" }.label(), "link");
+        assert_eq!(OverlayError::Lifecycle { reason: "x" }.label(), "lifecycle");
+        assert_eq!(OverlayError::Detection { reason: "x" }.label(), "detection");
+        assert_eq!(OverlayError::Routing(ScbrError::NotFound { what: "s" }).label(), "routing");
+        assert_eq!(OverlayError::Net(NetError::Disconnected).label(), "net");
+    }
 
     #[test]
     fn display_and_source() {

@@ -44,6 +44,7 @@ use scbr::protocol::keys::ProducerCrypto;
 use scbr::protocol::messages::PublishItem;
 use scbr::{PublicationSpec, ScbrError, SubscriptionSpec};
 use scbr_crypto::rng::CryptoRng;
+use scbr_telemetry::{BrokerTelemetry, MetricsRegistry, TelemetrySnapshot, TraceId};
 use sgx_sim::attest::{AttestationService, VerifierPolicy};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -98,6 +99,12 @@ pub struct FabricConfig {
     /// keeps the legacy behaviour: no heartbeats, no suspicion,
     /// operator-driven restarts only.
     pub heartbeats: Option<HeartbeatConfig>,
+    /// Hot-path telemetry on every broker: per-stage latency histograms,
+    /// trace ids on published batches, per-hop flight records. Off by
+    /// default — the instrumented and uninstrumented hot paths are
+    /// behaviourally identical, but off keeps the crossing counts
+    /// byte-for-byte those of the seed fabric.
+    pub telemetry: bool,
 }
 
 impl FabricConfig {
@@ -111,6 +118,7 @@ impl FabricConfig {
             trust: Trust::Attested,
             epoch: KeyEpoch(0),
             heartbeats: None,
+            telemetry: false,
         }
     }
 
@@ -123,6 +131,14 @@ impl FabricConfig {
     #[must_use]
     pub fn with_heartbeats(mut self, heartbeats: HeartbeatConfig) -> Self {
         self.heartbeats = Some(heartbeats);
+        self
+    }
+
+    /// Enables hot-path telemetry (stage histograms + cross-hop tracing)
+    /// on every broker.
+    #[must_use]
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
         self
     }
 }
@@ -203,6 +219,11 @@ pub struct OverlayFabric {
     suspicions: BTreeMap<usize, BTreeSet<usize>>,
     /// Detection rounds run so far ([`OverlayFabric::tick_round`]).
     rounds: u64,
+    /// Whether the fabric was built with telemetry enabled.
+    telemetry: bool,
+    /// Next trace id handed out by [`OverlayFabric::publish_traced`]
+    /// (starts at 1; 0 is the untraced sentinel).
+    next_trace: u64,
     /// Per-broker tick stride: a broker with stride `s` receives a timer
     /// tick only every `s`-th detection round (models a slow-but-alive
     /// host whose heartbeats are delayed, not lost). Default 1.
@@ -293,6 +314,11 @@ impl OverlayFabric {
                 broker.set_heartbeats(Some(heartbeats));
             }
         }
+        if config.telemetry {
+            for broker in &mut brokers {
+                broker.set_telemetry(true);
+            }
+        }
         let mut fabric = OverlayFabric {
             topology,
             brokers,
@@ -312,6 +338,8 @@ impl OverlayFabric {
             events: Vec::new(),
             suspicions: BTreeMap::new(),
             rounds: 0,
+            telemetry: config.telemetry,
+            next_trace: 1,
             strides: BTreeMap::new(),
         };
         if config.trust == Trust::Attested {
@@ -537,7 +565,31 @@ impl OverlayFabric {
         at: usize,
         publications: &[PublicationSpec],
     ) -> Result<Vec<Delivery>, OverlayError> {
+        self.publish_traced(at, publications).map(|(_, deliveries)| deliveries)
+    }
+
+    /// [`OverlayFabric::publish`], also returning the batch's trace id.
+    /// With telemetry enabled the producer assigns a fresh id (carried
+    /// in clear alongside the sealed frames and recorded per hop — read
+    /// the hops back via [`OverlayFabric::telemetry`]); with telemetry
+    /// off the id is [`TraceId::NONE`].
+    ///
+    /// # Errors
+    ///
+    /// As [`OverlayFabric::publish`].
+    pub fn publish_traced(
+        &mut self,
+        at: usize,
+        publications: &[PublicationSpec],
+    ) -> Result<(TraceId, Vec<Delivery>), OverlayError> {
         self.check_router(at)?;
+        let trace = if self.telemetry {
+            let trace = TraceId(self.next_trace);
+            self.next_trace += 1;
+            trace
+        } else {
+            TraceId::NONE
+        };
         let epoch = self.epoch;
         let items: Vec<PublishItem> = publications
             .iter()
@@ -550,11 +602,11 @@ impl OverlayFabric {
                 payload_ct: (i as u32).to_be_bytes().to_vec(),
             })
             .collect();
-        let local = self.dispatch(at, Input::Publish { items })?;
+        let local = self.dispatch(at, Input::Publish { items, trace })?;
         let mut deliveries: Vec<Delivery> =
             local.iter().map(decode_delivery).collect::<Result<_, _>>()?;
         deliveries.sort_unstable();
-        Ok(deliveries)
+        Ok((trace, deliveries))
     }
 
     // ---- failure and recovery ------------------------------------------
@@ -943,6 +995,55 @@ impl OverlayFabric {
             broker.reset_counters();
         }
     }
+
+    // ---- telemetry ------------------------------------------------------
+
+    /// Whether the fabric was built with telemetry
+    /// ([`FabricConfig::with_telemetry`]).
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry
+    }
+
+    /// The fabric's full telemetry view: per-broker counter registries
+    /// (broker, memory-simulator and per-link forwarding counters under
+    /// stable prefixes), per-broker stage latency summaries, fabric-level
+    /// aggregates (frame/drop ledgers, event-label counts, cross-broker
+    /// totals), and every hop record drained from the brokers' flight
+    /// recorders.
+    ///
+    /// Draining is destructive for hop records (each record is reported
+    /// exactly once — the in-enclave rings empty through their costed
+    /// ocall) but counters and standing events are left in place.
+    pub fn telemetry(&mut self) -> TelemetrySnapshot {
+        let mut fabric_registry = MetricsRegistry::new();
+        let mut brokers = Vec::with_capacity(self.brokers.len());
+        let mut hops = Vec::new();
+        for (id, broker) in self.brokers.iter_mut().enumerate() {
+            let stats = broker.stats();
+            let mut registry = MetricsRegistry::new();
+            registry.absorb("broker", &stats.snapshot());
+            registry.absorb("mem", &broker.mem_stats().snapshot());
+            for (neighbor, counters) in broker.link_snapshots() {
+                registry.absorb(&format!("link.{neighbor}"), &counters);
+            }
+            registry.set("trace.dropped", broker.trace_drops());
+            fabric_registry.absorb("total", &stats.snapshot());
+            hops.extend(broker.drain_trace());
+            brokers.push(BrokerTelemetry {
+                broker: id as u64,
+                counters: registry.snapshot(),
+                stages: broker.stage_summaries(),
+            });
+        }
+        hops.sort_by_key(|h| (h.tick, h.broker));
+        fabric_registry.set("fabric.dropped_frames", self.dropped_frames);
+        fabric_registry.set("fabric.edges", self.edge_frames.len() as u64);
+        fabric_registry.set("fabric.rounds", self.rounds);
+        for (_, event) in &self.events {
+            fabric_registry.add(&format!("events.{}", event.label()), 1);
+        }
+        TelemetrySnapshot { fabric: fabric_registry.snapshot(), brokers, hops }
+    }
 }
 
 /// Decodes the batch index the fabric tagged into a delivered payload.
@@ -1148,5 +1249,83 @@ mod tests {
         );
         // And the fabric still drains clean.
         assert!(fabric.unsubscribe(keep).unwrap());
+    }
+
+    #[test]
+    fn traced_publication_records_every_hop_on_attested_fabric() {
+        let mut fabric =
+            OverlayFabric::build(Topology::line(3), FabricConfig::attested(31).with_telemetry())
+                .unwrap();
+        assert!(fabric.telemetry_enabled());
+        fabric.subscribe(2, ClientId(1), &SubscriptionSpec::new().gt("price", 0.0)).unwrap();
+        let (trace, deliveries) =
+            fabric.publish_traced(0, &[PublicationSpec::new().attr("price", 9.0)]).unwrap();
+        assert!(trace.is_some());
+        assert_eq!(deliveries.len(), 1);
+        let snap = fabric.telemetry();
+        // The batch crossed 0 → 1 → 2: one hop record per broker, in
+        // arrival order, and only the terminal broker matched anything.
+        let path = snap.trace_path(trace);
+        assert_eq!(path.iter().map(|h| h.broker).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(path.iter().map(|h| h.matched_bucket).collect::<Vec<_>>(), vec![0, 0, 1]);
+        for hop in &path {
+            assert!(hop.arrival_ns <= hop.match_ns && hop.match_ns <= hop.forward_ns);
+        }
+        // Per-broker registries carry the absorbed counter namespaces.
+        assert_eq!(snap.brokers.len(), 3);
+        for broker in &snap.brokers {
+            assert!(broker.counters.get("broker.ecalls").unwrap() > 0);
+            assert!(broker.counters.get("mem.ecalls").is_some());
+            assert_eq!(broker.counters.get("trace.dropped"), Some(0));
+            assert!(!broker.stages.is_empty(), "stage histograms populated");
+        }
+        // Fabric-level aggregates fold the same exports across brokers.
+        assert_eq!(
+            snap.fabric.get("total.ecalls").unwrap(),
+            snap.brokers.iter().map(|b| b.counters.get("broker.ecalls").unwrap()).sum::<u64>()
+        );
+        assert!(snap.fabric.get("events.subscribed").unwrap() >= 1);
+        // Draining is destructive: a second snapshot has no hops.
+        assert!(fabric.telemetry().trace_path(trace).is_empty());
+    }
+
+    #[test]
+    fn telemetry_off_publishes_untraced_with_no_records() {
+        let mut fabric =
+            OverlayFabric::build(Topology::line(2), FabricConfig::preshared(32)).unwrap();
+        fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("x", 0.0)).unwrap();
+        let (trace, deliveries) =
+            fabric.publish_traced(1, &[PublicationSpec::new().attr("x", 1.0)]).unwrap();
+        assert_eq!(trace, TraceId::NONE);
+        assert_eq!(deliveries.len(), 1);
+        let snap = fabric.telemetry();
+        assert!(snap.hops.is_empty());
+        assert!(snap.brokers.iter().all(|b| b.stages.is_empty()));
+    }
+
+    #[test]
+    fn telemetry_survives_crash_but_flight_records_do_not() {
+        let mut fabric = OverlayFabric::build(
+            Topology::line(2),
+            FabricConfig { telemetry: true, ..FabricConfig::preshared(33) },
+        )
+        .unwrap();
+        fabric.subscribe(0, ClientId(1), &SubscriptionSpec::new().gt("x", 0.0)).unwrap();
+        let (before, _) =
+            fabric.publish_traced(1, &[PublicationSpec::new().attr("x", 1.0)]).unwrap();
+        fabric.crash(1).unwrap();
+        fabric.restart(1).unwrap();
+        // Telemetry is host configuration and is re-applied after the
+        // rejoin, but the un-drained flight record at broker 1 died with
+        // the crash (volatile by design). Plain links carry no frame
+        // metadata, so the trace never reached broker 0 either.
+        let (after, _) =
+            fabric.publish_traced(1, &[PublicationSpec::new().attr("x", 2.0)]).unwrap();
+        assert!(after.is_some() && after != before);
+        let snap = fabric.telemetry();
+        assert!(snap.trace_path(before).is_empty(), "pre-crash record was volatile");
+        let path = snap.trace_path(after);
+        assert_eq!(path.len(), 1, "plain links drop the trace id; only the origin records");
+        assert_eq!(path[0].broker, 1);
     }
 }

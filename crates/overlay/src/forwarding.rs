@@ -134,6 +134,20 @@ impl ForwardingTable {
         (self.pruned, self.forwarded_total, self.removed, self.uncovered)
     }
 
+    /// Uniform telemetry export: every counter (plus the live row count)
+    /// as `(name, value)` pairs for a
+    /// [`scbr_telemetry::MetricsRegistry`] to absorb under a per-link
+    /// prefix.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("forwarded", self.entries.len() as u64),
+            ("pruned", self.pruned),
+            ("forwarded_total", self.forwarded_total),
+            ("removed", self.removed),
+            ("uncovered", self.uncovered),
+        ]
+    }
+
     /// Rebuilds a table from sealed recovery state: the live rows plus
     /// the counters captured by [`ForwardingTable::counters`]. The record
     /// may come from an untrusted host (pre-shared mode stores it

@@ -77,4 +77,5 @@ pub use fabric::{
     AutoRejoin, Delivery, FabricConfig, OverlayFabric, Propagation, RejoinReport, Trust,
 };
 pub use forwarding::ForwardingTable;
+pub use scbr_telemetry::{BrokerTelemetry, HopRecord, StageSummary, TelemetrySnapshot, TraceId};
 pub use topology::Topology;

@@ -590,6 +590,121 @@ proptest! {
         }
     }
 
+    /// Telemetry arm: an **instrumented** fabric (stage histograms, hop
+    /// tracing, trace ids on every batch) must be behaviourally
+    /// indistinguishable from an uninstrumented twin across the whole
+    /// lifecycle — identical delivery sets, identical forwarding-table
+    /// rows, identical index occupancy, through churn and a crash/rejoin.
+    /// Observation must never steer routing.
+    #[test]
+    fn instrumented_fabric_is_behaviourally_identical(
+        parents in proptest::collection::vec(0usize..6, 1..5),
+        subs in proptest::collection::vec(sub_strategy(), 1..8),
+        script in proptest::collection::vec((0u8..4, 0usize..16), 0..16),
+        pubs in proptest::collection::vec(pub_strategy(), 1..3),
+        (publish_router, seed) in (0usize..64, 0u64..1_000),
+    ) {
+        let topology = build_tree(&parents);
+        let routers = topology.routers();
+        let publish_at = publish_router % routers;
+        let publications: Vec<PublicationSpec> = pubs.iter().map(build_pub).collect();
+
+        let producer = shared_producer();
+        let config = FabricConfig { index: IndexKind::Poset, ..FabricConfig::preshared(seed) };
+        let mut plain = OverlayFabric::build_with_producer(
+            topology.clone(),
+            config,
+            producer.clone(),
+        ).expect("uninstrumented fabric");
+        let mut instrumented = OverlayFabric::build_with_producer(
+            topology.clone(),
+            config.with_telemetry(),
+            producer.clone(),
+        ).expect("instrumented fabric");
+
+        let mut live: Vec<(SubscriptionId, usize)> = Vec::new();
+        let mut next_sub = 0usize;
+        let mut crashed: Option<usize> = None;
+
+        for (step_no, &(op, pick)) in script.iter().enumerate() {
+            match op {
+                0 if next_sub < subs.len() => {
+                    let raw = &subs[next_sub];
+                    let mut at = raw.router % routers;
+                    if Some(at) == crashed {
+                        at = (at + 1) % routers;
+                    }
+                    let client = ClientId(next_sub as u64);
+                    let spec = build_sub(raw);
+                    let id = plain.subscribe(at, client, &spec).expect("plain subscribe");
+                    let id2 = instrumented
+                        .subscribe(at, client, &spec)
+                        .expect("instrumented subscribe");
+                    prop_assert_eq!(id, id2, "id allocation in lockstep");
+                    live.push((id, at));
+                    next_sub += 1;
+                }
+                1 if !live.is_empty() => {
+                    // Unsubscribe a live subscription homed at a live broker.
+                    let start = pick % live.len();
+                    let Some(offset) = (0..live.len())
+                        .find(|o| Some(live[(start + o) % live.len()].1) != crashed)
+                    else { continue };
+                    let (id, _) = live.remove((start + offset) % live.len());
+                    let a = plain.unsubscribe(id).expect("plain unsubscribe");
+                    let b = instrumented.unsubscribe(id).expect("instrumented unsubscribe");
+                    prop_assert_eq!(a, b, "unsubscribe outcome diverged at step {}", step_no);
+                }
+                2 if crashed.is_none() => {
+                    let victim = pick % routers;
+                    plain.crash(victim).expect("plain crash");
+                    instrumented.crash(victim).expect("instrumented crash");
+                    crashed = Some(victim);
+                }
+                3 => {
+                    if let Some(victim) = crashed.take() {
+                        let a = plain.restart(victim).expect("plain restart");
+                        let b = instrumented.restart(victim).expect("instrumented restart");
+                        prop_assert_eq!(a, b, "rejoin reports diverged at step {}", step_no);
+                    }
+                }
+                _ => {}
+            }
+
+            if crashed.is_some() {
+                continue; // probe only a fully serving pair
+            }
+            let got_plain =
+                plain.publish(publish_at, &publications).expect("plain publish");
+            let (trace, got_instrumented) = instrumented
+                .publish_traced(publish_at, &publications)
+                .expect("instrumented publish");
+            prop_assert!(trace.is_some(), "instrumented batches always carry a trace");
+            prop_assert_eq!(
+                &got_plain, &got_instrumented,
+                "instrumentation changed deliveries at step {}", step_no
+            );
+            // Structural state marches in lockstep too.
+            prop_assert_eq!(plain.total_index_entries(), instrumented.total_index_entries());
+            prop_assert_eq!(plain.total_forwarded(), instrumented.total_forwarded());
+            prop_assert_eq!(plain.total_pruned(), instrumented.total_pruned());
+            prop_assert_eq!(plain.total_uncovered(), instrumented.total_uncovered());
+        }
+
+        // The instrumented fabric actually observed something, and the
+        // observations drain without disturbing either fabric.
+        if let Some(victim) = crashed.take() {
+            plain.restart(victim).expect("final plain restart");
+            instrumented.restart(victim).expect("final instrumented restart");
+        }
+        let snap = instrumented.telemetry();
+        prop_assert!(snap.fabric.get("total.ecalls").is_some());
+        let got_plain = plain.publish(publish_at, &publications).expect("final plain");
+        let got_instrumented =
+            instrumented.publish(publish_at, &publications).expect("final instrumented");
+        prop_assert_eq!(got_plain, got_instrumented, "post-drain deliveries diverged");
+    }
+
     /// The final-drain guarantee holds for every index kind, not just the
     /// poset (removal goes through `SubscriptionIndex::remove`, whose
     /// implementations differ structurally).

@@ -287,7 +287,9 @@ fn tampered_link_frames_are_refused() {
         .unwrap();
     let outs = a.step(1, Input::Subscribe { envelope }).unwrap();
     drive(&mut a, &mut b, outs).unwrap();
-    let outs = b.step(2, Input::Publish { items: vec![item] }).unwrap();
+    let outs = b
+        .step(2, Input::Publish { items: vec![item], trace: scbr_overlay::TraceId::NONE })
+        .unwrap();
     let frames = out_frames(&outs);
     assert_eq!(frames.len(), 1);
     let mut bytes = frames[0].bytes.clone();

@@ -67,6 +67,24 @@ impl MemStats {
     pub fn page_faults(&self) -> u64 {
         self.minor_faults + self.epc_admissions + self.epc_swaps
     }
+
+    /// Uniform counter export for the telemetry registry: stable
+    /// `(name, value)` pairs covering every integer counter
+    /// (`elapsed_ns` is a float and reported separately by its owners).
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("reads", self.reads),
+            ("writes", self.writes),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("minor_faults", self.minor_faults),
+            ("epc_admissions", self.epc_admissions),
+            ("epc_swaps", self.epc_swaps),
+            ("ecalls", self.ecalls),
+            ("ocalls", self.ocalls),
+            ("allocated_bytes", self.allocated_bytes),
+        ]
+    }
 }
 
 /// Whether a [`MemorySim`] models native or enclave-protected memory.

@@ -1,0 +1,173 @@
+//! The unified metrics registry: named counters with snapshot/delta
+//! semantics.
+//!
+//! Every stats struct in the workspace exports a uniform
+//! `snapshot() -> Vec<(&'static str, u64)>`; the registry absorbs those
+//! pairs under a subsystem prefix so one flat, sorted namespace covers a
+//! broker (or a whole fabric). Reading is cheap ([`Snapshot`] is a sorted
+//! `Vec`), and [`Snapshot::delta`] subtracts an earlier snapshot to get
+//! per-phase counts — the idiom the bench bins use between measurement
+//! windows.
+
+use std::collections::BTreeMap;
+
+/// A registry of named `u64` metrics. Counters and gauges share the
+/// namespace; `add` accumulates, `set` overwrites.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, u64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets metric `name` to `value` (gauge semantics).
+    pub fn set(&mut self, name: &str, value: u64) {
+        match self.entries.get_mut(name) {
+            Some(slot) => *slot = value,
+            None => {
+                self.entries.insert(name.to_owned(), value);
+            }
+        }
+    }
+
+    /// Adds `value` to metric `name` (counter semantics; missing metrics
+    /// start at zero).
+    pub fn add(&mut self, name: &str, value: u64) {
+        *self.entries.entry(name.to_owned()).or_insert(0) += value;
+    }
+
+    /// Folds a stats struct's `snapshot()` export into the registry under
+    /// `prefix`: each `(name, value)` pair becomes `prefix.name`. Repeated
+    /// absorption accumulates, so per-fabric registries can sum the same
+    /// export across brokers.
+    pub fn absorb(&mut self, prefix: &str, pairs: &[(&'static str, u64)]) {
+        for (name, value) in pairs {
+            if prefix.is_empty() {
+                self.add(name, *value);
+            } else {
+                self.add(&format!("{prefix}.{name}"), *value);
+            }
+        }
+    }
+
+    /// Current value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.entries.get(name).copied()
+    }
+
+    /// Number of distinct metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { pairs: self.entries.iter().map(|(k, v)| (k.clone(), *v)).collect() }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`]: `(name, value)` pairs
+/// sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    pairs: Vec<(String, u64)>,
+}
+
+impl Snapshot {
+    /// The sorted `(name, value)` pairs.
+    pub fn pairs(&self) -> &[(String, u64)] {
+        &self.pairs
+    }
+
+    /// Value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.pairs.binary_search_by(|(k, _)| k.as_str().cmp(name)).ok().map(|i| self.pairs[i].1)
+    }
+
+    /// Counter difference since `earlier`: for every metric present here,
+    /// `self - earlier` saturating at zero (metrics absent earlier count
+    /// from zero). The result is what happened *between* the snapshots.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            pairs: self
+                .pairs
+                .iter()
+                .map(|(name, value)| {
+                    (name.clone(), value.saturating_sub(earlier.get(name).unwrap_or(0)))
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of metrics captured.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_prefixes_and_accumulates() {
+        let mut reg = MetricsRegistry::new();
+        reg.absorb("mem", &[("ecalls", 3), ("ocalls", 1)]);
+        reg.absorb("mem", &[("ecalls", 2), ("ocalls", 0)]);
+        reg.absorb("", &[("edge_frames", 7)]);
+        assert_eq!(reg.get("mem.ecalls"), Some(5));
+        assert_eq!(reg.get("mem.ocalls"), Some(1));
+        assert_eq!(reg.get("edge_frames"), Some(7));
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn set_overwrites_add_accumulates() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("x", 4);
+        reg.add("x", 4);
+        assert_eq!(reg.get("x"), Some(8));
+        reg.set("x", 1);
+        assert_eq!(reg.get("x"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_delta_is_per_phase() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("ecalls", 10);
+        let before = reg.snapshot();
+        reg.add("ecalls", 5);
+        reg.add("gaps", 2);
+        let after = reg.snapshot();
+        let delta = after.delta(&before);
+        assert_eq!(delta.get("ecalls"), Some(5));
+        assert_eq!(delta.get("gaps"), Some(2));
+    }
+
+    #[test]
+    fn snapshot_lookup_is_sorted_binary_search() {
+        let mut reg = MetricsRegistry::new();
+        for name in ["zeta", "alpha", "mid"] {
+            reg.set(name, name.len() as u64);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("alpha"), Some(5));
+        assert_eq!(snap.get("zeta"), Some(4));
+        assert_eq!(snap.get("missing"), None);
+        assert!(snap.pairs().windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

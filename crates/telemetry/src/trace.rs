@@ -1,0 +1,246 @@
+//! Cross-hop publication tracing: trace ids, hop records, and the
+//! bounded in-enclave flight recorder.
+//!
+//! A [`TraceId`] is assigned per publish batch at the producer and rides
+//! **in clear** alongside the sealed link frame (bound into the frame's
+//! AAD so it cannot be forged undetected). This is routing metadata, not
+//! content: an observer of the untrusted network already sees frame
+//! boundaries, sizes, direction, and sequence numbers, so a per-batch tag
+//! reveals nothing beyond the linkability that timing correlation already
+//! provides. What *would* leak selectivity — how many subscribers matched
+//! — stays inside the enclave: hop records carry only a log₂
+//! *bucket* of the matched count, and the records themselves leave the
+//! enclave exclusively through an explicit drain ocall that the memory
+//! simulator charges like any other crossing.
+
+/// Identifier of one traced publish batch. `TraceId::NONE` (zero) means
+/// "untraced" and is what plain frames and disabled-telemetry fabrics
+/// carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The untraced sentinel carried when telemetry is off.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// True when this id identifies an actual trace.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace-{}", self.0)
+    }
+}
+
+/// Log₂ bucket of a matched-subscriber count: 0 for no matches, otherwise
+/// `1 + ilog2(n)` (bucket `b` covers `[2^(b-1), 2^b)`). Hop records carry
+/// this instead of the exact count so drained telemetry does not leak
+/// workload selectivity.
+pub fn count_bucket(n: usize) -> u8 {
+    if n == 0 {
+        0
+    } else {
+        (n.ilog2() + 1) as u8
+    }
+}
+
+/// One broker's observation of one traced batch: all `Copy`, so pushing
+/// into the ring buffer never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HopRecord {
+    /// The batch's trace id.
+    pub trace: TraceId,
+    /// Fabric index of the observing broker.
+    pub broker: u64,
+    /// Scheduler timestamp of the step that processed the hop. Each
+    /// broker's `*_ns` clocks are its own enclave's virtual time —
+    /// comparable within a hop, not across brokers — so this host-side
+    /// tick is what orders a trace's hops globally.
+    pub tick: u64,
+    /// Virtual time the batch arrived at this broker.
+    pub arrival_ns: u64,
+    /// Virtual time matching completed.
+    pub match_ns: u64,
+    /// Virtual time the last onward frame was sealed.
+    pub forward_ns: u64,
+    /// [`count_bucket`] of the local match count (never the exact count).
+    pub matched_bucket: u8,
+}
+
+impl HopRecord {
+    /// Nanoseconds spent matching at this hop.
+    pub fn match_latency_ns(&self) -> u64 {
+        self.match_ns.saturating_sub(self.arrival_ns)
+    }
+
+    /// Nanoseconds spent sealing/forwarding at this hop.
+    pub fn forward_latency_ns(&self) -> u64 {
+        self.forward_ns.saturating_sub(self.match_ns)
+    }
+}
+
+/// A bounded ring buffer of [`HopRecord`]s living inside the enclave.
+///
+/// The ring is fully preallocated at construction, so steady-state
+/// `push` touches one slot and never allocates; when full, the oldest
+/// record is overwritten and `dropped` counts the loss (bounded memory
+/// beats unbounded history inside an enclave). Records leave via
+/// [`FlightRecorder::drain_into`], which the broker wraps in an explicit
+/// ocall so the crossing is costed and counted.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    ring: Vec<HopRecord>,
+    head: usize,
+    len: usize,
+    dropped: u64,
+}
+
+/// Default ring capacity: enough for a few hundred in-flight traces per
+/// broker between drains.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 256;
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_RECORDER_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` records (fully preallocated).
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            ring: vec![HopRecord::default(); capacity.max(1)],
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, overwriting the oldest when full. Never
+    /// allocates.
+    #[inline]
+    pub fn push(&mut self, record: HopRecord) {
+        let capacity = self.ring.len();
+        let slot = (self.head + self.len) % capacity;
+        self.ring[slot] = record;
+        if self.len == capacity {
+            self.head = (self.head + 1) % capacity;
+            self.dropped += 1;
+        } else {
+            self.len += 1;
+        }
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Records overwritten before they could be drained.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Moves every buffered record into `out` (oldest first) and empties
+    /// the ring. The drop counter is preserved across drains.
+    pub fn drain_into(&mut self, out: &mut Vec<HopRecord>) {
+        let capacity = self.ring.len();
+        for i in 0..self.len {
+            out.push(self.ring[(self.head + i) % capacity]);
+        }
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`FlightRecorder::drain_into`].
+    pub fn drain(&mut self) -> Vec<HopRecord> {
+        let mut out = Vec::with_capacity(self.len);
+        self.drain_into(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(trace: u64, at: u64) -> HopRecord {
+        HopRecord {
+            trace: TraceId(trace),
+            broker: 0,
+            tick: at,
+            arrival_ns: at,
+            match_ns: at + 5,
+            forward_ns: at + 9,
+            matched_bucket: 2,
+        }
+    }
+
+    #[test]
+    fn count_buckets_hide_exact_selectivity() {
+        assert_eq!(count_bucket(0), 0);
+        assert_eq!(count_bucket(1), 1);
+        assert_eq!(count_bucket(2), 2);
+        assert_eq!(count_bucket(3), 2);
+        assert_eq!(count_bucket(4), 3);
+        assert_eq!(count_bucket(1000), 10);
+    }
+
+    #[test]
+    fn hop_latencies_decompose() {
+        let r = rec(1, 100);
+        assert_eq!(r.match_latency_ns(), 5);
+        assert_eq!(r.forward_latency_ns(), 4);
+    }
+
+    #[test]
+    fn ring_drains_in_order() {
+        let mut fr = FlightRecorder::with_capacity(8);
+        for i in 0..5 {
+            fr.push(rec(i, i * 10));
+        }
+        assert_eq!(fr.len(), 5);
+        let drained = fr.drain();
+        assert_eq!(drained.len(), 5);
+        assert!(drained.windows(2).all(|w| w[0].arrival_ns < w[1].arrival_ns));
+        assert!(fr.is_empty());
+        assert_eq!(fr.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_overwrites_oldest_and_counts_drops() {
+        let mut fr = FlightRecorder::with_capacity(4);
+        for i in 0..7 {
+            fr.push(rec(i, i));
+        }
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.dropped(), 3);
+        let drained = fr.drain();
+        assert_eq!(drained.iter().map(|r| r.trace.0).collect::<Vec<_>>(), vec![3, 4, 5, 6]);
+        // Drop counter survives the drain; buffering resumes cleanly.
+        fr.push(rec(9, 9));
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr.dropped(), 3);
+    }
+
+    #[test]
+    fn trace_id_sentinel() {
+        assert!(!TraceId::NONE.is_some());
+        assert!(TraceId(3).is_some());
+        assert_eq!(TraceId(3).to_string(), "trace-3");
+    }
+}

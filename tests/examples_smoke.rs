@@ -20,6 +20,7 @@ const EXAMPLES: &[&str] = &[
     "cloud_router",
     "overlay_fabric",
     "workload_explorer",
+    "scbr_top",
 ];
 
 /// `target/<profile>/examples`, derived from this test binary's location

@@ -40,8 +40,8 @@
 //! tenants happen to unsubscribe ends up under-filled while the others
 //! carry its share of the EPC budget. [`PartitionedRouter::slice_stats`]
 //! and [`PartitionedRouter::occupancy_skew`] expose the imbalance
-//! (subscriptions, index bytes, EPC swaps per slice) so an operator — or a
-//! future auto-rebalancer — can detect it. Through the telemetry
+//! (subscriptions, index bytes, EPC swaps per slice) so an operator — or
+//! the overlay's auto-rebalancer — can detect it. Through the telemetry
 //! registry these surface as the `slice.<n>.subscriptions`,
 //! `slice.<n>.index_bytes` and `slice.<n>.epc_swaps` metrics (one
 //! [`SliceStats::snapshot`] absorbed per slice) — watch the spread of
@@ -51,8 +51,16 @@
 //! *re-registration*: pick the fullest slice, unregister a batch of its
 //! subscriptions and replay their stored registration envelopes on the
 //! emptiest slice (the envelopes are producer-signed, so the move needs
-//! no client involvement). That machinery is deliberately not wired in
-//! yet; today the module guarantees detection, not correction.
+//! no client involvement). That closed loop now ships inside the overlay
+//! broker (`scbr-overlay`'s `partition` module): its skew-threshold
+//! rebalancer watches exactly these metrics and migrates subscription
+//! batches fullest → emptiest, make-before-break. This thread-based
+//! router keeps the simpler contract — it detects, and an operator (or
+//! the overlay's rebalancer, when the slices live inside a broker)
+//! corrects. Skew is measured over *edge-client* load only:
+//! link-interface registrations are pinned to whichever broker owns the
+//! link, so counting them would make a high-degree broker read as
+//! permanently skewed and trigger futile rebalancing.
 
 use crate::engine::RouterEngine;
 use crate::error::ScbrError;
@@ -110,8 +118,12 @@ impl SliceWorker {
 pub struct SliceStats {
     /// Slice position in the fan-out order.
     pub slice: usize,
-    /// Live subscriptions placed on this slice.
+    /// Live subscriptions placed on this slice (edge + interface copies).
     pub subscriptions: usize,
+    /// Live subscriptions delivering to real edge clients — the
+    /// occupancy figure skew detection and rebalancing read
+    /// (link-interface copies are pinned, not movable load).
+    pub edge_subscriptions: usize,
     /// Structural nodes in the slice's index.
     pub nodes: usize,
     /// Simulated index footprint in bytes (what presses on the EPC).
@@ -120,23 +132,35 @@ pub struct SliceStats {
     /// `ecalls`, `epc_swaps`, virtual `elapsed_ns`).
     pub mem: MemStats,
     /// Lifetime enclave crossings (not reset by
-    /// [`PartitionedRouter::reset_counters`]).
-    pub lifetime_ecalls: u64,
+    /// [`PartitionedRouter::reset_counters`]), or `None` when the slice
+    /// runs gateless (outside an enclave) — an absent counter, unlike a
+    /// silent 0, lets telemetry tell a gateless slice from an idle
+    /// enclave.
+    pub lifetime_ecalls: Option<u64>,
 }
 
 impl SliceStats {
     /// Uniform counter export for the telemetry registry (absorbed under
     /// a `slice.<n>` prefix; the memory counters most relevant to the
     /// rebalancing decision are folded in alongside the occupancy).
+    /// `gated` reports the gate mode (1 = enclave-hosted); the
+    /// `lifetime_ecalls` counter is emitted only when a gate exists, so
+    /// a gateless slice exports no crossing count at all instead of a
+    /// misleading 0.
     pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
-        vec![
+        let mut pairs = vec![
             ("subscriptions", self.subscriptions as u64),
+            ("edge_subscriptions", self.edge_subscriptions as u64),
             ("nodes", self.nodes as u64),
             ("index_bytes", self.index_bytes),
             ("ecalls", self.mem.ecalls),
             ("epc_swaps", self.mem.epc_swaps),
-            ("lifetime_ecalls", self.lifetime_ecalls),
-        ]
+            ("gated", u64::from(self.lifetime_ecalls.is_some())),
+        ];
+        if let Some(lifetime) = self.lifetime_ecalls {
+            pairs.push(("lifetime_ecalls", lifetime));
+        }
+        pairs
     }
 }
 
@@ -379,21 +403,25 @@ impl PartitionedRouter {
                 SliceStats {
                     slice,
                     subscriptions: index.len(),
+                    edge_subscriptions: engine.engine().edge_subscriptions(),
                     nodes: index.node_count(),
                     index_bytes: index.logical_bytes(),
                     mem: engine.stats(),
-                    lifetime_ecalls: engine.enclave().map(|e| e.ecall_count()).unwrap_or_default(),
+                    lifetime_ecalls: engine.enclave().map(sgx_sim::Enclave::ecall_count),
                 }
             })
             .collect()
     }
 
-    /// Occupancy skew: the fullest slice's subscription count over the
-    /// mean (1.0 = perfectly balanced; grows as unregistrations cluster).
-    /// Returns 1.0 for an empty router.
+    /// Occupancy skew: the fullest slice's *edge-client* subscription
+    /// count over the mean (1.0 = perfectly balanced; grows as
+    /// unregistrations cluster). Link-interface copies are excluded —
+    /// they are pinned to the broker that owns the link, so counting
+    /// them would report permanent skew on high-degree brokers. Returns
+    /// 1.0 for an empty router.
     pub fn occupancy_skew(&self) -> f64 {
         let counts: Vec<usize> =
-            self.workers.iter().map(|w| w.engine.lock().engine().index().len()).collect();
+            self.workers.iter().map(|w| w.engine.lock().engine().edge_subscriptions()).collect();
         let total: usize = counts.iter().sum();
         if total == 0 {
             return 1.0;
@@ -556,8 +584,13 @@ mod tests {
         assert_eq!(stats.len(), 4);
         for s in &stats {
             assert_eq!(s.subscriptions, 100, "round-robin balances slices");
+            assert_eq!(s.edge_subscriptions, 100, "plain registrations are all edge load");
             assert!(s.index_bytes > 0);
-            assert!(s.lifetime_ecalls >= 100, "one crossing per registration");
+            let lifetime = s.lifetime_ecalls.expect("enclave-hosted slices report a gate");
+            assert!(lifetime >= 100, "one crossing per registration");
+            let snap = s.snapshot();
+            assert!(snap.contains(&("gated", 1)));
+            assert!(snap.iter().any(|(name, _)| *name == "lifetime_ecalls"));
         }
         assert!((router.occupancy_skew() - 1.0).abs() < 1e-9);
 
@@ -566,6 +599,24 @@ mod tests {
             router.unregister(SubscriptionId(i));
         }
         assert!(router.occupancy_skew() > 1.1, "skew detected after churn");
+    }
+
+    #[test]
+    fn gateless_slice_omits_the_lifetime_counter() {
+        // Regression: a gateless slice used to export `lifetime_ecalls: 0`
+        // via `unwrap_or_default`, indistinguishable from an idle enclave.
+        let stats = SliceStats {
+            slice: 0,
+            subscriptions: 3,
+            edge_subscriptions: 3,
+            nodes: 1,
+            index_bytes: 64,
+            mem: MemStats::default(),
+            lifetime_ecalls: None,
+        };
+        let snap = stats.snapshot();
+        assert!(snap.contains(&("gated", 0)));
+        assert!(snap.iter().all(|(name, _)| *name != "lifetime_ecalls"));
     }
 
     #[test]

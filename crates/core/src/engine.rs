@@ -97,6 +97,24 @@ impl BatchMatches {
     pub fn total_clients(&self) -> usize {
         self.clients.len()
     }
+
+    /// Commits one header's merged client span: `clients` is sorted and
+    /// deduplicated in place, appended to the shared buffer, and recorded
+    /// as the next header's outcome. This is how a partitioned matcher
+    /// folds several slices' results for one header into the same flat
+    /// shape a single engine produces.
+    pub fn push_span(&mut self, clients: &mut Vec<ClientId>) {
+        clients.sort_unstable_by_key(|c| c.0);
+        clients.dedup();
+        let start = self.clients.len() as u32;
+        self.clients.extend_from_slice(clients);
+        self.spans.push(Ok((start, self.clients.len() as u32)));
+    }
+
+    /// Records the next header's outcome as a failure (no clients).
+    pub fn push_error(&mut self, error: ScbrError) {
+        self.spans.push(Err(error));
+    }
 }
 
 /// The trusted matching core (runs inside the enclave when placed there).
@@ -258,18 +276,7 @@ impl MatchingEngine {
         envelope: &[u8],
         deliver_to: Option<ClientId>,
     ) -> Result<(SubscriptionId, crate::subscription::CompiledSubscription), ScbrError> {
-        let sk = self.sk.as_ref().ok_or(ScbrError::MissingKeys { which: "SK" })?;
-        let producer = self
-            .producer_key
-            .as_ref()
-            .ok_or(ScbrError::MissingKeys { which: "producer signature key" })?;
-        let mut r = codec::Reader::new(envelope);
-        let body_ct = r.bytes()?;
-        let signature = r.bytes()?;
-        producer.verify(&body_ct, &signature)?;
-        self.mem.charge_message_parse();
-        self.mem.charge_crypto_op(body_ct.len() as u64);
-        let body = AesCtr::decrypt_with_nonce(sk, &body_ct)?;
+        let body = self.open_envelope(envelope)?;
         let (spec, id, client) = codec::decode_registration(&body)?;
         let compiled = spec.compile(&self.schema)?;
         self.retain_body(id, deliver_to, body);
@@ -304,6 +311,49 @@ impl MatchingEngine {
         &mut self,
         envelope: &[u8],
     ) -> Result<(SubscriptionId, ClientId, bool), ScbrError> {
+        let body = self.open_envelope(envelope)?;
+        let (id, client) = codec::decode_unregistration(&body)?;
+        let existed = self.unregister(id);
+        Ok((id, client, existed))
+    }
+
+    /// Verifies, decrypts and decodes a registration envelope *without*
+    /// registering anything, returning the subscription id and the edge
+    /// client embedded in it. A partitioned matcher must learn the id
+    /// before it can pick (or look up) the owning slice; the owning
+    /// slice's engine then does the real registration.
+    ///
+    /// # Errors
+    ///
+    /// Signature or decryption failures, malformed bodies, or missing keys.
+    pub fn peek_registration(
+        &self,
+        envelope: &[u8],
+    ) -> Result<(SubscriptionId, ClientId), ScbrError> {
+        let body = self.open_envelope(envelope)?;
+        let (_, id, client) = codec::decode_registration(&body)?;
+        Ok((id, client))
+    }
+
+    /// Verifies, decrypts and decodes an unregistration envelope without
+    /// removing anything — the placement lookup of a partitioned matcher
+    /// (see [`MatchingEngine::peek_registration`]).
+    ///
+    /// # Errors
+    ///
+    /// Signature or decryption failures, malformed bodies, or missing keys.
+    pub fn peek_unregistration(
+        &self,
+        envelope: &[u8],
+    ) -> Result<(SubscriptionId, ClientId), ScbrError> {
+        let body = self.open_envelope(envelope)?;
+        let (id, client) = codec::decode_unregistration(&body)?;
+        Ok((id, client))
+    }
+
+    /// Shared envelope authentication: verify the producer signature,
+    /// charge the parse/crypto work, and decrypt the body.
+    fn open_envelope(&self, envelope: &[u8]) -> Result<Vec<u8>, ScbrError> {
         let sk = self.sk.as_ref().ok_or(ScbrError::MissingKeys { which: "SK" })?;
         let producer = self
             .producer_key
@@ -315,10 +365,7 @@ impl MatchingEngine {
         producer.verify(&body_ct, &signature)?;
         self.mem.charge_message_parse();
         self.mem.charge_crypto_op(body_ct.len() as u64);
-        let body = AesCtr::decrypt_with_nonce(sk, &body_ct)?;
-        let (id, client) = codec::decode_unregistration(&body)?;
-        let existed = self.unregister(id);
-        Ok((id, client, existed))
+        Ok(AesCtr::decrypt_with_nonce(sk, &body_ct)?)
     }
 
     /// Matches a batch of encrypted headers in one call — the paper's
@@ -535,6 +582,24 @@ impl MatchingEngine {
         self.match_decrypt_append(header_ct, &mut scratch, out)
     }
 
+    /// Like [`MatchingEngine::match_encrypted_into`], but *appends* the
+    /// header's sorted, deduplicated clients without clearing `out` — the
+    /// fan-out primitive of a partitioned matcher: every slice appends its
+    /// matches for one header into a shared buffer and the caller merges
+    /// the combined span. Nothing is appended on error.
+    ///
+    /// # Errors
+    ///
+    /// Decryption or decoding failures, or missing keys.
+    pub fn match_encrypted_append(
+        &self,
+        header_ct: &[u8],
+        out: &mut Vec<ClientId>,
+    ) -> Result<(), ScbrError> {
+        let mut scratch = self.scratch.lock();
+        self.match_decrypt_append(header_ct, &mut scratch, out)
+    }
+
     /// Matches a batch of encrypted headers into a reusable flat
     /// [`BatchMatches`] — the zero-allocation spine of
     /// [`RouterEngine::match_batch_into`]. Each header's outcome is
@@ -551,6 +616,30 @@ impl MatchingEngine {
                 .match_decrypt_append(ct, scratch, &mut out.clients)
                 .map(|()| (start, out.clients.len() as u32));
             out.spans.push(span);
+        }
+    }
+
+    /// Live subscriptions whose delivery identity is a real edge client —
+    /// link-interface copies ([`ClientId::is_interface`]) excluded. This
+    /// is the occupancy figure load balancing must read: interface copies
+    /// are pinned to whichever broker owns the link, so counting them
+    /// makes a high-degree broker look permanently skewed.
+    pub fn edge_subscriptions(&self) -> usize {
+        self.registered
+            .iter()
+            .filter(|(_, deliver_to, _)| deliver_to.is_none_or(|c| !c.is_interface()))
+            .count()
+    }
+
+    /// The delivery identity subscription `id` is currently indexed
+    /// under, if live (the envelope's embedded edge client unless an
+    /// override was recorded at registration).
+    pub fn delivery_identity(&self, id: SubscriptionId) -> Option<ClientId> {
+        let &pos = self.registered_pos.get(&id)?;
+        let (_, deliver_to, body) = &self.registered[pos];
+        match deliver_to {
+            Some(client) => Some(*client),
+            None => codec::decode_registration(body).ok().map(|(_, _, client)| client),
         }
     }
 
@@ -1183,6 +1272,77 @@ mod tests {
                 assert_eq!(out.get(i).unwrap(), engine.match_encrypted(ct).unwrap().as_slice());
             }
         }
+    }
+
+    #[test]
+    fn peeks_authenticate_without_mutating() {
+        let mut rng = CryptoRng::from_seed(46);
+        let producer = producer(&mut rng);
+        let rogue = ProducerCrypto::generate(512, &mut rng).unwrap();
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
+        let spec = SubscriptionSpec::new().eq("s", "X");
+        let envelope =
+            producer.seal_registration(&spec, SubscriptionId(5), ClientId(6), &mut rng).unwrap();
+        assert_eq!(engine.peek_registration(&envelope).unwrap(), (SubscriptionId(5), ClientId(6)));
+        assert_eq!(engine.index().len(), 0, "a peek registers nothing");
+        let unreg = producer.seal_unregistration(SubscriptionId(5), ClientId(6), &mut rng).unwrap();
+        assert_eq!(engine.peek_unregistration(&unreg).unwrap(), (SubscriptionId(5), ClientId(6)));
+        // The peeks enforce the same authentication as registration.
+        let forged = rogue.seal_registration(&spec, SubscriptionId(5), ClientId(6), &mut rng);
+        assert!(engine.peek_registration(&forged.unwrap()).is_err());
+        // Envelope kinds are not interchangeable.
+        assert!(engine.peek_registration(&unreg).is_err());
+        assert!(engine.peek_unregistration(&envelope).is_err());
+    }
+
+    #[test]
+    fn edge_subscriptions_excludes_interface_copies() {
+        let mut rng = CryptoRng::from_seed(47);
+        let producer = producer(&mut rng);
+        let mem = MemorySim::native(sgx_sim::CacheConfig::default(), sgx_sim::CostModel::free());
+        let mut engine = MatchingEngine::new(&mem, IndexKind::Poset);
+        engine.provision_keys(producer.sk().clone(), producer.public_key().clone());
+        let edge = producer
+            .seal_registration(
+                &SubscriptionSpec::new().eq("s", "E"),
+                SubscriptionId(1),
+                ClientId(7),
+                &mut rng,
+            )
+            .unwrap();
+        let learnt = producer
+            .seal_registration(
+                &SubscriptionSpec::new().eq("s", "L"),
+                SubscriptionId(2),
+                ClientId(8),
+                &mut rng,
+            )
+            .unwrap();
+        let interface = ClientId(ClientId::INTERFACE_BIT | 3);
+        engine.register_envelope(&edge).unwrap();
+        engine.register_envelope_as(&learnt, Some(interface)).unwrap();
+        assert_eq!(engine.index().len(), 2);
+        assert_eq!(engine.edge_subscriptions(), 1, "the interface copy is not edge load");
+        assert_eq!(engine.delivery_identity(SubscriptionId(1)), Some(ClientId(7)));
+        assert_eq!(engine.delivery_identity(SubscriptionId(2)), Some(interface));
+        assert_eq!(engine.delivery_identity(SubscriptionId(9)), None);
+    }
+
+    #[test]
+    fn push_span_merges_like_a_single_engine() {
+        let mut out = BatchMatches::new();
+        let mut merged = vec![ClientId(4), ClientId(1), ClientId(4), ClientId(2)];
+        out.push_span(&mut merged);
+        out.push_error(ScbrError::NotFound { what: "header" });
+        let mut empty = Vec::new();
+        out.push_span(&mut empty);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.get(0).unwrap(), &[ClientId(1), ClientId(2), ClientId(4)]);
+        assert!(out.get(1).is_err());
+        assert!(out.get(2).unwrap().is_empty());
+        assert_eq!(out.total_clients(), 3);
     }
 
     #[test]

@@ -6,6 +6,20 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClientId(pub u64);
 
+impl ClientId {
+    /// Top bit reserved for synthetic delivery identities that stand for
+    /// an overlay link rather than an edge client. Real client ids never
+    /// carry it; occupancy accounting uses it to tell edge load apart
+    /// from link-interface copies.
+    pub const INTERFACE_BIT: u64 = 1 << 63;
+
+    /// True when this id is a synthetic link-interface identity rather
+    /// than a real edge client.
+    pub fn is_interface(self) -> bool {
+        self.0 & Self::INTERFACE_BIT != 0
+    }
+}
+
 impl fmt::Display for ClientId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "client#{}", self.0)
@@ -54,5 +68,11 @@ mod tests {
     #[test]
     fn epoch_next() {
         assert_eq!(KeyEpoch::default().next(), KeyEpoch(1));
+    }
+
+    #[test]
+    fn interface_bit_tags_link_identities() {
+        assert!(!ClientId(3).is_interface());
+        assert!(ClientId(ClientId::INTERFACE_BIT | 7).is_interface());
     }
 }

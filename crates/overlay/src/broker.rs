@@ -27,13 +27,16 @@
 //! the live-subscription set, the covering tables, the link keys and
 //! any half-open handshakes. What survives is the host's disk: a
 //! [`sgx_sim::seal::VersionedSeal`]'d **recovery record** the enclave
-//! re-seals after every subscription mutation, containing the engine
-//! snapshot (with per-subscription *delivery identities*, so link
-//! interfaces are restored as interfaces, not edge clients), the live
-//! envelope set with origins, and every per-link
-//! [`ForwardingTable`] (rows + churn counters). The seal is keyed to a
-//! platform monotonic counter: a host replaying a stale record is
-//! detected and the broker **refuses to rejoin**.
+//! re-seals at the end of any [`Broker::step`] that mutated
+//! subscription state (one seal per step, however many mutations the
+//! step carried), containing per matcher slice the engine snapshot
+//! (with per-subscription *delivery identities*, so link interfaces are
+//! restored as interfaces, not edge clients), the live envelope set
+//! with origins, and every per-link [`ForwardingTable`] (rows + churn
+//! counters). Single-slice brokers keep writing the original
+//! (pre-partition) record layout, and both layouts restore. The seal is
+//! keyed to a platform monotonic counter: a host replaying a stale
+//! record is detected and the broker **refuses to rejoin**.
 //!
 //! On [`Input::Restart`] the broker relaunches its enclave, unseals and
 //! restores, then — in `Rejoining` — re-runs the attested link
@@ -66,11 +69,24 @@
 //! the outgoing link set in the same enclave crossing. Per-hop batches go
 //! through the gate in [`MAX_DRAIN`]-bounded chunks, mirroring the
 //! single-router event loop.
+//!
+//! ## Partitioned matching
+//!
+//! With [`Broker::set_partition`] the core's matcher is sharded into N
+//! [`PartitionedMatcher`] slices: subscriptions hash-placed per slice,
+//! every publication fanned across all slices *inside the same single
+//! crossing* and merged, and a serving-tick control loop that watches
+//! the edge-occupancy skew and migrates subscriptions from the fullest
+//! slice to the emptiest, make-before-break, once the skew exceeds
+//! [`PartitionConfig::skew_threshold`]. The sealed record stores the
+//! per-slice assignment, so a crash/rejoin restores the sharding
+//! exactly — mid-migration included.
 
 use crate::error::OverlayError;
 use crate::forwarding::ForwardingTable;
+use crate::partition::{PartitionConfig, PartitionedMatcher, RebalanceReport};
+use scbr::cluster::SliceStats;
 use scbr::codec;
-use scbr::engine::MatchingEngine;
 use scbr::ids::{ClientId, SubscriptionId};
 use scbr::index::IndexKind;
 use scbr::protocol::keys::{provision_sk_via_attestation, ProducerCrypto};
@@ -99,6 +115,12 @@ pub const LINK_INTERFACE_BIT: u64 = 1 << 63;
 pub fn link_interface(neighbor: usize) -> ClientId {
     ClientId(LINK_INTERFACE_BIT | neighbor as u64)
 }
+
+/// Version byte of the partitioned recovery-record layout. The layout is
+/// announced by a `u32::MAX` magic where the legacy record stores its
+/// engine-snapshot byte length (which can never be `u32::MAX`), so
+/// pre-partition records parse unambiguously.
+const RECORD_VERSION: u8 = 1;
 
 /// Timer-driven liveness configuration, in tick units. Host-side
 /// configuration: survives crashes, like the trust anchors.
@@ -427,7 +449,7 @@ struct RemoveOutcome {
 
 /// The enclave-resident routing state.
 struct BrokerCore {
-    engine: MatchingEngine,
+    matcher: PartitionedMatcher,
     /// Per neighbour (ascending), the covering table of subscriptions
     /// forwarded on that link.
     upstream: Vec<(usize, ForwardingTable)>,
@@ -451,9 +473,15 @@ struct BrokerCore {
 }
 
 impl BrokerCore {
-    fn fresh(mem: &MemorySim, kind: IndexKind, flood: bool, neighbors: &[usize]) -> Self {
+    fn fresh(
+        mem: &MemorySim,
+        kind: IndexKind,
+        flood: bool,
+        neighbors: &[usize],
+        slices: usize,
+    ) -> Self {
         BrokerCore {
-            engine: MatchingEngine::new(mem, kind),
+            matcher: PartitionedMatcher::new(mem, kind, slices),
             upstream: neighbors.iter().map(|&n| (n, ForwardingTable::new())).collect(),
             live: BTreeMap::new(),
             flood,
@@ -478,7 +506,7 @@ impl BrokerCore {
             Origin::Local => None,
             Origin::Link(l) => Some(link_interface(l)),
         };
-        let (id, compiled) = self.engine.register_envelope_as(envelope, deliver_to)?;
+        let (id, compiled) = self.matcher.register_envelope_as(envelope, deliver_to)?;
         let already_counted = replay && self.live.contains_key(&id);
         let flood = self.flood;
         let mut forward_to = Vec::new();
@@ -518,7 +546,7 @@ impl BrokerCore {
 
     /// Processes an authenticated unregistration envelope.
     fn remove(&mut self, envelope: &[u8], origin: Origin) -> Result<RemoveOutcome, ScbrError> {
-        let (id, _client, existed) = self.engine.unregister_envelope(envelope)?;
+        let (id, _client, existed) = self.matcher.unregister_envelope(envelope)?;
         if !existed {
             return Ok(RemoveOutcome { id, removed: false, links: Vec::new() });
         }
@@ -529,7 +557,7 @@ impl BrokerCore {
     /// link authentication of the attested peer stands in for the
     /// producer signature, which may have been lost with the outage).
     fn remove_by_id(&mut self, id: SubscriptionId, origin: Origin) -> RemoveOutcome {
-        if !self.engine.unregister(id) {
+        if !self.matcher.unregister(id) {
             return RemoveOutcome { id, removed: false, links: Vec::new() };
         }
         self.uncover_after_removal(id, origin)
@@ -603,7 +631,7 @@ impl BrokerCore {
         headers
             .iter()
             .map(|ct| {
-                self.engine.match_encrypted_into(ct, &mut matched)?;
+                self.matcher.match_into(ct, &mut matched)?;
                 let mut decision = RouteDecision::default();
                 for client in matched.iter() {
                     if client.0 & LINK_INTERFACE_BIT == 0 {
@@ -633,13 +661,25 @@ impl BrokerCore {
             .collect()
     }
 
-    /// Serialises the full recovery record: engine snapshot (bodies +
-    /// delivery identities), the live envelope set with origins, and
-    /// every per-link covering table (rows + counters). Runs inside the
-    /// enclave; the result is only ever persisted sealed.
+    /// Serialises the full recovery record: per matcher slice the engine
+    /// snapshot (bodies + delivery identities — the slice sections *are*
+    /// the sealed per-slice assignment), the live envelope set with
+    /// origins, and every per-link covering table (rows + counters).
+    /// Single-slice brokers write the original pre-partition layout
+    /// byte-for-byte, so their records stay restorable by older builds.
+    /// Runs inside the enclave; the result is only ever persisted
+    /// sealed.
     fn serialize_record(&self) -> Vec<u8> {
         let mut w = codec::Writer::new();
-        w.bytes(&self.engine.snapshot());
+        let snapshots = self.matcher.snapshot_slices();
+        if snapshots.len() == 1 {
+            w.bytes(&snapshots[0]);
+        } else {
+            w.u32(u32::MAX).u8(RECORD_VERSION).u32(snapshots.len() as u32);
+            for snapshot in &snapshots {
+                w.bytes(snapshot);
+            }
+        }
         w.u32(self.live.len() as u32);
         for (id, sub) in &self.live {
             w.u64(id.0);
@@ -668,21 +708,43 @@ impl BrokerCore {
     }
 
     /// Rebuilds a core from a recovery record (or fresh when the host has
-    /// no record — a disk-loss restart).
+    /// no record — a disk-loss restart). A versioned record restores the
+    /// sealed per-slice assignment exactly — the recorded slice count
+    /// wins over `slices`, so a config change takes effect through the
+    /// rebalancer, never by scrambling a restore. A legacy
+    /// (pre-partition) record restores wholesale into slice 0 of the
+    /// configured partition; the rebalancer re-spreads it.
     fn restore(
         record: Option<&[u8]>,
         mem: &MemorySim,
         kind: IndexKind,
         flood: bool,
         neighbors: &[usize],
+        slices: usize,
     ) -> Result<Self, ScbrError> {
-        let mut core = BrokerCore::fresh(mem, kind, flood, neighbors);
+        let mut core = BrokerCore::fresh(mem, kind, flood, neighbors, slices);
         let Some(bytes) = record else {
             return Ok(core);
         };
         let mut r = codec::Reader::new(bytes);
-        let snapshot = r.bytes()?;
-        core.engine.restore(&snapshot)?;
+        if r.u32()? == u32::MAX {
+            if r.u8()? != RECORD_VERSION {
+                return Err(ScbrError::Codec { context: "recovery record version" });
+            }
+            let n_slices = r.u32()? as usize;
+            if n_slices == 0 {
+                return Err(ScbrError::Codec { context: "recovery slice count" });
+            }
+            core.matcher = PartitionedMatcher::new(mem, kind, n_slices);
+            for slice in 0..n_slices {
+                let snapshot = r.bytes()?;
+                core.matcher.restore_slice(slice, &snapshot)?;
+            }
+        } else {
+            r = codec::Reader::new(bytes);
+            let snapshot = r.bytes()?;
+            core.matcher.restore_slice(0, &snapshot)?;
+        }
         let n_live = r.u32()?;
         for _ in 0..n_live {
             let id = SubscriptionId(r.u64()?);
@@ -692,7 +754,7 @@ impl BrokerCore {
                 _ => return Err(ScbrError::Codec { context: "recovery origin tag" }),
             };
             let envelope = r.bytes()?;
-            let Some((_, compiled)) = core.engine.compiled_of(id)? else {
+            let Some((_, compiled)) = core.matcher.compiled_of(id)? else {
                 return Err(ScbrError::Codec { context: "recovery live set" });
             };
             core.live.insert(id, LiveSub { origin, compiled, envelope });
@@ -720,6 +782,48 @@ impl BrokerCore {
             return Err(ScbrError::Codec { context: "recovery trailing bytes" });
         }
         Ok(core)
+    }
+
+    /// One closed-loop rebalancing run: while the edge-occupancy skew
+    /// exceeds `threshold`, migrate up to `batch` edge subscriptions per
+    /// pass from the fullest slice to the emptiest (make-before-break —
+    /// see [`PartitionedMatcher::migrate`]; link-interface copies never
+    /// move). Each pass moves at most half the fullest↔emptiest gap, so
+    /// every pass strictly narrows it and the loop terminates.
+    fn rebalance(&mut self, threshold: f64, batch: usize) -> Result<RebalanceReport, ScbrError> {
+        let skew_before = self.matcher.occupancy_skew();
+        let mut migrated = 0usize;
+        let mut passes = 0usize;
+        if self.matcher.slice_count() > 1 {
+            while self.matcher.occupancy_skew() > threshold {
+                let (fullest, emptiest) = self.matcher.extremes();
+                let counts = self.matcher.edge_counts();
+                if counts[fullest] <= counts[emptiest] + 1 {
+                    break; // as level as migration can make it
+                }
+                let headroom = (counts[fullest] - counts[emptiest]) / 2;
+                let candidates = self.matcher.edge_ids_on(fullest, batch.min(headroom).max(1));
+                if candidates.is_empty() {
+                    break; // remaining load is pinned interface copies
+                }
+                for id in candidates {
+                    let Some(sub) = self.live.get(&id) else {
+                        continue;
+                    };
+                    let envelope = sub.envelope.clone();
+                    if self.matcher.migrate(id, &envelope, emptiest)? {
+                        migrated += 1;
+                    }
+                }
+                passes += 1;
+            }
+        }
+        Ok(RebalanceReport {
+            migrated,
+            passes,
+            skew_before,
+            skew_after: self.matcher.occupancy_skew(),
+        })
     }
 }
 
@@ -792,6 +896,13 @@ pub struct BrokerStats {
     /// Heartbeat frames emitted (cumulative; zero with heartbeats
     /// disabled).
     pub heartbeats: u64,
+    /// Recovery-record seals performed (cumulative). At most one per
+    /// [`Broker::step`], however many mutations the step carried.
+    pub seals: u64,
+    /// Seals the per-step coalescing avoided (cumulative): mutations
+    /// that found the record already marked dirty in the same step and
+    /// would each have paid a seal ECALL before coalescing.
+    pub seals_saved: u64,
 }
 
 impl BrokerStats {
@@ -810,6 +921,8 @@ impl BrokerStats {
             ("uncovered", self.uncovered),
             ("gaps", self.gaps),
             ("heartbeats", self.heartbeats),
+            ("seals", self.seals),
+            ("seals_saved", self.seals_saved),
         ]
     }
 }
@@ -898,6 +1011,17 @@ pub struct Broker {
     /// rebuilt core on restart. Off by default — the uninstrumented hot
     /// path stays byte-for-byte identical.
     telemetry: bool,
+    /// Matcher partitioning + rebalancing thresholds. Host
+    /// configuration: survives crashes (the *assignment* is what the
+    /// sealed record restores).
+    partition: PartitionConfig,
+    /// Subscription state mutated during the current `step`; flushed to
+    /// (at most) one [`Broker::checkpoint`] on the way out.
+    dirty: bool,
+    /// Recovery-record seals performed (cumulative).
+    seals: u64,
+    /// Seals avoided by per-step coalescing (cumulative).
+    seals_saved: u64,
     rng: CryptoRng,
 }
 
@@ -908,7 +1032,7 @@ impl std::fmt::Debug for Broker {
             .field("state", &self.state)
             .field("attested", &self.enclave.is_some())
             .field("links", &self.links.len())
-            .field("subscriptions", &self.core.engine.index().len())
+            .field("subscriptions", &self.core.matcher.subscriptions())
             .finish()
     }
 }
@@ -931,7 +1055,7 @@ impl Broker {
         let platform = SgxPlatform::for_testing(seed);
         let enclave = platform.launch(router_builder(code))?;
         let counter = platform.create_counter();
-        let core = BrokerCore::fresh(enclave.memory(), kind, flood, &[]);
+        let core = BrokerCore::fresh(enclave.memory(), kind, flood, &[], 1);
         Ok(Broker {
             id,
             state: Lifecycle::Cold,
@@ -970,6 +1094,10 @@ impl Broker {
             requested_at: BTreeMap::new(),
             heartbeats_sent: 0,
             telemetry: false,
+            partition: PartitionConfig::default(),
+            dirty: false,
+            seals: 0,
+            seals_saved: 0,
             rng: CryptoRng::from_seed(seed ^ 0x6c69_6e6b),
         })
     }
@@ -988,7 +1116,7 @@ impl Broker {
             code: Vec::new(),
             kind,
             flood,
-            core: BrokerCore::fresh(&mem, kind, flood, &[]),
+            core: BrokerCore::fresh(&mem, kind, flood, &[], 1),
             links: BTreeMap::new(),
             neighbors: Vec::new(),
             initiations: BTreeMap::new(),
@@ -1018,6 +1146,10 @@ impl Broker {
             requested_at: BTreeMap::new(),
             heartbeats_sent: 0,
             telemetry: false,
+            partition: PartitionConfig::default(),
+            dirty: false,
+            seals: 0,
+            seals_saved: 0,
             rng: CryptoRng::from_seed(seed ^ 0x6c69_6e6b),
         }
     }
@@ -1072,7 +1204,7 @@ impl Broker {
     /// A pure f64 read — charges nothing, so instrumented and
     /// uninstrumented runs observe identical cost models.
     fn mem_elapsed_ns(&self) -> f64 {
-        self.core.engine.memory().elapsed_ns()
+        self.core.matcher.memory().elapsed_ns()
     }
 
     /// Declares the broker's neighbour set, creating one (empty) covering
@@ -1080,6 +1212,27 @@ impl Broker {
     pub fn set_neighbors(&mut self, neighbors: &[usize]) {
         self.neighbors = neighbors.to_vec();
         self.core.upstream = neighbors.iter().map(|&n| (n, ForwardingTable::new())).collect();
+    }
+
+    /// Configures matcher partitioning (host configuration: survives
+    /// crashes, like the trust anchors — what the sealed record restores
+    /// is the *assignment*). Call once, before provisioning: the matcher
+    /// is rebuilt empty with the new slice count, dropping any
+    /// registered state and keys.
+    pub fn set_partition(&mut self, config: PartitionConfig) {
+        self.partition = PartitionConfig {
+            slices: config.slices.max(1),
+            skew_threshold: config.skew_threshold.max(1.0),
+            migration_batch: config.migration_batch.max(1),
+        };
+        let mem = self.core.matcher.memory().clone();
+        self.core.matcher = PartitionedMatcher::new(&mem, self.kind, self.partition.slices);
+        self.core.matcher.set_telemetry(self.telemetry);
+    }
+
+    /// The configured matcher partitioning.
+    pub fn partition_config(&self) -> PartitionConfig {
+        self.partition
     }
 
     /// Installs the trust anchors (attestation service + verifier
@@ -1096,7 +1249,7 @@ impl Broker {
     pub fn provision_preshared(&mut self, producer: &ProducerCrypto) {
         let sk = producer.sk().clone();
         let pk = producer.public_key().clone();
-        self.call(|c| c.engine.provision_keys(sk, pk));
+        self.call(|c| c.matcher.provision_keys(sk, pk));
         if self.state == Lifecycle::Cold {
             self.state = Lifecycle::Serving;
         }
@@ -1138,7 +1291,7 @@ impl Broker {
             &mut self.rng,
             producer_rng,
         )?;
-        self.call(|c| c.engine.provision_keys(sk, pk));
+        self.call(|c| c.matcher.provision_keys(sk, pk));
         if self.state == Lifecycle::Attesting {
             self.state =
                 if self.neighbors.is_empty() { Lifecycle::Serving } else { Lifecycle::Linking };
@@ -1218,7 +1371,7 @@ impl Broker {
     /// sealing failures propagate with their own kinds.
     pub fn step(&mut self, now: u64, input: Input) -> Result<Vec<Output>, OverlayError> {
         self.now = now;
-        match input {
+        let outs = match input {
             Input::Crash => self.on_crash(),
             Input::Restart { dead_links } => self.on_restart(&dead_links),
             Input::Tick => self.on_tick(),
@@ -1226,7 +1379,43 @@ impl Broker {
             Input::Subscribe { envelope } => self.on_subscribe(&envelope),
             Input::Unsubscribe { envelope } => self.on_unsubscribe(&envelope),
             Input::Publish { items, trace } => self.on_publish(&items, trace),
+        }?;
+        self.flush_checkpoint()?;
+        Ok(outs)
+    }
+
+    /// Marks the recovery record stale. Every subscription-state
+    /// mutation calls this instead of sealing on the spot; the flag is
+    /// flushed to at most **one** [`Broker::checkpoint`] at the end of
+    /// the step, so an N-mutation step (a replayed-link reconciliation,
+    /// a rebalancing pass) pays one seal ECALL instead of N.
+    fn mark_dirty(&mut self) {
+        if self.dirty {
+            self.seals_saved += 1;
+        } else {
+            self.dirty = true;
         }
+    }
+
+    /// [`Broker::mark_dirty`], suppressed while rejoining: the replay
+    /// burst arrives as one frame per step, and one mark at the end of
+    /// each link's replay ([`Broker::reconcile_replay`]) covers it —
+    /// re-sealing per replayed envelope would make recovery quadratic in
+    /// the live set.
+    fn mark_dirty_if_serving(&mut self) {
+        if self.state == Lifecycle::Serving {
+            self.mark_dirty();
+        }
+    }
+
+    /// Seals the recovery record if this step mutated subscription
+    /// state.
+    fn flush_checkpoint(&mut self) -> Result<(), OverlayError> {
+        if !self.dirty {
+            return Ok(());
+        }
+        self.dirty = false;
+        self.checkpoint()
     }
 
     fn require_serving(&self, what: &'static str) -> Result<(), OverlayError> {
@@ -1255,11 +1444,15 @@ impl Broker {
         }
         self.enclave = None;
         let mem = MemorySim::native(CacheConfig::default(), CostModel::free());
-        self.core = BrokerCore::fresh(&mem, self.kind, self.flood, &self.neighbors);
+        self.core =
+            BrokerCore::fresh(&mem, self.kind, self.flood, &self.neighbors, self.partition.slices);
         // Telemetry is host configuration: the flag survives the crash,
         // but the flight recorder and stage histograms (volatile, never
         // sealed) restart empty with the rebuilt core.
-        self.core.engine.set_telemetry(self.telemetry);
+        self.core.matcher.set_telemetry(self.telemetry);
+        // Whatever was marked dirty this step died with the enclave; the
+        // last *flushed* record on the host disk is the recovery truth.
+        self.dirty = false;
         self.links.clear();
         self.initiations.clear();
         self.responses.clear();
@@ -1309,6 +1502,7 @@ impl Broker {
                 self.kind,
                 self.flood,
                 &self.neighbors,
+                self.partition.slices,
             )?;
             self.enclave = Some(enclave);
             self.core = core;
@@ -1320,9 +1514,11 @@ impl Broker {
                 self.kind,
                 self.flood,
                 &self.neighbors,
+                self.partition.slices,
             )?;
         }
-        self.core.engine.set_telemetry(self.telemetry);
+        self.core.matcher.set_telemetry(self.telemetry);
+        self.dirty = false;
         let restored = self.core.live.len();
         self.replayed_subs = 0;
         self.dropped_stale = 0;
@@ -1365,8 +1561,33 @@ impl Broker {
                 outs.extend(self.tick_replay_kickoff()?);
                 Ok(outs)
             }
-            Lifecycle::Serving => self.tick_serving(),
+            Lifecycle::Serving => {
+                self.maybe_rebalance()?;
+                self.tick_serving()
+            }
         }
+    }
+
+    /// Serving-tick arm of the rebalancing loop: on a partitioned
+    /// matcher, run one [`BrokerCore::rebalance`] inside a single
+    /// crossing — a no-op returning immediately while the skew is at or
+    /// under [`PartitionConfig::skew_threshold`]. Anything migrated
+    /// marks the record dirty (sealed once at the end of this step).
+    /// Single-slice brokers skip the crossing entirely, keeping the
+    /// legacy tick costs exact.
+    fn maybe_rebalance(&mut self) -> Result<(), OverlayError> {
+        if self.partition.slices <= 1 {
+            return Ok(());
+        }
+        let (threshold, batch) = (self.partition.skew_threshold, self.partition.migration_batch);
+        let report = self.call(|c| c.rebalance(threshold, batch))?;
+        // One mark per migrated subscription: the whole pass coalesces
+        // into one seal, and `seals_saved` records the per-mutation
+        // seals it avoided.
+        for _ in 0..report.migrated {
+            self.mark_dirty();
+        }
+        Ok(())
     }
 
     /// Initiates pending link handshakes: at bring-up the lower id
@@ -1749,12 +1970,10 @@ impl Broker {
                     self.replayed_subs += 1;
                 }
                 let outs = self.forward_frames(&outcome, &envelope)?;
-                // While replaying, one checkpoint at the end of the
-                // link's replay (reconcile_replay) covers the whole
-                // burst — re-sealing per replayed envelope would make
-                // recovery quadratic in the live set.
+                // While replaying, one mark at the end of the link's
+                // replay (reconcile_replay) covers the whole burst.
                 if !replaying {
-                    self.checkpoint_if_serving()?;
+                    self.mark_dirty_if_serving();
                 }
                 Ok(outs)
             }
@@ -1766,7 +1985,7 @@ impl Broker {
                 }
                 let wire = Message::SubRemove { envelope }.to_wire();
                 let outs = self.removal_frames(outcome.links, &wire)?;
-                self.checkpoint_if_serving()?;
+                self.mark_dirty_if_serving();
                 Ok(outs)
             }
             Message::SubDrop { id } => {
@@ -1777,7 +1996,7 @@ impl Broker {
                         let outcome = self.call(|c| c.remove_by_id(id, Origin::Link(from)));
                         let wire = Message::SubDrop { id }.to_wire();
                         let outs = self.removal_frames(outcome.links, &wire)?;
-                        self.checkpoint_if_serving()?;
+                        self.mark_dirty_if_serving();
                         Ok(outs)
                     }
                     Some(_) => Err(OverlayError::Link { reason: "sub-drop from wrong direction" }),
@@ -1875,11 +2094,12 @@ impl Broker {
             let wire = Message::SubDrop { id: *id }.to_wire();
             outs.extend(self.removal_frames(outcome.links, &wire)?);
             self.dropped_stale += 1;
+            self.mark_dirty();
         }
         // One checkpoint per completed link replay: covers the replayed
-        // admissions (whose per-frame checkpoints are suppressed while
-        // replaying) and any stale drops.
-        self.checkpoint()?;
+        // admissions (whose per-frame marks are suppressed while
+        // replaying) and the stale drops marked above.
+        self.mark_dirty();
         self.pending_replays.remove(&from);
         self.requested.remove(&from);
         self.requested_at.remove(&from);
@@ -1910,7 +2130,7 @@ impl Broker {
         self.require_serving("subscription for a broker that is not serving")?;
         let outcome = self.call(|c| c.admit(envelope, Origin::Local, false))?;
         let mut outs = self.forward_frames(&outcome, envelope)?;
-        self.checkpoint()?;
+        self.mark_dirty();
         outs.push(Output::Event(LinkEvent::Subscribed { id: outcome.id }));
         Ok(outs)
     }
@@ -1922,7 +2142,7 @@ impl Broker {
         if outcome.removed {
             let wire = Message::SubRemove { envelope: envelope.to_vec() }.to_wire();
             outs = self.removal_frames(outcome.links, &wire)?;
-            self.checkpoint()?;
+            self.mark_dirty();
         }
         outs.push(Output::Event(LinkEvent::Unsubscribed {
             id: outcome.id,
@@ -2071,22 +2291,15 @@ impl Broker {
         Ok(outs)
     }
 
-    /// [`Broker::checkpoint`], suppressed while rejoining: the replay
-    /// burst is covered by one checkpoint per completed link
-    /// ([`Broker::reconcile_replay`]) instead of one per frame.
-    fn checkpoint_if_serving(&mut self) -> Result<(), OverlayError> {
-        if self.state == Lifecycle::Serving {
-            self.checkpoint()?;
-        }
-        Ok(())
-    }
-
     /// Re-seals the recovery record after a subscription-state mutation:
     /// serialise inside the enclave, seal under the platform key bound
     /// to a fresh monotonic-counter value (so every older record is
     /// rollback-detected), and hand the blob to the host disk. Without a
     /// platform (pre-shared trust) the record is stored unsealed.
+    /// Reached only through [`Broker::flush_checkpoint`] (and the forced
+    /// [`Broker::rebalance_now`]), so each step seals at most once.
     fn checkpoint(&mut self) -> Result<(), OverlayError> {
+        self.seals += 1;
         match (&self.enclave, &self.platform, self.counter) {
             (Some(enclave), Some(platform), Some(counter)) => {
                 let core = &self.core;
@@ -2106,14 +2319,15 @@ impl Broker {
 
     // ---- inspection ----------------------------------------------------
 
-    /// Live subscriptions in the index (edge clients + link interfaces).
+    /// Live subscriptions in the index (edge clients + link interfaces),
+    /// summed over matcher slices.
     pub fn subscriptions(&self) -> usize {
-        self.core.engine.index().len()
+        self.core.matcher.subscriptions()
     }
 
     /// Counters for this broker.
     pub fn stats(&self) -> BrokerStats {
-        let mem = self.core.engine.memory().stats();
+        let mem = self.core.matcher.memory().stats();
         let (mut forwarded, mut pruned) = (0u64, 0u64);
         let (mut forwarded_total, mut removed, mut uncovered) = (0u64, 0u64, 0u64);
         for (_, table) in &self.core.upstream {
@@ -2126,7 +2340,7 @@ impl Broker {
         BrokerStats {
             router: self.id,
             state: self.state,
-            subscriptions: self.core.engine.index().len(),
+            subscriptions: self.core.matcher.subscriptions(),
             ecalls: mem.ecalls,
             ocalls: mem.ocalls,
             elapsed_ns: mem.elapsed_ns,
@@ -2137,7 +2351,59 @@ impl Broker {
             uncovered,
             gaps: self.gaps,
             heartbeats: self.heartbeats_sent,
+            seals: self.seals,
+            seals_saved: self.seals_saved,
         }
+    }
+
+    // ---- partitioning --------------------------------------------------
+
+    /// Matcher slices in this broker (1 = unpartitioned).
+    pub fn slice_count(&self) -> usize {
+        self.core.matcher.slice_count()
+    }
+
+    /// Max-over-mean edge occupancy across matcher slices (1.0 when
+    /// single-slice, balanced or empty). Link-interface copies are
+    /// excluded: they are pinned to the broker that owns the link, so
+    /// counting them would read a high-degree broker as permanently
+    /// skewed and trigger futile rebalancing.
+    pub fn occupancy_skew(&self) -> f64 {
+        self.core.matcher.occupancy_skew()
+    }
+
+    /// Subscriptions migrated between slices over the broker's lifetime
+    /// (volatile — restarts at zero with the rebuilt core).
+    pub fn migrations(&self) -> u64 {
+        self.core.matcher.migrations()
+    }
+
+    /// Per-slice occupancy stats in the cluster schema
+    /// ([`SliceStats`]); `lifetime_ecalls` is `None` — the slices share
+    /// the broker's single call gate, so per-slice crossings are not
+    /// attributable.
+    pub fn slice_stats(&self) -> Vec<SliceStats> {
+        self.core.matcher.slice_stats()
+    }
+
+    /// Forces one synchronous rebalancing run (all passes inside a
+    /// single enclave crossing), sealing the record immediately when
+    /// anything moved. The serving tick runs the same loop
+    /// automatically; this is the operator override.
+    ///
+    /// # Errors
+    ///
+    /// Lifecycle (not serving) or migration failures.
+    pub fn rebalance_now(&mut self) -> Result<RebalanceReport, OverlayError> {
+        self.require_serving("rebalance for a broker that is not serving")?;
+        let (threshold, batch) = (self.partition.skew_threshold, self.partition.migration_batch);
+        let report = self.call(|c| c.rebalance(threshold, batch))?;
+        if report.migrated > 0 {
+            // All migrations share one seal; count the avoided ones.
+            self.seals_saved += report.migrated as u64 - 1;
+            self.checkpoint()?;
+        }
+        Ok(report)
     }
 
     // ---- telemetry -----------------------------------------------------
@@ -2149,7 +2415,7 @@ impl Broker {
     /// byte-for-byte the uninstrumented one.
     pub fn set_telemetry(&mut self, on: bool) {
         self.telemetry = on;
-        self.core.engine.set_telemetry(on);
+        self.core.matcher.set_telemetry(on);
     }
 
     /// Whether hot-path telemetry is enabled.
@@ -2157,11 +2423,12 @@ impl Broker {
         self.telemetry
     }
 
-    /// Per-stage latency summaries: the engine's in-enclave stages
-    /// (decrypt, index match, ASPE gate) followed by the broker shell's
-    /// (seal, hop crossing). Empty with telemetry off.
+    /// Per-stage latency summaries: the in-enclave engine stages
+    /// (decrypt, index match, ASPE gate — per slice, in slice order)
+    /// followed by the broker shell's (seal, hop crossing). Empty with
+    /// telemetry off.
     pub fn stage_summaries(&self) -> Vec<StageSummary> {
-        let mut out = self.core.engine.stage_summaries();
+        let mut out = self.core.matcher.stage_summaries();
         out.extend(self.core.stages.summaries());
         out
     }
@@ -2190,7 +2457,7 @@ impl Broker {
     /// The broker's memory-simulator counters (paging, cache, enclave
     /// transitions).
     pub fn mem_stats(&self) -> MemStats {
-        self.core.engine.memory().stats()
+        self.core.matcher.memory().stats()
     }
 
     /// Per-link forwarding-table counter snapshots, keyed by neighbour
@@ -2213,7 +2480,7 @@ impl Broker {
     /// Cumulative protocol counters (forwarding ledger, gaps) are not
     /// reset.
     pub fn reset_counters(&self) {
-        self.core.engine.memory().reset_counters();
+        self.core.matcher.memory().reset_counters();
     }
 }
 
@@ -2681,5 +2948,205 @@ mod tests {
             broker.step(0, Input::Frame { from: 9, bytes: b"junk".to_vec() }),
             Err(OverlayError::Link { reason: "no link to neighbour" })
         ));
+    }
+
+    /// Runs the same subscribe/publish script against a broker and
+    /// returns the sorted delivered-client multiset per publication
+    /// batch.
+    fn routing_fingerprint(broker: &mut Broker, rng: &mut CryptoRng) -> Vec<Vec<ClientId>> {
+        let producer = producer(rng);
+        broker.provision_preshared(&producer);
+        for i in 0..12u64 {
+            let spec = SubscriptionSpec::new().gt("price", (i % 4) as f64 * 25.0);
+            let envelope = producer
+                .seal_registration(&spec, SubscriptionId(i), ClientId(100 + i), rng)
+                .unwrap();
+            broker.step(i, Input::Subscribe { envelope }).unwrap();
+        }
+        // Retire a few so removals cross slices too.
+        for (t, id) in [3u64, 7, 11].iter().enumerate() {
+            let envelope =
+                producer.seal_unregistration(SubscriptionId(*id), ClientId(100 + id), rng).unwrap();
+            broker.step(20 + t as u64, Input::Unsubscribe { envelope }).unwrap();
+        }
+        let mut fingerprint = Vec::new();
+        for (t, price) in [5.0f64, 30.0, 60.0, 90.0].iter().enumerate() {
+            let items = vec![item(&producer, &PublicationSpec::new().attr("price", *price), rng)];
+            let outs =
+                broker.step(40 + t as u64, Input::Publish { items, trace: TraceId::NONE }).unwrap();
+            let mut clients: Vec<ClientId> = deliveries(&outs).iter().map(|d| d.client).collect();
+            clients.sort_unstable_by_key(|c| c.0);
+            fingerprint.push(clients);
+        }
+        fingerprint
+    }
+
+    #[test]
+    fn partitioned_broker_routes_exactly_like_a_single_slice_broker() {
+        let mut single = Broker::preshared(0, 77, IndexKind::Poset, false);
+        let mut sliced = Broker::preshared(0, 77, IndexKind::Poset, false);
+        sliced.set_partition(PartitionConfig::sliced(4));
+        assert_eq!(single.slice_count(), 1);
+        assert_eq!(sliced.slice_count(), 4);
+
+        // Separate rng streams: ciphertexts differ, routing must not.
+        let mut rng_a = CryptoRng::from_seed(77);
+        let mut rng_b = CryptoRng::from_seed(77);
+        let oracle = routing_fingerprint(&mut single, &mut rng_a);
+        let fanned = routing_fingerprint(&mut sliced, &mut rng_b);
+        assert_eq!(oracle, fanned, "slice fan-out + merge must be invisible to routing");
+        assert_eq!(single.subscriptions(), sliced.subscriptions());
+        assert!(!oracle.iter().all(|c| c.is_empty()), "script must actually deliver");
+        // The hash spread the nine survivors over more than one slice.
+        let occupied = sliced.slice_stats().iter().filter(|s| s.edge_subscriptions > 0).count();
+        assert!(occupied > 1, "expected load on several slices, got {occupied}");
+    }
+
+    #[test]
+    fn partitioned_attested_broker_still_counts_one_crossing_per_batch() {
+        let mut rng = CryptoRng::from_seed(34);
+        let producer = producer(&mut rng);
+        let mut broker = Broker::attested(0, 34, IndexKind::Poset, b"router v1", false).unwrap();
+        broker.set_neighbors(&[]);
+        broker.set_partition(PartitionConfig::sliced(4));
+        broker.provision_preshared(&producer);
+        for i in 0..4u64 {
+            let envelope = producer
+                .seal_registration(
+                    &SubscriptionSpec::new().gt("p", 1.0),
+                    SubscriptionId(i),
+                    ClientId(i),
+                    &mut rng,
+                )
+                .unwrap();
+            broker.step(i, Input::Subscribe { envelope }).unwrap();
+        }
+        broker.reset_counters();
+        let items: Vec<PublishItem> = (0..10)
+            .map(|i| item(&producer, &PublicationSpec::new().attr("p", 2.0 + i as f64), &mut rng))
+            .collect();
+        let outs = broker.step(10, Input::Publish { items, trace: TraceId::NONE }).unwrap();
+        assert_eq!(deliveries(&outs).len(), 40, "each item reaches all four subscribers");
+        assert_eq!(
+            broker.stats().ecalls,
+            1,
+            "fanning a batch across slices must stay one enclave crossing"
+        );
+    }
+
+    #[test]
+    fn legacy_record_restores_into_a_partitioned_broker_and_rebalances() {
+        let mut rng = CryptoRng::from_seed(11);
+        let producer = producer(&mut rng);
+
+        // A pre-partition (single-slice) broker seals the legacy record
+        // layout.
+        let mut old = Broker::preshared(0, 11, IndexKind::Poset, false);
+        old.provision_preshared(&producer);
+        for i in 0..3u64 {
+            let envelope = producer
+                .seal_registration(
+                    &SubscriptionSpec::new().gt("p", i as f64),
+                    SubscriptionId(i),
+                    ClientId(i),
+                    &mut rng,
+                )
+                .unwrap();
+            old.step(i, Input::Subscribe { envelope }).unwrap();
+        }
+        let legacy = old.sealed_record().expect("record sealed after admissions").to_vec();
+
+        // A partitioned replacement restores it: everything lands in
+        // slice 0 (the legacy layout carries no placement).
+        let mut broker = Broker::preshared(0, 11, IndexKind::Poset, false);
+        broker.set_partition(PartitionConfig::sliced(4));
+        broker.provision_preshared(&producer);
+        broker.step(10, Input::Crash).unwrap();
+        broker.set_sealed_record(legacy);
+        broker.step(20, Input::Restart { dead_links: vec![] }).unwrap();
+        assert_eq!(broker.lifecycle(), Lifecycle::Serving);
+        assert_eq!(broker.subscriptions(), 3);
+        assert_eq!(broker.slice_count(), 4);
+        let skew = broker.occupancy_skew();
+        assert!(skew > 1.5, "legacy restore piles onto slice 0, skew {skew}");
+
+        // The rebalancer spreads the pile below threshold; deliveries
+        // stay exactly-once throughout.
+        broker.provision_preshared(&producer);
+        let report = broker.rebalance_now().unwrap();
+        assert!(report.migrated >= 1);
+        assert!(report.skew_after <= 1.5, "skew_after {}", report.skew_after);
+        assert!(broker.occupancy_skew() <= 1.5);
+        assert_eq!(broker.migrations(), report.migrated as u64);
+        let publish = |broker: &mut Broker, at: u64, rng: &mut CryptoRng| {
+            let items = vec![item(&producer, &PublicationSpec::new().attr("p", 2.5), rng)];
+            broker.step(at, Input::Publish { items, trace: TraceId::NONE }).unwrap()
+        };
+        let outs = publish(&mut broker, 30, &mut rng);
+        let mut clients: Vec<u64> = deliveries(&outs).iter().map(|d| d.client.0).collect();
+        clients.sort_unstable();
+        assert_eq!(clients, vec![0, 1, 2], "every subscriber exactly once after migration");
+
+        // The migrated sharding itself survives the next crash: the
+        // versioned record carries per-slice assignments.
+        let spread: Vec<usize> =
+            broker.slice_stats().iter().map(|s| s.edge_subscriptions).collect();
+        broker.step(40, Input::Crash).unwrap();
+        broker.step(50, Input::Restart { dead_links: vec![] }).unwrap();
+        broker.provision_preshared(&producer);
+        let restored: Vec<usize> =
+            broker.slice_stats().iter().map(|s| s.edge_subscriptions).collect();
+        assert_eq!(spread, restored, "restore must reproduce the sharding exactly");
+        let outs = publish(&mut broker, 60, &mut rng);
+        assert_eq!(deliveries(&outs).len(), 3);
+    }
+
+    #[test]
+    fn serving_tick_rebalances_and_coalesces_the_reseals() {
+        let mut rng = CryptoRng::from_seed(12);
+        let producer = producer(&mut rng);
+
+        // Same legacy-record trick as above to manufacture a skewed
+        // partitioned broker deterministically.
+        let mut old = Broker::preshared(0, 12, IndexKind::Poset, false);
+        old.provision_preshared(&producer);
+        for i in 0..6u64 {
+            let envelope = producer
+                .seal_registration(
+                    &SubscriptionSpec::new().gt("p", i as f64),
+                    SubscriptionId(i),
+                    ClientId(i),
+                    &mut rng,
+                )
+                .unwrap();
+            old.step(i, Input::Subscribe { envelope }).unwrap();
+        }
+        let legacy = old.sealed_record().unwrap().to_vec();
+
+        let mut broker = Broker::preshared(0, 12, IndexKind::Poset, false);
+        broker.set_partition(PartitionConfig::sliced(3));
+        broker.provision_preshared(&producer);
+        broker.step(10, Input::Crash).unwrap();
+        broker.set_sealed_record(legacy);
+        broker.step(20, Input::Restart { dead_links: vec![] }).unwrap();
+        broker.provision_preshared(&producer);
+        assert!(broker.occupancy_skew() > 1.5);
+
+        // One serving tick runs the whole rebalancing loop and seals the
+        // record once, however many subscriptions it moved.
+        let before = broker.stats();
+        broker.step(30, Input::Tick).unwrap();
+        let after = broker.stats();
+        assert!(broker.migrations() >= 2, "skew 3.0 needs multiple migrations");
+        assert!(broker.occupancy_skew() <= 1.5);
+        assert_eq!(after.seals, before.seals + 1, "the whole pass coalesces into one seal");
+        assert_eq!(
+            after.seals_saved - before.seals_saved,
+            broker.migrations() - 1,
+            "every migration after the first rides the same seal"
+        );
+        // An idle tick at balance is free: no migration, no seal.
+        broker.step(31, Input::Tick).unwrap();
+        assert_eq!(broker.stats().seals, after.seals);
     }
 }

@@ -37,6 +37,7 @@ use crate::broker::{
     Output, SuspectReason,
 };
 use crate::error::OverlayError;
+use crate::partition::{PartitionConfig, RebalanceReport};
 use crate::topology::Topology;
 use scbr::ids::{ClientId, KeyEpoch, SubscriptionId};
 use scbr::index::IndexKind;
@@ -105,6 +106,11 @@ pub struct FabricConfig {
     /// behaviourally identical, but off keeps the crossing counts
     /// byte-for-byte those of the seed fabric.
     pub telemetry: bool,
+    /// Matcher partitioning inside every broker. The default (1 slice)
+    /// is the legacy single-engine matcher; with more slices each broker
+    /// shards its subscriptions and rebalances them on its serving ticks
+    /// (see [`PartitionConfig`]).
+    pub partition: PartitionConfig,
 }
 
 impl FabricConfig {
@@ -119,6 +125,7 @@ impl FabricConfig {
             epoch: KeyEpoch(0),
             heartbeats: None,
             telemetry: false,
+            partition: PartitionConfig::default(),
         }
     }
 
@@ -139,6 +146,14 @@ impl FabricConfig {
     #[must_use]
     pub fn with_telemetry(mut self) -> Self {
         self.telemetry = true;
+        self
+    }
+
+    /// Partitions every broker's matcher into `config.slices` slices
+    /// with skew-driven auto-rebalancing.
+    #[must_use]
+    pub fn with_partition(mut self, partition: PartitionConfig) -> Self {
+        self.partition = partition;
         self
     }
 }
@@ -280,6 +295,7 @@ impl OverlayFabric {
                         flood,
                     );
                     broker.set_neighbors(topology.neighbors(id));
+                    broker.set_partition(config.partition);
                     broker.provision_preshared(&producer);
                     brokers.push(broker);
                 }
@@ -297,6 +313,7 @@ impl OverlayFabric {
                     let mut broker =
                         Broker::attested(id, seed, config.index, ROUTER_ENCLAVE_CODE, flood)?;
                     broker.set_neighbors(topology.neighbors(id));
+                    broker.set_partition(config.partition);
                     let platform = broker.platform().expect("attested broker has a platform");
                     service.trust_platform(platform.attestation_public_key().clone());
                     brokers.push(broker);
@@ -989,6 +1006,29 @@ impl OverlayFabric {
         self.brokers.iter().map(|b| b.subscriptions()).sum()
     }
 
+    /// Edge-occupancy skew across the matcher slices of broker `at`
+    /// (1.0 when unpartitioned, balanced or empty).
+    pub fn occupancy_skew(&self, at: usize) -> f64 {
+        self.brokers[at].occupancy_skew()
+    }
+
+    /// Forces one synchronous rebalancing run on broker `at` (the
+    /// serving tick runs the same loop automatically once the skew
+    /// exceeds the configured threshold).
+    ///
+    /// # Errors
+    ///
+    /// Lifecycle (broker not serving) or migration failures.
+    pub fn rebalance(&mut self, at: usize) -> Result<RebalanceReport, OverlayError> {
+        self.brokers[at].rebalance_now()
+    }
+
+    /// Total cross-slice migrations across brokers (volatile — each
+    /// broker's counter restarts at zero on crash).
+    pub fn total_migrations(&self) -> u64 {
+        self.brokers.iter().map(|b| b.migrations()).sum()
+    }
+
     /// Resets every broker's counters (between measurement phases).
     pub fn reset_counters(&self) {
         for broker in &self.brokers {
@@ -1025,6 +1065,19 @@ impl OverlayFabric {
             registry.absorb("mem", &broker.mem_stats().snapshot());
             for (neighbor, counters) in broker.link_snapshots() {
                 registry.absorb(&format!("link.{neighbor}"), &counters);
+            }
+            if broker.slice_count() > 1 {
+                // The closed rebalancing loop's inputs and outputs, in
+                // the cluster module's per-slice schema plus broker-level
+                // partition gauges (skew in milli-units — the registry is
+                // integral).
+                for stats in broker.slice_stats() {
+                    registry.absorb(&format!("slice.{}", stats.slice), &stats.snapshot());
+                }
+                registry.set("partition.slices", broker.slice_count() as u64);
+                registry.set("partition.migrations", broker.migrations());
+                registry
+                    .set("partition.skew_milli", (broker.occupancy_skew() * 1000.0).round() as u64);
             }
             registry.set("trace.dropped", broker.trace_drops());
             fabric_registry.absorb("total", &stats.snapshot());

@@ -26,9 +26,19 @@
 //!   indexes link interfaces alongside edge clients, so each hop
 //!   decrypts and matches a whole publication batch in **one enclave
 //!   crossing** and learns local deliveries and outgoing links together.
-//!   After every subscription mutation the enclave re-seals a
-//!   rollback-protected recovery record; a crashed broker restarts from
-//!   it and asks its neighbours to replay their live forwarded sets.
+//!   At the end of any `step` that mutated subscriptions the enclave
+//!   re-seals a rollback-protected recovery record (one seal per step,
+//!   however many mutations the step carried); a crashed broker
+//!   restarts from it and asks its neighbours to replay their live
+//!   forwarded sets.
+//! * [`partition`] — the matcher inside each broker can be sharded into
+//!   N [`partition::PartitionedMatcher`] slices behind the same
+//!   admit/remove/route surface: subscriptions hash-placed per slice,
+//!   each publication fanned across all slices inside the same single
+//!   enclave crossing and merged, and a serving-tick rebalancer that
+//!   watches `occupancy_skew` and migrates subscriptions fullest →
+//!   emptiest make-before-break
+//!   ([`partition::PartitionConfig::skew_threshold`]).
 //! * [`fabric`] — a thin deterministic scheduler: build, attest, link,
 //!   then [`fabric::OverlayFabric::subscribe`],
 //!   [`fabric::OverlayFabric::publish`],
@@ -66,6 +76,7 @@ pub mod broker;
 pub mod error;
 pub mod fabric;
 pub mod forwarding;
+pub mod partition;
 pub mod topology;
 
 pub use broker::{
@@ -77,5 +88,6 @@ pub use fabric::{
     AutoRejoin, Delivery, FabricConfig, OverlayFabric, Propagation, RejoinReport, Trust,
 };
 pub use forwarding::ForwardingTable;
+pub use partition::{PartitionConfig, PartitionedMatcher, RebalanceReport};
 pub use scbr_telemetry::{BrokerTelemetry, HopRecord, StageSummary, TelemetrySnapshot, TraceId};
 pub use topology::Topology;

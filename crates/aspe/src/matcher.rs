@@ -255,9 +255,9 @@ struct StoredSub {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BloomGateStats {
     /// Subscriptions that entered the Bloom gate.
-    pub checked: u64,
+    pub bloom_checked: u64,
     /// Subscriptions the gate rejected before form evaluation.
-    pub skipped: u64,
+    pub bloom_skipped: u64,
     /// Quadratic forms actually evaluated (gate survivors only).
     pub forms_evaluated: u64,
 }
@@ -265,18 +265,18 @@ pub struct BloomGateStats {
 impl BloomGateStats {
     /// Fraction of gate entrants rejected before any O(d²) work.
     pub fn skip_rate(&self) -> f64 {
-        if self.checked == 0 {
+        if self.bloom_checked == 0 {
             0.0
         } else {
-            self.skipped as f64 / self.checked as f64
+            self.bloom_skipped as f64 / self.bloom_checked as f64
         }
     }
 
     /// Uniform counter export for the telemetry registry.
     pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
         vec![
-            ("bloom_checked", self.checked),
-            ("bloom_skipped", self.skipped),
+            ("bloom_checked", self.bloom_checked),
+            ("bloom_skipped", self.bloom_skipped),
             ("forms_evaluated", self.forms_evaluated),
         ]
     }
@@ -465,8 +465,8 @@ impl AspeMatcher {
     /// [`AspeMatcher::reset_bloom_stats`]).
     pub fn bloom_stats(&self) -> BloomGateStats {
         BloomGateStats {
-            checked: self.bloom_checked.load(Ordering::Relaxed),
-            skipped: self.bloom_skipped.load(Ordering::Relaxed),
+            bloom_checked: self.bloom_checked.load(Ordering::Relaxed),
+            bloom_skipped: self.bloom_skipped.load(Ordering::Relaxed),
             forms_evaluated: self.forms_evaluated.load(Ordering::Relaxed),
         }
     }
@@ -577,8 +577,8 @@ mod tests {
         matcher.match_publication_into(&enc_ibm, &mut out);
         assert!(out.is_empty());
         let after_miss = matcher.bloom_stats();
-        assert_eq!(after_miss.checked, 8);
-        assert_eq!(after_miss.skipped, 8, "gate rejects every wrong-symbol sub");
+        assert_eq!(after_miss.bloom_checked, 8);
+        assert_eq!(after_miss.bloom_skipped, 8, "gate rejects every wrong-symbol sub");
         assert_eq!(after_miss.forms_evaluated, 0, "no O(d²) work behind a failed gate");
         assert!((after_miss.skip_rate() - 1.0).abs() < f64::EPSILON);
 
@@ -589,8 +589,8 @@ mod tests {
         matcher.match_publication_into(&enc_hal, &mut out);
         assert_eq!(out.len(), 8, "buffer reuse: previous results fully replaced");
         let after_hit = matcher.bloom_stats();
-        assert_eq!(after_hit.checked, 8);
-        assert_eq!(after_hit.skipped, 0);
+        assert_eq!(after_hit.bloom_checked, 8);
+        assert_eq!(after_hit.bloom_skipped, 0);
         assert_eq!(after_hit.forms_evaluated, 8, "one range form per surviving sub");
     }
 

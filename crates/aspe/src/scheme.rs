@@ -11,12 +11,19 @@ use crate::matrix::Matrix;
 use scbr_crypto::rng::CryptoRng;
 
 /// The ASPE secret key: an invertible matrix and its precomputed helpers.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct AspeKey {
     dim: usize,
     m_t: Matrix,
     m_inv: Matrix,
     m_inv_t: Matrix,
+}
+
+impl std::fmt::Debug for AspeKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The matrices *are* the secret; print only the dimension.
+        f.debug_struct("AspeKey").field("dim", &self.dim).finish()
+    }
 }
 
 impl AspeKey {

@@ -127,11 +127,11 @@ proptest! {
             }
         }
         let stats = matcher.bloom_stats();
-        prop_assert_eq!(stats.checked, pubs_run * plain_subs.len() as u64);
+        prop_assert_eq!(stats.bloom_checked, pubs_run * plain_subs.len() as u64);
         // Every gate survivor evaluates between one (short-circuit on a
         // failing form) and two (the `between` pair) quadratic forms;
         // skipped subscriptions evaluate none.
-        let survivors = stats.checked - stats.skipped;
+        let survivors = stats.bloom_checked - stats.bloom_skipped;
         prop_assert!(stats.forms_evaluated >= survivors, "{stats:?}");
         prop_assert!(stats.forms_evaluated <= 2 * survivors, "{stats:?}");
     }

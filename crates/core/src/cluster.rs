@@ -314,6 +314,10 @@ impl PartitionedRouter {
     ) -> Result<Vec<Vec<ClientId>>, ScbrError> {
         let n = self.workers.len();
         let shared: Arc<[Vec<u8>]> = headers.to_vec().into();
+        // The fan-out runs on untrusted host worker threads; real wall
+        // time is the *point* of `fanout_wall_ns` (per-slice virtual
+        // clocks cannot observe cross-thread concurrency).
+        // lint: allow(SL01, host-side dispatcher measuring thread fan-out wall time)
         let started = Instant::now();
         let (tx, rx) = unbounded();
         for (slice, worker) in self.workers.iter().enumerate() {

@@ -388,6 +388,7 @@ impl SubscriptionIndex for LegacyPosetIndex {
         true
     }
 
+    // lint: allow(SL03, frozen pre-arena baseline - allocates per call by design)
     fn match_into(
         &self,
         header: &CompiledHeader,

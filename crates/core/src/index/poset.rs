@@ -69,6 +69,7 @@ const SCAN_CAP: usize = 16;
 /// Which root-directory bucket a node belongs to, derived from its first
 /// (minimum-attribute-id) constraint. Copyable, so root bookkeeping never
 /// clones the subscription itself.
+// lint: allow(SL02, directory lookup key - no cryptographic material)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum DirKey {
     /// No constraints: matches everything, always a candidate.

@@ -20,11 +20,20 @@ use scbr_crypto::SealedBox;
 use std::collections::HashMap;
 
 /// Producer-side group-key state.
-#[derive(Debug)]
 pub struct GroupKeyManager {
     epoch: KeyEpoch,
     current: SymmetricKey,
     members: HashMap<ClientId, RsaPublicKey>,
+}
+
+impl std::fmt::Debug for GroupKeyManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the current epoch key; epoch + membership suffice.
+        f.debug_struct("GroupKeyManager")
+            .field("epoch", &self.epoch)
+            .field("members", &self.members.len())
+            .finish()
+    }
 }
 
 impl GroupKeyManager {
@@ -97,9 +106,18 @@ impl GroupKeyManager {
 }
 
 /// Client-side store of received group keys.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct GroupKeyStore {
     keys: HashMap<KeyEpoch, SymmetricKey>,
+}
+
+impl std::fmt::Debug for GroupKeyStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Print which epochs are held, never the key material.
+        let mut epochs: Vec<_> = self.keys.keys().copied().collect();
+        epochs.sort_unstable_by_key(|e| e.0);
+        f.debug_struct("GroupKeyStore").field("epochs", &epochs).finish()
+    }
 }
 
 impl GroupKeyStore {

@@ -107,23 +107,13 @@ impl ClientNode {
         let msg = Message::SubmitSubscription { client: self.id, encrypted_subscription: ct };
         self.producer.send(&msg.to_wire())?;
         // Wait for the verdict, stashing any interleaved key updates.
-        let deadline = std::time::Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            let Some(frame) = self.producer.recv_timeout(remaining)? else {
-                return Err(ScbrError::UnexpectedMessage { got: "timeout".into() });
-            };
-            match Message::from_wire(&frame)? {
-                Message::SubscriptionAccepted { id } => return Ok(id),
-                Message::SubscriptionRejected { reason } => {
-                    return Err(ScbrError::UnexpectedMessage { got: format!("rejected: {reason}") })
-                }
-                Message::KeyUpdate { wrapped } => {
-                    let _ = self.keys.ingest_update(&self.key_pair, &wrapped);
-                }
-                other => return Err(ScbrError::UnexpectedMessage { got: other.kind().to_owned() }),
+        self.await_producer_reply(timeout, |msg| match msg {
+            Message::SubscriptionAccepted { id } => Ok(Some(id)),
+            Message::SubscriptionRejected { reason } => {
+                Err(ScbrError::UnexpectedMessage { got: format!("rejected: {reason}") })
             }
-        }
+            other => Err(ScbrError::UnexpectedMessage { got: other.kind().to_owned() }),
+        })
     }
 
     /// Retires one of this client's subscriptions and waits for the
@@ -139,6 +129,29 @@ impl ClientNode {
         let signature = self.key_pair.private().sign(&unsubscribe_signing_bytes(self.id, id))?;
         let msg = Message::Unsubscribe { client: self.id, id, signature };
         self.producer.send(&msg.to_wire())?;
+        self.await_producer_reply(timeout, |msg| match msg {
+            Message::Unsubscribed { id: got } if got == id => Ok(Some(())),
+            Message::Error { message } => {
+                Err(ScbrError::UnexpectedMessage { got: format!("rejected: {message}") })
+            }
+            other => Err(ScbrError::UnexpectedMessage { got: other.kind().to_owned() }),
+        })
+    }
+
+    /// Blocks on the producer connection until `judge` resolves the reply,
+    /// ingesting any key updates that arrive interleaved with it. `judge`
+    /// returns `Ok(Some(_))` on the terminal message, `Ok(None)` to keep
+    /// waiting, or an error to abort.
+    ///
+    /// The client runs on the untrusted host, so the deadline is real wall
+    /// time bounding a real network wait — the enclave's virtual clock has
+    /// no business here.
+    // lint: allow(SL01, host-side client bounding a network wait with wall time)
+    fn await_producer_reply<T>(
+        &mut self,
+        timeout: Duration,
+        mut judge: impl FnMut(Message) -> Result<Option<T>, ScbrError>,
+    ) -> Result<T, ScbrError> {
         let deadline = std::time::Instant::now() + timeout;
         loop {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
@@ -146,16 +159,14 @@ impl ClientNode {
                 return Err(ScbrError::UnexpectedMessage { got: "timeout".into() });
             };
             match Message::from_wire(&frame)? {
-                Message::Unsubscribed { id: got } if got == id => return Ok(()),
-                Message::Error { message } => {
-                    return Err(ScbrError::UnexpectedMessage {
-                        got: format!("rejected: {message}"),
-                    })
-                }
                 Message::KeyUpdate { wrapped } => {
                     let _ = self.keys.ingest_update(&self.key_pair, &wrapped);
                 }
-                other => return Err(ScbrError::UnexpectedMessage { got: other.kind().to_owned() }),
+                other => {
+                    if let Some(done) = judge(other)? {
+                        return Ok(done);
+                    }
+                }
             }
         }
     }

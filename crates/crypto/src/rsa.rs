@@ -60,10 +60,17 @@ impl std::fmt::Debug for RsaPrivateKey {
 /// assert_eq!(pair.private().decrypt(&ct)?, b"secret subscription");
 /// # Ok::<(), scbr_crypto::CryptoError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RsaKeyPair {
     public: RsaPublicKey,
     private: RsaPrivateKey,
+}
+
+impl std::fmt::Debug for RsaKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Show only the public half; the private key redacts itself too.
+        f.debug_struct("RsaKeyPair").field("public", &self.public).finish()
+    }
 }
 
 impl RsaKeyPair {

@@ -1,0 +1,357 @@
+//! A comment/string/char-literal-aware Rust lexer.
+//!
+//! The rules only ever look at *identifier* and *punctuation* tokens, so a
+//! banned name inside a string literal, a doc comment, or a `#[doc]`
+//! attribute can never fire a finding — and, conversely, suppression
+//! comments are collected separately so the rule engine can match them to
+//! the lines and items they cover. The lexer is deliberately lossy about
+//! everything the rules do not need (numeric values, string contents are
+//! kept raw, no spans within a line).
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `struct`, `Instant`, …).
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// A lifetime such as `'static` (name without the quote).
+    Lifetime(String),
+    /// Any string literal (cooked, raw, or byte); the unescaped source
+    /// contents between the delimiters.
+    Str(String),
+    /// A character or byte-character literal.
+    Char,
+    /// A numeric literal (raw text).
+    Num(String),
+}
+
+/// A token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A comment (line or block) with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`, never failing: unterminated literals consume to the end of
+/// the file (the compiler, not the linter, owns syntax errors).
+pub fn lex(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.tokens.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    let s = self.cooked_string();
+                    self.push(Tok::Str(s), line);
+                }
+                '\'' => self.quote(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if c == '_' || c.is_alphabetic() => self.ident(),
+                _ => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// A `"…"` string with escape handling; returns the raw contents.
+    fn cooked_string(&mut self) -> String {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(next) = self.bump() {
+                        s.push('\\');
+                        s.push(next);
+                    }
+                }
+                '"' => break,
+                _ => s.push(c),
+            }
+        }
+        s
+    }
+
+    /// `r"…"` / `r#"…"#` (already past the `r`, `pos` at `#` or `"`).
+    fn raw_string(&mut self) -> String {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut s = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let closes = (0..hashes).all(|i| self.peek(i) == Some('#'));
+                if closes {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            s.push(c);
+        }
+        s
+    }
+
+    /// Disambiguates a `'` into a char literal or a lifetime.
+    fn quote(&mut self) {
+        let line = self.line;
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume through the closing quote.
+                self.bump();
+                self.bump(); // the escaped character (or escape class)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::Char, line);
+            }
+            Some(c) if self.peek(1) == Some('\'') => {
+                // 'x' — a plain char literal.
+                let _ = c;
+                self.bump();
+                self.bump();
+                self.push(Tok::Char, line);
+            }
+            Some(c) if c == '_' || c.is_alphabetic() => {
+                // A lifetime: consume the identifier after the quote.
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(Tok::Lifetime(name), line);
+            }
+            _ => {
+                // Stray quote — emit as punctuation and move on.
+                self.push(Tok::Punct('\''), line);
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `7.25` continues the number; `0..n` leaves the dots alone.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Num(text), line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String-literal prefixes: r"…", r#"…"#, b"…", br"…", b'…'.
+        match (name.as_str(), self.peek(0)) {
+            ("r" | "br", Some('"' | '#')) => {
+                let s = self.raw_string();
+                self.push(Tok::Str(s), line);
+            }
+            ("b", Some('"')) => {
+                let s = self.cooked_string();
+                self.push(Tok::Str(s), line);
+            }
+            ("b", Some('\'')) => {
+                self.quote();
+                // `quote` pushed Char (or a lifetime for malformed input);
+                // either way the `b` prefix itself is not a token.
+            }
+            _ => self.push(Tok::Ident(name), line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lexed: &Lexed) -> Vec<&str> {
+        lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let lexed = lex(concat!(
+            "// Instant::now in a comment\n",
+            "/* SystemTime in a block */\n",
+            "let s = \"Instant::now()\";\n",
+            "let r = r#\"SystemTime\"#;\n",
+            "let b = b\"unsafe\";\n",
+            "real_ident();\n",
+        ));
+        assert_eq!(idents(&lexed), ["let", "s", "let", "r", "let", "b", "real_ident"]);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("Instant::now"));
+    }
+
+    #[test]
+    fn char_literals_do_not_swallow_code() {
+        let lexed = lex("let c = 'x'; let nl = '\\n'; fn f<'a>(s: &'a str) {} Instant::now()");
+        assert!(idents(&lexed).contains(&"Instant"));
+        assert!(idents(&lexed).contains(&"now"));
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Lifetime(l) => Some(l.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let lexed = lex("for i in 0..n { let x = 7.25; }");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, ["0", "7.25"]);
+        let dots = lexed.tokens.iter().filter(|t| t.tok == Tok::Punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let lexed = lex("/* outer /* inner */ still outer */ after");
+        assert_eq!(idents(&lexed), ["after"]);
+        assert_eq!(lexed.comments.len(), 1);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

@@ -1,0 +1,87 @@
+//! The `scbr-lint` CLI.
+//!
+//! ```text
+//! scbr-lint [--root DIR] [--json PATH] [--deny] [--update-boundary]
+//!           [--boundary PATH]
+//! ```
+//!
+//! * default: lint the tree, print findings, exit 0.
+//! * `--deny`: exit 2 when any unsuppressed finding remains (CI mode).
+//! * `--json PATH`: additionally write the `LINT_REPORT.json` document.
+//! * `--update-boundary`: rewrite `BOUNDARY.lock` from the observed
+//!   ecall/ocall surface instead of checking against it.
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use scbr_lint::{lint_tree, render_lock, report, LintConfig};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut update_boundary = false;
+    let mut boundary: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(args.next().unwrap_or_else(|| usage("--root DIR"))),
+            "--json" => {
+                json = Some(PathBuf::from(args.next().unwrap_or_else(|| usage("--json PATH"))))
+            }
+            "--deny" => deny = true,
+            "--update-boundary" => update_boundary = true,
+            "--boundary" => {
+                boundary =
+                    Some(PathBuf::from(args.next().unwrap_or_else(|| usage("--boundary PATH"))))
+            }
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let cfg = LintConfig::default();
+    let lock_path = boundary.unwrap_or_else(|| root.join("BOUNDARY.lock"));
+    let report_data = lint_tree(&root, &cfg, Some(&lock_path));
+
+    if update_boundary {
+        let rendered = render_lock(&report_data.surface);
+        if let Err(e) = std::fs::write(&lock_path, rendered) {
+            eprintln!("scbr-lint: cannot write {}: {e}", lock_path.display());
+            return ExitCode::from(3);
+        }
+        println!(
+            "scbr-lint: wrote {} ({} boundary row(s))",
+            lock_path.display(),
+            report_data.surface.len()
+        );
+        // Re-lint so the printed verdict reflects the fresh lock.
+        let refreshed = lint_tree(&root, &cfg, Some(&lock_path));
+        return finish(refreshed, json, deny);
+    }
+
+    finish(report_data, json, deny)
+}
+
+fn finish(report_data: scbr_lint::TreeReport, json: Option<PathBuf>, deny: bool) -> ExitCode {
+    print!("{}", report::to_human(&report_data));
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report::to_json(&report_data)) {
+            eprintln!("scbr-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(3);
+        }
+    }
+    if deny && !report_data.findings.is_empty() {
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(context: &str) -> ! {
+    eprintln!(
+        "scbr-lint: {context}\nusage: scbr-lint [--root DIR] [--json PATH] [--deny] \
+         [--update-boundary] [--boundary PATH]"
+    );
+    std::process::exit(3)
+}

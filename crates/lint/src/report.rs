@@ -1,0 +1,104 @@
+//! Human and JSON rendering of a [`TreeReport`] — no serde, mirroring the
+//! hand-rolled `BENCH_*.json` emitters in `scbr_bench::json`.
+
+use crate::{rules::RULE_CODES, Finding, TreeReport, SCHEMA_VERSION};
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    let mut obj = format!(
+        "{{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"",
+        f.rule,
+        escape(&f.path),
+        f.line,
+        escape(&f.message)
+    );
+    if let Some(reason) = &f.suppressed {
+        obj.push_str(&format!(", \"suppressed\": \"{}\"", escape(reason)));
+    }
+    obj.push('}');
+    obj
+}
+
+/// The `LINT_REPORT.json` document.
+pub fn to_json(report: &TreeReport) -> String {
+    let findings: Vec<String> = report.findings.iter().map(finding_json).collect();
+    let suppressed: Vec<String> = report.suppressed.iter().map(finding_json).collect();
+    let per_rule: Vec<String> = std::iter::once(&"SL00")
+        .chain(RULE_CODES.iter())
+        .map(|code| {
+            format!("\"{code}\": {}", report.findings.iter().filter(|f| f.rule == *code).count())
+        })
+        .collect();
+    format!(
+        "{{\n  \"tool\": \"scbr-lint\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \
+         \"files_scanned\": {},\n  \"findings\": [{}],\n  \"suppressed\": [{}],\n  \
+         \"boundary_rows\": {},\n  \"summary\": {{{}}}\n}}\n",
+        report.files_scanned,
+        findings.join(", "),
+        suppressed.join(", "),
+        report.surface.len(),
+        per_rule.join(", ")
+    )
+}
+
+/// The terminal rendering: one line per finding, then a summary.
+pub fn to_human(report: &TreeReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!("{}:{}: [{}] {}\n", f.path, f.line, f.rule, f.message));
+    }
+    for f in &report.suppressed {
+        out.push_str(&format!(
+            "{}:{}: [{}] suppressed ({}): {}\n",
+            f.path,
+            f.line,
+            f.rule,
+            f.suppressed.as_deref().unwrap_or(""),
+            f.message
+        ));
+    }
+    out.push_str(&format!(
+        "scbr-lint: {} file(s), {} finding(s), {} suppressed, {} boundary row(s)\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed.len(),
+        report.surface.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_schema_version_and_escapes() {
+        let mut report = TreeReport { files_scanned: 2, ..TreeReport::default() };
+        report.findings.push(Finding {
+            rule: "SL02",
+            path: "a\\b.rs".into(),
+            line: 3,
+            message: "derives `Debug`".into(),
+            suppressed: None,
+        });
+        let json = to_json(&report);
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("a\\\\b.rs"));
+        assert!(json.contains("\"SL02\": 1"));
+        assert!(json.contains("\"SL01\": 0"));
+    }
+}

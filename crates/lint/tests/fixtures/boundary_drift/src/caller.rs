@@ -1,0 +1,29 @@
+//! Boundary fixture: same module as `boundary_good`, plus one
+//! deliberately-added gate call site (`Host::sneak`) that the lock does
+//! not list — the SL05 check must fail on it.
+
+pub struct Gate;
+
+impl Gate {
+    pub fn ecall<T>(&self, f: impl FnOnce() -> T) -> T {
+        f()
+    }
+}
+
+pub struct Host {
+    gate: Gate,
+}
+
+impl Host {
+    pub fn once(&self) -> u32 {
+        self.gate.ecall(|| 1)
+    }
+
+    pub fn twice(&self) -> u32 {
+        self.gate.ecall(|| 1) + self.gate.ecall(|| 2)
+    }
+
+    pub fn sneak(&self) -> u32 {
+        self.gate.ecall(|| 3)
+    }
+}

@@ -1,0 +1,24 @@
+//! Boundary fixture: a mini host-side module whose gate crossings match
+//! the checked-in `BOUNDARY.lock` exactly.
+
+pub struct Gate;
+
+impl Gate {
+    pub fn ecall<T>(&self, f: impl FnOnce() -> T) -> T {
+        f()
+    }
+}
+
+pub struct Host {
+    gate: Gate,
+}
+
+impl Host {
+    pub fn once(&self) -> u32 {
+        self.gate.ecall(|| 1)
+    }
+
+    pub fn twice(&self) -> u32 {
+        self.gate.ecall(|| 1) + self.gate.ecall(|| 2)
+    }
+}

@@ -1,0 +1,18 @@
+//! SL01 violating fixture: wall-clock reads inside an enclave-side module.
+
+pub struct Stamper {
+    last_ns: u64,
+}
+
+impl Stamper {
+    pub fn stamp(&mut self) -> u64 {
+        let t = std::time::Instant::now();
+        self.last_ns = t.elapsed().as_nanos() as u64;
+        self.last_ns
+    }
+
+    pub fn epoch_seconds() -> u64 {
+        let now = std::time::SystemTime::now();
+        now.duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+    }
+}

@@ -1,0 +1,13 @@
+//! SL01 conforming fixture: enclave-side timing goes through the virtual
+//! clock handed in by the simulator, never the host wall clock.
+
+pub struct Stamper {
+    last_ns: u64,
+}
+
+impl Stamper {
+    pub fn stamp(&mut self, sim_elapsed_ns: u64) -> u64 {
+        self.last_ns = sim_elapsed_ns;
+        self.last_ns
+    }
+}

@@ -1,0 +1,12 @@
+//! SL02 violating fixture: a secret-bearing type with derived `Debug`.
+
+#[derive(Debug, Clone)]
+pub struct SessionKey {
+    bytes: [u8; 32],
+}
+
+impl SessionKey {
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}

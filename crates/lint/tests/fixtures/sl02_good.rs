@@ -1,0 +1,19 @@
+//! SL02 conforming fixture: the secret-bearing type redacts itself with a
+//! reviewed manual `Debug` impl instead of deriving one.
+
+#[derive(Clone)]
+pub struct SessionKey {
+    bytes: [u8; 32],
+}
+
+impl std::fmt::Debug for SessionKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionKey").field("bytes", &"<redacted>").finish()
+    }
+}
+
+impl SessionKey {
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}

@@ -1,0 +1,16 @@
+//! SL03 violating fixture: a declared zero-allocation hot-path function
+//! that allocates anyway.
+
+pub struct Index {
+    ids: [u32; 8],
+    live: usize,
+}
+
+impl Index {
+    pub fn match_into(&self, out: &mut Vec<u32>) {
+        let scratch = vec![0u32; self.live];
+        let doubled: Vec<u32> = scratch.iter().map(|v| v * 2).collect();
+        out.extend_from_slice(&doubled);
+        out.extend_from_slice(&self.ids[..self.live]);
+    }
+}

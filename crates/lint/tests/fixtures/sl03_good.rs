@@ -1,0 +1,14 @@
+//! SL03 conforming fixture: the hot path reuses caller-owned buffers.
+
+pub struct Index {
+    ids: [u32; 8],
+    live: usize,
+}
+
+impl Index {
+    pub fn match_into(&self, out: &mut Vec<u32>) {
+        for id in &self.ids[..self.live] {
+            out.push(*id);
+        }
+    }
+}

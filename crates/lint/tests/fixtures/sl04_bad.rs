@@ -1,0 +1,14 @@
+//! SL04 violating fixture: a stats struct whose `snapshot()` forgets one
+//! of its `u64` counters, so the telemetry registry silently drops it.
+
+#[derive(Default)]
+pub struct GateStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl GateStats {
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![("hits", self.hits)]
+    }
+}

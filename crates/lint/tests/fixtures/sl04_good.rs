@@ -1,0 +1,13 @@
+//! SL04 conforming fixture: every `u64` counter reaches the snapshot.
+
+#[derive(Default)]
+pub struct GateStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl GateStats {
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![("hits", self.hits), ("misses", self.misses)]
+    }
+}

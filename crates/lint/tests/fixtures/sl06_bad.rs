@@ -1,0 +1,6 @@
+//! SL06 violating fixture: a crate root that dropped the workspace-wide
+//! `#![forbid(unsafe_code)]` guard and smuggled in an unsafe block.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,6 @@
+//! SL06 conforming fixture: the crate root keeps the guard.
+#![forbid(unsafe_code)]
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    bytes[0]
+}

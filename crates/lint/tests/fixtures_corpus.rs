@@ -1,0 +1,101 @@
+//! The fixture corpus: one violating and one conforming file per rule,
+//! each bad fixture firing *exactly* its own rule; plus the tree-clean
+//! check on the real workspace and the boundary-lock drift check.
+//!
+//! Fixtures live under `tests/fixtures/`, which the tree walker skips, so
+//! the deliberately-violating files never pollute the real lint run.
+
+use scbr_lint::{lint_file, lint_tree, LintConfig};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn read(name: &str) -> String {
+    let path = fixtures().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// `(rule, bad fixture, good fixture, pretend-path, crate_root)` — the
+/// pretend path places the fixture where its rule is in scope.
+const CASES: [(&str, &str, &str, &str, bool); 5] = [
+    ("SL01", "sl01_bad.rs", "sl01_good.rs", "crates/core/src/fixture.rs", false),
+    ("SL02", "sl02_bad.rs", "sl02_good.rs", "crates/crypto/src/fixture.rs", false),
+    ("SL03", "sl03_bad.rs", "sl03_good.rs", "crates/core/src/fixture.rs", false),
+    ("SL04", "sl04_bad.rs", "sl04_good.rs", "crates/telemetry/src/fixture.rs", false),
+    ("SL06", "sl06_bad.rs", "sl06_good.rs", "crates/demo/src/lib.rs", true),
+];
+
+#[test]
+fn each_bad_fixture_fires_exactly_its_rule() {
+    let cfg = LintConfig::default();
+    for (rule, bad, _, rel, crate_root) in CASES {
+        let out = lint_file(rel, &read(bad), &cfg, crate_root);
+        let fired: BTreeSet<&str> = out.findings.iter().map(|f| f.rule).collect();
+        assert_eq!(
+            fired,
+            BTreeSet::from([rule]),
+            "{bad}: expected only {rule}, got {:?}",
+            out.findings
+        );
+        assert!(
+            out.findings.iter().all(|f| f.suppressed.is_none()),
+            "{bad}: fixture findings must not be suppressed"
+        );
+    }
+}
+
+#[test]
+fn each_good_fixture_is_silent() {
+    let cfg = LintConfig::default();
+    for (rule, _, good, rel, crate_root) in CASES {
+        let out = lint_file(rel, &read(good), &cfg, crate_root);
+        assert!(
+            out.findings.is_empty(),
+            "{good}: conforming fixture for {rule} still fired {:?}",
+            out.findings
+        );
+    }
+}
+
+/// The acceptance gate: the real workspace lints clean under `--deny`
+/// semantics (no unsuppressed findings against the checked-in lock).
+#[test]
+fn real_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_tree(&root, &LintConfig::default(), None);
+    assert!(report.findings.is_empty(), "workspace must lint clean, found: {:#?}", report.findings);
+    assert!(report.files_scanned > 100, "walker missed the tree: {}", report.files_scanned);
+    assert!(!report.surface.is_empty(), "boundary surface must not be empty");
+}
+
+#[test]
+fn boundary_lock_accepts_matching_surface() {
+    let root = fixtures().join("boundary_good");
+    let report = lint_tree(&root, &LintConfig::default(), None);
+    assert!(report.findings.is_empty(), "matching lock must be clean: {:?}", report.findings);
+    assert_eq!(report.surface.len(), 2);
+}
+
+#[test]
+fn deliberately_added_call_site_fails_the_lock_check() {
+    let root = fixtures().join("boundary_drift");
+    let report = lint_tree(&root, &LintConfig::default(), None);
+    let sl05 = report.of_rule("SL05");
+    assert!(!sl05.is_empty(), "the sneaked-in ecall must trip SL05");
+    assert!(
+        sl05.iter().any(|f| f.message.contains("Host::sneak")),
+        "finding should name the new call site: {sl05:?}"
+    );
+}
+
+/// SL05 has no suppression escape hatch: an allow comment on the call
+/// site must not silence the lock drift.
+#[test]
+fn boundary_findings_cannot_be_suppressed() {
+    let root = fixtures().join("boundary_drift");
+    let report = lint_tree(&root, &LintConfig::default(), None);
+    assert!(report.of_rule("SL05").iter().all(|f| f.suppressed.is_none()));
+}

@@ -2180,12 +2180,15 @@ impl Broker {
         let timing = self.telemetry;
         let t_arrival = if timing { self.mem_elapsed_ns() } else { 0.0 };
         let mut matched_here = 0usize;
+        // lint: allow(SL03, owned output construction - deliveries and frames leave this fn)
         let mut outs = Vec::new();
         // Per-link outgoing batches, in ascending neighbour order.
         let mut outgoing: BTreeMap<usize, Vec<PublishItem>> = BTreeMap::new();
         for chunk in items.chunks(MAX_DRAIN) {
+            // lint: allow(SL03, per-chunk header slice list - bounded by MAX_DRAIN)
             let headers: Vec<&[u8]> = chunk.iter().map(|i| i.header_ct.as_slice()).collect();
             let decisions = self
+                // lint: allow(SL03, decisions cross the enclave boundary by value)
                 .call(|c| c.route(&headers, origin).into_iter().collect::<Result<Vec<_>, _>>())?;
             for (item, decision) in chunk.iter().zip(decisions) {
                 matched_here += decision.locals.len();
@@ -2193,10 +2196,12 @@ impl Broker {
                     outs.push(Output::Delivery(LocalDelivery {
                         router: self.id,
                         client,
+                        // lint: allow(SL03, each local delivery owns its item copy)
                         item: item.clone(),
                     }));
                 }
                 for neighbor in decision.links {
+                    // lint: allow(SL03, per-link batch owns its item copy)
                     outgoing.entry(neighbor).or_default().push(item.clone());
                 }
             }

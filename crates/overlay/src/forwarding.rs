@@ -33,6 +33,7 @@ use std::collections::HashMap;
 /// row's first attribute at least as tightly, so `covered()` probes only
 /// the buckets compatible with the queried subscription instead of
 /// scanning the whole table.
+// lint: allow(SL02, covering bucket key - no cryptographic material)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum CoverKey {
     /// Unconstrained row: covers everything.

@@ -12,6 +12,7 @@
 //! * [`scbr_aspe`] — the ASPE software-only baseline.
 //! * [`scbr_workloads`] — the Table 1 workload generators.
 //! * [`scbr_net`] — the messaging substrate.
+#![forbid(unsafe_code)]
 
 pub use scbr;
 pub use scbr_aspe;
